@@ -1,0 +1,194 @@
+// Shared infrastructure for the figure/claim benches: engine construction
+// at bench scale, the JOB-like suite, ReJOIN training wiring, and small
+// table-printing helpers. Every bench is deterministic (fixed seeds).
+#ifndef HFQ_BENCH_BENCH_COMMON_H_
+#define HFQ_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/reward.h"
+#include "rejoin/join_env.h"
+#include "rejoin/rejoin.h"
+#include "util/check.h"
+#include "util/logging.h"
+#include "workload/generator.h"
+
+namespace hfq {
+namespace bench {
+
+/// The benchmark database: IMDB-like at scale `scale` (0.2 by default:
+/// title 4k rows, cast_info 20k rows — large enough for real operator
+/// tradeoffs, small enough that every bench finishes in tens of seconds).
+inline std::unique_ptr<Engine> MakeEngine(double scale = 0.2,
+                                          uint64_t seed = 42) {
+  SetLogLevel(LogLevel::kError);
+  EngineOptions options;
+  options.imdb.scale = scale;
+  options.data_seed = seed;
+  auto engine = Engine::CreateImdbLike(options);
+  HFQ_CHECK_MSG(engine.ok(), "bench engine construction failed");
+  return std::move(*engine);
+}
+
+/// The JOB-like workload: 22 families x 4 variants spanning 4-17 relations
+/// (names q1a...q22d), mirroring the suite the paper trains and evaluates
+/// ReJOIN on.
+inline std::vector<Query> MakeJobSuite(Engine* engine,
+                                       uint64_t seed = 2019) {
+  WorkloadGenerator generator(&engine->catalog(), seed, QueryShapeOptions(),
+                              &engine->db());
+  auto suite = generator.GenerateJobLikeSuite(/*families=*/22,
+                                              /*variants=*/4,
+                                              /*min_relations=*/4,
+                                              /*max_relations=*/17);
+  HFQ_CHECK_MSG(suite.ok(), "workload generation failed");
+  return std::move(*suite);
+}
+
+/// A latency-experiment workload: queries whose *expert* plan simulates
+/// within [min_ms, max_ms]. Mirrors how curated suites (JOB) select
+/// realistic queries — substantial but bounded work — so latency rewards
+/// carry signal. Relation counts cycle over [min_rels, max_rels].
+inline std::vector<Query> MakeLatencyWorkload(Engine* engine, int count,
+                                              int min_rels, int max_rels,
+                                              uint64_t seed,
+                                              double min_ms = 5.0,
+                                              double max_ms = 60000.0) {
+  WorkloadGenerator generator(&engine->catalog(), seed, QueryShapeOptions(),
+                              &engine->db());
+  std::vector<Query> workload;
+  int attempts = 0;
+  while (static_cast<int>(workload.size()) < count && attempts < count * 60) {
+    ++attempts;
+    int n = min_rels + static_cast<int>(workload.size() + attempts) %
+                           (max_rels - min_rels + 1);
+    auto q = generator.GenerateQuery(
+        n, "lw" + std::to_string(seed) + "_" + std::to_string(attempts));
+    HFQ_CHECK(q.ok());
+    auto expert = engine->RunExpert(*q);
+    HFQ_CHECK(expert.ok());
+    if (expert->latency_ms < min_ms || expert->latency_ms > max_ms) continue;
+    workload.push_back(std::move(*q));
+  }
+  HFQ_CHECK_MSG(static_cast<int>(workload.size()) == count,
+                "could not curate a latency workload; widen the band");
+  return workload;
+}
+
+/// Everything a ReJOIN experiment needs, wired to one engine.
+struct RejoinHarness {
+  std::unique_ptr<RejoinFeaturizer> featurizer;
+  JoinRewardFn reward_fn;
+  std::unique_ptr<JoinOrderEnv> env;
+  std::unique_ptr<RejoinTrainer> trainer;
+
+  /// Physicalizes a join tree through the expert's later pipeline stages
+  /// (the paper's Section 3 division of labour) and returns its cost.
+  double TreeCost(Engine* engine, const Query& query,
+                  const JoinTreeNode& tree) const {
+    auto plan = engine->expert().PhysicalizeJoinTree(query, tree);
+    HFQ_CHECK(plan.ok());
+    return (*plan)->est_cost;
+  }
+};
+
+/// Builds the ReJOIN setup of the paper's case study: pairwise-join env
+/// rewarded from the expert's cost model. Two reward forms:
+///   * paper-literal 1/M(t) (expert_normalized = false);
+///   * -log10(M(t) / expert cost) (default): the same optimum per query,
+///     but cross-query comparable, which stabilizes one policy trained
+///     over a heterogeneous suite. Fig 3a's window metric (cost relative
+///     to the expert) is recovered exactly as 10^(-reward).
+inline RejoinHarness MakeRejoinHarness(Engine* engine, int max_relations,
+                                       RejoinConfig config = RejoinConfig(),
+                                       uint64_t seed = 7,
+                                       bool expert_normalized = true) {
+  RejoinHarness harness;
+  harness.featurizer = std::make_unique<RejoinFeaturizer>(
+      max_relations, &engine->estimator());
+  if (expert_normalized) {
+    auto expert_cost = std::make_shared<std::map<std::string, double>>();
+    harness.reward_fn = [engine, expert_cost](const Query& q,
+                                              const JoinTreeNode& tree) {
+      auto it = expert_cost->find(q.name);
+      if (it == expert_cost->end()) {
+        auto expert_plan = engine->expert().Optimize(q);
+        HFQ_CHECK(expert_plan.ok());
+        it = expert_cost->emplace(q.name,
+                                  std::max(1.0, (*expert_plan)->est_cost))
+                 .first;
+      }
+      auto plan = engine->expert().PhysicalizeJoinTree(q, tree);
+      HFQ_CHECK(plan.ok());
+      return -std::log10(std::max(1.0, (*plan)->est_cost) / it->second);
+    };
+  } else {
+    harness.reward_fn = [engine](const Query& q, const JoinTreeNode& tree) {
+      auto plan = engine->expert().PhysicalizeJoinTree(q, tree);
+      HFQ_CHECK(plan.ok());
+      return 1e5 / std::max(1.0, (*plan)->est_cost);  // Paper: 1/M(t).
+    };
+  }
+  harness.env = std::make_unique<JoinOrderEnv>(harness.featurizer.get(),
+                                               harness.reward_fn);
+  harness.trainer = std::make_unique<RejoinTrainer>(harness.env.get(),
+                                                    config, seed);
+  return harness;
+}
+
+/// The Fig-3a training schedule: decay learning rate and entropy twice.
+inline void ApplyRejoinSchedule(RejoinTrainer* trainer, int episode,
+                                int total_episodes) {
+  if (episode == total_episodes / 3) {
+    trainer->agent().set_policy_learning_rate(5e-4);
+    trainer->agent().set_entropy_coef(0.005);
+  } else if (episode == 2 * total_episodes / 3) {
+    trainer->agent().set_policy_learning_rate(2e-4);
+    trainer->agent().set_entropy_coef(0.002);
+  }
+}
+
+/// Formats a (possibly astronomical) simulated latency for humans.
+inline std::string HumanTime(double ms) {
+  char buf[64];
+  if (ms < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  } else if (ms < 60e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", ms / 1e3);
+  } else if (ms < 3.6e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", ms / 6e4);
+  } else if (ms < 8.64e7) {
+    std::snprintf(buf, sizeof(buf), "%.1f hours", ms / 3.6e6);
+  } else if (ms < 3.156e10) {
+    std::snprintf(buf, sizeof(buf), "%.1f days", ms / 8.64e7);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2g years", ms / 3.156e10);
+  }
+  return buf;
+}
+
+/// Prints a rule line like "----" sized to `width`.
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// Prints the standard bench header naming the reproduced artifact.
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& paper_claim) {
+  PrintRule(78);
+  std::printf("%s\n", artifact.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  PrintRule(78);
+}
+
+}  // namespace bench
+}  // namespace hfq
+
+#endif  // HFQ_BENCH_BENCH_COMMON_H_

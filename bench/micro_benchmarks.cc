@@ -1,0 +1,193 @@
+// MICRO — google-benchmark microbenchmarks for the components every
+// experiment leans on: network forward/backward, featurization, cost
+// annotation, oracle counting, planning, and execution.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "exec/executor.h"
+#include "nn/mlp.h"
+#include "nn/loss.h"
+#include "rejoin/featurizer.h"
+#include "sql/parser.h"
+
+namespace hfq {
+namespace {
+
+Engine& BenchEngine() {
+  static std::unique_ptr<Engine> engine = bench::MakeEngine(0.1);
+  return *engine;
+}
+
+Query BenchQuery(int n, uint64_t seed) {
+  WorkloadGenerator gen(&BenchEngine().catalog(), seed);
+  auto q = gen.GenerateQuery(n, "micro" + std::to_string(seed) +
+                                    "_" + std::to_string(n));
+  HFQ_CHECK(q.ok());
+  return std::move(*q);
+}
+
+void BM_MlpForward(benchmark::State& state) {
+  Rng rng(1);
+  MlpConfig config;
+  config.input_dim = 612;  // ReJOIN featurization at 17 relations.
+  config.hidden_dims = {128, 128};
+  config.output_dim = 289;
+  Mlp mlp(config, &rng);
+  Matrix x(1, config.input_dim);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(x));
+  }
+}
+BENCHMARK(BM_MlpForward);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  MlpConfig config;
+  config.input_dim = 612;
+  config.hidden_dims = {128, 128};
+  config.output_dim = 289;
+  Mlp mlp(config, &rng);
+  Matrix x(1, config.input_dim);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+  Matrix grad(1, config.output_dim);
+  grad.Fill(1e-3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.Forward(x));
+    benchmark::DoNotOptimize(mlp.Backward(grad));
+  }
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_Featurize(benchmark::State& state) {
+  Query q = BenchQuery(static_cast<int>(state.range(0)), 7);
+  RejoinFeaturizer featurizer(17, &BenchEngine().estimator());
+  std::vector<std::unique_ptr<JoinTreeNode>> leaves;
+  std::vector<const JoinTreeNode*> subtrees;
+  for (int i = 0; i < q.num_relations(); ++i) {
+    leaves.push_back(JoinTreeNode::Leaf(i));
+    subtrees.push_back(leaves.back().get());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.Featurize(q, subtrees));
+  }
+}
+BENCHMARK(BM_Featurize)->Arg(4)->Arg(10)->Arg(17);
+
+void BM_CostAnnotate(benchmark::State& state) {
+  Query q = BenchQuery(6, 11);
+  auto plan = BenchEngine().expert().Optimize(q);
+  HFQ_CHECK(plan.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BenchEngine().cost_model().Annotate(q, plan->get()));
+  }
+}
+BENCHMARK(BM_CostAnnotate);
+
+void BM_OracleRowsCold(benchmark::State& state) {
+  // Fresh oracle per iteration: measures the actual grouped-count sweep.
+  Query q = BenchQuery(static_cast<int>(state.range(0)), 13);
+  for (auto _ : state) {
+    TrueCardinalityOracle oracle(&BenchEngine().db());
+    benchmark::DoNotOptimize(
+        oracle.Rows(q, RelSetAll(q.num_relations())));
+  }
+}
+BENCHMARK(BM_OracleRowsCold)->Arg(3)->Arg(6);
+
+void BM_OracleRowsCached(benchmark::State& state) {
+  Query q = BenchQuery(6, 17);
+  TrueCardinalityOracle oracle(&BenchEngine().db());
+  oracle.Rows(q, RelSetAll(q.num_relations()));  // Warm the memo.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.Rows(q, RelSetAll(q.num_relations())));
+  }
+}
+BENCHMARK(BM_OracleRowsCached);
+
+void BM_ExpertOptimizeDp(benchmark::State& state) {
+  Query q = BenchQuery(static_cast<int>(state.range(0)), 19);
+  for (auto _ : state) {
+    auto plan = BenchEngine().expert().Optimize(q);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ExpertOptimizeDp)->Arg(4)->Arg(8)->Arg(11);
+
+void BM_ExpertOptimizeGeqo(benchmark::State& state) {
+  Query q = BenchQuery(14, 23);
+  for (auto _ : state) {
+    auto plan = BenchEngine().expert().Optimize(q);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ExpertOptimizeGeqo);
+
+void BM_LatencySimulate(benchmark::State& state) {
+  Query q = BenchQuery(8, 29);
+  auto plan = BenchEngine().expert().Optimize(q);
+  HFQ_CHECK(plan.ok());
+  BenchEngine().latency().SimulateMs(q, **plan);  // Warm oracle memo.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BenchEngine().latency().SimulateMs(q, **plan));
+  }
+}
+BENCHMARK(BM_LatencySimulate);
+
+void BM_ExecuteHashJoinPlan(benchmark::State& state) {
+  Query q = BenchQuery(4, 31);
+  q.aggregates.clear();
+  q.group_by.clear();
+  auto plan = BenchEngine().expert().Optimize(q);
+  HFQ_CHECK(plan.ok());
+  Executor executor(&BenchEngine().db());
+  for (auto _ : state) {
+    auto result = executor.Execute(q, **plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecuteHashJoinPlan);
+
+void BM_ParseSql(benchmark::State& state) {
+  const std::string sql =
+      "SELECT count(*) FROM title t, cast_info ci, movie_keyword mk "
+      "WHERE ci.movie_id = t.id AND mk.movie_id = t.id AND "
+      "t.production_year > 20 AND ci.nr_order = 1";
+  for (auto _ : state) {
+    auto q = ParseSql(sql, BenchEngine().catalog());
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseSql);
+
+void BM_PolicyUpdate(benchmark::State& state) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {128, 128};
+  PolicyGradientAgent agent(612, 289, config, 37);
+  Rng rng(3);
+  std::vector<Episode> batch;
+  for (int e = 0; e < 8; ++e) {
+    Episode episode;
+    for (int s = 0; s < 8; ++s) {
+      Transition t;
+      t.state.resize(612);
+      for (auto& v : t.state) v = rng.Normal();
+      t.mask.assign(289, true);
+      t.action = static_cast<int>(rng.UniformInt(0, 288));
+      t.old_prob = 1.0 / 289.0;
+      t.reward = s == 7 ? rng.Uniform() : 0.0;
+      episode.steps.push_back(std::move(t));
+    }
+    batch.push_back(std::move(episode));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.Update(batch));
+  }
+}
+BENCHMARK(BM_PolicyUpdate);
+
+}  // namespace
+}  // namespace hfq
+
+BENCHMARK_MAIN();

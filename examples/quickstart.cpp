@@ -1,0 +1,85 @@
+// Quickstart: build the synthetic IMDB-like database, train a hands-free
+// optimizer with learning-from-demonstration on a small workload, and
+// compare it against the traditional optimizer on a held-out query.
+//
+// Run:  ./examples/quickstart
+#include <cstdio>
+
+#include "core/hands_free.h"
+#include "util/logging.h"
+#include "workload/generator.h"
+
+using namespace hfq;  // NOLINT — examples favour brevity.
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  // 1. Stand up a database engine: catalog, synthetic data, statistics,
+  //    cost model, latency simulator, traditional optimizer.
+  EngineOptions engine_options;
+  engine_options.imdb.scale = 0.2;  // Small data: quickstart speed.
+  auto engine_result = Engine::CreateImdbLike(engine_options);
+  if (!engine_result.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 engine_result.status().ToString().c_str());
+    return 1;
+  }
+  Engine& engine = **engine_result;
+  std::printf("database ready: %lld total rows\n",
+              static_cast<long long>(engine.db().TotalRows()));
+
+  // 2. Generate a JOB-like training workload and one held-out query.
+  WorkloadGenerator generator(&engine.catalog(), /*seed=*/2026);
+  auto workload = generator.GenerateJobLikeSuite(/*families=*/8,
+                                                 /*variants=*/2,
+                                                 /*min_relations=*/4,
+                                                 /*max_relations=*/8);
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  auto holdout = generator.GenerateQuery(6, "holdout");
+  if (!holdout.ok()) {
+    std::fprintf(stderr, "holdout: %s\n",
+                 holdout.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training workload: %zu queries, e.g. %s\n", workload->size(),
+              (*workload)[0].ToSql().c_str());
+
+  // 3. Train a hands-free optimizer (learning from demonstration).
+  HandsFreeConfig config;
+  config.strategy = TrainingStrategy::kLearningFromDemonstration;
+  config.max_relations = 10;
+  config.training_episodes = 200;
+  HandsFreeOptimizer optimizer(&engine, config);
+  Status trained = optimizer.Train(*workload);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+  std::printf("training complete (%s)\n",
+              TrainingStrategyName(config.strategy));
+
+  // 4. Optimize the held-out query and compare against the expert.
+  auto comparison = optimizer.Compare(*holdout);
+  if (!comparison.ok()) {
+    std::fprintf(stderr, "compare: %s\n",
+                 comparison.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("held-out query: %s\n", holdout->ToSql().c_str());
+  std::printf("  learned plan:  cost=%.0f  latency=%.1f ms\n",
+              comparison->learned_cost, comparison->learned_latency_ms);
+  std::printf("  expert plan:   cost=%.0f  latency=%.1f ms\n",
+              comparison->expert_cost, comparison->expert_latency_ms);
+
+  // 5. Show the learned plan.
+  auto plan = optimizer.Optimize(*holdout);
+  if (plan.ok()) {
+    std::printf("learned plan:\n%s\n",
+                (*plan)->ToString(*holdout).c_str());
+  }
+  return 0;
+}

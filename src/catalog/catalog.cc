@@ -1,0 +1,108 @@
+#include "catalog/catalog.h"
+
+#include <set>
+#include <sstream>
+
+namespace hfq {
+
+Status Catalog::AddTable(TableDef table) {
+  if (table.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (table.columns.empty()) {
+    return Status::InvalidArgument("table " + table.name + " has no columns");
+  }
+  if (table_by_name_.count(table.name) > 0) {
+    return Status::AlreadyExists("table already exists: " + table.name);
+  }
+  std::set<std::string> seen;
+  for (const auto& col : table.columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column name must not be empty in " +
+                                     table.name);
+    }
+    if (!seen.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column " + col.name + " in " +
+                                     table.name);
+    }
+    if (col.distribution == ValueDistribution::kForeignKey &&
+        col.ref_table.empty()) {
+      return Status::InvalidArgument("FK column " + col.name +
+                                     " missing ref_table");
+    }
+  }
+  table_by_name_[table.name] = tables_.size();
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddIndex(IndexDef index) {
+  HFQ_ASSIGN_OR_RETURN(const TableDef* table, GetTable(index.table));
+  if (table->ColumnIndex(index.column) < 0) {
+    return Status::NotFound("no column " + index.column + " in table " +
+                            index.table);
+  }
+  if (FindIndex(index.table, index.column, index.kind) != nullptr) {
+    return Status::AlreadyExists("index already exists on " + index.table +
+                                 "." + index.column);
+  }
+  if (index.name.empty()) {
+    index.name = index.table + "_" + index.column + "_" +
+                 IndexKindName(index.kind);
+  }
+  indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Result<const TableDef*> Catalog::GetTable(const std::string& name) const {
+  auto it = table_by_name_.find(name);
+  if (it == table_by_name_.end()) {
+    return Status::NotFound("no such table: " + name);
+  }
+  return &tables_[it->second];
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return table_by_name_.count(name) > 0;
+}
+
+std::vector<const IndexDef*> Catalog::IndexesOn(
+    const std::string& table) const {
+  std::vector<const IndexDef*> out;
+  for (const auto& idx : indexes_) {
+    if (idx.table == table) out.push_back(&idx);
+  }
+  return out;
+}
+
+const IndexDef* Catalog::FindIndex(const std::string& table,
+                                   const std::string& column,
+                                   IndexKind kind) const {
+  for (const auto& idx : indexes_) {
+    if (idx.table == table && idx.column == column && idx.kind == kind) {
+      return &idx;
+    }
+  }
+  return nullptr;
+}
+
+std::string Catalog::ToString() const {
+  std::ostringstream out;
+  for (const auto& table : tables_) {
+    out << table.name << " (" << table.num_rows << " rows):";
+    for (const auto& col : table.columns) {
+      out << " " << col.name << ":" << ColumnTypeName(col.type);
+      if (col.distribution == ValueDistribution::kForeignKey) {
+        out << "->" << col.ref_table;
+      }
+    }
+    out << "\n";
+  }
+  for (const auto& idx : indexes_) {
+    out << "index " << idx.name << " on " << idx.table << "(" << idx.column
+        << ") " << IndexKindName(idx.kind) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hfq

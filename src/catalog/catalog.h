@@ -1,0 +1,54 @@
+// The database catalog: table and index metadata with lookup by name.
+#ifndef HFQ_CATALOG_CATALOG_H_
+#define HFQ_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Holds all schema metadata for one database.
+class Catalog {
+ public:
+  /// Registers a table. Fails if a table with the same name exists or the
+  /// definition is malformed (no columns, empty name, duplicate columns).
+  Status AddTable(TableDef table);
+
+  /// Registers a single-column index. Fails if the table/column is unknown
+  /// or an identical index exists.
+  Status AddIndex(IndexDef index);
+
+  /// Looks up a table by name.
+  Result<const TableDef*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// All tables in registration order.
+  const std::vector<TableDef>& tables() const { return tables_; }
+
+  /// All indexes in registration order.
+  const std::vector<IndexDef>& indexes() const { return indexes_; }
+
+  /// Indexes defined on the given table.
+  std::vector<const IndexDef*> IndexesOn(const std::string& table) const;
+
+  /// The index on (table, column) of the given kind, or nullptr.
+  const IndexDef* FindIndex(const std::string& table,
+                            const std::string& column, IndexKind kind) const;
+
+  /// Human-readable schema dump.
+  std::string ToString() const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::map<std::string, size_t> table_by_name_;
+  std::vector<IndexDef> indexes_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_CATALOG_CATALOG_H_

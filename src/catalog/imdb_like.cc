@@ -1,0 +1,171 @@
+#include "catalog/imdb_like.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hfq {
+namespace {
+
+// Base row counts at scale 1.0, proportioned like IMDB (fact tables such as
+// cast_info and movie_info dominate; dimension tables are tiny).
+struct TableSpec {
+  const char* name;
+  double base_rows;
+};
+
+ColumnDef Id() {
+  ColumnDef c;
+  c.name = "id";
+  c.distribution = ValueDistribution::kSerial;
+  return c;
+}
+
+ColumnDef Fk(const char* name, const char* ref, double skew) {
+  ColumnDef c;
+  c.name = name;
+  c.distribution = ValueDistribution::kForeignKey;
+  c.ref_table = ref;
+  c.skew = skew;
+  return c;
+}
+
+ColumnDef Attr(const char* name, int64_t distinct, double skew = 0.0) {
+  ColumnDef c;
+  c.name = name;
+  c.num_distinct = distinct;
+  c.distribution =
+      skew > 0.0 ? ValueDistribution::kZipf : ValueDistribution::kUniform;
+  c.skew = skew;
+  return c;
+}
+
+ColumnDef Correlated(const char* name, int64_t distinct, int32_t with,
+                     double strength) {
+  ColumnDef c = Attr(name, distinct, 0.0);
+  c.correlated_with = with;
+  c.correlation_strength = strength;
+  return c;
+}
+
+int64_t Rows(double base, double scale) {
+  return std::max<int64_t>(4, static_cast<int64_t>(std::llround(base * scale)));
+}
+
+}  // namespace
+
+Result<Catalog> BuildImdbLikeCatalog(const ImdbLikeOptions& options) {
+  if (options.scale <= 0.0) {
+    return Status::InvalidArgument("scale must be positive");
+  }
+  if (options.correlation < 0.0 || options.correlation > 1.0) {
+    return Status::InvalidArgument("correlation must be in [0, 1]");
+  }
+  Catalog catalog;
+  const double s = options.scale;
+  const double skew = options.fk_skew;
+  const double corr = options.correlation;
+
+  auto add = [&catalog](const char* name, int64_t rows,
+                        std::vector<ColumnDef> cols) -> Status {
+    TableDef t;
+    t.name = name;
+    t.num_rows = rows;
+    t.columns = std::move(cols);
+    return catalog.AddTable(std::move(t));
+  };
+
+  // --- Dimension tables (fixed small sizes, like the real IMDB). ---
+  HFQ_RETURN_IF_ERROR(add("kind_type", 7, {Id(), Attr("kind", 7)}));
+  HFQ_RETURN_IF_ERROR(add("info_type", 113, {Id(), Attr("info", 113)}));
+  HFQ_RETURN_IF_ERROR(add("company_type", 4, {Id(), Attr("kind", 4)}));
+  HFQ_RETURN_IF_ERROR(add("role_type", 12, {Id(), Attr("role", 12)}));
+  HFQ_RETURN_IF_ERROR(add("link_type", 18, {Id(), Attr("link", 18)}));
+  HFQ_RETURN_IF_ERROR(add("comp_cast_type", 4, {Id(), Attr("kind", 4)}));
+
+  // --- Entity tables. ---
+  HFQ_RETURN_IF_ERROR(add(
+      "title", Rows(20000, s),
+      {Id(), Fk("kind_id", "kind_type", 0.3),
+       Attr("production_year", 130, 0.8),
+       // Episode flag correlated with production year (newer titles are
+       // episodes far more often) -> correlated predicates.
+       Correlated("episode_nr", 50, 2, corr), Attr("season_nr", 30, 1.0)}));
+  HFQ_RETURN_IF_ERROR(add("name", Rows(16000, s),
+                          {Id(), Attr("gender", 3, 0.5),
+                           Attr("name_pcode_cf", 200, 0.6),
+                           Attr("surname_pcode", 120, 0.6)}));
+  HFQ_RETURN_IF_ERROR(add("char_name", Rows(10000, s),
+                          {Id(), Attr("name_pcode_nf", 150, 0.7)}));
+  HFQ_RETURN_IF_ERROR(add("company_name", Rows(2000, s),
+                          {Id(), Attr("country_code", 90, 1.1)}));
+  HFQ_RETURN_IF_ERROR(
+      add("keyword", Rows(4000, s), {Id(), Attr("phonetic_code", 300, 0.5)}));
+
+  // --- Fact / bridge tables. ---
+  HFQ_RETURN_IF_ERROR(add(
+      "cast_info", Rows(100000, s),
+      {Id(), Fk("movie_id", "title", skew), Fk("person_id", "name", skew),
+       Fk("person_role_id", "char_name", skew),
+       Fk("role_id", "role_type", 0.9), Attr("nr_order", 20, 0.8)}));
+  HFQ_RETURN_IF_ERROR(add(
+      "movie_info", Rows(60000, s),
+      {Id(), Fk("movie_id", "title", skew),
+       Fk("info_type_id", "info_type", 1.0),
+       // The info value depends strongly on which info_type it is.
+       Correlated("info", 1000, 2, corr)}));
+  HFQ_RETURN_IF_ERROR(add(
+      "movie_info_idx", Rows(10000, s),
+      {Id(), Fk("movie_id", "title", skew),
+       Fk("info_type_id", "info_type", 1.2), Correlated("info", 100, 2, corr)}));
+  HFQ_RETURN_IF_ERROR(add("movie_companies", Rows(20000, s),
+                          {Id(), Fk("movie_id", "title", skew),
+                           Fk("company_id", "company_name", skew),
+                           Fk("company_type_id", "company_type", 0.5)}));
+  HFQ_RETURN_IF_ERROR(add("movie_keyword", Rows(30000, s),
+                          {Id(), Fk("movie_id", "title", skew),
+                           Fk("keyword_id", "keyword", skew)}));
+  HFQ_RETURN_IF_ERROR(add("movie_link", Rows(600, s),
+                          {Id(), Fk("movie_id", "title", 0.4),
+                           Fk("linked_movie_id", "title", 0.4),
+                           Fk("link_type_id", "link_type", 0.5)}));
+  HFQ_RETURN_IF_ERROR(add(
+      "person_info", Rows(20000, s),
+      {Id(), Fk("person_id", "name", skew),
+       Fk("info_type_id", "info_type", 1.0), Correlated("info", 500, 2, corr)}));
+  HFQ_RETURN_IF_ERROR(add("aka_name", Rows(6000, s),
+                          {Id(), Fk("person_id", "name", skew),
+                           Attr("name_pcode_cf", 200, 0.6)}));
+  HFQ_RETURN_IF_ERROR(add("aka_title", Rows(2000, s),
+                          {Id(), Fk("movie_id", "title", skew),
+                           Attr("kind_id", 7, 0.3)}));
+  HFQ_RETURN_IF_ERROR(add("complete_cast", Rows(1000, s),
+                          {Id(), Fk("movie_id", "title", 0.4),
+                           Fk("subject_id", "comp_cast_type", 0.4),
+                           Fk("status_id", "comp_cast_type", 0.4)}));
+
+  // --- Indexes: PK B-tree on id everywhere; B-tree + hash on FK columns. ---
+  for (const auto& table : catalog.tables()) {
+    HFQ_RETURN_IF_ERROR(catalog.AddIndex(
+        IndexDef{"", table.name, "id", IndexKind::kBTree}));
+  }
+  if (options.create_fk_indexes) {
+    // Collect first: AddIndex mutates the catalog's index list.
+    std::vector<IndexDef> wanted;
+    for (const auto& table : catalog.tables()) {
+      for (const auto& col : table.columns) {
+        if (col.distribution == ValueDistribution::kForeignKey) {
+          wanted.push_back(IndexDef{"", table.name, col.name,
+                                    IndexKind::kBTree});
+          wanted.push_back(IndexDef{"", table.name, col.name,
+                                    IndexKind::kHash});
+        }
+      }
+    }
+    for (auto& idx : wanted) {
+      HFQ_RETURN_IF_ERROR(catalog.AddIndex(std::move(idx)));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace hfq

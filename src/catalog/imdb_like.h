@@ -1,0 +1,36 @@
+// A synthetic IMDB-like schema mirroring the 21 tables of the Join Order
+// Benchmark's database, scaled down so that every connected join is cheap to
+// execute exactly. Substitutes for the real IMDB dataset (see DESIGN.md):
+// what the paper's experiments need from IMDB is (a) a rich snowflake join
+// graph, (b) skewed and correlated data that defeats independence-assumption
+// cardinality estimation. Both are preserved here.
+#ifndef HFQ_CATALOG_IMDB_LIKE_H_
+#define HFQ_CATALOG_IMDB_LIKE_H_
+
+#include "catalog/catalog.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Knobs for the synthetic IMDB-like database.
+struct ImdbLikeOptions {
+  /// Multiplies every table's base row count. scale=1.0 gives a `title`
+  /// table of 20k rows and a `cast_info` table of 100k rows.
+  double scale = 1.0;
+  /// Zipf skew applied to popular foreign keys (movie_id, person_id, ...).
+  double fk_skew = 0.7;
+  /// Strength of injected attribute correlations in [0, 1]; higher values
+  /// produce larger cardinality-estimation errors.
+  double correlation = 0.6;
+  /// Create B-tree + hash indexes on foreign-key columns (gives the
+  /// index-selection stage real choices).
+  bool create_fk_indexes = true;
+};
+
+/// Builds the catalog (tables + indexes) for the synthetic IMDB-like
+/// database. Data is materialized separately by storage::DataGenerator.
+Result<Catalog> BuildImdbLikeCatalog(const ImdbLikeOptions& options);
+
+}  // namespace hfq
+
+#endif  // HFQ_CATALOG_IMDB_LIKE_H_

@@ -1,0 +1,44 @@
+#include "catalog/schema.h"
+
+namespace hfq {
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+  }
+  return "?";
+}
+
+const char* IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBTree:
+      return "btree";
+    case IndexKind::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+int32_t TableDef::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == column_name) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+const ColumnDef* TableDef::FindColumn(const std::string& column_name) const {
+  int32_t idx = ColumnIndex(column_name);
+  return idx < 0 ? nullptr : &columns[static_cast<size_t>(idx)];
+}
+
+int64_t TupleWidthBytes(const TableDef& table) {
+  // All supported types are 8 bytes wide; add a small per-tuple header the
+  // way row stores do.
+  constexpr int64_t kTupleHeader = 8;
+  return kTupleHeader + 8 * static_cast<int64_t>(table.columns.size());
+}
+
+}  // namespace hfq

@@ -1,0 +1,81 @@
+// Schema metadata: columns, tables, foreign keys, indexes. The catalog is
+// pure metadata; materialized data lives in src/storage.
+#ifndef HFQ_CATALOG_SCHEMA_H_
+#define HFQ_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hfq {
+
+/// Physical type of a column. Categorical string attributes are
+/// dictionary-encoded as kInt64 codes by the data generator.
+enum class ColumnType { kInt64, kDouble };
+
+/// Returns "int64" / "double".
+const char* ColumnTypeName(ColumnType type);
+
+/// How a column's values are distributed by the data generator; the
+/// statistics module only ever sees the materialized data, never this hint.
+enum class ValueDistribution {
+  kUniform,      ///< Uniform over [0, num_distinct).
+  kZipf,         ///< Zipf-skewed over [0, num_distinct) with skew parameter.
+  kSerial,       ///< Row id (primary keys).
+  kForeignKey,   ///< References a parent table's id column.
+};
+
+/// Column definition.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  /// Number of distinct values the generator draws from (ignored for
+  /// kSerial / kForeignKey).
+  int64_t num_distinct = 1;
+  ValueDistribution distribution = ValueDistribution::kUniform;
+  /// Zipf skew parameter when distribution == kZipf (or kForeignKey with
+  /// skewed references); 0 = uniform.
+  double skew = 0.0;
+  /// For kForeignKey: the referenced table (joins on its "id" column).
+  std::string ref_table;
+  /// If non-negative, this column's generated value is correlated with the
+  /// column at this index in the same table: with probability
+  /// `correlation_strength` the value is derived from that column's value
+  /// instead of drawn independently. Breaks the estimator's independence
+  /// assumption, producing JOB-like estimation errors.
+  int32_t correlated_with = -1;
+  double correlation_strength = 0.0;
+};
+
+/// Index kinds mirroring the paper's "relational data structures" (Sec 5.3.1:
+/// B-tree index, row-order storage, hash index).
+enum class IndexKind { kBTree, kHash };
+
+/// Returns "btree" / "hash".
+const char* IndexKindName(IndexKind kind);
+
+/// Index definition (single-column).
+struct IndexDef {
+  std::string name;
+  std::string table;
+  std::string column;
+  IndexKind kind = IndexKind::kBTree;
+};
+
+/// Table definition.
+struct TableDef {
+  std::string name;
+  int64_t num_rows = 0;
+  std::vector<ColumnDef> columns;
+
+  /// Index of the named column, or -1.
+  int32_t ColumnIndex(const std::string& column_name) const;
+  const ColumnDef* FindColumn(const std::string& column_name) const;
+};
+
+/// Bytes per tuple (fixed-width columns; used for page-count estimates).
+int64_t TupleWidthBytes(const TableDef& table);
+
+}  // namespace hfq
+
+#endif  // HFQ_CATALOG_SCHEMA_H_

@@ -1,0 +1,129 @@
+#include "core/bootstrap.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hfq {
+
+const char* BootstrapSwitchModeName(BootstrapSwitchMode mode) {
+  switch (mode) {
+    case BootstrapSwitchMode::kUnscaled:
+      return "unscaled";
+    case BootstrapSwitchMode::kScaled:
+      return "scaled";
+    case BootstrapSwitchMode::kScaledTransfer:
+      return "scaled+transfer";
+  }
+  return "?";
+}
+
+BootstrapTrainer::BootstrapTrainer(FullPipelineEnv* env, Engine* engine,
+                                   BootstrapConfig config, uint64_t seed)
+    : env_(env),
+      engine_(engine),
+      config_(config),
+      agent_(env->state_dim(), env->action_dim(), config.pg, seed),
+      cost_reward_(&engine->cost_model()),
+      latency_reward_(&engine->latency(), &engine->cost_model()),
+      scaled_reward_(&engine->latency(), &engine->cost_model()) {
+  HFQ_CHECK(env != nullptr && engine != nullptr);
+  env_->set_reward(&cost_reward_);
+}
+
+BootstrapEpisodeStats BootstrapTrainer::RunEpisode(const Query& query,
+                                                   int phase) {
+  env_->SetQuery(&query);
+  env_->Reset();
+  Episode episode;
+  while (!env_->Done()) {
+    Transition t;
+    t.state = env_->StateVector();
+    t.mask = env_->ActionMask();
+    t.action = agent_.SampleAction(t.state, t.mask, &t.old_prob);
+    StepResult step = env_->Step(t.action);
+    t.reward = step.reward;
+    episode.steps.push_back(std::move(t));
+  }
+
+  BootstrapEpisodeStats stats;
+  stats.episode = episode_counter_++;
+  stats.phase = phase;
+  stats.query_name = query.name;
+  stats.reward = episode.TotalReward();
+  const PlanNode* plan = env_->FinalPlan();
+  stats.cost = plan->est_cost;
+  stats.latency_ms = engine_->latency().SimulateMs(query, *plan);
+
+  if (calibrating_) {
+    if (!have_ranges_) {
+      cost_min_ = cost_max_ = stats.cost;
+      lat_min_ = lat_max_ = stats.latency_ms;
+      have_ranges_ = true;
+    } else {
+      cost_min_ = std::min(cost_min_, stats.cost);
+      cost_max_ = std::max(cost_max_, stats.cost);
+      lat_min_ = std::min(lat_min_, stats.latency_ms);
+      lat_max_ = std::max(lat_max_, stats.latency_ms);
+    }
+  }
+
+  if (!episode.steps.empty()) {
+    pending_.push_back(std::move(episode));
+    if (static_cast<int>(pending_.size()) >= config_.episodes_per_update) {
+      agent_.Update(pending_);
+      pending_.clear();
+    }
+  }
+  return stats;
+}
+
+void BootstrapTrainer::RunPhase1(
+    const std::vector<Query>& workload, int episodes,
+    const std::function<void(const BootstrapEpisodeStats&)>& on_episode) {
+  HFQ_CHECK(!workload.empty());
+  env_->set_reward(&cost_reward_);
+  // At least the final Phase-1 episode always calibrates.
+  const int calibration_start = std::min(
+      episodes - 1,
+      episodes - static_cast<int>(config_.calibration_fraction *
+                                  static_cast<double>(episodes)));
+  for (int e = 0; e < episodes; ++e) {
+    calibrating_ = e >= calibration_start;
+    BootstrapEpisodeStats stats =
+        RunEpisode(workload[static_cast<size_t>(e) % workload.size()],
+                   /*phase=*/1);
+    if (on_episode) on_episode(stats);
+  }
+  calibrating_ = false;
+}
+
+void BootstrapTrainer::SwitchToPhase2() {
+  switch (config_.switch_mode) {
+    case BootstrapSwitchMode::kUnscaled:
+      env_->set_reward(&latency_reward_);
+      break;
+    case BootstrapSwitchMode::kScaledTransfer:
+      agent_.ResetOptimizerState();
+      [[fallthrough]];
+    case BootstrapSwitchMode::kScaled:
+      HFQ_CHECK_MSG(have_ranges_, "Phase 1 must run before Phase 2");
+      scaled_reward_.Calibrate(cost_min_, cost_max_, lat_min_, lat_max_);
+      env_->set_reward(&scaled_reward_);
+      break;
+  }
+}
+
+void BootstrapTrainer::RunPhase2(
+    const std::vector<Query>& workload, int episodes,
+    const std::function<void(const BootstrapEpisodeStats&)>& on_episode) {
+  HFQ_CHECK(!workload.empty());
+  for (int e = 0; e < episodes; ++e) {
+    BootstrapEpisodeStats stats =
+        RunEpisode(workload[static_cast<size_t>(e) % workload.size()],
+                   /*phase=*/2);
+    if (on_episode) on_episode(stats);
+  }
+}
+
+}  // namespace hfq

@@ -1,0 +1,132 @@
+#include "core/demonstration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace hfq {
+
+double LatencyTarget(double latency_ms) {
+  return std::log10(1.0 + std::max(0.0, latency_ms));
+}
+
+DemonstrationLearner::DemonstrationLearner(FullPipelineEnv* env,
+                                           Engine* engine, LfdConfig config,
+                                           uint64_t seed)
+    : env_(env),
+      engine_(engine),
+      config_(config),
+      predictor_(env->state_dim(), env->action_dim(), config.predictor, seed),
+      rng_(seed ^ 0xDE30ull) {
+  HFQ_CHECK(env != nullptr && engine != nullptr);
+}
+
+Result<int> DemonstrationLearner::CollectDemonstrations(
+    const std::vector<Query>& workload) {
+  int collected = 0;
+  double latency_sum = 0.0;
+  for (const Query& query : workload) {
+    // Step 1: the expert optimizes; its actions become an episode history.
+    HFQ_ASSIGN_OR_RETURN(Engine::ExpertResult expert,
+                         engine_->RunExpert(query));
+    HFQ_ASSIGN_OR_RETURN(Episode episode,
+                         env_->ExpertEpisode(query, *expert.plan));
+    // Step 2: measure the plan's latency.
+    const double latency = expert.latency_ms;
+    latency_sum += latency;
+    const double target = LatencyTarget(latency);
+    for (const Transition& t : episode.steps) {
+      OutcomeExample example;
+      example.state = t.state;
+      example.action = t.action;
+      example.target = target;
+      example.from_expert = true;  // Enables the large-margin loss.
+      expert_examples_.push_back(example);
+      predictor_.AddExample(std::move(example));
+      ++collected;
+    }
+  }
+  if (!workload.empty()) {
+    expert_mean_latency_ = latency_sum / static_cast<double>(workload.size());
+  }
+  return collected;
+}
+
+double DemonstrationLearner::Pretrain() {
+  return predictor_.TrainSteps(config_.pretrain_steps);
+}
+
+double DemonstrationLearner::RunPredictorEpisode(
+    const Query& query, double epsilon,
+    std::vector<Transition>* transitions) {
+  env_->SetQuery(&query);
+  env_->Reset();
+  while (!env_->Done()) {
+    Transition t;
+    t.state = env_->StateVector();
+    t.mask = env_->ActionMask();
+    t.action = predictor_.SelectAction(t.state, t.mask, epsilon);
+    env_->Step(t.action);
+    if (transitions != nullptr) transitions->push_back(std::move(t));
+  }
+  return engine_->latency().SimulateMs(query, *env_->FinalPlan());
+}
+
+void DemonstrationLearner::AttachAndStore(
+    const std::vector<Transition>& transitions, double latency_ms) {
+  const double target = LatencyTarget(latency_ms);
+  for (const Transition& t : transitions) {
+    OutcomeExample example;
+    example.state = t.state;
+    example.action = t.action;
+    example.target = target;
+    predictor_.AddExample(std::move(example));
+  }
+}
+
+LfdEpisodeStats DemonstrationLearner::FineTuneEpisode(const Query& query) {
+  LfdEpisodeStats stats;
+  stats.query_name = query.name;
+  LinearSchedule eps(config_.epsilon_start, config_.epsilon_end,
+                     config_.epsilon_decay_episodes);
+  const double epsilon = eps.Value(episodes_run_);
+
+  std::vector<Transition> transitions;
+  stats.latency_ms = RunPredictorEpisode(query, epsilon, &transitions);
+  stats.expert_latency_ms = expert_mean_latency_;
+  AttachAndStore(transitions, stats.latency_ms);
+  predictor_.TrainSteps(config_.finetune_steps_per_episode);
+  ++episodes_run_;
+
+  // Step 5: slip detection against the expert baseline.
+  recent_latencies_.push_back(stats.latency_ms);
+  if (static_cast<int>(recent_latencies_.size()) > config_.slip_window) {
+    recent_latencies_.erase(recent_latencies_.begin());
+  }
+  if (static_cast<int>(recent_latencies_.size()) == config_.slip_window &&
+      expert_mean_latency_ > 0.0) {
+    double mean = 0.0;
+    for (double l : recent_latencies_) mean += l;
+    mean /= static_cast<double>(recent_latencies_.size());
+    if (mean > config_.slip_factor * expert_mean_latency_ &&
+        !expert_examples_.empty()) {
+      // Re-train on expert demonstrations until performance recovers.
+      for (const OutcomeExample& ex : expert_examples_) {
+        predictor_.AddExample(ex);
+      }
+      predictor_.TrainSteps(config_.slip_retrain_steps);
+      recent_latencies_.clear();
+      stats.slip_retrained = true;
+      LogInfo("LfD slip detected; re-trained on expert demonstrations");
+    }
+  }
+  return stats;
+}
+
+double DemonstrationLearner::EvaluateQuery(const Query& query) {
+  return RunPredictorEpisode(query, /*epsilon=*/0.0, nullptr);
+}
+
+}  // namespace hfq

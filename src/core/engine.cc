@@ -1,0 +1,41 @@
+#include "core/engine.h"
+
+#include "util/stopwatch.h"
+
+namespace hfq {
+
+Result<std::unique_ptr<Engine>> Engine::CreateImdbLike(EngineOptions options) {
+  auto engine = std::unique_ptr<Engine>(new Engine());
+  HFQ_ASSIGN_OR_RETURN(engine->catalog_,
+                       BuildImdbLikeCatalog(options.imdb));
+  DataGenerator generator(options.data_seed);
+  HFQ_ASSIGN_OR_RETURN(engine->db_, generator.Generate(engine->catalog_));
+  HFQ_ASSIGN_OR_RETURN(engine->stats_,
+                       StatsCatalog::Analyze(*engine->db_, options.stats));
+  engine->estimator_ = std::make_unique<CardinalityEstimator>(
+      &engine->catalog_, &engine->stats_);
+  engine->oracle_ = std::make_unique<TrueCardinalityOracle>(
+      engine->db_.get(), options.oracle);
+  engine->cost_model_ = std::make_unique<CostModel>(
+      &engine->catalog_, engine->estimator_.get(), options.cost);
+  engine->true_cost_model_ = std::make_unique<CostModel>(
+      &engine->catalog_, engine->oracle_.get(), options.cost);
+  engine->latency_ = std::make_unique<LatencySimulator>(
+      &engine->catalog_, engine->oracle_.get(), options.latency);
+  engine->expert_ = std::make_unique<TraditionalOptimizer>(
+      &engine->catalog_, engine->cost_model_.get(), options.optimizer);
+  engine->executor_ = std::make_unique<Executor>(engine->db_.get());
+  return engine;
+}
+
+Result<Engine::ExpertResult> Engine::RunExpert(const Query& query) {
+  ExpertResult result;
+  Stopwatch watch;
+  HFQ_ASSIGN_OR_RETURN(result.plan, expert_->Optimize(query));
+  result.planning_ms = watch.ElapsedMillis();
+  result.cost = result.plan->est_cost;
+  result.latency_ms = latency_->SimulateMs(query, *result.plan);
+  return result;
+}
+
+}  // namespace hfq

@@ -1,0 +1,198 @@
+#include "core/hands_free.h"
+
+#include <fstream>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hfq {
+
+const char* TrainingStrategyName(TrainingStrategy strategy) {
+  switch (strategy) {
+    case TrainingStrategy::kLearningFromDemonstration:
+      return "learning-from-demonstration";
+    case TrainingStrategy::kCostModelBootstrapping:
+      return "cost-model-bootstrapping";
+    case TrainingStrategy::kIncrementalHybrid:
+      return "incremental-hybrid";
+  }
+  return "?";
+}
+
+HandsFreeOptimizer::HandsFreeOptimizer(Engine* engine, HandsFreeConfig config)
+    : engine_(engine), config_(config) {
+  HFQ_CHECK(engine != nullptr);
+  featurizer_ = std::make_unique<RejoinFeaturizer>(config_.max_relations,
+                                                   &engine_->estimator());
+  latency_reward_ = std::make_unique<NegLogLatencyReward>(
+      &engine_->latency(), &engine_->cost_model());
+  env_ = std::make_unique<FullPipelineEnv>(featurizer_.get(),
+                                           &engine_->expert(),
+                                           latency_reward_.get());
+  switch (config_.strategy) {
+    case TrainingStrategy::kLearningFromDemonstration:
+      lfd_ = std::make_unique<DemonstrationLearner>(env_.get(), engine_,
+                                                    config_.lfd,
+                                                    config_.seed);
+      break;
+    case TrainingStrategy::kCostModelBootstrapping:
+      bootstrap_ = std::make_unique<BootstrapTrainer>(
+          env_.get(), engine_, config_.bootstrap, config_.seed);
+      break;
+    case TrainingStrategy::kIncrementalHybrid:
+      curriculum_generator_ = std::make_unique<WorkloadGenerator>(
+          &engine_->catalog(), config_.seed ^ 0xC0FFEE);
+      incremental_ = std::make_unique<IncrementalTrainer>(
+          env_.get(), curriculum_generator_.get(), config_.incremental_pg,
+          /*episodes_per_update=*/8, config_.seed);
+      break;
+  }
+}
+
+Status HandsFreeOptimizer::Train(const std::vector<Query>& workload) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("training workload is empty");
+  }
+  switch (config_.strategy) {
+    case TrainingStrategy::kLearningFromDemonstration: {
+      HFQ_ASSIGN_OR_RETURN(int collected,
+                           lfd_->CollectDemonstrations(workload));
+      if (collected == 0) {
+        return Status::Internal("no demonstrations collected");
+      }
+      lfd_->Pretrain();
+      for (int e = 0; e < config_.training_episodes; ++e) {
+        lfd_->FineTuneEpisode(
+            workload[static_cast<size_t>(e) % workload.size()]);
+      }
+      break;
+    }
+    case TrainingStrategy::kCostModelBootstrapping: {
+      const int phase1 = config_.training_episodes / 2;
+      const int phase2 = config_.training_episodes - phase1;
+      bootstrap_->RunPhase1(workload, phase1);
+      bootstrap_->SwitchToPhase2();
+      bootstrap_->RunPhase2(workload, phase2);
+      break;
+    }
+    case TrainingStrategy::kIncrementalHybrid: {
+      std::vector<CurriculumPhase> phases =
+          BuildCurriculum(CurriculumKind::kHybrid, config_.training_episodes,
+                          config_.max_relations);
+      HFQ_RETURN_IF_ERROR(incremental_->Run(phases, /*queries_per_phase=*/24));
+      // Leave the env in full-pipeline mode for inference.
+      env_->set_stages(PipelineStages::All());
+      break;
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<PlanNodePtr> HandsFreeOptimizer::Optimize(const Query& query,
+                                                 double* planning_ms_out) {
+  if (!trained_) {
+    return Status::FailedPrecondition("Train() before Optimize()");
+  }
+  if (query.num_relations() > config_.max_relations) {
+    return Status::InvalidArgument("query exceeds configured max_relations");
+  }
+  env_->SetQuery(&query);
+  env_->Reset();
+  double inference_ms = 0.0;
+  while (!env_->Done()) {
+    Stopwatch watch;
+    std::vector<double> state = env_->StateVector();
+    std::vector<bool> mask = env_->ActionMask();
+    int action;
+    switch (config_.strategy) {
+      case TrainingStrategy::kLearningFromDemonstration:
+        action = lfd_->predictor().SelectAction(state, mask, /*epsilon=*/0.0);
+        break;
+      case TrainingStrategy::kCostModelBootstrapping:
+        action = bootstrap_->agent().GreedyAction(state, mask);
+        break;
+      case TrainingStrategy::kIncrementalHybrid:
+        action = incremental_->agent().GreedyAction(state, mask);
+        break;
+      default:
+        return Status::Internal("unknown strategy");
+    }
+    inference_ms += watch.ElapsedMillis();
+    env_->Step(action);
+  }
+  if (planning_ms_out != nullptr) *planning_ms_out = inference_ms;
+  return env_->FinalPlan()->Clone();
+}
+
+Status HandsFreeOptimizer::SaveModel(const std::string& path) {
+  if (!trained_) {
+    return Status::FailedPrecondition("nothing to save: Train() first");
+  }
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "hfq-handsfree-v1 " << TrainingStrategyName(config_.strategy) << " "
+      << config_.max_relations << "\n";
+  switch (config_.strategy) {
+    case TrainingStrategy::kLearningFromDemonstration:
+      return lfd_->predictor().Save(out);
+    case TrainingStrategy::kCostModelBootstrapping:
+      return bootstrap_->agent().Save(out);
+    case TrainingStrategy::kIncrementalHybrid:
+      return incremental_->agent().Save(out);
+  }
+  return Status::Internal("unknown strategy");
+}
+
+Status HandsFreeOptimizer::LoadModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open model file: " + path);
+  }
+  std::string magic, strategy_name;
+  int max_relations = 0;
+  in >> magic >> strategy_name >> max_relations;
+  if (magic != "hfq-handsfree-v1") {
+    return Status::InvalidArgument("not a hands-free model file: " + path);
+  }
+  if (strategy_name != TrainingStrategyName(config_.strategy)) {
+    return Status::FailedPrecondition(
+        "model was trained with strategy '" + strategy_name +
+        "' but this optimizer is configured for '" +
+        TrainingStrategyName(config_.strategy) + "'");
+  }
+  if (max_relations != config_.max_relations) {
+    return Status::FailedPrecondition(
+        "model max_relations does not match configuration");
+  }
+  switch (config_.strategy) {
+    case TrainingStrategy::kLearningFromDemonstration:
+      HFQ_RETURN_IF_ERROR(lfd_->predictor().LoadWeights(in));
+      break;
+    case TrainingStrategy::kCostModelBootstrapping:
+      HFQ_RETURN_IF_ERROR(bootstrap_->agent().LoadWeights(in));
+      break;
+    case TrainingStrategy::kIncrementalHybrid:
+      HFQ_RETURN_IF_ERROR(incremental_->agent().LoadWeights(in));
+      break;
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<HandsFreeOptimizer::Comparison> HandsFreeOptimizer::Compare(
+    const Query& query) {
+  Comparison result;
+  HFQ_ASSIGN_OR_RETURN(PlanNodePtr learned, Optimize(query));
+  result.learned_cost = learned->est_cost;
+  result.learned_latency_ms = engine_->latency().SimulateMs(query, *learned);
+  HFQ_ASSIGN_OR_RETURN(Engine::ExpertResult expert,
+                       engine_->RunExpert(query));
+  result.expert_cost = expert.cost;
+  result.expert_latency_ms = expert.latency_ms;
+  return result;
+}
+
+}  // namespace hfq

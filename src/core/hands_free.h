@@ -1,0 +1,98 @@
+// HandsFreeOptimizer: the public facade — a query optimizer that trains
+// itself on a workload (choosing one of the paper's three strategies) and
+// then optimizes queries with no human-tuned heuristics in the loop. This
+// is the library's headline API; see examples/quickstart.cpp.
+#ifndef HFQ_CORE_HANDS_FREE_H_
+#define HFQ_CORE_HANDS_FREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/bootstrap.h"
+#include "core/demonstration.h"
+#include "core/engine.h"
+#include "core/full_env.h"
+#include "core/incremental.h"
+#include "workload/generator.h"
+
+namespace hfq {
+
+/// Which Section-5 training strategy the facade uses.
+enum class TrainingStrategy {
+  kLearningFromDemonstration,  ///< Section 5.1
+  kCostModelBootstrapping,     ///< Section 5.2
+  kIncrementalHybrid,          ///< Section 5.3 (hybrid curriculum)
+};
+
+const char* TrainingStrategyName(TrainingStrategy strategy);
+
+/// Facade configuration.
+struct HandsFreeConfig {
+  HandsFreeConfig() {}
+  TrainingStrategy strategy =
+      TrainingStrategy::kLearningFromDemonstration;
+  /// Largest query (relation count) the optimizer will ever see.
+  int max_relations = 17;
+  /// Training episode budget.
+  int training_episodes = 2000;
+  uint64_t seed = 7;
+  LfdConfig lfd;
+  BootstrapConfig bootstrap;
+  PolicyGradientConfig incremental_pg;
+};
+
+/// A self-training query optimizer over one Engine.
+class HandsFreeOptimizer {
+ public:
+  /// `engine` must outlive the optimizer.
+  HandsFreeOptimizer(Engine* engine, HandsFreeConfig config);
+
+  /// Trains on the workload with the configured strategy. Re-entrant: a
+  /// second call continues training.
+  Status Train(const std::vector<Query>& workload);
+
+  /// Optimizes a query with the learned policy. `planning_ms_out`
+  /// (optional) receives pure inference time.
+  Result<PlanNodePtr> Optimize(const Query& query,
+                               double* planning_ms_out = nullptr);
+
+  /// Simulated latency of the learned plan vs the expert plan for a query
+  /// (positive ratio < 1 means the learned optimizer wins).
+  struct Comparison {
+    double learned_latency_ms = 0.0;
+    double expert_latency_ms = 0.0;
+    double learned_cost = 0.0;
+    double expert_cost = 0.0;
+  };
+  Result<Comparison> Compare(const Query& query);
+
+  /// Persists the trained model to a file (plain-text network weights plus
+  /// a strategy header). Fails if not trained.
+  Status SaveModel(const std::string& path);
+
+  /// Restores a model saved by SaveModel. The configuration (strategy,
+  /// max_relations) must match the saved model. Marks the optimizer
+  /// trained, so Optimize() works immediately — the "ship a trained
+  /// optimizer" workflow.
+  Status LoadModel(const std::string& path);
+
+  FullPipelineEnv& env() { return *env_; }
+  Engine& engine() { return *engine_; }
+
+ private:
+  Engine* engine_;
+  HandsFreeConfig config_;
+  std::unique_ptr<RejoinFeaturizer> featurizer_;
+  std::unique_ptr<NegLogLatencyReward> latency_reward_;
+  std::unique_ptr<FullPipelineEnv> env_;
+  // Strategy backends (one non-null, per config).
+  std::unique_ptr<DemonstrationLearner> lfd_;
+  std::unique_ptr<BootstrapTrainer> bootstrap_;
+  std::unique_ptr<WorkloadGenerator> curriculum_generator_;
+  std::unique_ptr<IncrementalTrainer> incremental_;
+  bool trained_ = false;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_CORE_HANDS_FREE_H_

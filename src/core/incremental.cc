@@ -1,0 +1,167 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace hfq {
+
+const char* CurriculumKindName(CurriculumKind kind) {
+  switch (kind) {
+    case CurriculumKind::kFlat:
+      return "flat";
+    case CurriculumKind::kPipeline:
+      return "pipeline";
+    case CurriculumKind::kRelations:
+      return "relations";
+    case CurriculumKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+std::vector<CurriculumPhase> BuildCurriculum(CurriculumKind kind,
+                                             int total_episodes,
+                                             int max_relations) {
+  HFQ_CHECK(total_episodes > 0);
+  HFQ_CHECK(max_relations >= 2);
+  std::vector<CurriculumPhase> phases;
+  switch (kind) {
+    case CurriculumKind::kFlat: {
+      phases.push_back(CurriculumPhase{PipelineStages::All(), max_relations,
+                                       total_episodes, "flat"});
+      break;
+    }
+    case CurriculumKind::kPipeline: {
+      // Four phases, stage prefixes growing (Figure 8). Later phases get
+      // more episodes (they learn strictly harder tasks).
+      const double weights[4] = {0.15, 0.2, 0.3, 0.35};
+      for (int k = 1; k <= 4; ++k) {
+        CurriculumPhase phase;
+        phase.stages = PipelineStages::Prefix(k);
+        phase.max_relations = max_relations;
+        phase.episodes = std::max(
+            1, static_cast<int>(weights[k - 1] * total_episodes));
+        phase.label = StrFormat("pipeline-prefix%d", k);
+        phases.push_back(phase);
+      }
+      break;
+    }
+    case CurriculumKind::kRelations: {
+      // Relation count grows 2, 3, ..., max (Figure 9), full pipeline
+      // throughout; episode budget proportional to size.
+      const int steps = max_relations - 1;
+      for (int n = 2; n <= max_relations; ++n) {
+        CurriculumPhase phase;
+        phase.stages = PipelineStages::All();
+        phase.max_relations = n;
+        phase.episodes =
+            std::max(1, total_episodes * n /
+                            std::max(1, steps * (max_relations + 2) / 2));
+        phase.label = StrFormat("relations-%d", n);
+        phases.push_back(phase);
+      }
+      break;
+    }
+    case CurriculumKind::kHybrid: {
+      // Stages and relation counts grow together (right panel of Fig 7),
+      // then relation count continues to max.
+      struct Spec {
+        int prefix;
+        int rels;
+        double weight;
+      };
+      std::vector<Spec> specs = {{1, 2, 0.1}, {2, 3, 0.15}, {3, 4, 0.2},
+                                 {4, 6, 0.2}};
+      int n = 8;
+      double remaining = 0.35;
+      std::vector<int> tail_sizes;
+      while (n < max_relations) {
+        tail_sizes.push_back(n);
+        n += 4;
+      }
+      tail_sizes.push_back(max_relations);
+      for (int sz : tail_sizes) {
+        specs.push_back(
+            {4, sz, remaining / static_cast<double>(tail_sizes.size())});
+      }
+      for (const Spec& s : specs) {
+        CurriculumPhase phase;
+        phase.stages = PipelineStages::Prefix(s.prefix);
+        phase.max_relations = std::min(s.rels, max_relations);
+        phase.episodes =
+            std::max(1, static_cast<int>(s.weight * total_episodes));
+        phase.label =
+            StrFormat("hybrid-p%d-n%d", s.prefix, phase.max_relations);
+        phases.push_back(phase);
+      }
+      break;
+    }
+  }
+  return phases;
+}
+
+IncrementalTrainer::IncrementalTrainer(FullPipelineEnv* env,
+                                       WorkloadGenerator* generator,
+                                       PolicyGradientConfig pg,
+                                       int episodes_per_update, uint64_t seed)
+    : env_(env),
+      generator_(generator),
+      agent_(env->state_dim(), env->action_dim(), pg, seed),
+      episodes_per_update_(episodes_per_update) {
+  HFQ_CHECK(env != nullptr && generator != nullptr);
+}
+
+Status IncrementalTrainer::Run(
+    const std::vector<CurriculumPhase>& phases, int queries_per_phase,
+    const std::function<void(const CurriculumEpisodeStats&)>& on_episode) {
+  for (size_t pi = 0; pi < phases.size(); ++pi) {
+    const CurriculumPhase& phase = phases[pi];
+    env_->set_stages(phase.stages);
+    // Per-phase workload matching the relation cap. Mix sizes 2..cap so
+    // earlier skills are not forgotten (except the 2-relation phase).
+    std::vector<Query> workload;
+    for (int qi = 0; qi < queries_per_phase; ++qi) {
+      int lo = std::max(2, phase.max_relations / 2);
+      int n = lo + qi % (phase.max_relations - lo + 1);
+      HFQ_ASSIGN_OR_RETURN(
+          Query q,
+          generator_->GenerateQuery(
+              n, StrFormat("cur_%s_p%zu_q%d", phase.label.c_str(), pi, qi)));
+      workload.push_back(std::move(q));
+    }
+
+    for (int e = 0; e < phase.episodes; ++e) {
+      const Query& query = workload[static_cast<size_t>(e) % workload.size()];
+      env_->SetQuery(&query);
+      env_->Reset();
+      Episode episode;
+      while (!env_->Done()) {
+        Transition t;
+        t.state = env_->StateVector();
+        t.mask = env_->ActionMask();
+        t.action = agent_.SampleAction(t.state, t.mask, &t.old_prob);
+        StepResult step = env_->Step(t.action);
+        t.reward = step.reward;
+        episode.steps.push_back(std::move(t));
+      }
+      CurriculumEpisodeStats stats;
+      stats.global_episode = global_episode_++;
+      stats.phase_index = static_cast<int>(pi);
+      stats.query_name = query.name;
+      stats.reward = episode.TotalReward();
+      if (!episode.steps.empty()) {
+        pending_.push_back(std::move(episode));
+        if (static_cast<int>(pending_.size()) >= episodes_per_update_) {
+          agent_.Update(pending_);
+          pending_.clear();
+        }
+      }
+      if (on_episode) on_episode(stats);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hfq

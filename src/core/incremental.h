@@ -1,0 +1,80 @@
+// Incremental learning (paper Section 5.3): curricula that decompose query
+// optimization along the two complexity axes of Figure 6 — pipeline stages
+// and relation count — yielding the Pipeline, Relations, and Hybrid
+// decompositions of Figure 7 (plus Flat, the no-curriculum baseline).
+#ifndef HFQ_CORE_INCREMENTAL_H_
+#define HFQ_CORE_INCREMENTAL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/full_env.h"
+#include "rl/policy_gradient.h"
+#include "workload/generator.h"
+
+namespace hfq {
+
+/// The decomposition strategies of Figure 7 (+ flat baseline).
+enum class CurriculumKind { kFlat, kPipeline, kRelations, kHybrid };
+
+const char* CurriculumKindName(CurriculumKind kind);
+
+/// One curriculum phase: which pipeline stages the agent owns, the maximum
+/// relation count of training queries, and its episode budget.
+struct CurriculumPhase {
+  PipelineStages stages;
+  int max_relations = kMaxRelations;
+  int episodes = 0;
+  std::string label;
+};
+
+/// Expands a curriculum kind into concrete phases.
+///   kFlat:      one phase, all stages, all sizes.
+///   kPipeline:  Figure 8 — stage prefixes grow (join order -> +index ->
+///               +join ops -> +agg), all sizes each phase.
+///   kRelations: Figure 9 — all stages from the start, relation count grows
+///               from 2 to max.
+///   kHybrid:    stages and sizes grow together, then sizes keep growing.
+std::vector<CurriculumPhase> BuildCurriculum(CurriculumKind kind,
+                                             int total_episodes,
+                                             int max_relations);
+
+/// Per-episode diagnostics.
+struct CurriculumEpisodeStats {
+  int global_episode = 0;
+  int phase_index = 0;
+  std::string query_name;
+  double reward = 0.0;
+};
+
+/// Trains one PolicyGradientAgent through a curriculum over a
+/// FullPipelineEnv. Workloads are drawn per phase from the generator so
+/// each phase sees queries matching its relation cap.
+class IncrementalTrainer {
+ public:
+  /// `env` and `generator` must outlive the trainer.
+  IncrementalTrainer(FullPipelineEnv* env, WorkloadGenerator* generator,
+                     PolicyGradientConfig pg, int episodes_per_update,
+                     uint64_t seed);
+
+  /// Runs all phases; `on_episode` fires per episode.
+  Status Run(const std::vector<CurriculumPhase>& phases,
+             int queries_per_phase,
+             const std::function<void(const CurriculumEpisodeStats&)>&
+                 on_episode = nullptr);
+
+  PolicyGradientAgent& agent() { return agent_; }
+
+ private:
+  FullPipelineEnv* env_;
+  WorkloadGenerator* generator_;
+  PolicyGradientAgent agent_;
+  int episodes_per_update_;
+  std::vector<Episode> pending_;
+  int global_episode_ = 0;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_CORE_INCREMENTAL_H_

@@ -1,0 +1,77 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+
+ReciprocalCostReward::ReciprocalCostReward(CostModel* cost_model,
+                                           double scale)
+    : cost_model_(cost_model), scale_(scale) {
+  HFQ_CHECK(cost_model != nullptr);
+}
+
+double ReciprocalCostReward::Score(const Query& query, PlanNode* plan) {
+  last_cost_ = cost_model_->Annotate(query, plan);
+  return scale_ / std::max(1.0, last_cost_);
+}
+
+NegLogCostReward::NegLogCostReward(CostModel* cost_model)
+    : cost_model_(cost_model) {
+  HFQ_CHECK(cost_model != nullptr);
+}
+
+double NegLogCostReward::Score(const Query& query, PlanNode* plan) {
+  last_cost_ = cost_model_->Annotate(query, plan);
+  return -std::log10(std::max(1.0, last_cost_));
+}
+
+NegLogLatencyReward::NegLogLatencyReward(LatencySimulator* simulator,
+                                         CostModel* cost_model)
+    : simulator_(simulator), cost_model_(cost_model) {
+  HFQ_CHECK(simulator != nullptr);
+}
+
+double NegLogLatencyReward::Score(const Query& query, PlanNode* plan) {
+  if (cost_model_ != nullptr) cost_model_->Annotate(query, plan);
+  last_latency_ms_ = simulator_->SimulateMs(query, *plan);
+  return -std::log10(std::max(1.0, last_latency_ms_));
+}
+
+ScaledLatencyReward::ScaledLatencyReward(LatencySimulator* simulator,
+                                         CostModel* cost_model)
+    : simulator_(simulator), cost_model_(cost_model) {
+  HFQ_CHECK(simulator != nullptr);
+}
+
+void ScaledLatencyReward::Calibrate(double cost_min, double cost_max,
+                                    double latency_min, double latency_max) {
+  HFQ_CHECK(cost_max >= cost_min);
+  HFQ_CHECK(latency_max >= latency_min);
+  cost_min_ = cost_min;
+  cost_max_ = cost_max;
+  latency_min_ = latency_min;
+  latency_max_ = latency_max;
+  calibrated_ = true;
+}
+
+double ScaledLatencyReward::ScaleLatency(double latency_ms) const {
+  if (!calibrated_) return latency_ms;
+  double denom = std::max(1e-9, latency_max_ - latency_min_);
+  // The paper's formula, applied verbatim. Latencies outside the observed
+  // Phase-1 band extrapolate linearly (a plan far worse than anything seen
+  // in Phase 1 should look far worse than any Phase-1 cost).
+  return cost_min_ +
+         (latency_ms - latency_min_) / denom * (cost_max_ - cost_min_);
+}
+
+double ScaledLatencyReward::Score(const Query& query, PlanNode* plan) {
+  if (cost_model_ != nullptr) cost_model_->Annotate(query, plan);
+  last_latency_ms_ = simulator_->SimulateMs(query, *plan);
+  double scaled = std::max(1.0, ScaleLatency(last_latency_ms_));
+  return -std::log10(scaled);
+}
+
+}  // namespace hfq

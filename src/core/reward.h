@@ -1,0 +1,114 @@
+// Reward signals for plan-producing MDPs. The paper's three regimes:
+//   * cost-model reward (ReJOIN: 1/M(t); also -log10 cost for the core
+//     experiments) — dense to compute, biased by estimation error;
+//   * latency reward — the "true" objective, expensive and differently
+//     scaled;
+//   * scaled latency (Section 5.2's formula): latency mapped linearly into
+//     the cost range observed at the end of Phase 1,
+//       r_l = Cmin + (l - Lmin)/(Lmax - Lmin) * (Cmax - Cmin),
+//     so the reward regime switch does not shock the learner.
+#ifndef HFQ_CORE_REWARD_H_
+#define HFQ_CORE_REWARD_H_
+
+#include <string>
+
+#include "cost/cost_model.h"
+#include "exec/latency_model.h"
+#include "plan/physical_plan.h"
+
+namespace hfq {
+
+/// Scores completed physical plans; higher reward = better plan.
+class RewardSignal {
+ public:
+  virtual ~RewardSignal() = default;
+
+  /// Reward for the (annotated or annotatable) plan. May annotate the plan.
+  virtual double Score(const Query& query, PlanNode* plan) = 0;
+
+  /// The raw metric (cost units or milliseconds) behind the last Score —
+  /// for instrumentation and calibration.
+  virtual double LastMetric() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// reward = scale / cost — the ReJOIN case-study reward (1/M(t)).
+class ReciprocalCostReward : public RewardSignal {
+ public:
+  /// `cost_model` must outlive the signal.
+  explicit ReciprocalCostReward(CostModel* cost_model, double scale = 1e5);
+  double Score(const Query& query, PlanNode* plan) override;
+  double LastMetric() const override { return last_cost_; }
+  std::string name() const override { return "reciprocal_cost"; }
+
+ private:
+  CostModel* cost_model_;
+  double scale_;
+  double last_cost_ = 0.0;
+};
+
+/// reward = -log10(cost) — a range-stable cost reward for the Section 5
+/// experiments.
+class NegLogCostReward : public RewardSignal {
+ public:
+  explicit NegLogCostReward(CostModel* cost_model);
+  double Score(const Query& query, PlanNode* plan) override;
+  double LastMetric() const override { return last_cost_; }
+  std::string name() const override { return "neg_log_cost"; }
+
+ private:
+  CostModel* cost_model_;
+  double last_cost_ = 0.0;
+};
+
+/// reward = -log10(simulated latency ms) — the "true" objective.
+class NegLogLatencyReward : public RewardSignal {
+ public:
+  /// `simulator` must outlive the signal. `cost_model` (optional) is used
+  /// only to annotate plans for diagnostics.
+  NegLogLatencyReward(LatencySimulator* simulator, CostModel* cost_model);
+  double Score(const Query& query, PlanNode* plan) override;
+  double LastMetric() const override { return last_latency_ms_; }
+  std::string name() const override { return "neg_log_latency"; }
+
+ private:
+  LatencySimulator* simulator_;
+  CostModel* cost_model_;
+  double last_latency_ms_ = 0.0;
+};
+
+/// Section 5.2's reward scaling: latency is linearly mapped into the
+/// cost range observed during Phase 1 before the -log10. Uncalibrated
+/// instances behave like NegLogLatencyReward.
+class ScaledLatencyReward : public RewardSignal {
+ public:
+  ScaledLatencyReward(LatencySimulator* simulator, CostModel* cost_model);
+
+  /// Installs the Phase-1 observation ranges (paper: Cmin/Cmax are the
+  /// min/max observed optimizer costs, Lmin/Lmax the min/max observed
+  /// latencies near the end of Phase 1).
+  void Calibrate(double cost_min, double cost_max, double latency_min,
+                 double latency_max);
+
+  bool calibrated() const { return calibrated_; }
+
+  /// The scaled value r_l for a raw latency (exposed for tests).
+  double ScaleLatency(double latency_ms) const;
+
+  double Score(const Query& query, PlanNode* plan) override;
+  double LastMetric() const override { return last_latency_ms_; }
+  std::string name() const override { return "scaled_latency"; }
+
+ private:
+  LatencySimulator* simulator_;
+  CostModel* cost_model_;
+  bool calibrated_ = false;
+  double cost_min_ = 0.0, cost_max_ = 1.0;
+  double latency_min_ = 0.0, latency_max_ = 1.0;
+  double last_latency_ms_ = 0.0;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_CORE_REWARD_H_

@@ -1,0 +1,67 @@
+// A PostgreSQL-style cost model. Unitless "cost units" built from page and
+// CPU primitives (seq_page_cost, random_page_cost, cpu_tuple_cost, ...),
+// computed over whatever CardinalitySource it is given. With the histogram
+// estimator it plays the traditional optimizer's cost model (the paper's
+// reward signal for ReJOIN); with the truth oracle it gives "cost with
+// perfect cardinalities" for ablations.
+#ifndef HFQ_COST_COST_MODEL_H_
+#define HFQ_COST_COST_MODEL_H_
+
+#include "catalog/catalog.h"
+#include "plan/physical_plan.h"
+#include "stats/cardinality.h"
+
+namespace hfq {
+
+/// Cost primitives (defaults mirror PostgreSQL's planner constants).
+struct CostParams {
+  CostParams() {}
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_index_tuple_cost = 0.005;
+  double cpu_operator_cost = 0.0025;
+  /// Tuples that fit in work_mem (hash tables / sorts spill beyond this).
+  double work_mem_tuples = 100000.0;
+  /// Multiplier applied to hash build/probe and sort work when spilling.
+  double spill_factor = 4.0;
+  /// Bytes per page for page-count computation.
+  double page_size_bytes = 8192.0;
+};
+
+/// Computes and annotates plan costs.
+class CostModel {
+ public:
+  /// `catalog` and `cards` must outlive the model.
+  CostModel(const Catalog* catalog, CardinalitySource* cards,
+            CostParams params = CostParams());
+
+  /// Recursively fills est_rows / est_cost on every node and returns the
+  /// root's total cost.
+  double Annotate(const Query& query, PlanNode* root);
+
+  /// Cost of an already-annotated subtree rooted at a *logical* join of two
+  /// annotated children using operator `op` — used by enumerators to price
+  /// candidate joins without materializing plan nodes.
+  double JoinCost(const Query& query, PhysicalOp op, double outer_rows,
+                  double outer_cost, double inner_rows, double inner_cost,
+                  double output_rows, bool inner_is_indexable) const;
+
+  /// Number of heap pages for a base relation.
+  double TablePages(const Query& query, int rel) const;
+
+  const CostParams& params() const { return params_; }
+  CardinalitySource* cards() { return cards_; }
+
+ private:
+  double ScanCost(const Query& query, const PlanNode& node,
+                  double* out_rows) const;
+
+  const Catalog* catalog_;
+  CardinalitySource* cards_;
+  CostParams params_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_COST_COST_MODEL_H_

@@ -1,0 +1,493 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace hfq {
+namespace {
+
+// Fetches the base-table column backing a ColumnRef.
+const Column* ResolveColumn(const Database& db, const Query& query,
+                            const ColumnRef& ref) {
+  const auto& rel_ref = query.relations[static_cast<size_t>(ref.rel_idx)];
+  auto table = db.GetTable(rel_ref.table);
+  HFQ_CHECK_MSG(table.ok(), "executor: missing table");
+  auto col = (*table)->GetColumn(ref.column);
+  HFQ_CHECK_MSG(col.ok(), "executor: missing column");
+  return *col;
+}
+
+struct PairHash {
+  size_t operator()(int64_t k) const {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+int RowIdTable::ColumnOf(int rel) const {
+  for (size_t i = 0; i < rels.size(); ++i) {
+    if (rels[i] == rel) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Executor::Executor(const Database* db, ExecOptions options)
+    : db_(db), options_(options) {
+  HFQ_CHECK(db != nullptr);
+}
+
+double Executor::ColumnValue(const Query& query, const RowIdTable& t,
+                             const ColumnRef& ref, int64_t tuple) const {
+  int col_pos = t.ColumnOf(ref.rel_idx);
+  HFQ_CHECK(col_pos >= 0);
+  int64_t row = t.row_ids[static_cast<size_t>(col_pos)][
+      static_cast<size_t>(tuple)];
+  return ResolveColumn(*db_, query, ref)->GetNumeric(row);
+}
+
+int64_t Executor::ColumnIntValue(const Query& query, const RowIdTable& t,
+                                 const ColumnRef& ref, int64_t tuple) const {
+  int col_pos = t.ColumnOf(ref.rel_idx);
+  HFQ_CHECK(col_pos >= 0);
+  int64_t row = t.row_ids[static_cast<size_t>(col_pos)][
+      static_cast<size_t>(tuple)];
+  return ResolveColumn(*db_, query, ref)->GetInt(row);
+}
+
+Result<RowIdTable> Executor::ExecScan(const Query& query,
+                                      const PlanNode& node) {
+  const auto& rel_ref = query.relations[static_cast<size_t>(node.rel_idx)];
+  HFQ_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(rel_ref.table));
+
+  std::vector<int64_t> candidates;
+  if (node.op == PhysicalOp::kIndexScan) {
+    const TableIndex* index = table->FindIndex(node.index_column,
+                                               node.index_kind);
+    if (index == nullptr) {
+      return Status::FailedPrecondition("no such index on " + rel_ref.table +
+                                        "." + node.index_column);
+    }
+    HFQ_CHECK(node.index_sel_idx >= 0);
+    const auto& sel =
+        query.selections[static_cast<size_t>(node.index_sel_idx)];
+    const int64_t v = sel.value.is_double
+                          ? static_cast<int64_t>(std::floor(sel.value.d))
+                          : sel.value.i;
+    if (sel.op == CmpOp::kEq) {
+      index->LookupEqual(v, &candidates);
+    } else {
+      const auto* sorted = dynamic_cast<const SortedIndex*>(index);
+      if (sorted == nullptr) {
+        return Status::InvalidArgument(
+            "hash index cannot serve range predicate");
+      }
+      switch (sel.op) {
+        case CmpOp::kLt:
+          sorted->LookupRange(INT64_MIN, v - 1, &candidates);
+          break;
+        case CmpOp::kLe:
+          sorted->LookupRange(INT64_MIN, v, &candidates);
+          break;
+        case CmpOp::kGt:
+          sorted->LookupRange(v + 1, INT64_MAX, &candidates);
+          break;
+        case CmpOp::kGe:
+          sorted->LookupRange(v, INT64_MAX, &candidates);
+          break;
+        default:
+          return Status::InvalidArgument("index scan with <> predicate");
+      }
+    }
+  } else {
+    candidates.resize(static_cast<size_t>(table->num_rows()));
+    for (int64_t r = 0; r < table->num_rows(); ++r) {
+      candidates[static_cast<size_t>(r)] = r;
+    }
+  }
+
+  // Residual filters.
+  RowIdTable out;
+  out.rels = {node.rel_idx};
+  out.row_ids.resize(1);
+  std::vector<const Column*> filter_cols;
+  for (int s : node.filter_sel_idxs) {
+    const auto& sel = query.selections[static_cast<size_t>(s)];
+    filter_cols.push_back(ResolveColumn(*db_, query, sel.column));
+  }
+  for (int64_t row : candidates) {
+    bool pass = true;
+    for (size_t i = 0; i < node.filter_sel_idxs.size(); ++i) {
+      const auto& sel = query.selections[
+          static_cast<size_t>(node.filter_sel_idxs[i])];
+      if (!EvalCmp(filter_cols[i]->GetNumeric(row), sel.op,
+                   sel.value.AsDouble())) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.row_ids[0].push_back(row);
+  }
+  return out;
+}
+
+Result<RowIdTable> Executor::ExecJoin(const Query& query,
+                                      const PlanNode& node,
+                                      ExecResult* result) {
+  HFQ_CHECK(node.children.size() == 2);
+  HFQ_ASSIGN_OR_RETURN(RowIdTable outer,
+                       ExecNode(query, *node.child(0), result));
+
+  RowIdTable out;
+  out.rels = outer.rels;
+
+  // Resolve join predicates into (outer side ref, inner side ref).
+  struct SidedPred {
+    ColumnRef outer_ref;
+    ColumnRef inner_ref;
+  };
+  std::vector<SidedPred> preds;
+  const RelSet outer_rels = node.child(0)->rels;
+  for (int pi : node.join_pred_idxs) {
+    const auto& jp = query.joins[static_cast<size_t>(pi)];
+    if (RelSetHas(outer_rels, jp.left.rel_idx)) {
+      preds.push_back({jp.left, jp.right});
+    } else {
+      preds.push_back({jp.right, jp.left});
+    }
+  }
+
+  auto append_tuple = [&](const RowIdTable& inner, int64_t outer_tuple,
+                          int64_t inner_tuple) -> Status {
+    for (size_t c = 0; c < outer.rels.size(); ++c) {
+      out.row_ids[c].push_back(
+          outer.row_ids[c][static_cast<size_t>(outer_tuple)]);
+    }
+    for (size_t c = 0; c < inner.rels.size(); ++c) {
+      out.row_ids[outer.rels.size() + c].push_back(
+          inner.row_ids[c][static_cast<size_t>(inner_tuple)]);
+    }
+    if (out.NumTuples() > options_.max_intermediate_tuples) {
+      return Status::ResourceExhausted(
+          "intermediate result exceeded max_intermediate_tuples");
+    }
+    return Status::OK();
+  };
+
+  if (node.op == PhysicalOp::kIndexNestedLoopJoin) {
+    // The inner child must be a scan; we probe its table's index per outer
+    // row, then apply the inner's residual filters and remaining preds.
+    const PlanNode& inner_scan = *node.child(1);
+    HFQ_CHECK(inner_scan.IsScan());
+    HFQ_CHECK(node.inner_probe_pred_idx >= 0);
+    const auto& probe_pred =
+        query.joins[static_cast<size_t>(node.inner_probe_pred_idx)];
+    const bool inner_is_left =
+        RelSetHas(inner_scan.rels, probe_pred.left.rel_idx);
+    const ColumnRef& inner_key = inner_is_left ? probe_pred.left
+                                               : probe_pred.right;
+    const ColumnRef& outer_key = inner_is_left ? probe_pred.right
+                                               : probe_pred.left;
+    const auto& inner_rel =
+        query.relations[static_cast<size_t>(inner_scan.rel_idx)];
+    HFQ_ASSIGN_OR_RETURN(const Table* inner_table,
+                         db_->GetTable(inner_rel.table));
+    const TableIndex* index =
+        inner_table->FindIndex(inner_key.column, inner_scan.index_kind);
+    if (index == nullptr) {
+      // Fall back to any index on the key column.
+      index = inner_table->FindIndex(inner_key.column, IndexKind::kBTree);
+      if (index == nullptr) {
+        index = inner_table->FindIndex(inner_key.column, IndexKind::kHash);
+      }
+    }
+    if (index == nullptr) {
+      return Status::FailedPrecondition("INLJ requires an index on " +
+                                        inner_rel.table + "." +
+                                        inner_key.column);
+    }
+
+    out.row_ids.resize(outer.rels.size() + 1);
+    out.rels.push_back(inner_scan.rel_idx);
+    RowIdTable inner_stub;
+    inner_stub.rels = {inner_scan.rel_idx};
+    inner_stub.row_ids.resize(1);
+
+    std::vector<const Column*> inner_filter_cols;
+    for (int s : inner_scan.filter_sel_idxs) {
+      const auto& sel = query.selections[static_cast<size_t>(s)];
+      inner_filter_cols.push_back(ResolveColumn(*db_, query, sel.column));
+    }
+    std::vector<int64_t> matches;
+    for (int64_t t = 0; t < outer.NumTuples(); ++t) {
+      int64_t key = ColumnIntValue(query, outer, outer_key, t);
+      matches.clear();
+      index->LookupEqual(key, &matches);
+      for (int64_t row : matches) {
+        // Inner residual filters (including any index_sel on the scan).
+        bool pass = true;
+        for (size_t i = 0; i < inner_scan.filter_sel_idxs.size(); ++i) {
+          const auto& sel = query.selections[
+              static_cast<size_t>(inner_scan.filter_sel_idxs[i])];
+          if (!EvalCmp(inner_filter_cols[i]->GetNumeric(row), sel.op,
+                       sel.value.AsDouble())) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        if (inner_scan.index_sel_idx >= 0) {
+          const auto& sel = query.selections[
+              static_cast<size_t>(inner_scan.index_sel_idx)];
+          const Column* c = ResolveColumn(*db_, query, sel.column);
+          if (!EvalCmp(c->GetNumeric(row), sel.op, sel.value.AsDouble())) {
+            continue;
+          }
+        }
+        // Remaining join predicates.
+        inner_stub.row_ids[0].assign(1, row);
+        bool preds_pass = true;
+        for (int pi : node.join_pred_idxs) {
+          if (pi == node.inner_probe_pred_idx) continue;
+          const auto& jp = query.joins[static_cast<size_t>(pi)];
+          const ColumnRef& oref =
+              RelSetHas(outer_rels, jp.left.rel_idx) ? jp.left : jp.right;
+          const ColumnRef& iref =
+              RelSetHas(outer_rels, jp.left.rel_idx) ? jp.right : jp.left;
+          double ov = ColumnValue(query, outer, oref, t);
+          double iv = ColumnValue(query, inner_stub, iref, 0);
+          if (ov != iv) {
+            preds_pass = false;
+            break;
+          }
+        }
+        if (!preds_pass) continue;
+        HFQ_RETURN_IF_ERROR(append_tuple(inner_stub, t, 0));
+      }
+    }
+    return out;
+  }
+
+  HFQ_ASSIGN_OR_RETURN(RowIdTable inner,
+                       ExecNode(query, *node.child(1), result));
+  out.rels.insert(out.rels.end(), inner.rels.begin(), inner.rels.end());
+  out.row_ids.resize(outer.rels.size() + inner.rels.size());
+
+  auto residual_ok = [&](int64_t ot, int64_t it, size_t first_pred) {
+    for (size_t p = first_pred; p < preds.size(); ++p) {
+      double ov = ColumnValue(query, outer, preds[p].outer_ref, ot);
+      double iv = ColumnValue(query, inner, preds[p].inner_ref, it);
+      if (ov != iv) return false;
+    }
+    return true;
+  };
+
+  switch (node.op) {
+    case PhysicalOp::kNestedLoopJoin: {
+      for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
+        for (int64_t it = 0; it < inner.NumTuples(); ++it) {
+          if (residual_ok(ot, it, 0)) {
+            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+          }
+        }
+      }
+      break;
+    }
+    case PhysicalOp::kHashJoin: {
+      if (preds.empty()) {
+        // Degenerate: cross product via NLJ semantics.
+        for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
+          for (int64_t it = 0; it < inner.NumTuples(); ++it) {
+            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+          }
+        }
+        break;
+      }
+      std::unordered_map<int64_t, std::vector<int64_t>, PairHash> ht;
+      ht.reserve(static_cast<size_t>(inner.NumTuples()));
+      for (int64_t it = 0; it < inner.NumTuples(); ++it) {
+        ht[ColumnIntValue(query, inner, preds[0].inner_ref, it)].push_back(it);
+      }
+      for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
+        auto hit = ht.find(ColumnIntValue(query, outer, preds[0].outer_ref,
+                                          ot));
+        if (hit == ht.end()) continue;
+        for (int64_t it : hit->second) {
+          if (residual_ok(ot, it, 1)) {
+            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+          }
+        }
+      }
+      break;
+    }
+    case PhysicalOp::kMergeJoin: {
+      if (preds.empty()) {
+        return Status::InvalidArgument("merge join requires a join key");
+      }
+      // Sort tuple indices of both sides by the first key; merge with
+      // block handling for duplicate keys; residual preds filter.
+      std::vector<int64_t> oidx(static_cast<size_t>(outer.NumTuples()));
+      std::vector<int64_t> iidx(static_cast<size_t>(inner.NumTuples()));
+      for (size_t i = 0; i < oidx.size(); ++i) oidx[i] = static_cast<int64_t>(i);
+      for (size_t i = 0; i < iidx.size(); ++i) iidx[i] = static_cast<int64_t>(i);
+      auto okey = [&](int64_t t) {
+        return ColumnIntValue(query, outer, preds[0].outer_ref, t);
+      };
+      auto ikey = [&](int64_t t) {
+        return ColumnIntValue(query, inner, preds[0].inner_ref, t);
+      };
+      std::sort(oidx.begin(), oidx.end(),
+                [&](int64_t a, int64_t b) { return okey(a) < okey(b); });
+      std::sort(iidx.begin(), iidx.end(),
+                [&](int64_t a, int64_t b) { return ikey(a) < ikey(b); });
+      size_t oi = 0, ii = 0;
+      while (oi < oidx.size() && ii < iidx.size()) {
+        int64_t ok = okey(oidx[oi]);
+        int64_t ik = ikey(iidx[ii]);
+        if (ok < ik) {
+          ++oi;
+        } else if (ok > ik) {
+          ++ii;
+        } else {
+          size_t o_end = oi;
+          while (o_end < oidx.size() && okey(oidx[o_end]) == ok) ++o_end;
+          size_t i_end = ii;
+          while (i_end < iidx.size() && ikey(iidx[i_end]) == ik) ++i_end;
+          for (size_t a = oi; a < o_end; ++a) {
+            for (size_t b = ii; b < i_end; ++b) {
+              if (residual_ok(oidx[a], iidx[b], 1)) {
+                HFQ_RETURN_IF_ERROR(append_tuple(inner, oidx[a], iidx[b]));
+              }
+            }
+          }
+          oi = o_end;
+          ii = i_end;
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Internal("unexpected join op in executor");
+  }
+  return out;
+}
+
+Result<std::vector<AggRow>> Executor::ExecAggregate(const Query& query,
+                                                    const PlanNode& node,
+                                                    const RowIdTable& input) {
+  (void)node;  // Hash vs sort aggregation produce identical results; the
+               // executor uses hashing for both (sortedness is a cost-model
+               // concern, not a correctness one).
+  struct GroupState {
+    std::vector<double> keys;
+    std::vector<double> accum;
+    std::vector<int64_t> counts;
+  };
+  std::unordered_map<size_t, GroupState> groups;
+  auto hash_keys = [](const std::vector<double>& keys) {
+    uint64_t h = 1469598103934665603ull;
+    for (double k : keys) {
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(k));
+      __builtin_memcpy(&bits, &k, sizeof(bits));
+      h ^= bits;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  };
+
+  const size_t num_aggs = query.aggregates.size();
+  for (int64_t t = 0; t < input.NumTuples(); ++t) {
+    std::vector<double> keys;
+    keys.reserve(query.group_by.size());
+    for (const auto& g : query.group_by) {
+      keys.push_back(ColumnValue(query, input, g, t));
+    }
+    size_t h = hash_keys(keys);
+    auto [it, inserted] = groups.try_emplace(h);
+    GroupState& gs = it->second;
+    if (inserted) {
+      gs.keys = keys;
+      gs.accum.resize(num_aggs, 0.0);
+      gs.counts.resize(num_aggs, 0);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        if (query.aggregates[a].func == AggFunc::kMin) gs.accum[a] = 1e300;
+        if (query.aggregates[a].func == AggFunc::kMax) gs.accum[a] = -1e300;
+      }
+    }
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const AggSpec& spec = query.aggregates[a];
+      double v = spec.has_arg ? ColumnValue(query, input, spec.arg, t) : 1.0;
+      switch (spec.func) {
+        case AggFunc::kCount:
+          gs.accum[a] += 1.0;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          gs.accum[a] += v;
+          break;
+        case AggFunc::kMin:
+          gs.accum[a] = std::min(gs.accum[a], v);
+          break;
+        case AggFunc::kMax:
+          gs.accum[a] = std::max(gs.accum[a], v);
+          break;
+      }
+      gs.counts[a] += 1;
+    }
+  }
+
+  std::vector<AggRow> rows;
+  rows.reserve(groups.size());
+  for (auto& [h, gs] : groups) {
+    AggRow row;
+    row.group_keys = gs.keys;
+    row.agg_values.resize(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (query.aggregates[a].func == AggFunc::kAvg && gs.counts[a] > 0) {
+        row.agg_values[a] = gs.accum[a] / static_cast<double>(gs.counts[a]);
+      } else {
+        row.agg_values[a] = gs.accum[a];
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  // Deterministic output order (hash maps are not ordered).
+  std::sort(rows.begin(), rows.end(), [](const AggRow& a, const AggRow& b) {
+    return a.group_keys < b.group_keys;
+  });
+  return rows;
+}
+
+Result<RowIdTable> Executor::ExecNode(const Query& query,
+                                      const PlanNode& node,
+                                      ExecResult* result) {
+  Result<RowIdTable> out = node.IsScan() ? ExecScan(query, node)
+                                         : ExecJoin(query, node, result);
+  if (out.ok()) {
+    result->node_output_rows[&node] = out->NumTuples();
+  }
+  return out;
+}
+
+Result<ExecResult> Executor::Execute(const Query& query,
+                                     const PlanNode& plan) {
+  ExecResult result;
+  const PlanNode* join_root = plan.IsAggregate() ? plan.child(0) : &plan;
+  HFQ_ASSIGN_OR_RETURN(RowIdTable rows, ExecNode(query, *join_root, &result));
+  result.join_rows = rows.NumTuples();
+  if (plan.IsAggregate()) {
+    HFQ_ASSIGN_OR_RETURN(result.agg_rows, ExecAggregate(query, plan, rows));
+    result.output_rows = static_cast<int64_t>(result.agg_rows.size());
+    result.node_output_rows[&plan] = result.output_rows;
+  } else {
+    result.output_rows = result.join_rows;
+  }
+  return result;
+}
+
+}  // namespace hfq

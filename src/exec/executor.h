@@ -1,0 +1,90 @@
+// A real in-memory executor for physical plans, using late materialization:
+// intermediates are tuples of base-table row ids, one column per relation.
+// Used at small scale for correctness (validates the oracle and the
+// simulator's cardinality accounting) and by the examples / SQL shell.
+#ifndef HFQ_EXEC_EXECUTOR_H_
+#define HFQ_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "plan/physical_plan.h"
+#include "plan/query.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Execution limits.
+struct ExecOptions {
+  ExecOptions() {}
+  /// Abort with ResourceExhausted if any intermediate exceeds this many
+  /// tuples (protects against catastrophic plans in interactive use).
+  int64_t max_intermediate_tuples = 5 * 1000 * 1000;
+};
+
+/// An intermediate (or final pre-aggregation) result.
+struct RowIdTable {
+  /// Relations present, in column order.
+  std::vector<int> rels;
+  /// row_ids[i] holds, for every output tuple, the base-table row of
+  /// rels[i]. All inner vectors share the same length.
+  std::vector<std::vector<int64_t>> row_ids;
+
+  int64_t NumTuples() const {
+    return row_ids.empty() ? 0 : static_cast<int64_t>(row_ids[0].size());
+  }
+  /// Column position of relation `rel`, or -1.
+  int ColumnOf(int rel) const;
+};
+
+/// One output row of an aggregation.
+struct AggRow {
+  std::vector<double> group_keys;
+  std::vector<double> agg_values;
+};
+
+/// Everything Execute produces.
+struct ExecResult {
+  /// Rows of the final operator (groups if the plan aggregates).
+  int64_t output_rows = 0;
+  /// Rows out of the join pipeline (pre-aggregation).
+  int64_t join_rows = 0;
+  /// Aggregated output (empty if the plan has no aggregate).
+  std::vector<AggRow> agg_rows;
+  /// True output cardinality of every plan node (pre-order indexing per
+  /// PlanNode::CollectNodes).
+  std::map<const PlanNode*, int64_t> node_output_rows;
+};
+
+/// Executes physical plans against a Database.
+class Executor {
+ public:
+  /// `db` must outlive the executor.
+  explicit Executor(const Database* db, ExecOptions options = ExecOptions());
+
+  /// Runs the plan; returns counts plus aggregate rows.
+  Result<ExecResult> Execute(const Query& query, const PlanNode& plan);
+
+ private:
+  Result<RowIdTable> ExecNode(const Query& query, const PlanNode& node,
+                              ExecResult* result);
+  Result<RowIdTable> ExecScan(const Query& query, const PlanNode& node);
+  Result<RowIdTable> ExecJoin(const Query& query, const PlanNode& node,
+                              ExecResult* result);
+  Result<std::vector<AggRow>> ExecAggregate(const Query& query,
+                                            const PlanNode& node,
+                                            const RowIdTable& input);
+
+  double ColumnValue(const Query& query, const RowIdTable& t,
+                     const ColumnRef& ref, int64_t tuple) const;
+  int64_t ColumnIntValue(const Query& query, const RowIdTable& t,
+                         const ColumnRef& ref, int64_t tuple) const;
+
+  const Database* db_;
+  ExecOptions options_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_EXEC_EXECUTOR_H_

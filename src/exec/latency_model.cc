@@ -1,0 +1,159 @@
+#include "exec/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+
+LatencySimulator::LatencySimulator(const Catalog* catalog,
+                                   CardinalitySource* cards,
+                                   LatencyParams params)
+    : catalog_(catalog), cards_(cards), params_(params) {
+  HFQ_CHECK(catalog != nullptr && cards != nullptr);
+}
+
+double LatencySimulator::TablePages(const Query& query, int rel) const {
+  const auto& rel_ref = query.relations[static_cast<size_t>(rel)];
+  auto table = catalog_->GetTable(rel_ref.table);
+  HFQ_CHECK_MSG(table.ok(), "latency model: unknown table");
+  double bytes = static_cast<double>((*table)->num_rows) *
+                 static_cast<double>(TupleWidthBytes(**table));
+  return std::max(1.0, std::ceil(bytes / 8192.0));
+}
+
+LatencySimulator::NodeResult LatencySimulator::Simulate(
+    const Query& query, const PlanNode& node) {
+  const auto& p = params_;
+  NodeResult res;
+
+  if (node.IsScan()) {
+    const int rel = node.rel_idx;
+    const double base_rows = cards_->BaseRows(query, rel);
+    const double pages = TablePages(query, rel);
+    std::vector<int> all_sels = node.filter_sel_idxs;
+    if (node.index_sel_idx >= 0) all_sels.push_back(node.index_sel_idx);
+    res.rows = cards_->RowsWithSelections(query, rel, all_sels);
+
+    if (node.op == PhysicalOp::kSeqScan) {
+      res.ms = pages * p.ms_per_seq_page +
+               base_rows * (p.ms_per_tuple_cpu +
+                            p.ms_per_filter_eval *
+                                static_cast<double>(
+                                    node.filter_sel_idxs.size()));
+    } else {
+      double matched =
+          node.index_sel_idx >= 0
+              ? cards_->RowsWithSelections(query, rel, {node.index_sel_idx})
+              : base_rows;
+      double levels = std::max(1.0, std::log2(std::max(2.0, base_rows)));
+      double descend = node.index_kind == IndexKind::kBTree
+                           ? p.ms_index_descend_per_level * levels
+                           : p.ms_index_descend_per_level * 2.0;
+      res.ms = descend + std::min(matched, pages) * p.ms_per_random_page +
+               matched * (p.ms_per_tuple_cpu +
+                          p.ms_per_filter_eval *
+                              static_cast<double>(
+                                  node.filter_sel_idxs.size()));
+    }
+    return res;
+  }
+
+  if (node.IsJoin()) {
+    NodeResult outer = Simulate(query, *node.child(0));
+    res.rows = cards_->Rows(query, node.rels);
+    switch (node.op) {
+      case PhysicalOp::kNestedLoopJoin: {
+        NodeResult inner = Simulate(query, *node.child(1));
+        res.ms = outer.ms + inner.ms + inner.rows * p.ms_per_tuple_cpu +
+                 outer.rows * std::max(1.0, inner.rows) * p.ms_nlj_compare;
+        break;
+      }
+      case PhysicalOp::kIndexNestedLoopJoin: {
+        // Inner subtree is never scanned wholesale; probes instead.
+        const PlanNode& inner_scan = *node.child(1);
+        double inner_base = cards_->BaseRows(query, inner_scan.rel_idx);
+        double levels = std::max(1.0, std::log2(std::max(2.0, inner_base)));
+        double descend = inner_scan.index_kind == IndexKind::kHash
+                             ? p.ms_index_descend_per_level * 2.0
+                             : p.ms_index_descend_per_level * levels;
+        // Matches fetched per probe before inner residual filters: join of
+        // outer rels with the *unfiltered* inner relation.
+        res.ms = outer.ms + outer.rows * descend +
+                 res.rows * (p.ms_per_random_page + p.ms_per_tuple_cpu);
+        break;
+      }
+      case PhysicalOp::kHashJoin: {
+        NodeResult inner = Simulate(query, *node.child(1));
+        double build = inner.rows * p.ms_hash_build_tuple;
+        double probe = outer.rows * p.ms_hash_probe_tuple;
+        if (inner.rows > p.work_mem_tuples) {
+          build *= p.spill_factor;
+          probe *= p.spill_factor;
+        }
+        res.ms = outer.ms + inner.ms + build + probe;
+        break;
+      }
+      case PhysicalOp::kMergeJoin: {
+        NodeResult inner = Simulate(query, *node.child(1));
+        auto sort_ms = [&p](double rows) {
+          double r = std::max(2.0, rows);
+          double ms = r * std::log2(r) * p.ms_sort_tuple_log;
+          if (r > p.work_mem_tuples) ms *= p.spill_factor;
+          return ms;
+        };
+        res.ms = outer.ms + inner.ms + sort_ms(outer.rows) +
+                 sort_ms(inner.rows) +
+                 (outer.rows + inner.rows) * p.ms_per_tuple_cpu;
+        break;
+      }
+      default:
+        HFQ_CHECK_MSG(false, "unexpected join op in latency model");
+    }
+    res.ms += res.rows * p.ms_output_tuple;
+    return res;
+  }
+
+  HFQ_CHECK(node.IsAggregate());
+  NodeResult input = Simulate(query, *node.child(0));
+  double groups = cards_->GroupRows(query);
+  double agg_ops = std::max<size_t>(1, query.aggregates.size());
+  res.rows = groups;
+  if (node.op == PhysicalOp::kHashAggregate) {
+    double work = input.rows * p.ms_hash_build_tuple * agg_ops;
+    if (groups > p.work_mem_tuples) work *= p.spill_factor;
+    res.ms = input.ms + work;
+  } else {
+    double r = std::max(2.0, input.rows);
+    double sort = r * std::log2(r) * p.ms_sort_tuple_log;
+    if (r > p.work_mem_tuples) sort *= p.spill_factor;
+    res.ms = input.ms + sort + input.rows * p.ms_per_tuple_cpu * agg_ops;
+  }
+  res.ms += groups * p.ms_output_tuple;
+  return res;
+}
+
+double LatencySimulator::SimulateMs(const Query& query, const PlanNode& plan) {
+  NodeResult res = Simulate(query, plan);
+  double ms = params_.ms_startup + res.ms;
+  if (params_.noise_sigma > 0.0) {
+    // Deterministic lognormal noise from (query, plan) fingerprint.
+    uint64_t h = plan.Fingerprint();
+    for (char c : query.name) {
+      h ^= static_cast<uint64_t>(c);
+      h *= 1099511628211ull;
+    }
+    // Map hash to approximately N(0,1) via sum of uniforms (Irwin-Hall).
+    double z = 0.0;
+    for (int i = 0; i < 12; ++i) {
+      h = h * 6364136223846793005ull + 1442695040888963407ull;
+      z += static_cast<double>(h >> 11) * 0x1.0p-53;
+    }
+    z -= 6.0;
+    ms *= std::exp(params_.noise_sigma * z);
+  }
+  return ms;
+}
+
+}  // namespace hfq

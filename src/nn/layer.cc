@@ -1,0 +1,132 @@
+#include "nn/layer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hfq {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng)
+    : weight_(Matrix::HeNormal(in_dim, out_dim, rng)),
+      bias_(1, out_dim),
+      grad_weight_(in_dim, out_dim),
+      grad_bias_(1, out_dim) {}
+
+Matrix Linear::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = Matmul(input, weight_);
+  AddRowVectorInPlace(&out, bias_);
+  return out;
+}
+
+Matrix Linear::Backward(const Matrix& grad_output) {
+  grad_weight_.Add(MatmulTransA(cached_input_, grad_output));
+  grad_bias_.Add(ColumnSum(grad_output));
+  return MatmulTransB(grad_output, weight_);
+}
+
+std::unique_ptr<Layer> Linear::Clone() const {
+  auto copy = std::make_unique<Linear>(*this);
+  return copy;
+}
+
+Matrix Relu::Forward(const Matrix& input) {
+  cached_input_ = input;
+  Matrix out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::max(0.0, out.data()[i]);
+  }
+  return out;
+}
+
+Matrix Relu::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Relu::Clone() const {
+  return std::make_unique<Relu>(*this);
+}
+
+Matrix TanhLayer::Forward(const Matrix& input) {
+  Matrix out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = std::tanh(out.data()[i]);
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix TanhLayer::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    double y = cached_output_.data()[i];
+    grad.data()[i] *= (1.0 - y * y);
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> TanhLayer::Clone() const {
+  return std::make_unique<TanhLayer>(*this);
+}
+
+Matrix Sigmoid::Forward(const Matrix& input) {
+  Matrix out = input;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    out.data()[i] = 1.0 / (1.0 + std::exp(-out.data()[i]));
+  }
+  cached_output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (int64_t i = 0; i < grad.size(); ++i) {
+    double y = cached_output_.data()[i];
+    grad.data()[i] *= y * (1.0 - y);
+  }
+  return grad;
+}
+
+std::unique_ptr<Layer> Sigmoid::Clone() const {
+  return std::make_unique<Sigmoid>(*this);
+}
+
+Matrix Softmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    double max_v = out.At(r, 0);
+    for (int64_t c = 1; c < out.cols(); ++c) {
+      max_v = std::max(max_v, out.At(r, c));
+    }
+    double total = 0.0;
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      double e = std::exp(out.At(r, c) - max_v);
+      out.At(r, c) = e;
+      total += e;
+    }
+    for (int64_t c = 0; c < out.cols(); ++c) out.At(r, c) /= total;
+  }
+  return out;
+}
+
+Matrix LogSoftmax(const Matrix& logits) {
+  Matrix out = logits;
+  for (int64_t r = 0; r < out.rows(); ++r) {
+    double max_v = out.At(r, 0);
+    for (int64_t c = 1; c < out.cols(); ++c) {
+      max_v = std::max(max_v, out.At(r, c));
+    }
+    double total = 0.0;
+    for (int64_t c = 0; c < out.cols(); ++c) {
+      total += std::exp(out.At(r, c) - max_v);
+    }
+    double log_z = max_v + std::log(total);
+    for (int64_t c = 0; c < out.cols(); ++c) out.At(r, c) -= log_z;
+  }
+  return out;
+}
+
+}  // namespace hfq

@@ -1,0 +1,116 @@
+// Neural-network layers with explicit forward/backward passes. Batches are
+// rows: a forward pass maps (batch x in) -> (batch x out).
+#ifndef HFQ_NN_LAYER_H_
+#define HFQ_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace hfq {
+
+/// Base class for layers. Backward must be called after Forward with the
+/// gradient of the loss w.r.t. this layer's output; it accumulates parameter
+/// gradients and returns the gradient w.r.t. its input.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for `input` (batch x in_dim), caching
+  /// whatever is needed for the subsequent Backward call.
+  virtual Matrix Forward(const Matrix& input) = 0;
+
+  /// Propagates `grad_output` (batch x out_dim) back, accumulating into the
+  /// layer's parameter gradients, and returns grad w.r.t. the input.
+  virtual Matrix Backward(const Matrix& grad_output) = 0;
+
+  /// Trainable parameters (empty for activations).
+  virtual std::vector<Matrix*> Params() { return {}; }
+
+  /// Gradients, parallel to Params().
+  virtual std::vector<Matrix*> Grads() { return {}; }
+
+  /// Layer type tag used by serialization ("linear", "relu", ...).
+  virtual std::string Name() const = 0;
+
+  /// Deep copy (weights included).
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+/// Fully connected layer: y = x W + b, W is (in x out), b is (1 x out).
+class Linear : public Layer {
+ public:
+  /// Initializes W with He-normal (good default for ReLU nets) and b = 0.
+  Linear(int64_t in_dim, int64_t out_dim, Rng* rng);
+
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::vector<Matrix*> Params() override { return {&weight_, &bias_}; }
+  std::vector<Matrix*> Grads() override {
+    return {&grad_weight_, &grad_bias_};
+  }
+  std::string Name() const override { return "linear"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  int64_t in_dim() const { return weight_.rows(); }
+  int64_t out_dim() const { return weight_.cols(); }
+  Matrix& weight() { return weight_; }
+  Matrix& bias() { return bias_; }
+
+ private:
+  Matrix weight_;
+  Matrix bias_;
+  Matrix grad_weight_;
+  Matrix grad_bias_;
+  Matrix cached_input_;
+};
+
+/// Rectified linear activation.
+class Relu : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "relu"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Matrix cached_input_;
+};
+
+/// Hyperbolic tangent activation.
+class TanhLayer : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "tanh"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Logistic sigmoid activation.
+class Sigmoid : public Layer {
+ public:
+  Matrix Forward(const Matrix& input) override;
+  Matrix Backward(const Matrix& grad_output) override;
+  std::string Name() const override { return "sigmoid"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Matrix cached_output_;
+};
+
+/// Numerically stable row-wise softmax (pure function, not a Layer; policy
+/// losses fold softmax into their gradient).
+Matrix Softmax(const Matrix& logits);
+
+/// Row-wise log-softmax.
+Matrix LogSoftmax(const Matrix& logits);
+
+}  // namespace hfq
+
+#endif  // HFQ_NN_LAYER_H_

@@ -1,0 +1,90 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "nn/layer.h"
+#include "util/check.h"
+
+namespace hfq {
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  HFQ_CHECK(pred.SameShape(target));
+  const double n = static_cast<double>(pred.size());
+  *grad = Matrix(pred.rows(), pred.cols());
+  double loss = 0.0;
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    double d = pred.data()[i] - target.data()[i];
+    loss += d * d;
+    grad->data()[i] = 2.0 * d / n;
+  }
+  return loss / n;
+}
+
+double HuberLoss(const Matrix& pred, const Matrix& target, double delta,
+                 Matrix* grad) {
+  HFQ_CHECK(pred.SameShape(target));
+  HFQ_CHECK(delta > 0.0);
+  const double n = static_cast<double>(pred.size());
+  *grad = Matrix(pred.rows(), pred.cols());
+  double loss = 0.0;
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    double d = pred.data()[i] - target.data()[i];
+    if (std::abs(d) <= delta) {
+      loss += 0.5 * d * d;
+      grad->data()[i] = d / n;
+    } else {
+      loss += delta * (std::abs(d) - 0.5 * delta);
+      grad->data()[i] = (d > 0 ? delta : -delta) / n;
+    }
+  }
+  return loss / n;
+}
+
+double SoftmaxCrossEntropyLoss(const Matrix& logits,
+                               const std::vector<int>& targets,
+                               const std::vector<double>& row_weights,
+                               Matrix* grad) {
+  const int64_t batch = logits.rows();
+  HFQ_CHECK(static_cast<int64_t>(targets.size()) == batch);
+  HFQ_CHECK(row_weights.empty() ||
+            static_cast<int64_t>(row_weights.size()) == batch);
+  Matrix probs = Softmax(logits);
+  *grad = probs;
+  double loss = 0.0;
+  for (int64_t r = 0; r < batch; ++r) {
+    int t = targets[static_cast<size_t>(r)];
+    HFQ_CHECK(t >= 0 && t < logits.cols());
+    double w = row_weights.empty() ? 1.0 : row_weights[static_cast<size_t>(r)];
+    double p = std::max(probs.At(r, t), 1e-12);
+    loss += -w * std::log(p);
+    // d/dlogits of -w log softmax[t] = w * (softmax - onehot_t).
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      grad->At(r, c) = w * (probs.At(r, c) - (c == t ? 1.0 : 0.0)) /
+                       static_cast<double>(batch);
+    }
+  }
+  return loss / static_cast<double>(batch);
+}
+
+double SoftmaxEntropy(const Matrix& logits, double coef, Matrix* grad) {
+  const int64_t batch = logits.rows();
+  Matrix probs = Softmax(logits);
+  Matrix logp = LogSoftmax(logits);
+  *grad = Matrix(logits.rows(), logits.cols());
+  double entropy = 0.0;
+  for (int64_t r = 0; r < batch; ++r) {
+    double h = 0.0;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      h -= probs.At(r, c) * logp.At(r, c);
+    }
+    entropy += h;
+    // dH/dlogit_j = -p_j * (logp_j + H). Gradient of -coef*H is +coef*...
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      grad->At(r, c) = coef * probs.At(r, c) * (logp.At(r, c) + h) /
+                       static_cast<double>(batch);
+    }
+  }
+  return entropy / static_cast<double>(batch);
+}
+
+}  // namespace hfq

@@ -1,0 +1,37 @@
+// Loss functions. Each returns the scalar loss and writes dLoss/dPrediction
+// (same shape as the prediction) for the backward pass.
+#ifndef HFQ_NN_LOSS_H_
+#define HFQ_NN_LOSS_H_
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace hfq {
+
+/// Mean squared error over all elements: L = mean((pred - target)^2).
+/// Returns L and sets *grad = dL/dpred.
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+/// Huber (smooth-L1) loss with threshold delta; robust to the heavy-tailed
+/// latency targets used by reward predictors.
+double HuberLoss(const Matrix& pred, const Matrix& target, double delta,
+                 Matrix* grad);
+
+/// Softmax cross-entropy against integer class targets, with optional
+/// per-row weights (used as advantages in policy-gradient training).
+/// `logits` is (batch x classes); `targets[i]` in [0, classes).
+/// L = -sum_i w_i * log softmax(logits)_i[targets[i]] / batch.
+double SoftmaxCrossEntropyLoss(const Matrix& logits,
+                               const std::vector<int>& targets,
+                               const std::vector<double>& row_weights,
+                               Matrix* grad);
+
+/// Entropy of row-wise softmax distributions, averaged over rows, plus its
+/// gradient w.r.t. logits scaled by `coef` (entropy *bonus*: gradient of
+/// -coef * H is returned so it can be added to a loss gradient).
+double SoftmaxEntropy(const Matrix& logits, double coef, Matrix* grad);
+
+}  // namespace hfq
+
+#endif  // HFQ_NN_LOSS_H_

@@ -1,0 +1,167 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hfq {
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  Matrix m(1, static_cast<int64_t>(values.size()));
+  for (size_t i = 0; i < values.size(); ++i) m.data_[i] = values[i];
+  return m;
+}
+
+Matrix Matrix::Constant(int64_t rows, int64_t cols, double value) {
+  Matrix m(rows, cols);
+  m.Fill(value);
+  return m;
+}
+
+Matrix Matrix::XavierUniform(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : m.data_) v = rng->Uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::HeNormal(int64_t rows, int64_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double stddev = std::sqrt(2.0 / static_cast<double>(rows));
+  for (auto& v : m.data_) v = rng->Normal(0.0, stddev);
+  return m;
+}
+
+void Matrix::Zero() { Fill(0.0); }
+
+void Matrix::Fill(double value) {
+  for (auto& v : data_) v = value;
+}
+
+void Matrix::Add(const Matrix& other) {
+  HFQ_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(double scale, const Matrix& other) {
+  HFQ_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::Scale(double scale) {
+  for (auto& v : data_) v *= scale;
+}
+
+void Matrix::Hadamard(const Matrix& other) {
+  HFQ_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+double Matrix::Sum() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+double Matrix::SquaredNorm() const {
+  double total = 0.0;
+  for (double v : data_) total += v * v;
+  return total;
+}
+
+Matrix Matrix::Row(int64_t r) const {
+  HFQ_CHECK(r >= 0 && r < rows_);
+  Matrix out(1, cols_);
+  for (int64_t c = 0; c < cols_; ++c) out.At(0, c) = At(r, c);
+  return out;
+}
+
+void Matrix::SetRow(int64_t r, const Matrix& row) {
+  HFQ_CHECK(r >= 0 && r < rows_);
+  HFQ_CHECK(row.rows() == 1 && row.cols() == cols_);
+  for (int64_t c = 0; c < cols_; ++c) At(r, c) = row.At(0, c);
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  for (int64_t r = 0; r < std::min<int64_t>(rows_, max_rows); ++r) {
+    out << (r == 0 ? "" : "; ");
+    for (int64_t c = 0; c < std::min<int64_t>(cols_, max_cols); ++c) {
+      if (c) out << ", ";
+      out << At(r, c);
+    }
+    if (cols_ > max_cols) out << ", ...";
+  }
+  if (rows_ > max_rows) out << "; ...";
+  out << "]";
+  return out.str();
+}
+
+Matrix Matmul(const Matrix& a, const Matrix& b) {
+  HFQ_CHECK(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order: streams through b and out rows sequentially.
+  for (int64_t i = 0; i < m; ++i) {
+    double* out_row = out.data() + i * n;
+    const double* a_row = a.data() + i * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const double a_ip = a_row[p];
+      if (a_ip == 0.0) continue;
+      const double* b_row = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
+  HFQ_CHECK(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  const int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (int64_t p = 0; p < k; ++p) {
+    const double* a_row = a.data() + p * m;
+    const double* b_row = b.data() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const double a_pi = a_row[i];
+      if (a_pi == 0.0) continue;
+      double* out_row = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
+  HFQ_CHECK(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const double* a_row = a.data() + i * k;
+    double* out_row = out.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const double* b_row = b.data() + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Matrix ColumnSum(const Matrix& m) {
+  Matrix out(1, m.cols());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) out.At(0, c) += m.At(r, c);
+  }
+  return out;
+}
+
+void AddRowVectorInPlace(Matrix* m, const Matrix& row) {
+  HFQ_CHECK(row.rows() == 1 && row.cols() == m->cols());
+  for (int64_t r = 0; r < m->rows(); ++r) {
+    for (int64_t c = 0; c < m->cols(); ++c) m->At(r, c) += row.At(0, c);
+  }
+}
+
+}  // namespace hfq

@@ -1,0 +1,117 @@
+// A small dense row-major matrix of doubles: the numeric workhorse of the
+// from-scratch neural-network library. Sized for the tiny MLPs the paper's
+// methods need (inputs of a few hundred, hidden layers of ~128), so clarity
+// beats BLAS-level tuning; the inner gemm loop is still cache-friendly.
+#ifndef HFQ_NN_MATRIX_H_
+#define HFQ_NN_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hfq {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0) {
+    HFQ_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Builds a 1 x n row vector from values.
+  static Matrix RowVector(const std::vector<double>& values);
+
+  /// Matrix filled with a constant.
+  static Matrix Constant(int64_t rows, int64_t cols, double value);
+
+  /// Xavier/Glorot-uniform initialization (for tanh-style layers).
+  static Matrix XavierUniform(int64_t rows, int64_t cols, Rng* rng);
+
+  /// He-normal initialization (for ReLU layers).
+  static Matrix HeNormal(int64_t rows, int64_t cols, Rng* rng);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  double& At(int64_t r, int64_t c) {
+    HFQ_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double At(int64_t r, int64_t c) const {
+    HFQ_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  double& operator()(int64_t r, int64_t c) { return At(r, c); }
+  double operator()(int64_t r, int64_t c) const { return At(r, c); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Sets every element to zero.
+  void Zero();
+
+  /// Sets every element to `value`.
+  void Fill(double value);
+
+  /// this += other (element-wise; shapes must match).
+  void Add(const Matrix& other);
+
+  /// this += scale * other.
+  void Axpy(double scale, const Matrix& other);
+
+  /// this *= scale.
+  void Scale(double scale);
+
+  /// Element-wise product: this *= other.
+  void Hadamard(const Matrix& other);
+
+  /// Sum of all elements.
+  double Sum() const;
+
+  /// Frobenius norm squared.
+  double SquaredNorm() const;
+
+  /// Extracts row r as a 1 x cols matrix.
+  Matrix Row(int64_t r) const;
+
+  /// Copies `row` (1 x cols) into row r.
+  void SetRow(int64_t r, const Matrix& row);
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Human-readable dump, for debugging.
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<double> data_;
+};
+
+/// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
+Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
+Matrix MatmulTransA(const Matrix& a, const Matrix& b);
+
+/// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
+Matrix MatmulTransB(const Matrix& a, const Matrix& b);
+
+/// Sums each column of m into a 1 x cols row vector.
+Matrix ColumnSum(const Matrix& m);
+
+/// Adds row vector `row` (1 x cols) to every row of m in place.
+void AddRowVectorInPlace(Matrix* m, const Matrix& row);
+
+}  // namespace hfq
+
+#endif  // HFQ_NN_MATRIX_H_

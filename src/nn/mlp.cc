@@ -1,0 +1,208 @@
+#include "nn/mlp.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace hfq {
+namespace {
+
+std::unique_ptr<Layer> MakeActivation(Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return std::make_unique<Relu>();
+    case Activation::kTanh:
+      return std::make_unique<TanhLayer>();
+    case Activation::kSigmoid:
+      return std::make_unique<Sigmoid>();
+  }
+  HFQ_CHECK_MSG(false, "unknown activation");
+  return nullptr;
+}
+
+const char* ActivationName(Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kSigmoid:
+      return "sigmoid";
+  }
+  return "?";
+}
+
+Result<Activation> ActivationFromName(const std::string& name) {
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  return Status::InvalidArgument("unknown activation: " + name);
+}
+
+}  // namespace
+
+Mlp::Mlp(const MlpConfig& config, Rng* rng) : config_(config) {
+  HFQ_CHECK(config.input_dim > 0);
+  HFQ_CHECK(config.output_dim > 0);
+  int64_t prev = config.input_dim;
+  for (int64_t h : config.hidden_dims) {
+    HFQ_CHECK(h > 0);
+    layers_.push_back(std::make_unique<Linear>(prev, h, rng));
+    layers_.push_back(MakeActivation(config.activation));
+    prev = h;
+  }
+  layers_.push_back(std::make_unique<Linear>(prev, config.output_dim, rng));
+}
+
+Mlp::Mlp(const Mlp& other) : config_(other.config_) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->Clone());
+}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->Clone());
+  return *this;
+}
+
+Matrix Mlp::Forward(const Matrix& input) {
+  HFQ_CHECK(!layers_.empty());
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+Matrix Mlp::Backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Matrix*> Mlp::Params() {
+  std::vector<Matrix*> params;
+  for (auto& layer : layers_) {
+    for (Matrix* p : layer->Params()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Matrix*> Mlp::Grads() {
+  std::vector<Matrix*> grads;
+  for (auto& layer : layers_) {
+    for (Matrix* g : layer->Grads()) grads.push_back(g);
+  }
+  return grads;
+}
+
+void Mlp::ZeroGrads() {
+  for (Matrix* g : Grads()) g->Zero();
+}
+
+int64_t Mlp::ParameterCount() {
+  int64_t count = 0;
+  for (Matrix* p : Params()) count += p->size();
+  return count;
+}
+
+void Mlp::CopyWeightsFrom(Mlp& other) {
+  auto dst = Params();
+  auto src = other.Params();
+  HFQ_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    HFQ_CHECK(dst[i]->SameShape(*src[i]));
+    *dst[i] = *src[i];
+  }
+}
+
+void Mlp::SoftUpdateFrom(Mlp& other, double tau) {
+  auto dst = Params();
+  auto src = other.Params();
+  HFQ_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    HFQ_CHECK(dst[i]->SameShape(*src[i]));
+    dst[i]->Scale(1.0 - tau);
+    dst[i]->Axpy(tau, *src[i]);
+  }
+}
+
+int64_t Mlp::TransferMatchingWeightsFrom(Mlp& other) {
+  auto dst = Params();
+  auto src = other.Params();
+  int64_t copied = 0;
+  size_t n = std::min(dst.size(), src.size());
+  // Align from the output end: the paper transfers the *later* layers into
+  // a network whose input featurization (and hence early layers) changed.
+  for (size_t i = 0; i < n; ++i) {
+    Matrix* d = dst[dst.size() - 1 - i];
+    Matrix* s = src[src.size() - 1 - i];
+    if (d->SameShape(*s)) {
+      *d = *s;
+      ++copied;
+    }
+  }
+  return copied;
+}
+
+Status Mlp::Save(std::ostream& out) {
+  out << "hfq-mlp-v1\n";
+  out << config_.input_dim << " " << config_.output_dim << " "
+      << ActivationName(config_.activation) << "\n";
+  out << config_.hidden_dims.size();
+  for (int64_t h : config_.hidden_dims) out << " " << h;
+  out << "\n";
+  out.precision(17);
+  for (Matrix* p : Params()) {
+    out << p->rows() << " " << p->cols() << "\n";
+    for (int64_t i = 0; i < p->size(); ++i) {
+      out << p->data()[i] << (i + 1 == p->size() ? "\n" : " ");
+    }
+  }
+  if (!out.good()) return Status::Internal("write failure while saving MLP");
+  return Status::OK();
+}
+
+Result<Mlp> Mlp::Load(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  if (magic != "hfq-mlp-v1") {
+    return Status::InvalidArgument("bad MLP file magic: " + magic);
+  }
+  MlpConfig config;
+  std::string act_name;
+  in >> config.input_dim >> config.output_dim >> act_name;
+  HFQ_ASSIGN_OR_RETURN(config.activation, ActivationFromName(act_name));
+  size_t num_hidden = 0;
+  in >> num_hidden;
+  if (num_hidden > 64) {
+    return Status::InvalidArgument("implausible hidden layer count");
+  }
+  config.hidden_dims.resize(num_hidden);
+  for (auto& h : config.hidden_dims) in >> h;
+  if (!in.good()) return Status::InvalidArgument("truncated MLP header");
+
+  Rng rng(0);  // Weights are overwritten below.
+  Mlp mlp(config, &rng);
+  for (Matrix* p : mlp.Params()) {
+    int64_t rows = 0, cols = 0;
+    in >> rows >> cols;
+    if (rows != p->rows() || cols != p->cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "shape mismatch in MLP file: got %lldx%lld want %lldx%lld",
+          static_cast<long long>(rows), static_cast<long long>(cols),
+          static_cast<long long>(p->rows()),
+          static_cast<long long>(p->cols())));
+    }
+    for (int64_t i = 0; i < p->size(); ++i) in >> p->data()[i];
+  }
+  if (in.fail()) return Status::InvalidArgument("truncated MLP weights");
+  return mlp;
+}
+
+}  // namespace hfq

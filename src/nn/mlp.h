@@ -1,0 +1,88 @@
+// A sequential multi-layer perceptron: the network architecture used by
+// every learned component in this library (policy heads, value baselines,
+// reward predictors).
+#ifndef HFQ_NN_MLP_H_
+#define HFQ_NN_MLP_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Hidden-layer activation choice.
+enum class Activation { kRelu, kTanh, kSigmoid };
+
+/// Architecture description for BuildMlp.
+struct MlpConfig {
+  int64_t input_dim = 0;
+  std::vector<int64_t> hidden_dims;
+  int64_t output_dim = 0;
+  Activation activation = Activation::kRelu;
+};
+
+/// A stack of layers trained with manual backprop.
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Builds `input -> [hidden, act]* -> output` with linear output head.
+  Mlp(const MlpConfig& config, Rng* rng);
+
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+
+  /// Forward pass; caches activations for Backward.
+  Matrix Forward(const Matrix& input);
+
+  /// Backward pass from dLoss/dOutput; accumulates parameter gradients and
+  /// returns dLoss/dInput.
+  Matrix Backward(const Matrix& grad_output);
+
+  /// All trainable parameter matrices, in layer order.
+  std::vector<Matrix*> Params();
+
+  /// All gradient matrices, parallel to Params().
+  std::vector<Matrix*> Grads();
+
+  /// Zeroes accumulated gradients.
+  void ZeroGrads();
+
+  /// Number of scalar parameters.
+  int64_t ParameterCount();
+
+  /// Copies weights from a same-architecture network.
+  void CopyWeightsFrom(Mlp& other);
+
+  /// Soft update: theta <- (1 - tau) * theta + tau * theta_other.
+  void SoftUpdateFrom(Mlp& other, double tau);
+
+  /// Copies weights layer-by-layer from `other` wherever shapes match;
+  /// leaves mismatched layers untouched. Returns the number of parameter
+  /// matrices copied. This implements the paper's transfer-learning option
+  /// (Section 5.2): reuse later layers when the input featurization changes.
+  int64_t TransferMatchingWeightsFrom(Mlp& other);
+
+  /// Writes architecture + weights in a plain-text format.
+  Status Save(std::ostream& out);
+
+  /// Restores a network saved with Save.
+  static Result<Mlp> Load(std::istream& in);
+
+  const MlpConfig& config() const { return config_; }
+  int64_t num_layers() const { return static_cast<int64_t>(layers_.size()); }
+
+ private:
+  MlpConfig config_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_NN_MLP_H_

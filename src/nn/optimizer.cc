@@ -1,0 +1,73 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+
+double ClipGradientsByGlobalNorm(const std::vector<Matrix*>& grads,
+                                 double max_norm) {
+  HFQ_CHECK(max_norm > 0.0);
+  double total = 0.0;
+  for (Matrix* g : grads) total += g->SquaredNorm();
+  double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    double scale = max_norm / norm;
+    for (Matrix* g : grads) g->Scale(scale);
+  }
+  return norm;
+}
+
+void Sgd::Step(const std::vector<Matrix*>& params,
+               const std::vector<Matrix*>& grads) {
+  HFQ_CHECK(params.size() == grads.size());
+  if (velocity_.empty()) {
+    for (Matrix* p : params) velocity_.emplace_back(p->rows(), p->cols());
+  }
+  HFQ_CHECK(velocity_.size() == params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& vel = velocity_[i];
+    HFQ_CHECK(vel.SameShape(*grads[i]));
+    vel.Scale(momentum_);
+    vel.Axpy(1.0, *grads[i]);
+    params[i]->Axpy(-lr_, vel);
+  }
+}
+
+void Adam::Step(const std::vector<Matrix*>& params,
+                const std::vector<Matrix*>& grads) {
+  HFQ_CHECK(params.size() == grads.size());
+  if (m_.empty()) {
+    for (Matrix* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+  HFQ_CHECK(m_.size() == params.size());
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    Matrix* g = grads[i];
+    HFQ_CHECK(m.SameShape(*g));
+    for (int64_t k = 0; k < g->size(); ++k) {
+      double gk = g->data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0 - beta1_) * gk;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0 - beta2_) * gk * gk;
+      double mhat = m.data()[k] / bc1;
+      double vhat = v.data()[k] / bc2;
+      params[i]->data()[k] -= lr_ * mhat / (std::sqrt(vhat) + epsilon_);
+    }
+  }
+}
+
+void Adam::ResetState() {
+  t_ = 0;
+  m_.clear();
+  v_.clear();
+}
+
+}  // namespace hfq

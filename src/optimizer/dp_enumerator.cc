@@ -1,0 +1,108 @@
+// System-R style DPsize join enumeration: optimal w.r.t. the cost model
+// over bushy trees, avoiding cross products unless the join graph forces
+// them (PostgreSQL behaviour).
+#include <map>
+
+#include "optimizer/optimizer.h"
+#include "util/check.h"
+
+namespace hfq {
+
+Result<PlanNodePtr> TraditionalOptimizer::EnumerateDp(const Query& query) {
+  const int n = query.num_relations();
+  HFQ_CHECK(n >= 2);
+  const RelSet all = RelSetAll(n);
+
+  // best[S] = cheapest annotated plan joining exactly S.
+  std::map<RelSet, PlanNodePtr> best;
+  for (int rel = 0; rel < n; ++rel) {
+    best[RelSetOf(rel)] = BestAccessPath(query, rel);
+  }
+
+  // Enumerate subsets in increasing popcount order. Iterating the mask
+  // value ascending guarantees every proper submask is visited before its
+  // superset, which is all DPsize needs.
+  for (RelSet s = 1; s <= all; ++s) {
+    if (RelSetCount(s) < 2) continue;
+    PlanNodePtr* slot = nullptr;
+
+    auto consider = [&](RelSet s1, RelSet s2) {
+      auto it1 = best.find(s1);
+      auto it2 = best.find(s2);
+      if (it1 == best.end() || it2 == best.end()) return;
+      PlanNodePtr candidate = BestJoinEitherOrientation(
+          query, it1->second->Clone(), it2->second->Clone());
+      auto it = best.find(s);
+      if (it == best.end() || candidate->est_cost < it->second->est_cost) {
+        best[s] = std::move(candidate);
+      }
+    };
+
+    // First pass: only splits connected by at least one join predicate.
+    for (RelSet s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
+      RelSet s2 = s & ~s1;
+      if (s1 > s2) continue;  // Unordered pairs (orientation handled inside).
+      if (query.JoinPredsBetween(s1, s2).empty()) continue;
+      consider(s1, s2);
+    }
+    // Second pass (only if the subset admits no predicate-connected split):
+    // cross products, so disconnected queries still plan.
+    if (best.find(s) == best.end()) {
+      for (RelSet s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
+        RelSet s2 = s & ~s1;
+        if (s1 > s2) continue;
+        consider(s1, s2);
+      }
+    }
+    (void)slot;
+  }
+
+  auto it = best.find(all);
+  if (it == best.end()) {
+    return Status::Internal("DP enumeration failed to cover all relations");
+  }
+  return std::move(it->second);
+}
+
+Result<PlanNodePtr> TraditionalOptimizer::EnumerateGreedy(
+    const Query& query) {
+  const int n = query.num_relations();
+  HFQ_CHECK(n >= 2);
+  // Greedy Operator Ordering: repeatedly join the pair with the smallest
+  // estimated output, preferring predicate-connected pairs.
+  std::vector<PlanNodePtr> forest;
+  forest.reserve(static_cast<size_t>(n));
+  for (int rel = 0; rel < n; ++rel) {
+    forest.push_back(BestAccessPath(query, rel));
+  }
+  CardinalitySource* cards = cost_model_->cards();
+  while (forest.size() > 1) {
+    int best_i = -1, best_j = -1;
+    double best_rows = 0.0;
+    bool best_connected = false;
+    for (size_t i = 0; i < forest.size(); ++i) {
+      for (size_t j = i + 1; j < forest.size(); ++j) {
+        bool connected =
+            !query.JoinPredsBetween(forest[i]->rels, forest[j]->rels).empty();
+        if (best_connected && !connected) continue;
+        double rows = cards->Rows(query, forest[i]->rels | forest[j]->rels);
+        bool better = best_i < 0 || (connected && !best_connected) ||
+                      rows < best_rows;
+        if (better) {
+          best_i = static_cast<int>(i);
+          best_j = static_cast<int>(j);
+          best_rows = rows;
+          best_connected = connected;
+        }
+      }
+    }
+    PlanNodePtr joined = BestJoinEitherOrientation(
+        query, std::move(forest[static_cast<size_t>(best_i)]),
+        std::move(forest[static_cast<size_t>(best_j)]));
+    forest.erase(forest.begin() + best_j);
+    forest[static_cast<size_t>(best_i)] = std::move(joined);
+  }
+  return std::move(forest[0]);
+}
+
+}  // namespace hfq

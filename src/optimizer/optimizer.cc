@@ -1,0 +1,189 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hfq {
+
+TraditionalOptimizer::TraditionalOptimizer(const Catalog* catalog,
+                                           CostModel* cost_model,
+                                           OptimizerOptions options)
+    : catalog_(catalog), cost_model_(cost_model), options_(options) {
+  HFQ_CHECK(catalog != nullptr && cost_model != nullptr);
+}
+
+PlanNodePtr TraditionalOptimizer::BestAccessPath(const Query& query,
+                                                 int rel) {
+  std::vector<int> sels = query.SelectionsOn(rel);
+  PlanNodePtr best = MakeSeqScan(rel, sels);
+  cost_model_->Annotate(query, best.get());
+
+  if (!options_.enable_indexscan) return best;
+  const auto& rel_ref = query.relations[static_cast<size_t>(rel)];
+  for (size_t i = 0; i < sels.size(); ++i) {
+    const auto& sel = query.selections[static_cast<size_t>(sels[i])];
+    // Residual filters: every selection except the indexed one.
+    std::vector<int> residual;
+    for (size_t j = 0; j < sels.size(); ++j) {
+      if (j != i) residual.push_back(sels[j]);
+    }
+    for (IndexKind kind : {IndexKind::kBTree, IndexKind::kHash}) {
+      if (kind == IndexKind::kHash && sel.op != CmpOp::kEq) continue;
+      if (sel.op == CmpOp::kNe) continue;  // Indexes cannot serve <>.
+      if (catalog_->FindIndex(rel_ref.table, sel.column.column, kind) ==
+          nullptr) {
+        continue;
+      }
+      PlanNodePtr candidate = MakeIndexScan(rel, kind, sel.column.column,
+                                            sels[i], residual);
+      cost_model_->Annotate(query, candidate.get());
+      if (candidate->est_cost < best->est_cost) best = std::move(candidate);
+    }
+  }
+  return best;
+}
+
+PlanNodePtr TraditionalOptimizer::BestJoin(const Query& query,
+                                           PlanNodePtr outer,
+                                           PlanNodePtr inner) {
+  HFQ_CHECK(outer != nullptr && inner != nullptr);
+  std::vector<int> preds =
+      query.JoinPredsBetween(outer->rels, inner->rels);
+  const double out_rows =
+      cost_model_->cards()->Rows(query, outer->rels | inner->rels);
+
+  struct Candidate {
+    PhysicalOp op;
+    int probe_pred = -1;
+    IndexKind inner_index_kind = IndexKind::kBTree;
+    double cost = 0.0;
+  };
+  std::vector<Candidate> candidates;
+
+  auto add = [&](PhysicalOp op, int probe_pred, IndexKind kind) {
+    Candidate c{op, probe_pred, kind, 0.0};
+    c.cost = cost_model_->JoinCost(
+        query, op, outer->est_rows, outer->est_cost, inner->est_rows,
+        inner->est_cost, out_rows,
+        op == PhysicalOp::kIndexNestedLoopJoin);
+    candidates.push_back(c);
+  };
+
+  if (options_.enable_nestloop || preds.empty()) {
+    // Like PostgreSQL's enable_nestloop, disabling is advisory: a cross
+    // product has no other executable operator, so NLJ stays available.
+    add(PhysicalOp::kNestedLoopJoin, -1, {});
+  }
+  if (!preds.empty()) {
+    if (options_.enable_hashjoin) add(PhysicalOp::kHashJoin, -1, {});
+    if (options_.enable_mergejoin) add(PhysicalOp::kMergeJoin, -1, {});
+    if (options_.enable_indexnestloop && inner->IsScan()) {
+      const auto& inner_rel =
+          query.relations[static_cast<size_t>(inner->rel_idx)];
+      for (int pi : preds) {
+        const auto& jp = query.joins[static_cast<size_t>(pi)];
+        const ColumnRef& inner_key =
+            RelSetHas(inner->rels, jp.left.rel_idx) ? jp.left : jp.right;
+        for (IndexKind kind : {IndexKind::kHash, IndexKind::kBTree}) {
+          if (catalog_->FindIndex(inner_rel.table, inner_key.column, kind) !=
+              nullptr) {
+            add(PhysicalOp::kIndexNestedLoopJoin, pi, kind);
+            break;  // One index suffices per predicate.
+          }
+        }
+      }
+    }
+  }
+  HFQ_CHECK_MSG(!candidates.empty(),
+                "all join operators disabled; cannot plan");
+  const Candidate* best = &candidates[0];
+  for (const auto& c : candidates) {
+    if (c.cost < best->cost) best = &c;
+  }
+
+  PlanNodePtr inner_child = std::move(inner);
+  if (best->op == PhysicalOp::kIndexNestedLoopJoin) {
+    // INLJ probes the inner base table directly; turn the inner into a
+    // plain filtered scan (never scanned wholesale) and remember the index.
+    std::vector<int> all_sels = inner_child->filter_sel_idxs;
+    if (inner_child->index_sel_idx >= 0) {
+      all_sels.push_back(inner_child->index_sel_idx);
+    }
+    PlanNodePtr probe_scan = MakeSeqScan(inner_child->rel_idx, all_sels);
+    probe_scan->index_kind = best->inner_index_kind;
+    cost_model_->Annotate(query, probe_scan.get());
+    inner_child = std::move(probe_scan);
+  }
+  PlanNodePtr join = MakeJoin(best->op, std::move(outer),
+                              std::move(inner_child), preds,
+                              best->probe_pred);
+  // Children are already annotated; fill this node's fields directly.
+  join->est_rows = out_rows;
+  join->est_cost = best->cost;
+  return join;
+}
+
+PlanNodePtr TraditionalOptimizer::BestJoinEitherOrientation(
+    const Query& query, PlanNodePtr a, PlanNodePtr b) {
+  PlanNodePtr a2 = a->Clone();
+  PlanNodePtr b2 = b->Clone();
+  PlanNodePtr ab = BestJoin(query, std::move(a), std::move(b));
+  PlanNodePtr ba = BestJoin(query, std::move(b2), std::move(a2));
+  return ab->est_cost <= ba->est_cost ? std::move(ab) : std::move(ba);
+}
+
+PlanNodePtr TraditionalOptimizer::AddAggregateIfNeeded(const Query& query,
+                                                       PlanNodePtr input) {
+  if (query.aggregates.empty() && query.group_by.empty()) return input;
+  PlanNodePtr hash_agg =
+      MakeAggregate(PhysicalOp::kHashAggregate, input->Clone());
+  cost_model_->Annotate(query, hash_agg.get());
+  PlanNodePtr sort_agg =
+      MakeAggregate(PhysicalOp::kSortAggregate, std::move(input));
+  cost_model_->Annotate(query, sort_agg.get());
+  return hash_agg->est_cost <= sort_agg->est_cost ? std::move(hash_agg)
+                                                  : std::move(sort_agg);
+}
+
+Result<PlanNodePtr> TraditionalOptimizer::PhysicalizeJoinTree(
+    const Query& query, const JoinTreeNode& tree) {
+  if (tree.IsLeaf()) {
+    PlanNodePtr scan = BestAccessPath(query, tree.rel_idx);
+    return AddAggregateIfNeeded(query, std::move(scan));
+  }
+  // Recursively physicalize children, then pick the join operator with the
+  // given orientation (left = outer, right = inner, as the agent chose).
+  struct Builder {
+    TraditionalOptimizer* opt;
+    const Query& query;
+    PlanNodePtr Build(const JoinTreeNode& node) {
+      if (node.IsLeaf()) return opt->BestAccessPath(query, node.rel_idx);
+      PlanNodePtr left = Build(*node.left);
+      PlanNodePtr right = Build(*node.right);
+      return opt->BestJoin(query, std::move(left), std::move(right));
+    }
+  };
+  Builder builder{this, query};
+  PlanNodePtr plan = builder.Build(tree);
+  return AddAggregateIfNeeded(query, std::move(plan));
+}
+
+Result<PlanNodePtr> TraditionalOptimizer::Optimize(const Query& query) {
+  if (query.num_relations() == 0) {
+    return Status::InvalidArgument("query has no relations");
+  }
+  if (query.num_relations() == 1) {
+    PlanNodePtr scan = BestAccessPath(query, 0);
+    return AddAggregateIfNeeded(query, std::move(scan));
+  }
+  PlanNodePtr joined;
+  if (query.num_relations() <= options_.geqo_threshold) {
+    HFQ_ASSIGN_OR_RETURN(joined, EnumerateDp(query));
+  } else {
+    HFQ_ASSIGN_OR_RETURN(joined, EnumerateGeqo(query));
+  }
+  return AddAggregateIfNeeded(query, std::move(joined));
+}
+
+}  // namespace hfq

@@ -1,0 +1,97 @@
+// The traditional ("expert") query optimizer: a PostgreSQL-style pipeline of
+// join-order enumeration (System-R DP up to geqo_threshold relations,
+// genetic search beyond — like Postgres' GEQO), access-path selection,
+// join-operator selection, and aggregate-operator selection, all driven by
+// the cost model. Plays three roles from the paper:
+//   * the baseline ReJOIN is compared against (Fig 3a/3b/3c),
+//   * the demonstration "expert" for learning-from-demonstration (Sec 5.1),
+//   * the provider of traditional later-pipeline stages during incremental
+//     pipeline training (Sec 5.3.1).
+#ifndef HFQ_OPTIMIZER_OPTIMIZER_H_
+#define HFQ_OPTIMIZER_OPTIMIZER_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "plan/join_tree.h"
+#include "plan/physical_plan.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Planner knobs (names follow the PostgreSQL settings they mirror).
+struct OptimizerOptions {
+  OptimizerOptions() {}
+  /// Use exhaustive DP for queries with at most this many relations;
+  /// genetic search (GEQO) beyond.
+  int geqo_threshold = 12;
+  bool enable_indexscan = true;
+  bool enable_hashjoin = true;
+  bool enable_mergejoin = true;
+  bool enable_nestloop = true;
+  bool enable_indexnestloop = true;
+  /// GEQO parameters.
+  int geqo_pool_size = 128;
+  int geqo_generations = 300;
+  uint64_t geqo_seed = 0x5EED5EED;
+};
+
+/// Cost-based optimizer over a catalog + cost model.
+class TraditionalOptimizer {
+ public:
+  /// `catalog` and `cost_model` must outlive the optimizer.
+  TraditionalOptimizer(const Catalog* catalog, CostModel* cost_model,
+                       OptimizerOptions options = OptimizerOptions());
+
+  /// Full pipeline: join order + access paths + join operators + aggregate
+  /// operator. Returns an annotated plan.
+  Result<PlanNodePtr> Optimize(const Query& query);
+
+  /// Performs everything *except* join ordering: physicalizes the given
+  /// logical join tree (access paths, join operators, aggregate operator),
+  /// preserving the tree's shape and child orientation. This is what a
+  /// learned join enumerator (ReJOIN) delegates to the traditional
+  /// optimizer (paper Section 3: "the final join ordering is sent to the
+  /// optimizer to perform operator selection, index selection, etc.").
+  Result<PlanNodePtr> PhysicalizeJoinTree(const Query& query,
+                                          const JoinTreeNode& tree);
+
+  /// Cheapest access path (seq scan vs available index scans) for one
+  /// relation, annotated.
+  PlanNodePtr BestAccessPath(const Query& query, int rel);
+
+  /// Cheapest join operator for fixed children/orientation, annotated.
+  /// The inputs must be annotated.
+  PlanNodePtr BestJoin(const Query& query, PlanNodePtr outer,
+                       PlanNodePtr inner);
+
+  /// Tries both orientations and returns the cheaper BestJoin result.
+  PlanNodePtr BestJoinEitherOrientation(const Query& query, PlanNodePtr a,
+                                        PlanNodePtr b);
+
+  /// Adds the cheaper of hash/sort aggregation when the query aggregates.
+  PlanNodePtr AddAggregateIfNeeded(const Query& query, PlanNodePtr input);
+
+  const OptimizerOptions& options() const { return options_; }
+  CostModel* cost_model() { return cost_model_; }
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  Result<PlanNodePtr> EnumerateDp(const Query& query);
+  Result<PlanNodePtr> EnumerateGeqo(const Query& query);
+  Result<PlanNodePtr> EnumerateGreedy(const Query& query);
+
+  /// Builds a plan from a relation permutation by greedy connected
+  /// attachment (Postgres gimme_tree); shared by GEQO fitness and decoding.
+  PlanNodePtr PlanFromPermutation(const Query& query,
+                                  const std::vector<int>& perm);
+
+  const Catalog* catalog_;
+  CostModel* cost_model_;
+  OptimizerOptions options_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_OPTIMIZER_OPTIMIZER_H_

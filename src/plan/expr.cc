@@ -1,0 +1,64 @@
+#include "plan/expr.h"
+
+#include "util/string_util.h"
+
+namespace hfq {
+
+std::string Value::ToString() const {
+  if (is_double) return FormatDouble(d, 6);
+  return std::to_string(i);
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCmp(double lhs, CmpOp op, double rhs) {
+  switch (op) {
+    case CmpOp::kEq:
+      return lhs == rhs;
+    case CmpOp::kNe:
+      return lhs != rhs;
+    case CmpOp::kLt:
+      return lhs < rhs;
+    case CmpOp::kLe:
+      return lhs <= rhs;
+    case CmpOp::kGt:
+      return lhs > rhs;
+    case CmpOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+    case AggFunc::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+}  // namespace hfq

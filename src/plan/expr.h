@@ -1,0 +1,79 @@
+// Expression atoms: values, column references, selection and join
+// predicates. Queries are conjunctive (AND of predicates), with equality
+// join predicates — the fragment the paper's search spaces cover.
+#ifndef HFQ_PLAN_EXPR_H_
+#define HFQ_PLAN_EXPR_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hfq {
+
+/// A constant: int64 or double.
+struct Value {
+  bool is_double = false;
+  int64_t i = 0;
+  double d = 0.0;
+
+  static Value Int(int64_t v) { return Value{false, v, 0.0}; }
+  static Value Double(double v) { return Value{true, 0, v}; }
+
+  double AsDouble() const { return is_double ? d : static_cast<double>(i); }
+  std::string ToString() const;
+};
+
+/// Comparison operators supported in WHERE clauses.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// SQL spelling of an operator ("=", "<>", "<", ...).
+const char* CmpOpName(CmpOp op);
+
+/// Evaluates `lhs op rhs` over doubles (int columns widen losslessly for
+/// the value ranges the generator produces).
+bool EvalCmp(double lhs, CmpOp op, double rhs);
+
+/// A column of one of the query's relations, by relation index.
+struct ColumnRef {
+  int rel_idx = -1;
+  std::string column;
+
+  bool operator==(const ColumnRef& other) const {
+    return rel_idx == other.rel_idx && column == other.column;
+  }
+};
+
+/// Single-table predicate: `column op constant`.
+struct SelectionPredicate {
+  ColumnRef column;
+  CmpOp op = CmpOp::kEq;
+  Value value;
+};
+
+/// Equality join predicate between two relations.
+struct JoinPredicate {
+  ColumnRef left;
+  ColumnRef right;
+
+  /// True if this predicate connects relations `a` and `b` (either order).
+  bool Connects(int a, int b) const {
+    return (left.rel_idx == a && right.rel_idx == b) ||
+           (left.rel_idx == b && right.rel_idx == a);
+  }
+};
+
+/// Aggregate functions in the SELECT list.
+enum class AggFunc { kCount, kSum, kMin, kMax, kAvg };
+
+/// "count" / "sum" / ...
+const char* AggFuncName(AggFunc func);
+
+/// One aggregate output: COUNT(*) has no argument column.
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  bool has_arg = false;
+  ColumnRef arg;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_PLAN_EXPR_H_

@@ -1,0 +1,80 @@
+#include "plan/join_tree.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hfq {
+
+std::unique_ptr<JoinTreeNode> JoinTreeNode::Leaf(int rel) {
+  HFQ_CHECK(rel >= 0 && rel < kMaxRelations);
+  auto node = std::make_unique<JoinTreeNode>();
+  node->rel_idx = rel;
+  node->rels = RelSetOf(rel);
+  return node;
+}
+
+std::unique_ptr<JoinTreeNode> JoinTreeNode::Join(
+    std::unique_ptr<JoinTreeNode> l, std::unique_ptr<JoinTreeNode> r) {
+  HFQ_CHECK(l != nullptr && r != nullptr);
+  HFQ_CHECK(RelSetDisjoint(l->rels, r->rels));
+  auto node = std::make_unique<JoinTreeNode>();
+  node->rels = RelSetUnion(l->rels, r->rels);
+  node->left = std::move(l);
+  node->right = std::move(r);
+  return node;
+}
+
+std::unique_ptr<JoinTreeNode> JoinTreeNode::Clone() const {
+  auto node = std::make_unique<JoinTreeNode>();
+  node->rel_idx = rel_idx;
+  node->rels = rels;
+  if (left) node->left = left->Clone();
+  if (right) node->right = right->Clone();
+  return node;
+}
+
+int JoinTreeNode::DepthOf(int rel) const {
+  if (!RelSetHas(rels, rel)) return -1;
+  if (IsLeaf()) return 0;
+  int d = left->DepthOf(rel);
+  if (d < 0) d = right->DepthOf(rel);
+  HFQ_CHECK(d >= 0);
+  return d + 1;
+}
+
+int JoinTreeNode::Height() const {
+  if (IsLeaf()) return 0;
+  return 1 + std::max(left->Height(), right->Height());
+}
+
+int JoinTreeNode::NumJoins() const {
+  if (IsLeaf()) return 0;
+  return 1 + left->NumJoins() + right->NumJoins();
+}
+
+std::string JoinTreeNode::ToString(const Query& query) const {
+  if (IsLeaf()) {
+    return query.relations[static_cast<size_t>(rel_idx)].alias;
+  }
+  return "(" + left->ToString(query) + " x " + right->ToString(query) + ")";
+}
+
+void JoinTreeNode::InternalNodesPostOrder(
+    std::vector<const JoinTreeNode*>* out) const {
+  if (IsLeaf()) return;
+  left->InternalNodesPostOrder(out);
+  right->InternalNodesPostOrder(out);
+  out->push_back(this);
+}
+
+std::unique_ptr<JoinTreeNode> LeftDeepTree(const std::vector<int>& order) {
+  HFQ_CHECK(!order.empty());
+  auto tree = JoinTreeNode::Leaf(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    tree = JoinTreeNode::Join(std::move(tree), JoinTreeNode::Leaf(order[i]));
+  }
+  return tree;
+}
+
+}  // namespace hfq

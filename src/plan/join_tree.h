@@ -1,0 +1,59 @@
+// Logical join trees: binary trees whose leaves are query relations. This
+// is the object ReJOIN's episodes construct and what the join enumerators
+// produce before physical operators are chosen.
+#ifndef HFQ_PLAN_JOIN_TREE_H_
+#define HFQ_PLAN_JOIN_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/query.h"
+#include "plan/relset.h"
+
+namespace hfq {
+
+/// A node in a (possibly bushy) binary join tree.
+struct JoinTreeNode {
+  /// Leaf: the relation index; internal: -1.
+  int rel_idx = -1;
+  std::unique_ptr<JoinTreeNode> left;
+  std::unique_ptr<JoinTreeNode> right;
+  /// Relations covered by this subtree.
+  RelSet rels = 0;
+
+  bool IsLeaf() const { return rel_idx >= 0; }
+
+  /// Leaf constructor.
+  static std::unique_ptr<JoinTreeNode> Leaf(int rel);
+
+  /// Join constructor; takes ownership of both subtrees.
+  static std::unique_ptr<JoinTreeNode> Join(
+      std::unique_ptr<JoinTreeNode> l, std::unique_ptr<JoinTreeNode> r);
+
+  /// Deep copy.
+  std::unique_ptr<JoinTreeNode> Clone() const;
+
+  /// Depth of relation `rel` below this node (root = 0), or -1 if absent.
+  int DepthOf(int rel) const;
+
+  /// Height of the tree (leaf = 0).
+  int Height() const;
+
+  /// Number of internal (join) nodes.
+  int NumJoins() const;
+
+  /// Parenthesized form using query aliases, e.g. "((a x b) x c)".
+  std::string ToString(const Query& query) const;
+
+  /// Internal nodes in bottom-up (post) order; useful for replaying a tree
+  /// as a sequence of pairwise join actions.
+  void InternalNodesPostOrder(std::vector<const JoinTreeNode*>* out) const;
+};
+
+/// Builds a left-deep tree joining relations in the given order.
+std::unique_ptr<JoinTreeNode> LeftDeepTree(const std::vector<int>& order);
+
+}  // namespace hfq
+
+#endif  // HFQ_PLAN_JOIN_TREE_H_

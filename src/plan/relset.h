@@ -1,0 +1,44 @@
+// RelSet: a bitmask over a query's relations (max 32). Relation i of the
+// query corresponds to bit (1 << i).
+#ifndef HFQ_PLAN_RELSET_H_
+#define HFQ_PLAN_RELSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace hfq {
+
+using RelSet = uint32_t;
+
+/// Maximum relations per query (bitmask width).
+inline constexpr int kMaxRelations = 32;
+
+inline RelSet RelSetOf(int rel) { return RelSet{1} << rel; }
+inline bool RelSetHas(RelSet s, int rel) { return (s >> rel) & 1u; }
+inline RelSet RelSetUnion(RelSet a, RelSet b) { return a | b; }
+inline bool RelSetDisjoint(RelSet a, RelSet b) { return (a & b) == 0; }
+inline bool RelSetSubset(RelSet sub, RelSet super) {
+  return (sub & ~super) == 0;
+}
+inline int RelSetCount(RelSet s) { return std::popcount(s); }
+
+/// All relation indices present in the set, ascending.
+inline std::vector<int> RelSetMembers(RelSet s) {
+  std::vector<int> out;
+  while (s != 0) {
+    int bit = std::countr_zero(s);
+    out.push_back(bit);
+    s &= s - 1;
+  }
+  return out;
+}
+
+/// The full set over n relations.
+inline RelSet RelSetAll(int n) {
+  return n >= kMaxRelations ? ~RelSet{0} : (RelSet{1} << n) - 1;
+}
+
+}  // namespace hfq
+
+#endif  // HFQ_PLAN_RELSET_H_

@@ -1,0 +1,73 @@
+#include "rejoin/featurizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+
+RejoinFeaturizer::RejoinFeaturizer(int max_relations,
+                                   CardinalityEstimator* estimator)
+    : max_relations_(max_relations), estimator_(estimator) {
+  HFQ_CHECK(max_relations >= 2 && max_relations <= kMaxRelations);
+  HFQ_CHECK(estimator != nullptr);
+}
+
+int RejoinFeaturizer::FeatureDim() const {
+  const int n = max_relations_;
+  return 2 * n * n + 3 * n;
+}
+
+std::vector<double> RejoinFeaturizer::Featurize(
+    const Query& query, const std::vector<const JoinTreeNode*>& subtrees) {
+  const int n = max_relations_;
+  HFQ_CHECK(query.num_relations() <= n);
+  std::vector<double> features(static_cast<size_t>(FeatureDim()), 0.0);
+
+  // Block 1: tree structure (slot-major), depth-weighted membership.
+  for (size_t slot = 0; slot < subtrees.size(); ++slot) {
+    HFQ_CHECK(static_cast<int>(slot) < n);
+    const JoinTreeNode* tree = subtrees[slot];
+    for (int rel : RelSetMembers(tree->rels)) {
+      int depth = tree->DepthOf(rel);
+      features[slot * static_cast<size_t>(n) + static_cast<size_t>(rel)] =
+          1.0 / (1.0 + static_cast<double>(depth));
+    }
+  }
+  size_t offset = static_cast<size_t>(n) * static_cast<size_t>(n);
+
+  // Block 2: join-graph adjacency (symmetric; both triangles filled).
+  for (const auto& join : query.joins) {
+    int a = join.left.rel_idx;
+    int b = join.right.rel_idx;
+    features[offset + static_cast<size_t>(a * n + b)] = 1.0;
+    features[offset + static_cast<size_t>(b * n + a)] = 1.0;
+  }
+  offset += static_cast<size_t>(n) * static_cast<size_t>(n);
+
+  // Block 3: per-relation estimated selection selectivity.
+  for (int rel = 0; rel < query.num_relations(); ++rel) {
+    double sel = 1.0;
+    for (int s : query.SelectionsOn(rel)) {
+      sel *= estimator_->SelectionSelectivity(query, s);
+    }
+    features[offset + static_cast<size_t>(rel)] = sel;
+  }
+  offset += static_cast<size_t>(n);
+
+  // Block 4: per-relation log10 base cardinality, scaled to ~[0, 1].
+  for (int rel = 0; rel < query.num_relations(); ++rel) {
+    double rows = std::max(1.0, estimator_->BaseRows(query, rel));
+    features[offset + static_cast<size_t>(rel)] = std::log10(rows) / 8.0;
+  }
+  offset += static_cast<size_t>(n);
+
+  // Block 5: per-slot estimated subtree output cardinality (log-scaled).
+  for (size_t slot = 0; slot < subtrees.size(); ++slot) {
+    double rows = std::max(1.0, estimator_->Rows(query, subtrees[slot]->rels));
+    features[offset + slot] = std::log10(rows) / 8.0;
+  }
+  return features;
+}
+
+}  // namespace hfq

@@ -1,0 +1,51 @@
+// ReJOIN's state featurization (Section 3 of the paper): each state is the
+// current set of join subtrees plus query predicate information, encoded as
+// a fixed-size vector so one network serves all queries up to
+// max_relations:
+//   * tree-structure block: for every subtree slot s and relation r,
+//     1/(1+depth of r in slot s's subtree), 0 if absent — ReJOIN's
+//     depth-weighted membership encoding;
+//   * join-graph adjacency block (static per query);
+//   * per-relation estimated selection selectivity (the optimizer's own
+//     estimates — the agent sees what the expert sees);
+//   * per-relation log-scaled estimated base cardinality;
+//   * per-slot log-scaled estimated cardinality of the slot's current
+//     subtree (what the estimator believes each intermediate produces —
+//     the signal behind every "join small inputs first" heuristic).
+#ifndef HFQ_REJOIN_FEATURIZER_H_
+#define HFQ_REJOIN_FEATURIZER_H_
+
+#include <vector>
+
+#include "plan/join_tree.h"
+#include "plan/query.h"
+#include "stats/estimator.h"
+
+namespace hfq {
+
+/// Fixed-size featurization of (query, subtree list) states.
+class RejoinFeaturizer {
+ public:
+  /// `estimator` must outlive the featurizer.
+  RejoinFeaturizer(int max_relations, CardinalityEstimator* estimator);
+
+  /// Dimensionality of Featurize output: 2*N^2 + 3*N.
+  int FeatureDim() const;
+
+  /// Encodes the current state. `subtrees` are the episode's live subtrees
+  /// in slot order; the query must have at most max_relations relations.
+  std::vector<double> Featurize(
+      const Query& query,
+      const std::vector<const JoinTreeNode*>& subtrees);
+
+  int max_relations() const { return max_relations_; }
+  CardinalityEstimator* estimator() { return estimator_; }
+
+ private:
+  int max_relations_;
+  CardinalityEstimator* estimator_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_REJOIN_FEATURIZER_H_

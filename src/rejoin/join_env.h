@@ -1,0 +1,76 @@
+// The ReJOIN MDP (paper Section 3): an episode per query; states are sets
+// of join subtrees; action (x, y) joins subtrees x and y; the terminal
+// reward scores the completed join ordering (1/cost in the case study).
+#ifndef HFQ_REJOIN_JOIN_ENV_H_
+#define HFQ_REJOIN_JOIN_ENV_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rejoin/featurizer.h"
+#include "rl/env.h"
+
+namespace hfq {
+
+/// Scores a finished join tree; the environment's terminal reward.
+using JoinRewardFn =
+    std::function<double(const Query& query, const JoinTreeNode& tree)>;
+
+/// Environment knobs.
+struct JoinEnvConfig {
+  JoinEnvConfig() {}
+  /// When false (default, like ReJOIN implementations), actions that form
+  /// cross products are masked out unless no predicate-connected pair
+  /// exists. When true the full ReJOIN action set (every ordered pair) is
+  /// always available — used by the naive-search-space experiments.
+  bool allow_cross_products = false;
+};
+
+/// Join-order-enumeration environment. Action id = x * max_relations + y:
+/// join subtree at slot x (becomes the outer/left child) with subtree at
+/// slot y. After the action the merged tree sits at slot min(x, y) and the
+/// other slot is vacated (slots compact, ReJOIN's shrinking subtree list).
+class JoinOrderEnv : public Environment {
+ public:
+  /// `featurizer` and `reward_fn` must outlive the env.
+  JoinOrderEnv(RejoinFeaturizer* featurizer, JoinRewardFn reward_fn,
+               JoinEnvConfig config = JoinEnvConfig());
+
+  /// Selects the query for subsequent episodes; call before Reset.
+  void SetQuery(const Query* query);
+
+  void Reset() override;
+  int state_dim() const override;
+  int action_dim() const override;
+  std::vector<double> StateVector() const override;
+  std::vector<bool> ActionMask() const override;
+  StepResult Step(int action) override;
+  bool Done() const override;
+
+  /// The finished join tree (valid once Done()).
+  const JoinTreeNode* FinalTree() const;
+
+  /// Live subtrees (slot order).
+  std::vector<const JoinTreeNode*> Subtrees() const;
+
+  const Query* query() const { return query_; }
+
+  /// Decodes an action id into (x, y) slots.
+  std::pair<int, int> DecodeAction(int action) const;
+
+  /// Encodes (x, y) slots into an action id.
+  int EncodeAction(int x, int y) const;
+
+ private:
+  RejoinFeaturizer* featurizer_;
+  JoinRewardFn reward_fn_;
+  JoinEnvConfig config_;
+  const Query* query_ = nullptr;
+  std::vector<std::unique_ptr<JoinTreeNode>> subtrees_;
+  bool done_ = true;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_REJOIN_JOIN_ENV_H_

@@ -1,0 +1,78 @@
+#include "rejoin/rejoin.h"
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hfq {
+
+RejoinTrainer::RejoinTrainer(JoinOrderEnv* env, RejoinConfig config,
+                             uint64_t seed)
+    : env_(env),
+      config_(config),
+      agent_(env->state_dim(), env->action_dim(), config.pg, seed) {
+  HFQ_CHECK(env != nullptr);
+}
+
+RejoinEpisodeStats RejoinTrainer::RunEpisode(const Query& query, bool train) {
+  env_->SetQuery(&query);
+  env_->Reset();
+  RejoinEpisodeStats stats;
+  stats.query_name = query.name;
+
+  Episode episode;
+  while (!env_->Done()) {
+    Transition t;
+    t.state = env_->StateVector();
+    t.mask = env_->ActionMask();
+    if (train) {
+      t.action = agent_.SampleAction(t.state, t.mask, &t.old_prob);
+    } else {
+      t.action = agent_.GreedyAction(t.state, t.mask);
+      t.old_prob = 1.0;
+    }
+    StepResult step = env_->Step(t.action);
+    t.reward = step.reward;
+    episode.steps.push_back(std::move(t));
+    ++stats.steps;
+  }
+  stats.reward = episode.TotalReward();
+
+  if (train && !episode.steps.empty()) {
+    pending_.push_back(std::move(episode));
+    if (static_cast<int>(pending_.size()) >= config_.episodes_per_update) {
+      agent_.Update(pending_);
+      pending_.clear();
+    }
+  }
+  return stats;
+}
+
+void RejoinTrainer::Train(
+    const std::vector<Query>& workload, int episodes,
+    const std::function<void(int, const RejoinEpisodeStats&)>& on_episode) {
+  HFQ_CHECK(!workload.empty());
+  for (int e = 0; e < episodes; ++e) {
+    const Query& query = workload[static_cast<size_t>(e) % workload.size()];
+    RejoinEpisodeStats stats = RunEpisode(query, /*train=*/true);
+    if (on_episode) on_episode(e, stats);
+  }
+}
+
+std::unique_ptr<JoinTreeNode> RejoinTrainer::Plan(const Query& query,
+                                                  double* planning_ms_out) {
+  env_->SetQuery(&query);
+  env_->Reset();
+  double inference_ms = 0.0;
+  while (!env_->Done()) {
+    Stopwatch watch;
+    std::vector<double> state = env_->StateVector();
+    std::vector<bool> mask = env_->ActionMask();
+    int action = agent_.GreedyAction(state, mask);
+    inference_ms += watch.ElapsedMillis();
+    env_->Step(action);
+  }
+  if (planning_ms_out != nullptr) *planning_ms_out = inference_ms;
+  return env_->FinalTree()->Clone();
+}
+
+}  // namespace hfq

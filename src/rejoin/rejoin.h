@@ -1,0 +1,66 @@
+// ReJOIN end-to-end: the policy-gradient join-order enumerator of the
+// paper's case study. Couples JoinOrderEnv with PolicyGradientAgent,
+// batching episodes into policy updates, and exposes greedy inference with
+// planning-time measurement (for the Figure 3c comparison).
+#ifndef HFQ_REJOIN_REJOIN_H_
+#define HFQ_REJOIN_REJOIN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rejoin/join_env.h"
+#include "rl/policy_gradient.h"
+
+namespace hfq {
+
+/// Trainer configuration.
+struct RejoinConfig {
+  RejoinConfig() {}
+  PolicyGradientConfig pg;
+  /// Episodes per policy update (ReJOIN updated periodically).
+  int episodes_per_update = 8;
+};
+
+/// Per-episode diagnostics.
+struct RejoinEpisodeStats {
+  std::string query_name;
+  double reward = 0.0;
+  int steps = 0;
+};
+
+/// Runs ReJOIN training and inference over a JoinOrderEnv.
+class RejoinTrainer {
+ public:
+  /// `env` must outlive the trainer.
+  RejoinTrainer(JoinOrderEnv* env, RejoinConfig config, uint64_t seed);
+
+  /// Runs one episode on `query`. When `train` is true, actions are
+  /// sampled and the episode joins the update batch; otherwise actions are
+  /// greedy and nothing is recorded.
+  RejoinEpisodeStats RunEpisode(const Query& query, bool train);
+
+  /// Trains over the workload round-robin for `episodes` episodes,
+  /// invoking `on_episode` (if set) after each.
+  void Train(const std::vector<Query>& workload, int episodes,
+             const std::function<void(int, const RejoinEpisodeStats&)>&
+                 on_episode = nullptr);
+
+  /// Greedy inference: returns the join tree the trained policy picks.
+  /// If `planning_ms_out` is non-null it receives the pure inference time
+  /// (featurization + network forward passes), the Figure 3c metric.
+  std::unique_ptr<JoinTreeNode> Plan(const Query& query,
+                                     double* planning_ms_out = nullptr);
+
+  PolicyGradientAgent& agent() { return agent_; }
+
+ private:
+  JoinOrderEnv* env_;
+  RejoinConfig config_;
+  PolicyGradientAgent agent_;
+  std::vector<Episode> pending_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_REJOIN_REJOIN_H_

@@ -1,0 +1,51 @@
+// The reinforcement-learning environment interface (states, masked discrete
+// actions, terminal rewards) shared by ReJOIN's join-ordering MDP and the
+// full-pipeline MDP.
+#ifndef HFQ_RL_ENV_H_
+#define HFQ_RL_ENV_H_
+
+#include <vector>
+
+namespace hfq {
+
+/// Result of Environment::Step.
+struct StepResult {
+  double reward = 0.0;
+  bool done = false;
+};
+
+/// A fixed-dimensional episodic environment with per-state action masking.
+/// Lifecycle: Reset() -> [StateVector/ActionMask -> Step(a)]* until
+/// Step returns done.
+class Environment {
+ public:
+  virtual ~Environment() = default;
+
+  /// Begins a new episode (the concrete env decides what "new" means, e.g.
+  /// the next query of a workload).
+  virtual void Reset() = 0;
+
+  /// Dimensionality of StateVector().
+  virtual int state_dim() const = 0;
+
+  /// Size of the (fixed) action space; invalid actions are masked.
+  virtual int action_dim() const = 0;
+
+  /// Current state featurization.
+  virtual std::vector<double> StateVector() const = 0;
+
+  /// mask[a] == true iff action a is currently selectable. At least one
+  /// action must be valid unless the episode is done.
+  virtual std::vector<bool> ActionMask() const = 0;
+
+  /// Applies action `a` (must be valid). Returns the reward and whether the
+  /// episode ended.
+  virtual StepResult Step(int action) = 0;
+
+  /// True once the episode has terminated.
+  virtual bool Done() const = 0;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_ENV_H_

@@ -1,0 +1,238 @@
+#include "rl/policy_gradient.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "util/check.h"
+
+namespace hfq {
+namespace {
+constexpr double kMaskedLogit = -1e9;
+}
+
+PolicyGradientAgent::PolicyGradientAgent(int state_dim, int action_dim,
+                                         PolicyGradientConfig config,
+                                         uint64_t seed)
+    : state_dim_(state_dim),
+      action_dim_(action_dim),
+      config_(config),
+      policy_opt_(config.policy_lr),
+      value_opt_(config.value_lr),
+      rng_(seed) {
+  HFQ_CHECK(state_dim > 0 && action_dim > 0);
+  MlpConfig pc;
+  pc.input_dim = state_dim;
+  pc.hidden_dims = config_.hidden_dims;
+  pc.output_dim = action_dim;
+  policy_ = Mlp(pc, &rng_);
+  MlpConfig vc;
+  vc.input_dim = state_dim;
+  vc.hidden_dims = config_.hidden_dims;
+  vc.output_dim = 1;
+  value_ = Mlp(vc, &rng_);
+}
+
+Matrix PolicyGradientAgent::MaskedLogits(const std::vector<double>& state,
+                                         const std::vector<bool>& mask) {
+  HFQ_CHECK(static_cast<int>(state.size()) == state_dim_);
+  HFQ_CHECK(static_cast<int>(mask.size()) == action_dim_);
+  Matrix logits = policy_.Forward(Matrix::RowVector(state));
+  for (int a = 0; a < action_dim_; ++a) {
+    if (!mask[static_cast<size_t>(a)]) logits.At(0, a) = kMaskedLogit;
+  }
+  return logits;
+}
+
+std::vector<double> PolicyGradientAgent::ActionProbabilities(
+    const std::vector<double>& state, const std::vector<bool>& mask) {
+  Matrix probs = Softmax(MaskedLogits(state, mask));
+  std::vector<double> out(static_cast<size_t>(action_dim_));
+  for (int a = 0; a < action_dim_; ++a) {
+    out[static_cast<size_t>(a)] =
+        mask[static_cast<size_t>(a)] ? probs.At(0, a) : 0.0;
+  }
+  return out;
+}
+
+int PolicyGradientAgent::SampleAction(const std::vector<double>& state,
+                                      const std::vector<bool>& mask,
+                                      double* prob_out) {
+  std::vector<double> probs = ActionProbabilities(state, mask);
+  int action = static_cast<int>(rng_.Categorical(probs));
+  HFQ_CHECK(mask[static_cast<size_t>(action)]);
+  if (prob_out != nullptr) *prob_out = probs[static_cast<size_t>(action)];
+  return action;
+}
+
+int PolicyGradientAgent::GreedyAction(const std::vector<double>& state,
+                                      const std::vector<bool>& mask) {
+  std::vector<double> probs = ActionProbabilities(state, mask);
+  int best = -1;
+  for (int a = 0; a < action_dim_; ++a) {
+    if (!mask[static_cast<size_t>(a)]) continue;
+    if (best < 0 ||
+        probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(best)]) {
+      best = a;
+    }
+  }
+  HFQ_CHECK_MSG(best >= 0, "no valid action");
+  return best;
+}
+
+double PolicyGradientAgent::Value(const std::vector<double>& state) {
+  Matrix v = value_.Forward(Matrix::RowVector(state));
+  return v.At(0, 0);
+}
+
+double PolicyGradientAgent::Update(const std::vector<Episode>& episodes) {
+  if (episodes.empty()) return 0.0;
+
+  // Flatten (state, mask, action, return-to-go, old_prob).
+  struct Sample {
+    const Transition* t;
+    double ret;
+  };
+  std::vector<Sample> samples;
+  for (const auto& ep : episodes) {
+    double ret = 0.0;
+    std::vector<double> rets(ep.steps.size());
+    for (size_t i = ep.steps.size(); i-- > 0;) {
+      ret = ep.steps[i].reward + config_.gamma * ret;
+      rets[i] = ret;
+    }
+    for (size_t i = 0; i < ep.steps.size(); ++i) {
+      samples.push_back({&ep.steps[i], rets[i]});
+    }
+  }
+
+  // Advantages from the value baseline; normalized for stability.
+  std::vector<double> advantages(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    advantages[i] = samples[i].ret - Value(samples[i].t->state);
+  }
+  double mean = 0.0, var = 0.0;
+  for (double a : advantages) mean += a;
+  mean /= static_cast<double>(advantages.size());
+  for (double a : advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(advantages.size());
+  double stddev = std::sqrt(std::max(var, 1e-12));
+  for (double& a : advantages) a = (a - mean) / stddev;
+
+  const int epochs = config_.use_ppo_clip ? config_.ppo_epochs : 1;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double total_loss = 0.0;
+    policy_.ZeroGrads();
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const Transition& t = *samples[i].t;
+      Matrix logits = MaskedLogits(t.state, t.mask);
+      Matrix probs = Softmax(logits);
+      const double p = std::max(probs.At(0, t.action), 1e-12);
+      double weight;  // scale of dlogp grad
+      if (config_.use_ppo_clip) {
+        const double ratio = p / std::max(t.old_prob, 1e-12);
+        const double adv = advantages[i];
+        const double clipped = std::clamp(ratio, 1.0 - config_.clip_epsilon,
+                                          1.0 + config_.clip_epsilon);
+        // d/dtheta of -min(r*A, clip(r)*A): zero when the unclipped term is
+        // not the active (minimal) one.
+        const bool active = ratio * adv <= clipped * adv;
+        weight = active ? adv * ratio : 0.0;
+        total_loss += -std::min(ratio * adv, clipped * adv);
+      } else {
+        weight = advantages[i];
+        total_loss += -std::log(p) * advantages[i];
+      }
+      // Gradient of -weight * log pi(a|s) w.r.t. logits:
+      // weight * (softmax - onehot). Masked entries have softmax 0.
+      Matrix grad(1, action_dim_);
+      for (int a = 0; a < action_dim_; ++a) {
+        double g = probs.At(0, a) - (a == t.action ? 1.0 : 0.0);
+        grad.At(0, a) = weight * g / static_cast<double>(samples.size());
+      }
+      // Entropy bonus.
+      if (config_.entropy_coef > 0.0) {
+        Matrix ent_grad;
+        SoftmaxEntropy(logits, config_.entropy_coef, &ent_grad);
+        for (int a = 0; a < action_dim_; ++a) {
+          if (t.mask[static_cast<size_t>(a)]) {
+            grad.At(0, a) +=
+                ent_grad.At(0, a) / static_cast<double>(samples.size());
+          }
+        }
+      }
+      // Re-run forward to set layer caches for this sample, then backprop.
+      (void)policy_.Forward(Matrix::RowVector(t.state));
+      policy_.Backward(grad);
+    }
+    ClipGradientsByGlobalNorm(policy_.Grads(), config_.max_grad_norm);
+    policy_opt_.Step(policy_.Params(), policy_.Grads());
+    last_loss = total_loss / static_cast<double>(samples.size());
+  }
+
+  // Value regression toward observed returns.
+  value_.ZeroGrads();
+  for (const auto& s : samples) {
+    Matrix pred = value_.Forward(Matrix::RowVector(s.t->state));
+    Matrix target = Matrix::Constant(1, 1, s.ret);
+    Matrix grad;
+    MseLoss(pred, target, &grad);
+    grad.Scale(1.0 / static_cast<double>(samples.size()));
+    value_.Backward(grad);
+  }
+  ClipGradientsByGlobalNorm(value_.Grads(), config_.max_grad_norm);
+  value_opt_.Step(value_.Params(), value_.Grads());
+
+  return last_loss;
+}
+
+double PolicyGradientAgent::BehaviourCloneStep(
+    const std::vector<Transition>& batch) {
+  if (batch.empty()) return 0.0;
+  double total_loss = 0.0;
+  policy_.ZeroGrads();
+  for (const auto& t : batch) {
+    Matrix logits = MaskedLogits(t.state, t.mask);
+    Matrix probs = Softmax(logits);
+    const double p = std::max(probs.At(0, t.action), 1e-12);
+    total_loss += -std::log(p);
+    Matrix grad(1, action_dim_);
+    for (int a = 0; a < action_dim_; ++a) {
+      grad.At(0, a) = (probs.At(0, a) - (a == t.action ? 1.0 : 0.0)) /
+                      static_cast<double>(batch.size());
+    }
+    (void)policy_.Forward(Matrix::RowVector(t.state));
+    policy_.Backward(grad);
+  }
+  ClipGradientsByGlobalNorm(policy_.Grads(), config_.max_grad_norm);
+  policy_opt_.Step(policy_.Params(), policy_.Grads());
+  return total_loss / static_cast<double>(batch.size());
+}
+
+void PolicyGradientAgent::ResetOptimizerState() {
+  policy_opt_.ResetState();
+  value_opt_.ResetState();
+}
+
+Status PolicyGradientAgent::Save(std::ostream& out) {
+  HFQ_RETURN_IF_ERROR(policy_.Save(out));
+  HFQ_RETURN_IF_ERROR(value_.Save(out));
+  return Status::OK();
+}
+
+Status PolicyGradientAgent::LoadWeights(std::istream& in) {
+  HFQ_ASSIGN_OR_RETURN(Mlp policy, Mlp::Load(in));
+  HFQ_ASSIGN_OR_RETURN(Mlp value, Mlp::Load(in));
+  if (policy.config().input_dim != state_dim_ ||
+      policy.config().output_dim != action_dim_) {
+    return Status::InvalidArgument(
+        "loaded policy network does not match this agent's dimensions");
+  }
+  policy_ = std::move(policy);
+  value_ = std::move(value);
+  return Status::OK();
+}
+
+}  // namespace hfq

@@ -1,0 +1,100 @@
+// Policy-gradient learner: REINFORCE with a learned value baseline, entropy
+// regularization, and optional PPO-style clipping — the algorithm family
+// ReJOIN used (Marcus & Papaemmanouil used PPO; Section 2 of the paper
+// describes the policy-gradient framing reproduced here).
+#ifndef HFQ_RL_POLICY_GRADIENT_H_
+#define HFQ_RL_POLICY_GRADIENT_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/trajectory.h"
+#include "util/rng.h"
+
+namespace hfq {
+
+/// Hyperparameters for PolicyGradientAgent.
+struct PolicyGradientConfig {
+  PolicyGradientConfig() {}
+  std::vector<int64_t> hidden_dims = {128, 128};
+  double policy_lr = 1e-3;
+  double value_lr = 2e-3;
+  /// Discount; the paper's MDPs give terminal rewards, so 1.0 is standard.
+  double gamma = 1.0;
+  double entropy_coef = 0.01;
+  double max_grad_norm = 5.0;
+  /// PPO-style clipped surrogate (extra passes over the batch).
+  bool use_ppo_clip = true;
+  double clip_epsilon = 0.2;
+  int ppo_epochs = 3;
+};
+
+/// A masked-softmax policy network plus value baseline.
+class PolicyGradientAgent {
+ public:
+  PolicyGradientAgent(int state_dim, int action_dim,
+                      PolicyGradientConfig config, uint64_t seed);
+
+  /// Action probabilities under the current policy (masked softmax).
+  std::vector<double> ActionProbabilities(const std::vector<double>& state,
+                                          const std::vector<bool>& mask);
+
+  /// Samples an action (exploration); fills old_prob for PPO.
+  int SampleAction(const std::vector<double>& state,
+                   const std::vector<bool>& mask, double* prob_out = nullptr);
+
+  /// Mode of the distribution (pure exploitation).
+  int GreedyAction(const std::vector<double>& state,
+                   const std::vector<bool>& mask);
+
+  /// Baseline value estimate V(s).
+  double Value(const std::vector<double>& state);
+
+  /// One policy+value update from a batch of complete episodes. Returns the
+  /// mean policy loss (diagnostic).
+  double Update(const std::vector<Episode>& episodes);
+
+  /// Supervised pre-training step: behaviour cloning of (state, action)
+  /// pairs (used by learning-from-demonstration variants). Returns the
+  /// cross-entropy loss.
+  double BehaviourCloneStep(const std::vector<Transition>& batch);
+
+  /// Resets optimizer moments (used at reward-regime switches).
+  void ResetOptimizerState();
+
+  /// Training-schedule hooks (learning-rate / exploration decay).
+  void set_policy_learning_rate(double lr) { policy_opt_.set_learning_rate(lr); }
+  void set_entropy_coef(double coef) { config_.entropy_coef = coef; }
+
+  /// Persists policy + value networks (plain text, Mlp format x2).
+  Status Save(std::ostream& out);
+
+  /// Restores networks saved by Save; architecture must match.
+  Status LoadWeights(std::istream& in);
+
+  Mlp& policy_net() { return policy_; }
+  Mlp& value_net() { return value_; }
+  const PolicyGradientConfig& config() const { return config_; }
+  int state_dim() const { return state_dim_; }
+  int action_dim() const { return action_dim_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  Matrix MaskedLogits(const std::vector<double>& state,
+                      const std::vector<bool>& mask);
+
+  int state_dim_;
+  int action_dim_;
+  PolicyGradientConfig config_;
+  Mlp policy_;
+  Mlp value_;
+  Adam policy_opt_;
+  Adam value_opt_;
+  Rng rng_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_POLICY_GRADIENT_H_

@@ -1,0 +1,63 @@
+// A bounded experience-replay buffer (ring buffer with uniform sampling).
+#ifndef HFQ_RL_REPLAY_H_
+#define HFQ_RL_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hfq {
+
+/// Fixed-capacity replay store; oldest entries are overwritten.
+template <typename T>
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {
+    HFQ_CHECK(capacity > 0);
+    items_.reserve(capacity);
+  }
+
+  void Add(T item) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+    } else {
+      items_[next_] = std::move(item);
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  size_t capacity() const { return capacity_; }
+
+  const T& at(size_t i) const { return items_[i]; }
+
+  /// Uniformly samples `k` items (with replacement).
+  std::vector<const T*> Sample(Rng* rng, size_t k) const {
+    HFQ_CHECK(!items_.empty());
+    std::vector<const T*> out;
+    out.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      size_t idx = static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(items_.size()) - 1));
+      out.push_back(&items_[idx]);
+    }
+    return out;
+  }
+
+  void Clear() {
+    items_.clear();
+    next_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t next_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_REPLAY_H_

@@ -1,0 +1,141 @@
+#include "rl/reward_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+
+RewardPredictor::RewardPredictor(int state_dim, int action_dim,
+                                 RewardPredictorConfig config, uint64_t seed)
+    : state_dim_(state_dim),
+      action_dim_(action_dim),
+      config_(config),
+      opt_(config.lr),
+      buffer_(config.replay_capacity),
+      rng_(seed) {
+  HFQ_CHECK(state_dim > 0 && action_dim > 0);
+  MlpConfig mc;
+  mc.input_dim = state_dim;
+  mc.hidden_dims = config_.hidden_dims;
+  mc.output_dim = action_dim;
+  net_ = Mlp(mc, &rng_);
+}
+
+std::vector<double> RewardPredictor::PredictAll(
+    const std::vector<double>& state) {
+  HFQ_CHECK(static_cast<int>(state.size()) == state_dim_);
+  Matrix out = net_.Forward(Matrix::RowVector(state));
+  std::vector<double> preds(static_cast<size_t>(action_dim_));
+  for (int a = 0; a < action_dim_; ++a) {
+    preds[static_cast<size_t>(a)] = out.At(0, a);
+  }
+  return preds;
+}
+
+double RewardPredictor::Predict(const std::vector<double>& state,
+                                int action) {
+  return PredictAll(state)[static_cast<size_t>(action)];
+}
+
+int RewardPredictor::SelectAction(const std::vector<double>& state,
+                                  const std::vector<bool>& mask,
+                                  double epsilon) {
+  std::vector<int> valid;
+  for (int a = 0; a < action_dim_; ++a) {
+    if (mask[static_cast<size_t>(a)]) valid.push_back(a);
+  }
+  HFQ_CHECK_MSG(!valid.empty(), "no valid action");
+  if (epsilon > 0.0 && rng_.Bernoulli(epsilon)) {
+    return rng_.Choice(valid);
+  }
+  std::vector<double> preds = PredictAll(state);
+  int best = valid[0];
+  for (int a : valid) {
+    if (preds[static_cast<size_t>(a)] < preds[static_cast<size_t>(best)]) {
+      best = a;
+    }
+  }
+  return best;
+}
+
+void RewardPredictor::AddExample(OutcomeExample example) {
+  HFQ_CHECK(static_cast<int>(example.state.size()) == state_dim_);
+  HFQ_CHECK(example.action >= 0 && example.action < action_dim_);
+  buffer_.Add(std::move(example));
+}
+
+double RewardPredictor::TrainSteps(int steps) {
+  if (buffer_.empty()) return 0.0;
+  double total_loss = 0.0;
+  int total_samples = 0;
+  for (int step = 0; step < steps; ++step) {
+    auto batch = buffer_.Sample(&rng_, static_cast<size_t>(config_.batch_size));
+    net_.ZeroGrads();
+    for (const OutcomeExample* ex : batch) {
+      Matrix out = net_.Forward(Matrix::RowVector(ex->state));
+      // Regression loss on the taken action's output.
+      double pred = out.At(0, ex->action);
+      double diff = pred - ex->target;
+      double g;
+      if (std::abs(diff) <= config_.huber_delta) {
+        total_loss += 0.5 * diff * diff;
+        g = diff;
+      } else {
+        total_loss += config_.huber_delta * (std::abs(diff) -
+                                             0.5 * config_.huber_delta);
+        g = diff > 0 ? config_.huber_delta : -config_.huber_delta;
+      }
+      Matrix grad(1, action_dim_);
+      grad.At(0, ex->action) = g / static_cast<double>(batch.size());
+      // Large-margin demonstration loss: every non-expert action must
+      // predict at least `margin` worse (higher) than the expert outcome.
+      if (ex->from_expert && config_.margin_weight > 0.0) {
+        const double floor = ex->target + config_.demonstration_margin;
+        const double scale = config_.margin_weight /
+                             (static_cast<double>(batch.size()) *
+                              static_cast<double>(action_dim_));
+        for (int a = 0; a < action_dim_; ++a) {
+          if (a == ex->action) continue;
+          double violation = floor - out.At(0, a);
+          if (violation > 0.0) {
+            total_loss += config_.margin_weight * violation;
+            grad.At(0, a) -= scale;  // Push the prediction up.
+          }
+        }
+      }
+      net_.Backward(grad);
+      ++total_samples;
+    }
+    ClipGradientsByGlobalNorm(net_.Grads(), config_.max_grad_norm);
+    opt_.Step(net_.Params(), net_.Grads());
+  }
+  return total_samples > 0 ? total_loss / total_samples : 0.0;
+}
+
+Status RewardPredictor::Save(std::ostream& out) { return net_.Save(out); }
+
+Status RewardPredictor::LoadWeights(std::istream& in) {
+  HFQ_ASSIGN_OR_RETURN(Mlp net, Mlp::Load(in));
+  if (net.config().input_dim != state_dim_ ||
+      net.config().output_dim != action_dim_) {
+    return Status::InvalidArgument(
+        "loaded predictor network does not match this predictor's "
+        "dimensions");
+  }
+  net_ = std::move(net);
+  return Status::OK();
+}
+
+double RewardPredictor::EvaluateError(size_t sample_size) {
+  if (buffer_.empty()) return 0.0;
+  auto batch = buffer_.Sample(&rng_, sample_size);
+  double total = 0.0;
+  for (const OutcomeExample* ex : batch) {
+    total += std::abs(Predict(ex->state, ex->action) - ex->target);
+  }
+  return total / static_cast<double>(batch.size());
+}
+
+}  // namespace hfq

@@ -1,0 +1,102 @@
+// The learning-from-demonstration learner from Section 5.1: a reward
+// prediction function Q(s)[a] ~ eventual episode outcome (e.g. log query
+// latency) of taking action a in state s. Pre-trained on expert traces
+// (off-policy, as in Ortiz et al. / DQfD), then fine-tuned on self-play.
+// Action selection runs every valid action through the predictor and picks
+// the one with the best predicted outcome (optionally epsilon-greedy).
+#ifndef HFQ_RL_REWARD_PREDICTOR_H_
+#define HFQ_RL_REWARD_PREDICTOR_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "rl/replay.h"
+#include "util/rng.h"
+
+namespace hfq {
+
+/// Hyperparameters for RewardPredictor.
+struct RewardPredictorConfig {
+  RewardPredictorConfig() {}
+  std::vector<int64_t> hidden_dims = {128, 128};
+  double lr = 1e-3;
+  int batch_size = 64;
+  double huber_delta = 1.0;
+  double max_grad_norm = 5.0;
+  size_t replay_capacity = 200000;
+  /// DQfD-style large-margin loss on demonstration examples: actions the
+  /// expert did *not* take are pushed to predict at least
+  /// `demonstration_margin` worse than the expert's outcome, so unseen
+  /// actions start pessimistic instead of arbitrarily attractive (the
+  /// paper's "no reason for the model to explore these extremely poor
+  /// plans"). With log10-latency targets, 0.5 means "at least ~3x slower".
+  double demonstration_margin = 0.5;
+  double margin_weight = 0.3;
+};
+
+/// One training example: in `state`, taking `action` eventually produced
+/// outcome `target` (lower is better; callers typically use log-latency).
+/// Demonstration examples additionally constrain the other actions via the
+/// margin loss.
+struct OutcomeExample {
+  std::vector<double> state;
+  int action = 0;
+  double target = 0.0;
+  bool from_expert = false;
+};
+
+/// MLP mapping state -> per-action predicted outcome.
+class RewardPredictor {
+ public:
+  RewardPredictor(int state_dim, int action_dim, RewardPredictorConfig config,
+                  uint64_t seed);
+
+  /// Predicted outcome of every action at `state`.
+  std::vector<double> PredictAll(const std::vector<double>& state);
+
+  /// Predicted outcome of one action.
+  double Predict(const std::vector<double>& state, int action);
+
+  /// Picks the valid action with the *lowest* predicted outcome; with
+  /// probability `epsilon` picks a uniformly random valid action instead
+  /// (the paper's footnote-3 exploration).
+  int SelectAction(const std::vector<double>& state,
+                   const std::vector<bool>& mask, double epsilon);
+
+  /// Adds a training example to the replay buffer.
+  void AddExample(OutcomeExample example);
+
+  /// One SGD pass over `steps` minibatches sampled from replay; returns the
+  /// mean Huber loss (diagnostic; 0 if the buffer is empty).
+  double TrainSteps(int steps);
+
+  /// Mean absolute prediction error over a sample of the buffer.
+  double EvaluateError(size_t sample_size);
+
+  /// Persists the predictor network (plain text, Mlp format).
+  Status Save(std::ostream& out);
+
+  /// Restores a network saved by Save; architecture must match. The replay
+  /// buffer is not persisted.
+  Status LoadWeights(std::istream& in);
+
+  size_t buffer_size() const { return buffer_.size(); }
+  Mlp& net() { return net_; }
+  Rng& rng() { return rng_; }
+  int action_dim() const { return action_dim_; }
+
+ private:
+  int state_dim_;
+  int action_dim_;
+  RewardPredictorConfig config_;
+  Mlp net_;
+  Adam opt_;
+  ReplayBuffer<OutcomeExample> buffer_;
+  Rng rng_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_REWARD_PREDICTOR_H_

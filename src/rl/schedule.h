@@ -1,0 +1,49 @@
+// Scalar schedules (exploration epsilon, learning-rate decay).
+#ifndef HFQ_RL_SCHEDULE_H_
+#define HFQ_RL_SCHEDULE_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace hfq {
+
+/// Linear interpolation from `start` to `end` over `steps`, then constant.
+class LinearSchedule {
+ public:
+  LinearSchedule(double start, double end, int64_t steps)
+      : start_(start), end_(end), steps_(steps) {}
+
+  double Value(int64_t t) const {
+    if (steps_ <= 0 || t >= steps_) return end_;
+    if (t <= 0) return start_;
+    double frac = static_cast<double>(t) / static_cast<double>(steps_);
+    return start_ + frac * (end_ - start_);
+  }
+
+ private:
+  double start_;
+  double end_;
+  int64_t steps_;
+};
+
+/// Exponential decay: start * decay^t, floored at `floor`.
+class ExponentialSchedule {
+ public:
+  ExponentialSchedule(double start, double decay, double floor)
+      : start_(start), decay_(decay), floor_(floor) {}
+
+  double Value(int64_t t) const {
+    double v = start_;
+    for (int64_t i = 0; i < t && v > floor_; ++i) v *= decay_;
+    return std::max(v, floor_);
+  }
+
+ private:
+  double start_;
+  double decay_;
+  double floor_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_SCHEDULE_H_

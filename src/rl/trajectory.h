@@ -1,0 +1,32 @@
+// Trajectory containers shared by the learners.
+#ifndef HFQ_RL_TRAJECTORY_H_
+#define HFQ_RL_TRAJECTORY_H_
+
+#include <vector>
+
+namespace hfq {
+
+/// One (s, mask, a, r) step. `old_prob` is the behaviour policy's
+/// probability of `action` at collection time (used by PPO clipping).
+struct Transition {
+  std::vector<double> state;
+  std::vector<bool> mask;
+  int action = 0;
+  double reward = 0.0;
+  double old_prob = 1.0;
+};
+
+/// One episode.
+struct Episode {
+  std::vector<Transition> steps;
+  /// Sum of rewards (terminal-reward MDPs: the terminal reward).
+  double TotalReward() const {
+    double total = 0.0;
+    for (const auto& t : steps) total += t.reward;
+    return total;
+  }
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_TRAJECTORY_H_

@@ -1,0 +1,133 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace hfq {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdentifier;
+      tok.text = sql.substr(start, i - start);
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_double = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '.')) {
+        if (sql[i] == '.') is_double = true;
+        ++i;
+      }
+      tok.text = sql.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.double_value = std::stod(tok.text);
+      } else {
+        tok.type = TokenType::kInteger;
+        try {
+          tok.int_value = std::stoll(tok.text);
+        } catch (...) {
+          return Status::InvalidArgument("integer literal out of range: " +
+                                         tok.text);
+        }
+      }
+    } else {
+      switch (c) {
+        case ',':
+          tok.type = TokenType::kComma;
+          tok.text = ",";
+          ++i;
+          break;
+        case '.':
+          tok.type = TokenType::kDot;
+          tok.text = ".";
+          ++i;
+          break;
+        case '*':
+          tok.type = TokenType::kStar;
+          tok.text = "*";
+          ++i;
+          break;
+        case '(':
+          tok.type = TokenType::kLParen;
+          tok.text = "(";
+          ++i;
+          break;
+        case ')':
+          tok.type = TokenType::kRParen;
+          tok.text = ")";
+          ++i;
+          break;
+        case ';':
+          tok.type = TokenType::kSemicolon;
+          tok.text = ";";
+          ++i;
+          break;
+        case '=':
+          tok.type = TokenType::kOperator;
+          tok.text = "=";
+          ++i;
+          break;
+        case '<':
+          tok.type = TokenType::kOperator;
+          if (i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+            tok.text = sql.substr(i, 2);
+            i += 2;
+          } else {
+            tok.text = "<";
+            ++i;
+          }
+          break;
+        case '>':
+          tok.type = TokenType::kOperator;
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.text = ">=";
+            i += 2;
+          } else {
+            tok.text = ">";
+            ++i;
+          }
+          break;
+        case '!':
+          if (i + 1 < n && sql[i + 1] == '=') {
+            tok.type = TokenType::kOperator;
+            tok.text = "!=";
+            i += 2;
+            break;
+          }
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '!' at offset %zu", i));
+        default:
+          return Status::InvalidArgument(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace hfq

@@ -1,0 +1,43 @@
+// Lexer for the mini-SQL dialect (SELECT-FROM-WHERE-GROUP BY over
+// conjunctive predicates).
+#ifndef HFQ_SQL_LEXER_H_
+#define HFQ_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hfq {
+
+enum class TokenType {
+  kIdentifier,  ///< Unquoted name (case-preserved); keywords are classified
+                ///< by the parser via keyword matching on the upper-cased
+                ///< text.
+  kInteger,
+  kDouble,
+  kComma,
+  kDot,
+  kStar,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kOperator,  ///< = <> != < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  /// Byte offset in the input, for error messages.
+  size_t offset = 0;
+};
+
+/// Tokenizes `sql`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace hfq
+
+#endif  // HFQ_SQL_LEXER_H_

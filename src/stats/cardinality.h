@@ -1,0 +1,48 @@
+// CardinalitySource: the abstraction the paper's tension hangs on. The cost
+// model consumes *estimated* cardinalities (histograms + independence); the
+// latency simulator consumes *true* cardinalities (oracle). Both implement
+// this interface, keyed by (query, relation subset) — for inner equi-joins
+// the output cardinality of a subplan depends only on which relations it
+// covers, not on tree shape.
+#ifndef HFQ_STATS_CARDINALITY_H_
+#define HFQ_STATS_CARDINALITY_H_
+
+#include <vector>
+
+#include "plan/query.h"
+#include "plan/relset.h"
+
+namespace hfq {
+
+/// Interface for cardinality lookup.
+class CardinalitySource {
+ public:
+  virtual ~CardinalitySource() = default;
+
+  /// Rows produced by joining the relations in `s` (after each relation's
+  /// selections), under this source's notion of cardinality. `s` must be a
+  /// non-empty subset of the query's relations. Disconnected subsets are
+  /// cross products.
+  virtual double Rows(const Query& query, RelSet s) = 0;
+
+  /// Rows of relation `rel` after its selection predicates.
+  double ScanRows(const Query& query, int rel) {
+    return Rows(query, RelSetOf(rel));
+  }
+
+  /// Rows of relation `rel` before selections (base table size).
+  virtual double BaseRows(const Query& query, int rel) = 0;
+
+  /// Rows of relation `rel` passing only the given subset of its selection
+  /// predicates (indices into query.selections). Used to cost index scans,
+  /// where the index serves one predicate and the rest are residual filters.
+  virtual double RowsWithSelections(const Query& query, int rel,
+                                    const std::vector<int>& sel_idxs) = 0;
+
+  /// Number of groups a GROUP BY over the final join would produce.
+  virtual double GroupRows(const Query& query) = 0;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_STATS_CARDINALITY_H_

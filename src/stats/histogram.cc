@@ -1,0 +1,168 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hfq {
+
+ColumnStats BuildColumnStats(const Column& column,
+                             const StatsOptions& options) {
+  ColumnStats stats;
+  stats.num_rows = column.size();
+  if (stats.num_rows == 0) return stats;
+
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(column.size()));
+  for (int64_t row = 0; row < column.size(); ++row) {
+    values.push_back(column.GetNumeric(row));
+  }
+  std::sort(values.begin(), values.end());
+  stats.min_value = values.front();
+  stats.max_value = values.back();
+
+  // Frequency map over the sorted values.
+  std::map<double, int64_t> freq;
+  for (double v : values) ++freq[v];
+  stats.num_distinct = static_cast<int64_t>(freq.size());
+
+  // Pick MCVs: the most frequent values, but only values that are actually
+  // "common" (frequency above ~1.25x the average), Postgres-style.
+  std::vector<std::pair<int64_t, double>> by_freq;  // (count, value)
+  for (const auto& [v, c] : freq) by_freq.emplace_back(c, v);
+  std::sort(by_freq.begin(), by_freq.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const double avg_freq = static_cast<double>(stats.num_rows) /
+                          static_cast<double>(stats.num_distinct);
+  for (int i = 0;
+       i < options.num_mcvs && i < static_cast<int>(by_freq.size()); ++i) {
+    const auto& [count, value] = by_freq[static_cast<size_t>(i)];
+    if (static_cast<double>(count) < 1.25 * avg_freq) break;
+    double frac = static_cast<double>(count) /
+                  static_cast<double>(stats.num_rows);
+    stats.mcvs.emplace_back(value, frac);
+    stats.mcv_total_frac += frac;
+  }
+
+  // Equi-depth histogram over non-MCV values.
+  std::vector<double> rest;
+  rest.reserve(values.size());
+  auto is_mcv = [&stats](double v) {
+    for (const auto& [mv, mf] : stats.mcvs) {
+      if (mv == v) return true;
+    }
+    return false;
+  };
+  for (double v : values) {
+    if (!is_mcv(v)) rest.push_back(v);
+  }
+  if (!rest.empty()) {
+    int buckets = std::min<int>(options.num_histogram_buckets,
+                                static_cast<int>(rest.size()));
+    stats.histogram_bounds.reserve(static_cast<size_t>(buckets) + 1);
+    for (int b = 0; b <= buckets; ++b) {
+      size_t idx = static_cast<size_t>(
+          (static_cast<double>(b) / buckets) *
+          static_cast<double>(rest.size() - 1));
+      stats.histogram_bounds.push_back(rest[idx]);
+    }
+  }
+  return stats;
+}
+
+double ColumnStats::EstimateEq(double value) const {
+  if (num_rows == 0) return 0.0;
+  for (const auto& [v, frac] : mcvs) {
+    if (v == value) return frac;
+  }
+  // Uniform share of the non-MCV mass.
+  int64_t non_mcv_distinct =
+      num_distinct - static_cast<int64_t>(mcvs.size());
+  if (non_mcv_distinct <= 0) return 0.0;
+  if (value < min_value || value > max_value) return 0.0;
+  return (1.0 - mcv_total_frac) / static_cast<double>(non_mcv_distinct);
+}
+
+double ColumnStats::EstimateLess(double value, bool inclusive) const {
+  if (num_rows == 0) return 0.0;
+  double frac = 0.0;
+  // MCV contribution: exact.
+  for (const auto& [v, f] : mcvs) {
+    if (v < value || (inclusive && v == value)) frac += f;
+  }
+  // Histogram contribution: linear interpolation within the bucket.
+  if (!histogram_bounds.empty()) {
+    const double non_mcv = 1.0 - mcv_total_frac;
+    const auto& hb = histogram_bounds;
+    const int buckets = static_cast<int>(hb.size()) - 1;
+    double hist_frac;
+    if (value < hb.front()) {
+      hist_frac = 0.0;
+    } else if (value >= hb.back()) {
+      hist_frac = 1.0;
+    } else {
+      // Find the bucket containing `value`.
+      auto it = std::upper_bound(hb.begin(), hb.end(), value);
+      int b = static_cast<int>(it - hb.begin()) - 1;
+      b = std::clamp(b, 0, buckets - 1);
+      double lo = hb[static_cast<size_t>(b)];
+      double hi = hb[static_cast<size_t>(b) + 1];
+      double within = hi > lo ? (value - lo) / (hi - lo) : 0.5;
+      hist_frac = (static_cast<double>(b) + within) /
+                  static_cast<double>(buckets);
+    }
+    frac += non_mcv * hist_frac;
+  }
+  return std::clamp(frac, 0.0, 1.0);
+}
+
+double ColumnStats::EstimateSelectivity(CmpOp op, double value) const {
+  if (num_rows == 0) return 0.0;
+  double sel;
+  switch (op) {
+    case CmpOp::kEq:
+      sel = EstimateEq(value);
+      break;
+    case CmpOp::kNe:
+      sel = 1.0 - EstimateEq(value);
+      break;
+    case CmpOp::kLt:
+      sel = EstimateLess(value, /*inclusive=*/false);
+      break;
+    case CmpOp::kLe:
+      sel = EstimateLess(value, /*inclusive=*/true);
+      break;
+    case CmpOp::kGt:
+      sel = 1.0 - EstimateLess(value, /*inclusive=*/true);
+      break;
+    case CmpOp::kGe:
+      sel = 1.0 - EstimateLess(value, /*inclusive=*/false);
+      break;
+    default:
+      sel = 0.5;
+  }
+  return std::clamp(sel, 0.0, 1.0);
+}
+
+double ColumnStats::EstimateJoinSelectivity(const ColumnStats& other) const {
+  double v1 = std::max<double>(1.0, static_cast<double>(num_distinct));
+  double v2 = std::max<double>(1.0, static_cast<double>(other.num_distinct));
+  return 1.0 / std::max(v1, v2);
+}
+
+std::string ColumnStats::ToString() const {
+  std::ostringstream out;
+  out << "rows=" << num_rows << " distinct=" << num_distinct << " range=["
+      << min_value << "," << max_value << "] mcvs=" << mcvs.size()
+      << " (frac=" << mcv_total_frac << ") hist_bounds="
+      << histogram_bounds.size();
+  return out.str();
+}
+
+}  // namespace hfq

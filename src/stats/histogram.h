@@ -1,0 +1,60 @@
+// Column statistics: most-common values + equi-depth histogram + distinct
+// counts, in the style of PostgreSQL's pg_stats. Built by scanning data
+// (ANALYZE); consumed by the cardinality estimator.
+#ifndef HFQ_STATS_HISTOGRAM_H_
+#define HFQ_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+#include "storage/column.h"
+
+namespace hfq {
+
+/// Build-time knobs (mirroring Postgres' default_statistics_target).
+struct StatsOptions {
+  int num_mcvs = 16;
+  int num_histogram_buckets = 32;
+};
+
+/// Statistics for one column.
+struct ColumnStats {
+  int64_t num_rows = 0;
+  int64_t num_distinct = 0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  /// Most common values with their frequency fractions, descending.
+  std::vector<std::pair<double, double>> mcvs;
+  /// Total fraction of rows covered by the MCV list.
+  double mcv_total_frac = 0.0;
+
+  /// Equi-depth histogram over the non-MCV values: bucket boundaries
+  /// b_0 <= b_1 <= ... <= b_k (k buckets each holding ~1/k of the non-MCV
+  /// rows). Empty when all rows are MCVs.
+  std::vector<double> histogram_bounds;
+
+  /// Estimated fraction of table rows with `column op value`, computed
+  /// MCV-first then histogram interpolation; always within [0, 1].
+  double EstimateSelectivity(CmpOp op, double value) const;
+
+  /// Selectivity of `lhs = rhs` for an equi-join against a column with
+  /// `other` stats: 1 / max(V(lhs), V(rhs)) (System-R).
+  double EstimateJoinSelectivity(const ColumnStats& other) const;
+
+  std::string ToString() const;
+
+ private:
+  double EstimateEq(double value) const;
+  double EstimateLess(double value, bool inclusive) const;
+};
+
+/// Scans a column and builds its statistics.
+ColumnStats BuildColumnStats(const Column& column,
+                             const StatsOptions& options = StatsOptions());
+
+}  // namespace hfq
+
+#endif  // HFQ_STATS_HISTOGRAM_H_

@@ -1,0 +1,37 @@
+#include "stats/table_stats.h"
+
+namespace hfq {
+
+Result<StatsCatalog> StatsCatalog::Analyze(const Database& db,
+                                           const StatsOptions& options) {
+  StatsCatalog stats;
+  for (const auto& table_def : db.catalog().tables()) {
+    HFQ_ASSIGN_OR_RETURN(const Table* table, db.GetTable(table_def.name));
+    TableStats ts;
+    ts.num_rows = table->num_rows();
+    for (int32_t c = 0; c < table->num_columns(); ++c) {
+      const auto& col_def = table_def.columns[static_cast<size_t>(c)];
+      ts.columns[col_def.name] = BuildColumnStats(table->column(c), options);
+    }
+    stats.tables_[table_def.name] = std::move(ts);
+  }
+  return stats;
+}
+
+Result<const TableStats*> StatsCatalog::GetTable(
+    const std::string& table) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound("no statistics for table " + table);
+  }
+  return &it->second;
+}
+
+const ColumnStats* StatsCatalog::FindColumn(const std::string& table,
+                                            const std::string& column) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return nullptr;
+  return it->second.FindColumn(column);
+}
+
+}  // namespace hfq

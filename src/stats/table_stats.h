@@ -1,0 +1,46 @@
+// Database-wide statistics: per-table, per-column ColumnStats plus row
+// counts. The product of an ANALYZE pass over a materialized Database.
+#ifndef HFQ_STATS_TABLE_STATS_H_
+#define HFQ_STATS_TABLE_STATS_H_
+
+#include <map>
+#include <string>
+
+#include "stats/histogram.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Statistics for one table.
+struct TableStats {
+  int64_t num_rows = 0;
+  std::map<std::string, ColumnStats> columns;
+
+  const ColumnStats* FindColumn(const std::string& name) const {
+    auto it = columns.find(name);
+    return it == columns.end() ? nullptr : &it->second;
+  }
+};
+
+/// All statistics for one database.
+class StatsCatalog {
+ public:
+  /// Scans every table/column of `db` (ANALYZE).
+  static Result<StatsCatalog> Analyze(
+      const Database& db, const StatsOptions& options = StatsOptions());
+
+  /// Stats for a table, or error if the table was not analyzed.
+  Result<const TableStats*> GetTable(const std::string& table) const;
+
+  /// Stats for a column, or nullptr.
+  const ColumnStats* FindColumn(const std::string& table,
+                                const std::string& column) const;
+
+ private:
+  std::map<std::string, TableStats> tables_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_STATS_TABLE_STATS_H_

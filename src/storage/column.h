@@ -1,0 +1,72 @@
+// Typed in-memory columns. The engine is columnar: a table is a set of
+// equal-length columns.
+#ifndef HFQ_STORAGE_COLUMN_H_
+#define HFQ_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "util/check.h"
+
+namespace hfq {
+
+/// A single materialized column. Only the vector matching `type()` is
+/// populated.
+class Column {
+ public:
+  explicit Column(ColumnType type) : type_(type) {}
+
+  ColumnType type() const { return type_; }
+
+  int64_t size() const {
+    return type_ == ColumnType::kInt64 ? static_cast<int64_t>(ints_.size())
+                                       : static_cast<int64_t>(doubles_.size());
+  }
+
+  void Reserve(int64_t n) {
+    if (type_ == ColumnType::kInt64) {
+      ints_.reserve(static_cast<size_t>(n));
+    } else {
+      doubles_.reserve(static_cast<size_t>(n));
+    }
+  }
+
+  void AppendInt(int64_t v) {
+    HFQ_DCHECK(type_ == ColumnType::kInt64);
+    ints_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    HFQ_DCHECK(type_ == ColumnType::kDouble);
+    doubles_.push_back(v);
+  }
+
+  int64_t GetInt(int64_t row) const {
+    HFQ_DCHECK(type_ == ColumnType::kInt64);
+    return ints_[static_cast<size_t>(row)];
+  }
+  double GetDouble(int64_t row) const {
+    HFQ_DCHECK(type_ == ColumnType::kDouble);
+    return doubles_[static_cast<size_t>(row)];
+  }
+
+  /// Numeric view of any row (int columns widen to double). Used by
+  /// comparison evaluation so predicates work uniformly over both types.
+  double GetNumeric(int64_t row) const {
+    return type_ == ColumnType::kInt64
+               ? static_cast<double>(ints_[static_cast<size_t>(row)])
+               : doubles_[static_cast<size_t>(row)];
+  }
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+
+ private:
+  ColumnType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_STORAGE_COLUMN_H_

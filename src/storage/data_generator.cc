@@ -1,0 +1,103 @@
+#include "storage/data_generator.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+namespace {
+
+// Deterministic value-to-value map used for correlated columns: two rows
+// with equal source values always map to the same derived value.
+int64_t DeriveCorrelated(int64_t source_value, int64_t num_distinct) {
+  uint64_t h = static_cast<uint64_t>(source_value) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<int64_t>(h % static_cast<uint64_t>(num_distinct));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> DataGenerator::Generate(
+    const Catalog& catalog) {
+  auto db = std::make_unique<Database>(&catalog);
+  Rng master(seed_);
+  for (const auto& table_def : catalog.tables()) {
+    // Per-table stream so adding a table never perturbs the others.
+    Rng rng = master.Fork();
+    auto table = std::make_unique<Table>(table_def);
+    const int64_t n = table_def.num_rows;
+    for (size_t ci = 0; ci < table_def.columns.size(); ++ci) {
+      const ColumnDef& col_def = table_def.columns[ci];
+      Column& col = table->column(static_cast<int32_t>(ci));
+      col.Reserve(n);
+      switch (col_def.distribution) {
+        case ValueDistribution::kSerial: {
+          if (col_def.type != ColumnType::kInt64) {
+            return Status::InvalidArgument("serial columns must be int64");
+          }
+          for (int64_t row = 0; row < n; ++row) col.AppendInt(row);
+          break;
+        }
+        case ValueDistribution::kForeignKey: {
+          HFQ_ASSIGN_OR_RETURN(const TableDef* parent,
+                               catalog.GetTable(col_def.ref_table));
+          const int64_t parent_rows = parent->num_rows;
+          if (parent_rows <= 0) {
+            return Status::InvalidArgument("FK into empty table " +
+                                           col_def.ref_table);
+          }
+          for (int64_t row = 0; row < n; ++row) {
+            // Zipf rank 1 = most-referenced parent (parent id 0).
+            int64_t parent_id = col_def.skew > 0.0
+                                    ? rng.Zipf(parent_rows, col_def.skew) - 1
+                                    : rng.UniformInt(0, parent_rows - 1);
+            col.AppendInt(parent_id);
+          }
+          break;
+        }
+        case ValueDistribution::kUniform:
+        case ValueDistribution::kZipf: {
+          const int64_t distinct = std::max<int64_t>(1, col_def.num_distinct);
+          const bool correlated =
+              col_def.correlated_with >= 0 &&
+              col_def.correlated_with < static_cast<int32_t>(ci) &&
+              col_def.correlation_strength > 0.0;
+          const Column* source =
+              correlated ? &table->column(col_def.correlated_with) : nullptr;
+          if (correlated &&
+              source->type() != ColumnType::kInt64) {
+            return Status::InvalidArgument(
+                "correlated source column must be int64");
+          }
+          for (int64_t row = 0; row < n; ++row) {
+            int64_t v;
+            if (correlated && rng.Bernoulli(col_def.correlation_strength)) {
+              v = DeriveCorrelated(source->GetInt(row), distinct);
+            } else if (col_def.distribution == ValueDistribution::kZipf &&
+                       col_def.skew > 0.0) {
+              v = rng.Zipf(distinct, col_def.skew) - 1;
+            } else {
+              v = rng.UniformInt(0, distinct - 1);
+            }
+            if (col_def.type == ColumnType::kInt64) {
+              col.AppendInt(v);
+            } else {
+              // Doubles get a deterministic fractional jitter so values are
+              // non-integral but reproducible.
+              col.AppendDouble(static_cast<double>(v) + 0.5);
+            }
+          }
+          break;
+        }
+      }
+    }
+    HFQ_RETURN_IF_ERROR(table->Seal());
+    HFQ_RETURN_IF_ERROR(db->AddTable(std::move(table)));
+  }
+  HFQ_RETURN_IF_ERROR(db->BuildAllIndexes());
+  return db;
+}
+
+}  // namespace hfq

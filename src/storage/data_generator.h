@@ -1,0 +1,32 @@
+// Materializes synthetic data for a catalog. The generator realizes each
+// column's declared distribution (serial ids, uniform/Zipf categoricals,
+// skewed foreign keys, injected correlations). Determinism: identical
+// (catalog, seed) inputs produce identical databases.
+#ifndef HFQ_STORAGE_DATA_GENERATOR_H_
+#define HFQ_STORAGE_DATA_GENERATOR_H_
+
+#include <memory>
+
+#include "catalog/catalog.h"
+#include "storage/database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Generates a database for `catalog`. Builds all catalog indexes.
+class DataGenerator {
+ public:
+  explicit DataGenerator(uint64_t seed) : seed_(seed) {}
+
+  /// Generates all tables and their indexes. The returned Database keeps a
+  /// pointer to `catalog`, which must outlive it.
+  Result<std::unique_ptr<Database>> Generate(const Catalog& catalog);
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_STORAGE_DATA_GENERATOR_H_

@@ -1,0 +1,46 @@
+#include "storage/database.h"
+
+namespace hfq {
+
+Status Database::AddTable(std::unique_ptr<Table> table) {
+  if (!catalog_->HasTable(table->name())) {
+    return Status::InvalidArgument("table not in catalog: " + table->name());
+  }
+  if (tables_.count(table->name()) > 0) {
+    return Status::AlreadyExists("table already loaded: " + table->name());
+  }
+  tables_[table->name()] = std::move(table);
+  return Status::OK();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not loaded: " + name);
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table not loaded: " + name);
+  }
+  return it->second.get();
+}
+
+Status Database::BuildAllIndexes() {
+  for (const auto& idx : catalog_->indexes()) {
+    HFQ_ASSIGN_OR_RETURN(Table * table, GetMutableTable(idx.table));
+    HFQ_RETURN_IF_ERROR(table->BuildIndex(idx));
+  }
+  return Status::OK();
+}
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& [name, table] : tables_) total += table->num_rows();
+  return total;
+}
+
+}  // namespace hfq

@@ -1,0 +1,42 @@
+// A database: the materialized tables for one catalog.
+#ifndef HFQ_STORAGE_DATABASE_H_
+#define HFQ_STORAGE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Owns all materialized tables. Built by DataGenerator::Generate.
+class Database {
+ public:
+  explicit Database(const Catalog* catalog) : catalog_(catalog) {}
+
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Adds a sealed table; name must be unique and present in the catalog.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Table lookup by name.
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  /// Builds every index registered in the catalog over the loaded data.
+  Status BuildAllIndexes();
+
+  /// Sum of rows over all tables.
+  int64_t TotalRows() const;
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_STORAGE_DATABASE_H_

@@ -1,0 +1,53 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+#include "storage/column.h"
+#include "util/check.h"
+
+namespace hfq {
+
+SortedIndex::SortedIndex(IndexDef def, const Column& column)
+    : TableIndex(std::move(def)) {
+  HFQ_CHECK(column.type() == ColumnType::kInt64);
+  entries_.reserve(static_cast<size_t>(column.size()));
+  for (int64_t row = 0; row < column.size(); ++row) {
+    entries_.emplace_back(column.GetInt(row), row);
+  }
+  std::sort(entries_.begin(), entries_.end());
+}
+
+void SortedIndex::LookupEqual(int64_t key, std::vector<int64_t>* rows) const {
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(),
+                             std::make_pair(key, INT64_MIN));
+  for (auto it = lo; it != entries_.end() && it->first == key; ++it) {
+    rows->push_back(it->second);
+  }
+}
+
+void SortedIndex::LookupRange(int64_t lo, int64_t hi,
+                              std::vector<int64_t>* rows) const {
+  auto begin = std::lower_bound(entries_.begin(), entries_.end(),
+                                std::make_pair(lo, INT64_MIN));
+  for (auto it = begin; it != entries_.end() && it->first <= hi; ++it) {
+    rows->push_back(it->second);
+  }
+}
+
+HashIndex::HashIndex(IndexDef def, const Column& column)
+    : TableIndex(std::move(def)) {
+  HFQ_CHECK(column.type() == ColumnType::kInt64);
+  map_.reserve(static_cast<size_t>(column.size()));
+  for (int64_t row = 0; row < column.size(); ++row) {
+    map_[column.GetInt(row)].push_back(row);
+    ++count_;
+  }
+}
+
+void HashIndex::LookupEqual(int64_t key, std::vector<int64_t>* rows) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  rows->insert(rows->end(), it->second.begin(), it->second.end());
+}
+
+}  // namespace hfq

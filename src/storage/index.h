@@ -1,0 +1,74 @@
+// Secondary indexes over int64 columns: a sorted index (B-tree stand-in,
+// supports point and range lookups) and a hash index (point lookups only).
+#ifndef HFQ_STORAGE_INDEX_H_
+#define HFQ_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace hfq {
+
+class Column;
+
+/// Base class for single-column indexes mapping key -> row ids.
+class TableIndex {
+ public:
+  TableIndex(IndexDef def) : def_(std::move(def)) {}
+  virtual ~TableIndex() = default;
+
+  const IndexDef& def() const { return def_; }
+  IndexKind kind() const { return def_.kind; }
+
+  /// Appends all row ids with column value == key to *rows.
+  virtual void LookupEqual(int64_t key,
+                           std::vector<int64_t>* rows) const = 0;
+
+  /// Number of indexed entries.
+  virtual int64_t size() const = 0;
+
+ private:
+  IndexDef def_;
+};
+
+/// Sorted (key, row) pairs; our B-tree stand-in. Point lookups via binary
+/// search; also supports range scans (used by range predicates).
+class SortedIndex : public TableIndex {
+ public:
+  /// Builds from an int64 column.
+  SortedIndex(IndexDef def, const Column& column);
+
+  void LookupEqual(int64_t key, std::vector<int64_t>* rows) const override;
+
+  /// Appends rows with lo <= value <= hi (either bound may be
+  /// INT64_MIN/INT64_MAX for open ranges).
+  void LookupRange(int64_t lo, int64_t hi, std::vector<int64_t>* rows) const;
+
+  int64_t size() const override {
+    return static_cast<int64_t>(entries_.size());
+  }
+
+ private:
+  std::vector<std::pair<int64_t, int64_t>> entries_;  // (key, row), sorted.
+};
+
+/// Hash index: point lookups only (mirrors Postgres hash indexes).
+class HashIndex : public TableIndex {
+ public:
+  HashIndex(IndexDef def, const Column& column);
+
+  void LookupEqual(int64_t key, std::vector<int64_t>* rows) const override;
+
+  int64_t size() const override { return count_; }
+
+ private:
+  std::unordered_map<int64_t, std::vector<int64_t>> map_;
+  int64_t count_ = 0;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_STORAGE_INDEX_H_

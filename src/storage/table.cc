@@ -1,0 +1,64 @@
+#include "storage/table.h"
+
+namespace hfq {
+
+Table::Table(TableDef def) : def_(std::move(def)) {
+  columns_.reserve(def_.columns.size());
+  for (const auto& col : def_.columns) {
+    columns_.emplace_back(col.type);
+  }
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  int32_t idx = def_.ColumnIndex(name);
+  if (idx < 0) {
+    return Status::NotFound("no column " + name + " in table " + def_.name);
+  }
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Status Table::Seal() {
+  if (columns_.empty()) {
+    return Status::FailedPrecondition("table has no columns: " + def_.name);
+  }
+  int64_t n = columns_[0].size();
+  for (const auto& col : columns_) {
+    if (col.size() != n) {
+      return Status::Internal("ragged columns in table " + def_.name);
+    }
+  }
+  num_rows_ = n;
+  return Status::OK();
+}
+
+Status Table::BuildIndex(const IndexDef& def) {
+  if (num_rows_ < 0) {
+    return Status::FailedPrecondition("table not sealed: " + def_.name);
+  }
+  int32_t col_idx = def_.ColumnIndex(def.column);
+  if (col_idx < 0) {
+    return Status::NotFound("no column " + def.column + " in " + def_.name);
+  }
+  const Column& col = columns_[static_cast<size_t>(col_idx)];
+  if (col.type() != ColumnType::kInt64) {
+    return Status::InvalidArgument("indexes require int64 columns");
+  }
+  if (def.kind == IndexKind::kBTree) {
+    indexes_.push_back(std::make_unique<SortedIndex>(def, col));
+  } else {
+    indexes_.push_back(std::make_unique<HashIndex>(def, col));
+  }
+  return Status::OK();
+}
+
+const TableIndex* Table::FindIndex(const std::string& column,
+                                   IndexKind kind) const {
+  for (const auto& idx : indexes_) {
+    if (idx->def().column == column && idx->def().kind == kind) {
+      return idx.get();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace hfq

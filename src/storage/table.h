@@ -1,0 +1,60 @@
+// A materialized in-memory table: schema + columns + optional indexes.
+#ifndef HFQ_STORAGE_TABLE_H_
+#define HFQ_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/column.h"
+#include "storage/index.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Row-count + columns for one table. Column order matches the TableDef.
+class Table {
+ public:
+  explicit Table(TableDef def);
+
+  const TableDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  int64_t num_rows() const { return num_rows_; }
+
+  /// Column accessors; `idx` follows TableDef column order.
+  Column& column(int32_t idx) { return columns_[static_cast<size_t>(idx)]; }
+  const Column& column(int32_t idx) const {
+    return columns_[static_cast<size_t>(idx)];
+  }
+  int32_t num_columns() const { return static_cast<int32_t>(columns_.size()); }
+
+  /// Looks up a column by name.
+  Result<const Column*> GetColumn(const std::string& name) const;
+
+  /// Called by the generator once all columns are filled; validates equal
+  /// lengths and records the row count.
+  Status Seal();
+
+  /// Builds the given index over this table's data. The table must be
+  /// sealed. Returns the built index (owned by the table).
+  Status BuildIndex(const IndexDef& def);
+
+  /// The built index matching (column, kind), or nullptr.
+  const TableIndex* FindIndex(const std::string& column,
+                              IndexKind kind) const;
+
+  const std::vector<std::unique_ptr<TableIndex>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  TableDef def_;
+  std::vector<Column> columns_;
+  std::vector<std::unique_ptr<TableIndex>> indexes_;
+  int64_t num_rows_ = -1;  // -1 until sealed.
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_STORAGE_TABLE_H_

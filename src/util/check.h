@@ -1,0 +1,31 @@
+// Invariant-checking macros. HFQ_CHECK fires in all build types; it is used
+// for programmer errors (broken invariants), never for data-dependent errors
+// (those return Status).
+#ifndef HFQ_UTIL_CHECK_H_
+#define HFQ_UTIL_CHECK_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#define HFQ_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HFQ_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define HFQ_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "HFQ_CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                   \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define HFQ_DCHECK(cond) assert(cond)
+
+#endif  // HFQ_UTIL_CHECK_H_

@@ -1,0 +1,29 @@
+// Minimal leveled logging to stderr. Benchmarks set the level to suppress
+// per-episode chatter; tests keep the default (warnings only).
+#ifndef HFQ_UTIL_LOGGING_H_
+#define HFQ_UTIL_LOGGING_H_
+
+#include <string>
+
+namespace hfq {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+/// Emits a message (with level prefix) if `level` >= the global level.
+void Log(LogLevel level, const std::string& message);
+
+/// Convenience wrappers.
+void LogDebug(const std::string& message);
+void LogInfo(const std::string& message);
+void LogWarning(const std::string& message);
+void LogError(const std::string& message);
+
+}  // namespace hfq
+
+#endif  // HFQ_UTIL_LOGGING_H_

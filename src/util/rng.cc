@@ -1,0 +1,125 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  HFQ_CHECK(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+double Rng::Normal() {
+  // Box-Muller; draw until u1 is nonzero to avoid log(0).
+  double u1;
+  do {
+    u1 = Uniform();
+  } while (u1 <= 0.0);
+  double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  HFQ_CHECK(n >= 1);
+  HFQ_CHECK(s >= 0.0);
+  if (n == 1) return 1;
+  if (s == 0.0) return UniformInt(1, n);
+  // Rejection-inversion sampling for the Zipf distribution
+  // (Hormann & Derflinger 1996), adapted to 1-based ranks.
+  const double nd = static_cast<double>(n);
+  auto h = [s](double x) {
+    // Antiderivative of x^{-s}.
+    if (s == 1.0) return std::log(x);
+    return (std::pow(x, 1.0 - s) - 1.0) / (1.0 - s);
+  };
+  auto h_inv = [s](double x) {
+    if (s == 1.0) return std::exp(x);
+    return std::pow(1.0 + x * (1.0 - s), 1.0 / (1.0 - s));
+  };
+  const double hx0 = h(0.5) - 1.0;  // h(x0) shifted so rank 1 is covered.
+  const double hn = h(nd + 0.5);
+  for (;;) {
+    double u = Uniform() * (hn - hx0) + hx0;
+    double x = h_inv(u);
+    int64_t k = static_cast<int64_t>(std::floor(x + 0.5));
+    if (k < 1) k = 1;
+    if (k > n) k = n;
+    const double kd = static_cast<double>(k);
+    if (u >= h(kd + 0.5) - std::pow(kd, -s)) {
+      return k;
+    }
+  }
+}
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  HFQ_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    HFQ_CHECK(w >= 0.0);
+    total += w;
+  }
+  HFQ_CHECK(total > 0.0);
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace hfq

@@ -1,0 +1,146 @@
+// Status and Result<T>: exception-free error propagation in the style of
+// RocksDB's Status / Abseil's StatusOr. All fallible public APIs in this
+// library return one of these two types.
+#ifndef HFQ_UTIL_STATUS_H_
+#define HFQ_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hfq {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value. OK statuses carry no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Access to the value of
+/// a failed result aborts in debug builds (checked via assert).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a value.
+};
+
+}  // namespace hfq
+
+/// Propagates a non-OK Status to the caller.
+#define HFQ_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::hfq::Status _hfq_status = (expr);      \
+    if (!_hfq_status.ok()) return _hfq_status; \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error status from the enclosing function.
+#define HFQ_ASSIGN_OR_RETURN(lhs, expr)            \
+  HFQ_ASSIGN_OR_RETURN_IMPL_(                      \
+      HFQ_STATUS_CONCAT_(_hfq_result, __LINE__), lhs, expr)
+#define HFQ_STATUS_CONCAT_INNER_(a, b) a##b
+#define HFQ_STATUS_CONCAT_(a, b) HFQ_STATUS_CONCAT_INNER_(a, b)
+#define HFQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // HFQ_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Wall-clock stopwatch used by the planning-time experiments.
+#ifndef HFQ_UTIL_STOPWATCH_H_
+#define HFQ_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace hfq {
+
+/// Measures elapsed wall time with steady_clock. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_UTIL_STOPWATCH_H_

@@ -1,0 +1,46 @@
+// Small string helpers: printf-style formatting, join/split, etc.
+#ifndef HFQ_UTIL_STRING_UTIL_H_
+#define HFQ_UTIL_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hfq {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins elements with a separator, using operator<< for stringification.
+template <typename Container>
+std::string Join(const Container& parts, const std::string& sep) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) out << sep;
+    out << p;
+    first = false;
+  }
+  return out.str();
+}
+
+/// Splits on a single character; keeps empty tokens.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(const std::string& s);
+
+/// ASCII lowercase copy.
+std::string ToLower(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Formats a double compactly (up to `digits` significant digits).
+std::string FormatDouble(double v, int digits = 4);
+
+}  // namespace hfq
+
+#endif  // HFQ_UTIL_STRING_UTIL_H_

@@ -1,0 +1,261 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace hfq {
+
+WorkloadGenerator::WorkloadGenerator(const Catalog* catalog, uint64_t seed,
+                                     QueryShapeOptions shape,
+                                     const Database* db)
+    : catalog_(catalog), rng_(seed), shape_(shape), db_(db) {
+  HFQ_CHECK(catalog != nullptr);
+  for (const auto& table : catalog_->tables()) {
+    for (const auto& col : table.columns) {
+      if (col.distribution == ValueDistribution::kForeignKey) {
+        edges_.push_back(FkEdge{table.name, col.name, col.ref_table});
+      }
+    }
+  }
+}
+
+Result<Query> WorkloadGenerator::GenerateStructure(int num_relations,
+                                                   const std::string& name,
+                                                   Rng* rng) {
+  if (num_relations < 1) {
+    return Status::InvalidArgument("num_relations must be >= 1");
+  }
+  if (num_relations > kMaxRelations) {
+    return Status::InvalidArgument("num_relations exceeds RelSet capacity");
+  }
+  if (edges_.empty() && num_relations > 1) {
+    return Status::FailedPrecondition("catalog has no foreign keys to join");
+  }
+
+  Query query;
+  query.name = name;
+
+  auto alias_for = [&query](const std::string& table) {
+    int count = 0;
+    for (const auto& rel : query.relations) {
+      if (rel.table == table) ++count;
+    }
+    return count == 0 ? table : table + "_" + std::to_string(count + 1);
+  };
+
+  // Seed relation: favour fact tables (those with FKs) so joins can grow.
+  std::string first;
+  if (num_relations == 1) {
+    const auto& tables = catalog_->tables();
+    first = tables[static_cast<size_t>(rng->UniformInt(
+                       0, static_cast<int64_t>(tables.size()) - 1))]
+                .name;
+  } else {
+    first = rng->Choice(edges_).child_table;
+  }
+  query.relations.push_back(RelationRef{first, alias_for(first)});
+
+  // Grow: pick a relation already present, pick an FK edge touching its
+  // table (either direction), attach the relation on the other end.
+  int attempts = 0;
+  while (query.num_relations() < num_relations) {
+    if (++attempts > 1000) {
+      return Status::Internal("workload generator failed to grow join graph");
+    }
+    int base = static_cast<int>(
+        rng->UniformInt(0, query.num_relations() - 1));
+    const std::string& base_table =
+        query.relations[static_cast<size_t>(base)].table;
+    // Candidate edges incident to base_table.
+    std::vector<const FkEdge*> candidates;
+    for (const auto& e : edges_) {
+      if (e.child_table == base_table || e.parent_table == base_table) {
+        candidates.push_back(&e);
+      }
+    }
+    if (candidates.empty()) continue;
+    const FkEdge& edge = *rng->Choice(candidates);
+    bool base_is_child = edge.child_table == base_table;
+    const std::string& new_table =
+        base_is_child ? edge.parent_table : edge.child_table;
+    std::string alias = alias_for(new_table);
+    query.relations.push_back(RelationRef{new_table, alias});
+    int new_idx = query.num_relations() - 1;
+    JoinPredicate jp;
+    if (base_is_child) {
+      jp.left = ColumnRef{base, edge.child_column};
+      jp.right = ColumnRef{new_idx, "id"};
+    } else {
+      jp.left = ColumnRef{base, "id"};
+      jp.right = ColumnRef{new_idx, edge.child_column};
+    }
+    query.joins.push_back(jp);
+  }
+  return query;
+}
+
+int64_t WorkloadGenerator::SampleLiteral(const std::string& table,
+                                         const ColumnDef& col, Rng* rng,
+                                         int64_t anchor_row) {
+  const int64_t domain = std::max<int64_t>(1, col.num_distinct);
+  if (db_ != nullptr && anchor_row >= 0) {
+    auto t = db_->GetTable(table);
+    if (t.ok() && anchor_row < (*t)->num_rows()) {
+      auto c = (*t)->GetColumn(col.name);
+      if (c.ok() && (*c)->type() == ColumnType::kInt64) {
+        return (*c)->GetInt(anchor_row);
+      }
+    }
+  }
+  (void)rng;
+  return rng->UniformInt(0, std::max<int64_t>(1, domain / 4));
+}
+
+void WorkloadGenerator::AddPredicatesAndAggregates(Query* query, Rng* rng) {
+  for (int rel = 0; rel < query->num_relations(); ++rel) {
+    if (!rng->Bernoulli(shape_.selection_prob)) continue;
+    const auto& rel_ref = query->relations[static_cast<size_t>(rel)];
+    auto table = catalog_->GetTable(rel_ref.table);
+    HFQ_CHECK(table.ok());
+    // Attribute columns only (skip ids and FKs: predicates there are rare
+    // in analytics workloads and make the estimator's life too easy).
+    std::vector<const ColumnDef*> attrs;
+    for (const auto& col : (*table)->columns) {
+      if (col.distribution == ValueDistribution::kUniform ||
+          col.distribution == ValueDistribution::kZipf) {
+        attrs.push_back(&col);
+      }
+    }
+    if (attrs.empty()) continue;
+    // Anchor row: all of this relation's literals come from one real row,
+    // so the relation's conjunction is satisfiable by construction (the way
+    // hand-written benchmark predicates name co-occurring values).
+    int64_t anchor_row = -1;
+    if (db_ != nullptr) {
+      auto t = db_->GetTable(rel_ref.table);
+      if (t.ok() && (*t)->num_rows() > 0) {
+        anchor_row = rng->UniformInt(0, (*t)->num_rows() - 1);
+      }
+    }
+    int num_preds = static_cast<int>(rng->UniformInt(
+        1, std::min<int64_t>(shape_.max_selections_per_relation,
+                             static_cast<int64_t>(attrs.size()))));
+    for (int p = 0; p < num_preds; ++p) {
+      const ColumnDef& col = *attrs[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(attrs.size()) - 1))];
+      SelectionPredicate sel;
+      sel.column = ColumnRef{rel, col.name};
+      int64_t domain = std::max<int64_t>(1, col.num_distinct);
+      // Literals come from the data when available, so predicates match
+      // real rows (JOB predicates name values that exist).
+      int64_t literal = SampleLiteral(rel_ref.table, col, rng, anchor_row);
+      // JOB-style predicate shapes: equality only on small domains (where
+      // one value holds a meaningful row fraction); high-cardinality
+      // columns get range predicates anchored at a data value (a bound at
+      // a random row's value keeps ~uniform(0,1) of the rows).
+      const bool force_range = domain > 30;
+      if (force_range ||
+          (rng->Bernoulli(shape_.range_pred_frac) && domain > 4)) {
+        sel.op = rng->Bernoulli(0.5) ? CmpOp::kLe : CmpOp::kGe;
+        sel.value = Value::Int(literal);
+      } else {
+        sel.op = CmpOp::kEq;
+        sel.value = Value::Int(literal);
+      }
+      query->selections.push_back(sel);
+    }
+  }
+
+  if (rng->Bernoulli(shape_.aggregate_prob)) {
+    AggSpec count_star;
+    count_star.func = AggFunc::kCount;
+    count_star.has_arg = false;
+    query->aggregates.push_back(count_star);
+    if (rng->Bernoulli(shape_.group_by_prob)) {
+      // Group by a low-cardinality attribute of a random relation.
+      int rel = static_cast<int>(
+          rng->UniformInt(0, query->num_relations() - 1));
+      const auto& rel_ref = query->relations[static_cast<size_t>(rel)];
+      auto table = catalog_->GetTable(rel_ref.table);
+      HFQ_CHECK(table.ok());
+      const ColumnDef* best = nullptr;
+      for (const auto& col : (*table)->columns) {
+        if (col.distribution == ValueDistribution::kUniform ||
+            col.distribution == ValueDistribution::kZipf) {
+          if (best == nullptr || col.num_distinct < best->num_distinct) {
+            best = &col;
+          }
+        }
+      }
+      if (best != nullptr) {
+        query->group_by.push_back(ColumnRef{rel, best->name});
+      }
+    }
+  }
+}
+
+Result<Query> WorkloadGenerator::GenerateQuery(int num_relations,
+                                               const std::string& name) {
+  HFQ_ASSIGN_OR_RETURN(Query query,
+                       GenerateStructure(num_relations, name, &rng_));
+  AddPredicatesAndAggregates(&query, &rng_);
+  HFQ_RETURN_IF_ERROR(query.Validate(*catalog_));
+  return query;
+}
+
+Result<std::vector<Query>> WorkloadGenerator::GenerateJobLikeSuite(
+    int families, int variants, int min_relations, int max_relations) {
+  if (min_relations < 2 || max_relations < min_relations) {
+    return Status::InvalidArgument("bad relation-count range");
+  }
+  if (variants < 1 || variants > 26) {
+    return Status::InvalidArgument("variants must be in [1, 26]");
+  }
+  std::vector<Query> suite;
+  const int span = max_relations - min_relations + 1;
+  // Deterministic relation-count spread: stride through the range with a
+  // step coprime to the span, so family sizes cycle over every value.
+  int step = 1;
+  for (int candidate : {5, 7, 3, 11, 9, 13, 2, 1}) {
+    if (candidate < span && std::gcd(candidate, span) == 1) {
+      step = candidate;
+      break;
+    }
+  }
+  for (int f = 1; f <= families; ++f) {
+    int n = min_relations + ((f - 1) * step) % span;
+    // Family structure is fixed across variants: derive a family RNG.
+    uint64_t family_seed = rng_.Next();
+    for (int v = 0; v < variants; ++v) {
+      Rng variant_rng(family_seed);  // Same structure stream per family...
+      std::string name =
+          StrFormat("q%d%c", f, static_cast<char>('a' + v));
+      HFQ_ASSIGN_OR_RETURN(Query query, GenerateStructure(n, name,
+                                                          &variant_rng));
+      // ...but different predicates per variant.
+      Rng pred_rng(family_seed ^ (0x9E37ull * static_cast<uint64_t>(v + 1)));
+      AddPredicatesAndAggregates(&query, &pred_rng);
+      HFQ_RETURN_IF_ERROR(query.Validate(*catalog_));
+      suite.push_back(std::move(query));
+    }
+  }
+  return suite;
+}
+
+Result<std::vector<Query>> WorkloadGenerator::GenerateFixedSizeWorkload(
+    int count, int num_relations, const std::string& prefix) {
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    HFQ_ASSIGN_OR_RETURN(
+        Query q, GenerateQuery(num_relations,
+                               StrFormat("%s%d", prefix.c_str(), i)));
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace hfq

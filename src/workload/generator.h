@@ -1,0 +1,98 @@
+// Workload generation: random connected join queries over the catalog's
+// foreign-key graph. Produces the JOB-like named suite (families x variants,
+// 4-17 relations) used by the figure benches, plus relation-count-controlled
+// workloads for incremental learning (Section 5.3.2 notes real workloads
+// lack low-relation-count queries — the generator can make them to order).
+#ifndef HFQ_WORKLOAD_GENERATOR_H_
+#define HFQ_WORKLOAD_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/query.h"
+#include "storage/database.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Query-shape knobs.
+struct QueryShapeOptions {
+  QueryShapeOptions() {}
+  /// Probability a relation receives a selection predicate.
+  double selection_prob = 0.6;
+  /// Max selections per relation.
+  int max_selections_per_relation = 2;
+  /// Probability the query is an aggregate (COUNT(*) etc.).
+  double aggregate_prob = 0.5;
+  /// Probability an aggregate query also groups.
+  double group_by_prob = 0.4;
+  /// Fraction of selection predicates that are range (vs equality).
+  double range_pred_frac = 0.4;
+};
+
+/// Generates queries over one catalog's FK graph.
+class WorkloadGenerator {
+ public:
+  /// `catalog` (and `db`, when given) must outlive the generator. With a
+  /// database attached, predicate literals are sampled from actual column
+  /// values (the way real benchmark generators draw literals), so
+  /// predicates match real rows and conjunctions stay non-degenerate;
+  /// without one, literals are drawn uniformly from the declared domain.
+  WorkloadGenerator(const Catalog* catalog, uint64_t seed,
+                    QueryShapeOptions shape = QueryShapeOptions(),
+                    const Database* db = nullptr);
+
+  /// One random connected query over exactly `num_relations` relations
+  /// (1 allowed: single-table query). Fails only if the catalog's FK graph
+  /// cannot host the request.
+  Result<Query> GenerateQuery(int num_relations, const std::string& name);
+
+  /// The JOB-like suite: `families` join-structure families, each with
+  /// `variants` predicate variants named "q<f><letter>" (q1a, q1b, ...).
+  /// Family f's relation count cycles deterministically over
+  /// [min_relations, max_relations]. Variants share the family's join
+  /// structure but draw different predicate values.
+  Result<std::vector<Query>> GenerateJobLikeSuite(int families, int variants,
+                                                  int min_relations,
+                                                  int max_relations);
+
+  /// `count` queries all having exactly `num_relations` relations, named
+  /// "<prefix><i>". Used by the relation-count curriculum.
+  Result<std::vector<Query>> GenerateFixedSizeWorkload(
+      int count, int num_relations, const std::string& prefix);
+
+  const QueryShapeOptions& shape() const { return shape_; }
+
+ private:
+  struct FkEdge {
+    std::string child_table;
+    std::string child_column;
+    std::string parent_table;  // joins on parent "id"
+  };
+
+  /// Random connected relation structure (relations + join predicates),
+  /// no selections. Drives both GenerateQuery and family templates.
+  Result<Query> GenerateStructure(int num_relations, const std::string& name,
+                                  Rng* rng);
+
+  /// Adds random selections/aggregates to a structure in place.
+  void AddPredicatesAndAggregates(Query* query, Rng* rng);
+
+  /// Literal for a predicate on `table.column`: the anchor row's value
+  /// when a database is attached (anchor_row >= 0), else uniform over the
+  /// declared domain.
+  int64_t SampleLiteral(const std::string& table, const ColumnDef& col,
+                        Rng* rng, int64_t anchor_row);
+
+  const Catalog* catalog_;
+  Rng rng_;
+  QueryShapeOptions shape_;
+  const Database* db_;
+  std::vector<FkEdge> edges_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,156 @@
+// Tests for src/catalog: catalog bookkeeping and the IMDB-like schema.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "catalog/imdb_like.h"
+
+namespace hfq {
+namespace {
+
+TableDef SimpleTable(const std::string& name) {
+  TableDef t;
+  t.name = name;
+  t.num_rows = 10;
+  ColumnDef id;
+  id.name = "id";
+  id.distribution = ValueDistribution::kSerial;
+  t.columns = {id};
+  return t;
+}
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SimpleTable("t")).ok());
+  EXPECT_TRUE(catalog.HasTable("t"));
+  EXPECT_FALSE(catalog.HasTable("nope"));
+  auto t = catalog.GetTable("t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows, 10);
+  EXPECT_EQ(catalog.GetTable("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, RejectsDuplicatesAndMalformed) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SimpleTable("t")).ok());
+  EXPECT_EQ(catalog.AddTable(SimpleTable("t")).code(),
+            StatusCode::kAlreadyExists);
+  TableDef empty;
+  empty.name = "empty";
+  EXPECT_EQ(catalog.AddTable(empty).code(), StatusCode::kInvalidArgument);
+  TableDef dup = SimpleTable("dup");
+  dup.columns.push_back(dup.columns[0]);
+  EXPECT_EQ(catalog.AddTable(dup).code(), StatusCode::kInvalidArgument);
+  TableDef bad_fk = SimpleTable("bad_fk");
+  ColumnDef fk;
+  fk.name = "ref";
+  fk.distribution = ValueDistribution::kForeignKey;  // No ref_table.
+  bad_fk.columns.push_back(fk);
+  EXPECT_EQ(catalog.AddTable(bad_fk).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CatalogTest, IndexManagement) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.AddTable(SimpleTable("t")).ok());
+  ASSERT_TRUE(
+      catalog.AddIndex(IndexDef{"", "t", "id", IndexKind::kBTree}).ok());
+  EXPECT_NE(catalog.FindIndex("t", "id", IndexKind::kBTree), nullptr);
+  EXPECT_EQ(catalog.FindIndex("t", "id", IndexKind::kHash), nullptr);
+  EXPECT_EQ(catalog.AddIndex(IndexDef{"", "t", "id", IndexKind::kBTree})
+                .code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(catalog.AddIndex(IndexDef{"", "t", "zzz", IndexKind::kHash})
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.AddIndex(IndexDef{"", "nope", "id", IndexKind::kHash})
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(catalog.IndexesOn("t").size(), 1u);
+}
+
+TEST(ImdbLikeTest, SchemaShape) {
+  auto catalog = BuildImdbLikeCatalog(ImdbLikeOptions());
+  ASSERT_TRUE(catalog.ok());
+  // 21 tables, like the Join Order Benchmark's IMDB.
+  EXPECT_EQ(catalog->tables().size(), 21u);
+  EXPECT_TRUE(catalog->HasTable("title"));
+  EXPECT_TRUE(catalog->HasTable("cast_info"));
+  EXPECT_TRUE(catalog->HasTable("movie_info"));
+}
+
+TEST(ImdbLikeTest, ForeignKeysResolve) {
+  auto catalog = BuildImdbLikeCatalog(ImdbLikeOptions());
+  ASSERT_TRUE(catalog.ok());
+  int fk_count = 0;
+  for (const auto& table : catalog->tables()) {
+    for (const auto& col : table.columns) {
+      if (col.distribution == ValueDistribution::kForeignKey) {
+        ++fk_count;
+        EXPECT_TRUE(catalog->HasTable(col.ref_table))
+            << table.name << "." << col.name << " -> " << col.ref_table;
+      }
+    }
+  }
+  EXPECT_GT(fk_count, 15);  // A rich join graph.
+}
+
+TEST(ImdbLikeTest, EveryTableHasPkIndexAndFkIndexes) {
+  auto catalog = BuildImdbLikeCatalog(ImdbLikeOptions());
+  ASSERT_TRUE(catalog.ok());
+  for (const auto& table : catalog->tables()) {
+    EXPECT_NE(catalog->FindIndex(table.name, "id", IndexKind::kBTree),
+              nullptr)
+        << table.name;
+    for (const auto& col : table.columns) {
+      if (col.distribution == ValueDistribution::kForeignKey) {
+        EXPECT_NE(catalog->FindIndex(table.name, col.name, IndexKind::kBTree),
+                  nullptr);
+        EXPECT_NE(catalog->FindIndex(table.name, col.name, IndexKind::kHash),
+                  nullptr);
+      }
+    }
+  }
+}
+
+TEST(ImdbLikeTest, ScaleControlsRowCounts) {
+  ImdbLikeOptions small;
+  small.scale = 0.1;
+  ImdbLikeOptions big;
+  big.scale = 1.0;
+  auto cs = BuildImdbLikeCatalog(small);
+  auto cb = BuildImdbLikeCatalog(big);
+  ASSERT_TRUE(cs.ok() && cb.ok());
+  auto ts = cs->GetTable("title");
+  auto tb = cb->GetTable("title");
+  ASSERT_TRUE(ts.ok() && tb.ok());
+  EXPECT_EQ((*tb)->num_rows, 10 * (*ts)->num_rows);
+  // Dimension tables do not scale.
+  auto ds = cs->GetTable("kind_type");
+  auto dbt = cb->GetTable("kind_type");
+  EXPECT_EQ((*ds)->num_rows, (*dbt)->num_rows);
+}
+
+TEST(ImdbLikeTest, RejectsBadOptions) {
+  ImdbLikeOptions bad;
+  bad.scale = 0.0;
+  EXPECT_FALSE(BuildImdbLikeCatalog(bad).ok());
+  ImdbLikeOptions bad2;
+  bad2.correlation = 1.5;
+  EXPECT_FALSE(BuildImdbLikeCatalog(bad2).ok());
+}
+
+TEST(SchemaTest, TupleWidth) {
+  TableDef t = SimpleTable("t");
+  // 8-byte header + one 8-byte column.
+  EXPECT_EQ(TupleWidthBytes(t), 16);
+}
+
+TEST(SchemaTest, ColumnLookup) {
+  TableDef t = SimpleTable("t");
+  EXPECT_EQ(t.ColumnIndex("id"), 0);
+  EXPECT_EQ(t.ColumnIndex("nope"), -1);
+  EXPECT_NE(t.FindColumn("id"), nullptr);
+  EXPECT_EQ(t.FindColumn("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace hfq

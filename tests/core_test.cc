@@ -1,0 +1,380 @@
+// Tests for src/core: engine wiring, reward signals (including the paper's
+// scaling formula), the full-pipeline environment, expert-episode replay,
+// the three training strategies, and the facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bootstrap.h"
+#include "core/demonstration.h"
+#include "core/full_env.h"
+#include "core/hands_free.h"
+#include "core/incremental.h"
+#include "core/reward.h"
+#include "tests/test_common.h"
+#include "workload/generator.h"
+
+namespace hfq {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  CoreTest()
+      : featurizer_(kN, &testing::SharedEngine().estimator()),
+        cost_reward_(&testing::SharedEngine().cost_model()),
+        env_(&featurizer_, &testing::SharedEngine().expert(),
+             &cost_reward_) {}
+
+  Engine& engine() { return testing::SharedEngine(); }
+
+  Query MakeQuery(int n, uint64_t seed, const std::string& name) {
+    WorkloadGenerator gen(&engine().catalog(), seed);
+    auto q = gen.GenerateQuery(n, name);
+    HFQ_CHECK(q.ok());
+    return std::move(*q);
+  }
+
+  // Random rollout through env_; returns the final plan's cost.
+  double RandomRollout(const Query& q, uint64_t seed) {
+    env_.SetQuery(&q);
+    env_.Reset();
+    Rng rng(seed);
+    while (!env_.Done()) {
+      std::vector<bool> mask = env_.ActionMask();
+      std::vector<int> valid;
+      for (int a = 0; a < env_.action_dim(); ++a) {
+        if (mask[static_cast<size_t>(a)]) valid.push_back(a);
+      }
+      HFQ_CHECK(!valid.empty());
+      env_.Step(rng.Choice(valid));
+    }
+    return env_.FinalPlan()->est_cost;
+  }
+
+  static constexpr int kN = 8;
+  RejoinFeaturizer featurizer_;
+  NegLogCostReward cost_reward_;
+  FullPipelineEnv env_;
+};
+
+TEST_F(CoreTest, EngineWiresEverything) {
+  Engine& e = engine();
+  EXPECT_EQ(e.catalog().tables().size(), 21u);
+  EXPECT_GT(e.db().TotalRows(), 1000);
+  Query q = MakeQuery(4, 100, "engine_q");
+  auto expert = e.RunExpert(q);
+  ASSERT_TRUE(expert.ok());
+  EXPECT_GT(expert->cost, 0.0);
+  EXPECT_GT(expert->latency_ms, 0.0);
+  EXPECT_GT(expert->planning_ms, 0.0);
+}
+
+TEST(RewardTest, ReciprocalCostMatchesPaperForm) {
+  Engine& e = testing::SharedEngine();
+  ReciprocalCostReward reward(&e.cost_model(), 1e5);
+  WorkloadGenerator gen(&e.catalog(), 101);
+  auto q = gen.GenerateQuery(3, "rw1");
+  ASSERT_TRUE(q.ok());
+  auto plan = e.expert().Optimize(*q);
+  ASSERT_TRUE(plan.ok());
+  double r = reward.Score(*q, plan->get());
+  EXPECT_NEAR(r, 1e5 / reward.LastMetric(), 1e-9);
+  EXPECT_GT(reward.LastMetric(), 0.0);
+}
+
+TEST(RewardTest, ScalingFormulaExact) {
+  Engine& e = testing::SharedEngine();
+  ScaledLatencyReward reward(&e.latency(), &e.cost_model());
+  EXPECT_FALSE(reward.calibrated());
+  // Paper example: costs 10-50, latencies 100-200 (seconds there, ms here).
+  reward.Calibrate(10.0, 50.0, 100.0, 200.0);
+  ASSERT_TRUE(reward.calibrated());
+  EXPECT_DOUBLE_EQ(reward.ScaleLatency(100.0), 10.0);
+  EXPECT_DOUBLE_EQ(reward.ScaleLatency(200.0), 50.0);
+  EXPECT_DOUBLE_EQ(reward.ScaleLatency(150.0), 30.0);
+  // Extrapolation beyond the observed band.
+  EXPECT_DOUBLE_EQ(reward.ScaleLatency(300.0), 90.0);
+}
+
+TEST(RewardTest, NegLogRewardsOrderPlansCorrectly) {
+  Engine& e = testing::SharedEngine();
+  WorkloadGenerator gen(&e.catalog(), 102);
+  auto q = gen.GenerateQuery(4, "rw2");
+  ASSERT_TRUE(q.ok());
+  q->aggregates.clear();
+  q->group_by.clear();
+  auto good = e.expert().Optimize(*q);
+  ASSERT_TRUE(good.ok());
+  // A deliberately bad plan: NLJ-only left-deep in arbitrary order.
+  OptimizerOptions bad_opts;
+  bad_opts.enable_hashjoin = false;
+  bad_opts.enable_mergejoin = false;
+  bad_opts.enable_indexnestloop = false;
+  bad_opts.enable_indexscan = false;
+  TraditionalOptimizer bad_opt(&e.catalog(), &e.cost_model(), bad_opts);
+  auto tree = LeftDeepTree({3, 2, 1, 0});
+  auto bad = bad_opt.PhysicalizeJoinTree(*q, *tree);
+  ASSERT_TRUE(bad.ok());
+  NegLogLatencyReward reward(&e.latency(), &e.cost_model());
+  double r_good = reward.Score(*q, good->get());
+  double r_bad = reward.Score(*q, bad->get());
+  EXPECT_GE(r_good, r_bad);
+}
+
+TEST_F(CoreTest, FullEpisodeProducesCompletePlan) {
+  Query q = MakeQuery(5, 103, "full_ep");
+  double cost = RandomRollout(q, 1);
+  EXPECT_GT(cost, 0.0);
+  const PlanNode* plan = env_.FinalPlan();
+  const PlanNode* joins = plan->IsAggregate() ? plan->child(0) : plan;
+  EXPECT_EQ(joins->rels, RelSetAll(5));
+  // Every node annotated.
+  std::vector<const PlanNode*> nodes;
+  plan->CollectNodes(&nodes);
+  for (const PlanNode* node : nodes) {
+    EXPECT_GT(node->est_cost, 0.0) << PhysicalOpName(node->op);
+  }
+}
+
+TEST_F(CoreTest, StagePrefixesReduceEpisodeLength) {
+  Query q = MakeQuery(5, 104, "prefix_ep");
+  auto episode_length = [&](PipelineStages stages) {
+    env_.set_stages(stages);
+    env_.SetQuery(&q);
+    env_.Reset();
+    Rng rng(2);
+    int steps = 0;
+    while (!env_.Done()) {
+      std::vector<bool> mask = env_.ActionMask();
+      std::vector<int> valid;
+      for (int a = 0; a < env_.action_dim(); ++a) {
+        if (mask[static_cast<size_t>(a)]) valid.push_back(a);
+      }
+      env_.Step(rng.Choice(valid));
+      ++steps;
+    }
+    return steps;
+  };
+  int join_only = episode_length(PipelineStages::JoinOrderOnly());
+  int all = episode_length(PipelineStages::All());
+  EXPECT_EQ(join_only, 4);  // n-1 join decisions only.
+  EXPECT_GT(all, join_only);
+  env_.set_stages(PipelineStages::All());
+}
+
+TEST_F(CoreTest, PipelineStagesPrefixHelper) {
+  EXPECT_EQ(PipelineStages::Prefix(1).CountEnabled(), 1);
+  EXPECT_EQ(PipelineStages::Prefix(4).CountEnabled(), 4);
+  EXPECT_TRUE(PipelineStages::Prefix(2).access_paths);
+  EXPECT_FALSE(PipelineStages::Prefix(2).join_operators);
+}
+
+TEST_F(CoreTest, ExpertEpisodeReplaysExpertDecisions) {
+  Query q = MakeQuery(5, 105, "expert_ep");
+  auto expert_plan = engine().expert().Optimize(q);
+  ASSERT_TRUE(expert_plan.ok());
+  auto episode = env_.ExpertEpisode(q, **expert_plan);
+  ASSERT_TRUE(episode.ok()) << episode.status().ToString();
+  EXPECT_FALSE(episode->steps.empty());
+  // The env's final plan must reach the same cost as the expert's plan:
+  // identical join tree + operator decisions imply identical costing.
+  EXPECT_NEAR(env_.FinalPlan()->est_cost, (*expert_plan)->est_cost,
+              1e-6 * (*expert_plan)->est_cost);
+  // Every recorded action was marked valid in its recorded mask.
+  for (const Transition& t : episode->steps) {
+    EXPECT_TRUE(t.mask[static_cast<size_t>(t.action)]);
+  }
+}
+
+TEST_F(CoreTest, AllowCrossProductsInflatesActionSpace) {
+  FullEnvConfig config;
+  config.allow_cross_products = true;
+  FullPipelineEnv wide(&featurizer_, &engine().expert(), &cost_reward_,
+                       config);
+  Query q = MakeQuery(5, 106, "cross_ep");
+  wide.SetQuery(&q);
+  wide.Reset();
+  env_.SetQuery(&q);
+  env_.Reset();
+  auto count_valid = [](const std::vector<bool>& mask) {
+    int n = 0;
+    for (bool b : mask) {
+      if (b) ++n;
+    }
+    return n;
+  };
+  EXPECT_GT(count_valid(wide.ActionMask()), count_valid(env_.ActionMask()));
+}
+
+TEST_F(CoreTest, DemonstrationLearnerLifecycle) {
+  LfdConfig config;
+  config.predictor.hidden_dims = {32};
+  config.pretrain_steps = 150;
+  config.finetune_steps_per_episode = 2;
+  DemonstrationLearner learner(&env_, &engine(), config, 23);
+  std::vector<Query> workload;
+  for (int i = 0; i < 3; ++i) {
+    workload.push_back(
+        MakeQuery(4, 200 + static_cast<uint64_t>(i), "lfd" + std::to_string(i)));
+  }
+  auto collected = learner.CollectDemonstrations(workload);
+  ASSERT_TRUE(collected.ok());
+  EXPECT_GT(*collected, 0);
+  double loss = learner.Pretrain();
+  EXPECT_GE(loss, 0.0);
+  for (int e = 0; e < 6; ++e) {
+    LfdEpisodeStats stats =
+        learner.FineTuneEpisode(workload[static_cast<size_t>(e) % 3]);
+    EXPECT_GT(stats.latency_ms, 0.0);
+  }
+  EXPECT_EQ(learner.episodes_run(), 6);
+  double eval = learner.EvaluateQuery(workload[0]);
+  EXPECT_GT(eval, 0.0);
+}
+
+TEST_F(CoreTest, PretrainedPredictorTracksExpertLatencies) {
+  // After pre-training, predictions on expert states should correlate with
+  // the recorded targets (mean abs error well under the target spread).
+  LfdConfig config;
+  config.predictor.hidden_dims = {32};
+  config.pretrain_steps = 600;
+  DemonstrationLearner learner(&env_, &engine(), config, 29);
+  std::vector<Query> workload;
+  for (int i = 0; i < 6; ++i) {
+    workload.push_back(MakeQuery(4, 300 + static_cast<uint64_t>(i),
+                                 "lfdp" + std::to_string(i)));
+  }
+  ASSERT_TRUE(learner.CollectDemonstrations(workload).ok());
+  learner.Pretrain();
+  EXPECT_LT(learner.predictor().EvaluateError(128), 1.0);
+}
+
+TEST_F(CoreTest, BootstrapPhasesAndCalibration) {
+  BootstrapConfig config;
+  config.pg.hidden_dims = {32};
+  config.switch_mode = BootstrapSwitchMode::kScaled;
+  BootstrapTrainer trainer(&env_, &engine(), config, 31);
+  std::vector<Query> workload = {MakeQuery(4, 400, "bs1"),
+                                 MakeQuery(5, 401, "bs2")};
+  int phase1_count = 0, phase2_count = 0;
+  trainer.RunPhase1(workload, 24, [&](const BootstrapEpisodeStats& s) {
+    EXPECT_EQ(s.phase, 1);
+    EXPECT_GT(s.cost, 0.0);
+    EXPECT_GT(s.latency_ms, 0.0);
+    ++phase1_count;
+  });
+  EXPECT_EQ(phase1_count, 24);
+  trainer.SwitchToPhase2();
+  EXPECT_TRUE(trainer.scaled_reward().calibrated());
+  trainer.RunPhase2(workload, 12, [&](const BootstrapEpisodeStats& s) {
+    EXPECT_EQ(s.phase, 2);
+    ++phase2_count;
+  });
+  EXPECT_EQ(phase2_count, 12);
+}
+
+TEST_F(CoreTest, BootstrapUnscaledModeSkipsCalibration) {
+  BootstrapConfig config;
+  config.pg.hidden_dims = {16};
+  config.switch_mode = BootstrapSwitchMode::kUnscaled;
+  BootstrapTrainer trainer(&env_, &engine(), config, 37);
+  std::vector<Query> workload = {MakeQuery(4, 402, "bs3")};
+  trainer.RunPhase1(workload, 8);
+  trainer.SwitchToPhase2();
+  EXPECT_FALSE(trainer.scaled_reward().calibrated());
+  trainer.RunPhase2(workload, 4);
+}
+
+TEST(CurriculumTest, BuildsExpectedShapes) {
+  auto flat = BuildCurriculum(CurriculumKind::kFlat, 100, 8);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat[0].episodes, 100);
+  EXPECT_EQ(flat[0].stages.CountEnabled(), 4);
+
+  auto pipeline = BuildCurriculum(CurriculumKind::kPipeline, 100, 8);
+  ASSERT_EQ(pipeline.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(pipeline[i].stages.CountEnabled(), static_cast<int>(i) + 1);
+    EXPECT_EQ(pipeline[i].max_relations, 8);
+  }
+
+  auto relations = BuildCurriculum(CurriculumKind::kRelations, 100, 8);
+  ASSERT_EQ(relations.size(), 7u);  // n = 2..8.
+  for (size_t i = 0; i < relations.size(); ++i) {
+    EXPECT_EQ(relations[i].max_relations, static_cast<int>(i) + 2);
+    EXPECT_EQ(relations[i].stages.CountEnabled(), 4);
+  }
+
+  auto hybrid = BuildCurriculum(CurriculumKind::kHybrid, 100, 8);
+  ASSERT_GE(hybrid.size(), 4u);
+  EXPECT_EQ(hybrid[0].stages.CountEnabled(), 1);
+  EXPECT_LE(hybrid[0].max_relations, 3);
+  EXPECT_EQ(hybrid.back().stages.CountEnabled(), 4);
+  EXPECT_EQ(hybrid.back().max_relations, 8);
+}
+
+TEST_F(CoreTest, IncrementalTrainerRunsAllPhases) {
+  WorkloadGenerator gen(&engine().catalog(), 500);
+  PolicyGradientConfig pg;
+  pg.hidden_dims = {32};
+  IncrementalTrainer trainer(&env_, &gen, pg, 4, 41);
+  std::vector<CurriculumPhase> phases =
+      BuildCurriculum(CurriculumKind::kPipeline, 24, 5);
+  std::set<int> phases_seen;
+  Status status =
+      trainer.Run(phases, /*queries_per_phase=*/4,
+                  [&](const CurriculumEpisodeStats& s) {
+                    phases_seen.insert(s.phase_index);
+                  });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(phases_seen.size(), 4u);
+  env_.set_stages(PipelineStages::All());
+}
+
+TEST(HandsFreeTest, FacadeTrainsAndOptimizes) {
+  Engine& e = testing::SharedEngine();
+  WorkloadGenerator gen(&e.catalog(), 600);
+  std::vector<Query> workload;
+  for (int i = 0; i < 4; ++i) {
+    auto q = gen.GenerateQuery(4, "hf" + std::to_string(i));
+    ASSERT_TRUE(q.ok());
+    workload.push_back(std::move(*q));
+  }
+  HandsFreeConfig config;
+  config.strategy = TrainingStrategy::kLearningFromDemonstration;
+  config.max_relations = 8;
+  config.training_episodes = 20;
+  config.lfd.pretrain_steps = 100;
+  HandsFreeOptimizer optimizer(&e, config);
+  // Optimize before Train fails cleanly.
+  EXPECT_EQ(optimizer.Optimize(workload[0]).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(optimizer.Train(workload).ok());
+  double planning_ms = -1.0;
+  auto plan = optimizer.Optimize(workload[0], &planning_ms);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_GE(planning_ms, 0.0);
+  auto comparison = optimizer.Compare(workload[1]);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_GT(comparison->expert_latency_ms, 0.0);
+  EXPECT_GT(comparison->learned_latency_ms, 0.0);
+}
+
+TEST(HandsFreeTest, RejectsOversizedQueries) {
+  Engine& e = testing::SharedEngine();
+  WorkloadGenerator gen(&e.catalog(), 601);
+  auto small = gen.GenerateQuery(3, "small");
+  auto big = gen.GenerateQuery(7, "big");
+  ASSERT_TRUE(small.ok() && big.ok());
+  HandsFreeConfig config;
+  config.strategy = TrainingStrategy::kCostModelBootstrapping;
+  config.max_relations = 5;
+  config.training_episodes = 8;
+  HandsFreeOptimizer optimizer(&e, config);
+  ASSERT_TRUE(optimizer.Train({*small}).ok());
+  EXPECT_EQ(optimizer.Optimize(*big).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,0 +1,308 @@
+// Tests for src/exec: operator correctness on MicroDb (known answers),
+// operator-equivalence properties (every join algorithm returns the same
+// multiset), aggregation, resource guards, and the latency simulator.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "exec/latency_model.h"
+#include "stats/truth_oracle.h"
+#include "tests/test_common.h"
+
+namespace hfq {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  ExecTest() : executor_(micro_.db.get()) {}
+
+  // Builds parent-join-child with the given join operator; child outer.
+  PlanNodePtr JoinPlan(PhysicalOp op, std::vector<int> child_sels = {},
+                       std::vector<int> parent_sels = {}) {
+    PlanNodePtr child_scan = MakeSeqScan(1, std::move(child_sels));
+    PlanNodePtr parent_scan = MakeSeqScan(0, std::move(parent_sels));
+    int probe = op == PhysicalOp::kIndexNestedLoopJoin ? 0 : -1;
+    return MakeJoin(op, std::move(child_scan), std::move(parent_scan), {0},
+                    probe);
+  }
+
+  testing::MicroDb micro_;
+  Executor executor_;
+};
+
+TEST_F(ExecTest, SeqScanCounts) {
+  Query q = micro_.JoinQuery("exec_scan");
+  q.selections.push_back(
+      SelectionPredicate{ColumnRef{1, "v"}, CmpOp::kEq, Value::Int(2)});
+  auto scan = MakeSeqScan(1, {0});
+  auto result = executor_.Execute(q, *scan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output_rows, 10);  // v = id % 4 == 2.
+}
+
+TEST_F(ExecTest, IndexScanEqualsSeqScan) {
+  Query q = micro_.JoinQuery("exec_idx");
+  q.selections.push_back(
+      SelectionPredicate{ColumnRef{1, "pid"}, CmpOp::kEq, Value::Int(4)});
+  auto seq = MakeSeqScan(1, {0});
+  auto idx = MakeIndexScan(1, IndexKind::kHash, "pid", 0, {});
+  auto r1 = executor_.Execute(q, *seq);
+  auto r2 = executor_.Execute(q, *idx);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->output_rows, 4);
+  EXPECT_EQ(r2->output_rows, 4);
+}
+
+TEST_F(ExecTest, BtreeIndexServesRangePredicates) {
+  Query q = micro_.JoinQuery("exec_range");
+  q.selections.push_back(
+      SelectionPredicate{ColumnRef{1, "v"}, CmpOp::kGe, Value::Int(2)});
+  auto idx = MakeIndexScan(1, IndexKind::kBTree, "v", 0, {});
+  auto result = executor_.Execute(q, *idx);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output_rows, 20);  // v in {2, 3}.
+}
+
+TEST_F(ExecTest, HashIndexRejectsRangePredicate) {
+  Query q = micro_.JoinQuery("exec_badrange");
+  q.selections.push_back(
+      SelectionPredicate{ColumnRef{1, "pid"}, CmpOp::kLt, Value::Int(4)});
+  auto idx = MakeIndexScan(1, IndexKind::kHash, "pid", 0, {});
+  EXPECT_FALSE(executor_.Execute(q, *idx).ok());
+}
+
+TEST_F(ExecTest, AllJoinOperatorsAgree) {
+  Query q = micro_.JoinQuery("exec_join_ops");
+  for (PhysicalOp op :
+       {PhysicalOp::kHashJoin, PhysicalOp::kNestedLoopJoin,
+        PhysicalOp::kMergeJoin, PhysicalOp::kIndexNestedLoopJoin}) {
+    auto plan = JoinPlan(op);
+    auto result = executor_.Execute(q, *plan);
+    ASSERT_TRUE(result.ok()) << PhysicalOpName(op) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->join_rows, 40) << PhysicalOpName(op);
+  }
+}
+
+TEST_F(ExecTest, JoinWithSelectionsAgrees) {
+  Query q = micro_.JoinQuery("exec_join_sel");
+  q.selections.push_back(
+      SelectionPredicate{ColumnRef{0, "attr"}, CmpOp::kEq, Value::Int(2)});
+  q.selections.push_back(
+      SelectionPredicate{ColumnRef{1, "v"}, CmpOp::kLt, Value::Int(2)});
+  // parents {2, 7}; children with v in {0, 1} and pid in {2, 7}:
+  // pid = id % 10, v = id % 4 -> children ids {2*? } enumerate: ids with
+  // id%10 in {2,7} are 2,7,12,17,22,27,32,37; of those v=id%4<2 keeps
+  // 12(v0),17(v1),32(v0),37(v1) and 2 rejected? id=2 -> v=2 no;
+  // id=7 -> v=3 no; id=22 -> v=2 no; id=27 -> v=3 no. So 4 rows.
+  for (PhysicalOp op :
+       {PhysicalOp::kHashJoin, PhysicalOp::kNestedLoopJoin,
+        PhysicalOp::kMergeJoin, PhysicalOp::kIndexNestedLoopJoin}) {
+    auto plan = JoinPlan(op, {1}, {0});
+    auto result = executor_.Execute(q, *plan);
+    ASSERT_TRUE(result.ok()) << PhysicalOpName(op);
+    EXPECT_EQ(result->join_rows, 4) << PhysicalOpName(op);
+  }
+}
+
+TEST_F(ExecTest, CrossProductViaHashJoinDegenerate) {
+  Query q;
+  q.name = "exec_cross";
+  q.relations = {RelationRef{"parent", "p1"}, RelationRef{"parent", "p2"}};
+  auto plan = MakeJoin(PhysicalOp::kHashJoin, MakeSeqScan(0, {}),
+                       MakeSeqScan(1, {}), {});
+  auto result = executor_.Execute(q, *plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->join_rows, 100);
+}
+
+TEST_F(ExecTest, SelfJoinCorrect) {
+  Query q;
+  q.name = "exec_self";
+  q.relations = {RelationRef{"child", "c1"}, RelationRef{"child", "c2"}};
+  q.joins.push_back(JoinPredicate{ColumnRef{0, "pid"}, ColumnRef{1, "pid"}});
+  auto plan = MakeJoin(PhysicalOp::kHashJoin, MakeSeqScan(0, {}),
+                       MakeSeqScan(1, {}), {0});
+  auto result = executor_.Execute(q, *plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->join_rows, 160);  // 10 pids x 4 x 4.
+}
+
+TEST_F(ExecTest, MultiPredicateJoin) {
+  // Join on pid AND v-vs-attr: child.pid = parent.id AND child.v =
+  // parent.attr.
+  Query q;
+  q.name = "exec_multi_pred";
+  q.relations = {RelationRef{"child", "c"}, RelationRef{"parent", "p"}};
+  q.joins.push_back(JoinPredicate{ColumnRef{0, "pid"}, ColumnRef{1, "id"}});
+  q.joins.push_back(JoinPredicate{ColumnRef{0, "v"}, ColumnRef{1, "attr"}});
+  int64_t expected = 0;  // Brute-force reference.
+  for (int64_t c = 0; c < 40; ++c) {
+    int64_t pid = c % 10, v = c % 4;
+    if (pid < 10 && v == pid % 5) ++expected;
+  }
+  for (PhysicalOp op : {PhysicalOp::kHashJoin, PhysicalOp::kNestedLoopJoin,
+                        PhysicalOp::kMergeJoin}) {
+    auto plan = MakeJoin(op, MakeSeqScan(0, {}), MakeSeqScan(1, {}), {0, 1});
+    auto result = executor_.Execute(q, *plan);
+    ASSERT_TRUE(result.ok()) << PhysicalOpName(op);
+    EXPECT_EQ(result->join_rows, expected) << PhysicalOpName(op);
+  }
+}
+
+TEST_F(ExecTest, AggregationCorrectness) {
+  Query q = micro_.JoinQuery("exec_agg");
+  q.group_by.push_back(ColumnRef{0, "attr"});
+  AggSpec count_star;
+  count_star.func = AggFunc::kCount;
+  AggSpec sum_v;
+  sum_v.func = AggFunc::kSum;
+  sum_v.has_arg = true;
+  sum_v.arg = ColumnRef{1, "v"};
+  AggSpec min_id;
+  min_id.func = AggFunc::kMin;
+  min_id.has_arg = true;
+  min_id.arg = ColumnRef{1, "id"};
+  q.aggregates = {count_star, sum_v, min_id};
+  auto plan = MakeAggregate(PhysicalOp::kHashAggregate,
+                            JoinPlan(PhysicalOp::kHashJoin));
+  auto result = executor_.Execute(q, *plan);
+  ASSERT_TRUE(result.ok());
+  // attr = parent.id % 5 -> 5 groups, each with 2 parents x 4 children = 8.
+  ASSERT_EQ(result->agg_rows.size(), 5u);
+  for (const AggRow& row : result->agg_rows) {
+    EXPECT_DOUBLE_EQ(row.agg_values[0], 8.0);
+  }
+  // Group attr=0 covers parents {0, 5}; children ids {0,5,10,15,20,25,30,
+  // 35}; min id = 0; sum v = sum(id % 4) = 0+1+2+3+0+1+2+3 = 12.
+  const AggRow& g0 = result->agg_rows[0];
+  EXPECT_DOUBLE_EQ(g0.group_keys[0], 0.0);
+  EXPECT_DOUBLE_EQ(g0.agg_values[1], 12.0);
+  EXPECT_DOUBLE_EQ(g0.agg_values[2], 0.0);
+}
+
+TEST_F(ExecTest, AvgAggregation) {
+  Query q;
+  q.name = "exec_avg";
+  q.relations = {RelationRef{"child", "c"}};
+  AggSpec avg_v;
+  avg_v.func = AggFunc::kAvg;
+  avg_v.has_arg = true;
+  avg_v.arg = ColumnRef{0, "v"};
+  q.aggregates = {avg_v};
+  auto plan = MakeAggregate(PhysicalOp::kSortAggregate, MakeSeqScan(0, {}));
+  auto result = executor_.Execute(q, *plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->agg_rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result->agg_rows[0].agg_values[0], 1.5);  // mean of 0..3.
+}
+
+TEST_F(ExecTest, IntermediateCapTriggers) {
+  ExecOptions options;
+  options.max_intermediate_tuples = 50;
+  Executor bounded(micro_.db.get(), options);
+  Query q;
+  q.name = "exec_cap";
+  q.relations = {RelationRef{"child", "c1"}, RelationRef{"child", "c2"}};
+  auto plan = MakeJoin(PhysicalOp::kNestedLoopJoin, MakeSeqScan(0, {}),
+                       MakeSeqScan(1, {}), {});
+  auto result = bounded.Execute(q, *plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ExecTest, NodeOutputRowsRecorded) {
+  Query q = micro_.JoinQuery("exec_counts");
+  auto plan = JoinPlan(PhysicalOp::kHashJoin);
+  auto result = executor_.Execute(q, *plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->node_output_rows.at(plan.get()), 40);
+  EXPECT_EQ(result->node_output_rows.at(plan->child(0)), 40);
+  EXPECT_EQ(result->node_output_rows.at(plan->child(1)), 10);
+}
+
+// --- Latency simulator ---
+
+class LatencyTest : public ::testing::Test {
+ protected:
+  LatencyTest()
+      : oracle_(micro_.db.get()),
+        sim_(&micro_.catalog, &oracle_, NoiselessParams()) {}
+
+  static LatencyParams NoiselessParams() {
+    LatencyParams p;
+    p.noise_sigma = 0.0;
+    return p;
+  }
+
+  testing::MicroDb micro_;
+  TrueCardinalityOracle oracle_;
+  LatencySimulator sim_;
+};
+
+TEST_F(LatencyTest, DeterministicAndPositive) {
+  Query q = micro_.JoinQuery("lat_det");
+  auto plan = MakeJoin(PhysicalOp::kHashJoin, MakeSeqScan(1, {}),
+                       MakeSeqScan(0, {}), {0});
+  double a = sim_.SimulateMs(q, *plan);
+  double b = sim_.SimulateMs(q, *plan);
+  EXPECT_GT(a, 0.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(LatencyTest, CatastrophicPlansCostMore) {
+  // Cross product of child x child then filter-join vs direct join.
+  Query q;
+  q.name = "lat_cat";
+  q.relations = {RelationRef{"child", "c1"}, RelationRef{"child", "c2"}};
+  q.joins.push_back(JoinPredicate{ColumnRef{0, "pid"}, ColumnRef{1, "pid"}});
+  auto good = MakeJoin(PhysicalOp::kHashJoin, MakeSeqScan(0, {}),
+                       MakeSeqScan(1, {}), {0});
+  auto bad = MakeJoin(PhysicalOp::kNestedLoopJoin, MakeSeqScan(0, {}),
+                      MakeSeqScan(1, {}), {0});
+  EXPECT_LT(sim_.SimulateMs(q, *good), sim_.SimulateMs(q, *bad));
+}
+
+TEST_F(LatencyTest, NoiseIsDeterministicPerPlan) {
+  LatencyParams noisy;
+  noisy.noise_sigma = 0.1;
+  LatencySimulator sim(&micro_.catalog, &oracle_, noisy);
+  Query q = micro_.JoinQuery("lat_noise");
+  auto plan = MakeJoin(PhysicalOp::kHashJoin, MakeSeqScan(1, {}),
+                       MakeSeqScan(0, {}), {0});
+  EXPECT_EQ(sim.SimulateMs(q, *plan), sim.SimulateMs(q, *plan));
+  // A different operator draws different noise and different work.
+  auto other = MakeJoin(PhysicalOp::kMergeJoin, MakeSeqScan(1, {}),
+                        MakeSeqScan(0, {}), {0});
+  EXPECT_NE(sim.SimulateMs(q, *plan), sim.SimulateMs(q, *other));
+}
+
+TEST_F(LatencyTest, SimulatorDisagreesWithCostModelOrdering) {
+  // The paper's premise: cost(model) and latency rank some plan pairs
+  // differently. Verify such a pair exists in the shared engine by
+  // scanning a few queries (cost-optimal plan != latency-optimal plan for
+  // at least one operator substitution).
+  Engine& engine = testing::SharedEngine();
+  Query q;
+  q.name = "lat_vs_cost";
+  q.relations = {RelationRef{"cast_info", "ci"}, RelationRef{"title", "t"}};
+  q.joins.push_back(
+      JoinPredicate{ColumnRef{0, "movie_id"}, ColumnRef{1, "id"}});
+  auto hash = MakeJoin(PhysicalOp::kHashJoin, MakeSeqScan(0, {}),
+                       MakeSeqScan(1, {}), {0});
+  auto inlj = MakeJoin(PhysicalOp::kIndexNestedLoopJoin, MakeSeqScan(0, {}),
+                       MakeSeqScan(1, {}), {0}, 0);
+  double hash_cost = engine.cost_model().Annotate(q, hash.get());
+  double inlj_cost = engine.cost_model().Annotate(q, inlj.get());
+  double hash_lat = engine.latency().SimulateMs(q, *hash);
+  double inlj_lat = engine.latency().SimulateMs(q, *inlj);
+  // Both metrics are positive; the *ratios* must differ substantially
+  // (random pages are relatively cheaper in the simulator).
+  double cost_ratio = inlj_cost / hash_cost;
+  double lat_ratio = inlj_lat / hash_lat;
+  EXPECT_GT(cost_ratio / lat_ratio, 1.5)
+      << "cost model should over-penalize index nested loops relative to "
+         "the latency simulator";
+}
+
+}  // namespace
+}  // namespace hfq

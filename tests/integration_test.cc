@@ -1,0 +1,213 @@
+// Cross-module integration & property tests:
+//  * the oracle's closed-form counts match real execution, per plan node,
+//    over a sweep of random queries and operators (the substitution-
+//    validity test DESIGN.md promises);
+//  * expert plans execute correctly end to end;
+//  * parsed SQL round-trips through optimization and execution.
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "sql/parser.h"
+#include "tests/test_common.h"
+#include "workload/generator.h"
+
+namespace hfq {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  Engine& engine() { return testing::SharedEngine(); }
+};
+
+// Property: for random small queries, every node of the expert plan
+// produces exactly oracle.Rows(rels) tuples when actually executed.
+// (IndexNestedLoopJoin inner scans are virtual and carry no count.)
+class OracleVsExecutionTest : public IntegrationTest,
+                              public ::testing::WithParamInterface<int> {};
+
+TEST_P(OracleVsExecutionTest, NodeCardinalitiesMatch) {
+  const int seed = GetParam();
+  WorkloadGenerator gen(&engine().catalog(),
+                        static_cast<uint64_t>(seed) * 1000 + 7);
+  auto q = gen.GenerateQuery(3 + seed % 3, "ivx" + std::to_string(seed));
+  ASSERT_TRUE(q.ok());
+  q->aggregates.clear();
+  q->group_by.clear();
+  auto plan = engine().expert().Optimize(*q);
+  ASSERT_TRUE(plan.ok());
+  Executor executor(&engine().db());
+  auto result = executor.Execute(*q, **plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString() << "\n"
+                           << (*plan)->ToString(*q);
+  for (const auto& [node, rows] : result->node_output_rows) {
+    double oracle_rows = engine().oracle().Rows(*q, node->rels);
+    EXPECT_DOUBLE_EQ(static_cast<double>(rows), oracle_rows)
+        << "node " << PhysicalOpName(node->op) << " in\n"
+        << (*plan)->ToString(*q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OracleVsExecutionTest,
+                         ::testing::Range(0, 12));
+
+// Property: all four join operators, forced one at a time over the same
+// expert join order, execute to identical row counts.
+class OperatorEquivalenceTest : public IntegrationTest,
+                                public ::testing::WithParamInterface<int> {};
+
+TEST_P(OperatorEquivalenceTest, ForcedOperatorsAgree) {
+  const int seed = GetParam();
+  WorkloadGenerator gen(&engine().catalog(),
+                        static_cast<uint64_t>(seed) * 2000 + 3);
+  auto q = gen.GenerateQuery(3, "ope" + std::to_string(seed));
+  ASSERT_TRUE(q.ok());
+  q->aggregates.clear();
+  q->group_by.clear();
+  Executor executor(&engine().db());
+  int64_t reference = -1;
+  for (bool hash_only : {true, false}) {
+    OptimizerOptions options;
+    options.enable_indexscan = false;
+    if (hash_only) {
+      options.enable_mergejoin = false;
+      options.enable_nestloop = false;
+      options.enable_indexnestloop = false;
+    } else {
+      options.enable_hashjoin = false;
+      options.enable_indexnestloop = false;
+    }
+    TraditionalOptimizer opt(&engine().catalog(), &engine().cost_model(),
+                             options);
+    auto plan = opt.Optimize(*q);
+    ASSERT_TRUE(plan.ok());
+    auto result = executor.Execute(*q, **plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (reference < 0) {
+      reference = result->join_rows;
+    } else {
+      EXPECT_EQ(result->join_rows, reference);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OperatorEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+TEST_F(IntegrationTest, SqlToExecutionPipeline) {
+  auto q = ParseSql(
+      "SELECT count(*) FROM title t, cast_info ci "
+      "WHERE ci.movie_id = t.id AND t.production_year < 20",
+      engine().catalog(), "sql_e2e");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto plan = engine().expert().Optimize(*q);
+  ASSERT_TRUE(plan.ok());
+  Executor executor(&engine().db());
+  auto result = executor.Execute(*q, **plan);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->agg_rows.size(), 1u);
+  // COUNT(*) equals the oracle's full-join cardinality.
+  EXPECT_DOUBLE_EQ(result->agg_rows[0].agg_values[0],
+                   engine().oracle().Rows(*q, RelSetAll(2)));
+}
+
+TEST_F(IntegrationTest, GroupByExecutionMatchesOracleGroups) {
+  auto q = ParseSql(
+      "SELECT t.kind_id, count(*) FROM title t, movie_keyword mk "
+      "WHERE mk.movie_id = t.id GROUP BY t.kind_id",
+      engine().catalog(), "sql_groups");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  auto plan = engine().expert().Optimize(*q);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE((*plan)->IsAggregate());
+  Executor executor(&engine().db());
+  auto result = executor.Execute(*q, **plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->agg_rows.size(), 0u);
+  EXPECT_LE(static_cast<double>(result->agg_rows.size()),
+            engine().oracle().GroupRows(*q));
+  // Group counts sum to the join cardinality.
+  double total = 0.0;
+  for (const AggRow& row : result->agg_rows) total += row.agg_values[0];
+  EXPECT_DOUBLE_EQ(total, engine().oracle().Rows(*q, RelSetAll(2)));
+}
+
+TEST_F(IntegrationTest, LatencySimulatorRanksCatastrophicPlans) {
+  // A forced bad join order (cross-product-heavy) must simulate slower
+  // than the expert plan on the same query.
+  WorkloadGenerator gen(&engine().catalog(), 909);
+  auto q = gen.GenerateQuery(5, "cat_plan");
+  ASSERT_TRUE(q.ok());
+  q->aggregates.clear();
+  q->group_by.clear();
+  auto good = engine().expert().Optimize(*q);
+  ASSERT_TRUE(good.ok());
+  // Adversarial order: reversed relation indices, NLJ only.
+  OptimizerOptions bad_opts;
+  bad_opts.enable_hashjoin = false;
+  bad_opts.enable_mergejoin = false;
+  bad_opts.enable_indexnestloop = false;
+  bad_opts.enable_indexscan = false;
+  TraditionalOptimizer bad_opt(&engine().catalog(), &engine().cost_model(),
+                               bad_opts);
+  std::vector<int> reversed;
+  for (int i = q->num_relations() - 1; i >= 0; --i) reversed.push_back(i);
+  auto bad = bad_opt.PhysicalizeJoinTree(*q, *LeftDeepTree(reversed));
+  ASSERT_TRUE(bad.ok());
+  double good_ms = engine().latency().SimulateMs(*q, **good);
+  double bad_ms = engine().latency().SimulateMs(*q, **bad);
+  EXPECT_LT(good_ms, bad_ms);
+}
+
+TEST_F(IntegrationTest, EstimatorQErrorsGrowWithJoinCount) {
+  // The classic Leis et al. observation reproduced on our data: q-errors
+  // of the estimator compound as joins stack up. Selections are kept light
+  // so deep queries still have non-empty results at test scale.
+  QueryShapeOptions shape;
+  shape.selection_prob = 0.3;
+  shape.max_selections_per_relation = 1;
+  WorkloadGenerator gen(&engine().catalog(), 911, shape);
+  auto mean_q_error = [&](int rels, int samples) {
+    double total = 0.0;
+    int counted = 0;
+    for (int i = 0; i < samples; ++i) {
+      auto q = gen.GenerateQuery(
+          rels, "qe" + std::to_string(rels) + "_" + std::to_string(i));
+      HFQ_CHECK(q.ok());
+      double truth = engine().oracle().Rows(*q, RelSetAll(rels));
+      double est = engine().estimator().Rows(*q, RelSetAll(rels));
+      if (truth <= 0.0) continue;  // Empty results have no q-error.
+      total += std::max(truth / std::max(est, 1e-9), est / truth);
+      ++counted;
+    }
+    HFQ_CHECK_MSG(counted >= samples / 2, "too many empty-result queries");
+    return total / counted;
+  };
+  double small = mean_q_error(2, 16);
+  double large = mean_q_error(6, 16);
+  EXPECT_GT(large, small);
+  EXPECT_GT(large, 2.0);  // Deep joins: substantial estimation error.
+}
+
+TEST_F(IntegrationTest, DifferentCostModelsSameExecutionResults) {
+  // Plans picked under estimated vs true cardinalities may differ, but
+  // both must execute to the same result cardinality (correctness is
+  // plan-invariant).
+  WorkloadGenerator gen(&engine().catalog(), 913);
+  auto q = gen.GenerateQuery(4, "cm_invariance");
+  ASSERT_TRUE(q.ok());
+  q->aggregates.clear();
+  q->group_by.clear();
+  TraditionalOptimizer true_expert(&engine().catalog(),
+                                   &engine().true_cost_model());
+  auto plan_est = engine().expert().Optimize(*q);
+  auto plan_true = true_expert.Optimize(*q);
+  ASSERT_TRUE(plan_est.ok() && plan_true.ok());
+  Executor executor(&engine().db());
+  auto r1 = executor.Execute(*q, **plan_est);
+  auto r2 = executor.Execute(*q, **plan_true);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->join_rows, r2->join_rows);
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,0 +1,388 @@
+// Tests for src/nn: matrix algebra against naive references, finite-
+// difference gradient checks through the full MLP, optimizer convergence,
+// loss gradients, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace hfq {
+namespace {
+
+Matrix NaiveMatmul(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < a.cols(); ++k) acc += a.At(i, k) * b.At(k, j);
+      out.At(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix RandomMatrix(int64_t r, int64_t c, Rng* rng) {
+  Matrix m(r, c);
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Normal();
+  return m;
+}
+
+TEST(MatrixTest, MatmulMatchesNaive) {
+  Rng rng(1);
+  Matrix a = RandomMatrix(5, 7, &rng);
+  Matrix b = RandomMatrix(7, 3, &rng);
+  Matrix got = Matmul(a, b);
+  Matrix want = NaiveMatmul(a, b);
+  for (int64_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, MatmulTransposedVariants) {
+  Rng rng(2);
+  Matrix a = RandomMatrix(6, 4, &rng);
+  Matrix b = RandomMatrix(6, 5, &rng);
+  // a^T * b == naive(transpose(a), b)
+  Matrix at(4, 6);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 4; ++j) at.At(j, i) = a.At(i, j);
+  }
+  Matrix got = MatmulTransA(a, b);
+  Matrix want = NaiveMatmul(at, b);
+  for (int64_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got.data()[i], want.data()[i], 1e-12);
+  }
+  // a * b^T
+  Matrix c = RandomMatrix(3, 4, &rng);
+  Matrix bt(4, 3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) bt.At(j, i) = c.At(i, j);
+  }
+  Matrix got2 = MatmulTransB(a, c);  // (6x4) * (3x4)^T -> 6x3
+  Matrix want2 = NaiveMatmul(a, bt);
+  for (int64_t i = 0; i < got2.size(); ++i) {
+    EXPECT_NEAR(got2.data()[i], want2.data()[i], 1e-12);
+  }
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix a = Matrix::Constant(2, 2, 3.0);
+  Matrix b = Matrix::Constant(2, 2, 2.0);
+  a.Add(b);
+  EXPECT_EQ(a.At(0, 0), 5.0);
+  a.Axpy(0.5, b);
+  EXPECT_EQ(a.At(1, 1), 6.0);
+  a.Hadamard(b);
+  EXPECT_EQ(a.At(0, 1), 12.0);
+  a.Scale(0.5);
+  EXPECT_EQ(a.At(1, 0), 6.0);
+  EXPECT_EQ(a.Sum(), 24.0);
+  EXPECT_EQ(Matrix::Constant(1, 2, 3.0).SquaredNorm(), 18.0);
+}
+
+TEST(MatrixTest, ColumnSumAndRowBroadcast) {
+  Matrix m(2, 3);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<double>(i);
+  }
+  Matrix cs = ColumnSum(m);
+  EXPECT_EQ(cs.At(0, 0), 3.0);  // 0 + 3
+  EXPECT_EQ(cs.At(0, 2), 7.0);  // 2 + 5
+  Matrix row = Matrix::RowVector({1.0, 1.0, 1.0});
+  AddRowVectorInPlace(&m, row);
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(1, 2), 6.0);
+}
+
+TEST(SoftmaxTest, RowsSumToOneAndStable) {
+  Matrix logits(2, 3);
+  logits.At(0, 0) = 1000.0;  // Numerical stability probe.
+  logits.At(0, 1) = 1000.0;
+  logits.At(0, 2) = -1000.0;
+  logits.At(1, 0) = 0.0;
+  logits.At(1, 1) = 1.0;
+  logits.At(1, 2) = 2.0;
+  Matrix p = Softmax(logits);
+  for (int64_t r = 0; r < 2; ++r) {
+    double total = 0.0;
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_GE(p.At(r, c), 0.0);
+      total += p.At(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+  EXPECT_NEAR(p.At(0, 0), 0.5, 1e-6);
+  EXPECT_LT(p.At(1, 0), p.At(1, 2));
+}
+
+// Finite-difference gradient check through a 2-hidden-layer MLP with MSE.
+TEST(MlpGradientTest, BackpropMatchesFiniteDifferences) {
+  Rng rng(5);
+  MlpConfig config;
+  config.input_dim = 4;
+  config.hidden_dims = {6, 5};
+  config.output_dim = 3;
+  config.activation = Activation::kTanh;  // Smooth: finite diffs behave.
+  Mlp mlp(config, &rng);
+
+  Matrix x = RandomMatrix(2, 4, &rng);
+  Matrix target = RandomMatrix(2, 3, &rng);
+
+  auto loss_fn = [&]() {
+    Matrix pred = mlp.Forward(x);
+    Matrix grad;
+    return MseLoss(pred, target, &grad);
+  };
+
+  // Analytic gradients.
+  mlp.ZeroGrads();
+  Matrix pred = mlp.Forward(x);
+  Matrix grad;
+  MseLoss(pred, target, &grad);
+  mlp.Backward(grad);
+
+  auto params = mlp.Params();
+  auto grads = mlp.Grads();
+  const double eps = 1e-6;
+  int checked = 0;
+  for (size_t p = 0; p < params.size(); ++p) {
+    // Spot-check a handful of coordinates per parameter matrix.
+    for (int64_t k = 0; k < params[p]->size();
+         k += std::max<int64_t>(1, params[p]->size() / 5)) {
+      double orig = params[p]->data()[k];
+      params[p]->data()[k] = orig + eps;
+      double up = loss_fn();
+      params[p]->data()[k] = orig - eps;
+      double down = loss_fn();
+      params[p]->data()[k] = orig;
+      double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR(grads[p]->data()[k], numeric, 1e-5)
+          << "param " << p << " index " << k;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(MlpGradientTest, CrossEntropyGradientMatchesFiniteDifferences) {
+  Rng rng(6);
+  MlpConfig config;
+  config.input_dim = 3;
+  config.hidden_dims = {8};
+  config.output_dim = 4;
+  config.activation = Activation::kTanh;
+  Mlp mlp(config, &rng);
+  Matrix x = RandomMatrix(3, 3, &rng);
+  std::vector<int> targets = {1, 3, 0};
+  std::vector<double> weights = {1.0, 0.5, 2.0};
+
+  auto loss_fn = [&]() {
+    Matrix logits = mlp.Forward(x);
+    Matrix grad;
+    return SoftmaxCrossEntropyLoss(logits, targets, weights, &grad);
+  };
+
+  mlp.ZeroGrads();
+  Matrix logits = mlp.Forward(x);
+  Matrix grad;
+  SoftmaxCrossEntropyLoss(logits, targets, weights, &grad);
+  mlp.Backward(grad);
+
+  auto params = mlp.Params();
+  auto grads = mlp.Grads();
+  const double eps = 1e-6;
+  for (size_t p = 0; p < params.size(); ++p) {
+    for (int64_t k = 0; k < params[p]->size();
+         k += std::max<int64_t>(1, params[p]->size() / 4)) {
+      double orig = params[p]->data()[k];
+      params[p]->data()[k] = orig + eps;
+      double up = loss_fn();
+      params[p]->data()[k] = orig - eps;
+      double down = loss_fn();
+      params[p]->data()[k] = orig;
+      EXPECT_NEAR(grads[p]->data()[k], (up - down) / (2.0 * eps), 1e-5);
+    }
+  }
+}
+
+TEST(LossTest, HuberMatchesMseInQuadraticRegion) {
+  Matrix pred = Matrix::RowVector({1.0, 2.0});
+  Matrix target = Matrix::RowVector({1.2, 1.9});
+  Matrix g1, g2;
+  double mse = MseLoss(pred, target, &g1);
+  double huber = HuberLoss(pred, target, 10.0, &g2);
+  EXPECT_NEAR(huber, mse / 2.0, 1e-12);  // Huber = 0.5 * squared error.
+}
+
+TEST(LossTest, HuberLinearTails) {
+  Matrix pred = Matrix::RowVector({100.0});
+  Matrix target = Matrix::RowVector({0.0});
+  Matrix g;
+  double loss = HuberLoss(pred, target, 1.0, &g);
+  EXPECT_NEAR(loss, 99.5, 1e-9);
+  EXPECT_NEAR(g.At(0, 0), 1.0, 1e-12);  // Clamped gradient.
+}
+
+TEST(LossTest, EntropyMaximalForUniform) {
+  Matrix uniform = Matrix::RowVector({1.0, 1.0, 1.0, 1.0});
+  Matrix peaked = Matrix::RowVector({10.0, 0.0, 0.0, 0.0});
+  Matrix g;
+  double h_uniform = SoftmaxEntropy(uniform, 0.01, &g);
+  double h_peaked = SoftmaxEntropy(peaked, 0.01, &g);
+  EXPECT_NEAR(h_uniform, std::log(4.0), 1e-9);
+  EXPECT_LT(h_peaked, h_uniform);
+}
+
+TEST(OptimizerTest, SgdFitsLinearRegression) {
+  Rng rng(8);
+  MlpConfig config;
+  config.input_dim = 1;
+  config.hidden_dims = {};
+  config.output_dim = 1;
+  Mlp mlp(config, &rng);
+  Sgd sgd(0.05, 0.9);
+  // Fit y = 2x + 1.
+  for (int step = 0; step < 500; ++step) {
+    double xv = rng.Uniform(-1.0, 1.0);
+    Matrix x = Matrix::RowVector({xv});
+    Matrix y = Matrix::RowVector({2.0 * xv + 1.0});
+    mlp.ZeroGrads();
+    Matrix pred = mlp.Forward(x);
+    Matrix grad;
+    MseLoss(pred, y, &grad);
+    mlp.Backward(grad);
+    sgd.Step(mlp.Params(), mlp.Grads());
+  }
+  Matrix pred = mlp.Forward(Matrix::RowVector({0.5}));
+  EXPECT_NEAR(pred.At(0, 0), 2.0, 0.05);
+}
+
+TEST(OptimizerTest, AdamFitsNonlinearFunction) {
+  Rng rng(9);
+  MlpConfig config;
+  config.input_dim = 1;
+  config.hidden_dims = {16, 16};
+  config.output_dim = 1;
+  Mlp mlp(config, &rng);
+  Adam adam(3e-3);
+  // Fit y = x^2 on [-1, 1].
+  double final_loss = 1.0;
+  for (int step = 0; step < 2000; ++step) {
+    Matrix x(8, 1), y(8, 1);
+    for (int i = 0; i < 8; ++i) {
+      double xv = rng.Uniform(-1.0, 1.0);
+      x.At(i, 0) = xv;
+      y.At(i, 0) = xv * xv;
+    }
+    mlp.ZeroGrads();
+    Matrix pred = mlp.Forward(x);
+    Matrix grad;
+    final_loss = MseLoss(pred, y, &grad);
+    mlp.Backward(grad);
+    adam.Step(mlp.Params(), mlp.Grads());
+  }
+  EXPECT_LT(final_loss, 0.01);
+}
+
+TEST(OptimizerTest, GradientClippingBoundsNorm) {
+  Matrix g1 = Matrix::Constant(2, 2, 10.0);
+  Matrix g2 = Matrix::Constant(1, 2, -10.0);
+  std::vector<Matrix*> grads = {&g1, &g2};
+  double before = ClipGradientsByGlobalNorm(grads, 1.0);
+  EXPECT_GT(before, 1.0);
+  double total = g1.SquaredNorm() + g2.SquaredNorm();
+  EXPECT_NEAR(std::sqrt(total), 1.0, 1e-9);
+}
+
+TEST(MlpTest, SerializationRoundTrip) {
+  Rng rng(10);
+  MlpConfig config;
+  config.input_dim = 5;
+  config.hidden_dims = {7, 3};
+  config.output_dim = 2;
+  config.activation = Activation::kRelu;
+  Mlp mlp(config, &rng);
+  Matrix x = RandomMatrix(1, 5, &rng);
+  Matrix before = mlp.Forward(x);
+
+  std::stringstream ss;
+  ASSERT_TRUE(mlp.Save(ss).ok());
+  auto loaded = Mlp::Load(ss);
+  ASSERT_TRUE(loaded.ok());
+  Matrix after = loaded->Forward(x);
+  for (int64_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before.data()[i], after.data()[i], 1e-12);
+  }
+}
+
+TEST(MlpTest, LoadRejectsGarbage) {
+  std::stringstream ss("not-an-mlp 1 2 3");
+  EXPECT_FALSE(Mlp::Load(ss).ok());
+}
+
+TEST(MlpTest, CopyAndSoftUpdate) {
+  Rng rng(11);
+  MlpConfig config;
+  config.input_dim = 3;
+  config.hidden_dims = {4};
+  config.output_dim = 2;
+  config.activation = Activation::kTanh;  // No dead-ReLU plateaus.
+  Mlp a(config, &rng);
+  Mlp b(config, &rng);
+  b.CopyWeightsFrom(a);
+  Matrix x = RandomMatrix(3, 3, &rng);
+  Matrix ya = a.Forward(x);
+  Matrix yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.size(); ++i) {
+    EXPECT_EQ(ya.data()[i], yb.data()[i]);
+  }
+  // Soft update toward a third network moves outputs.
+  Mlp c(config, &rng);
+  b.SoftUpdateFrom(c, 0.5);
+  Matrix yb2 = b.Forward(x);
+  bool changed = false;
+  for (int64_t i = 0; i < yb.size(); ++i) {
+    if (yb.data()[i] != yb2.data()[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(MlpTest, TransferMatchingWeightsCopiesTail) {
+  Rng rng(12);
+  MlpConfig big;
+  big.input_dim = 10;
+  big.hidden_dims = {8, 6};
+  big.output_dim = 2;
+  MlpConfig small;
+  small.input_dim = 4;  // Different featurization...
+  small.hidden_dims = {8, 6};
+  small.output_dim = 2;  // ...same later layers.
+  Mlp src(big, &rng);
+  Mlp dst(small, &rng);
+  int64_t copied = dst.TransferMatchingWeightsFrom(src);
+  // Matching from the output end: out W+b, hidden2 W+b, and hidden1's bias
+  // (1x8) all match — 5 matrices. The input weight matrix differs in shape
+  // (10x8 vs 4x8) and must not be copied.
+  EXPECT_EQ(copied, 5);
+}
+
+TEST(MlpTest, ParameterCountMatchesArchitecture) {
+  Rng rng(13);
+  MlpConfig config;
+  config.input_dim = 4;
+  config.hidden_dims = {8};
+  config.output_dim = 3;
+  Mlp mlp(config, &rng);
+  // (4*8 + 8) + (8*3 + 3) = 40 + 27 = 67.
+  EXPECT_EQ(mlp.ParameterCount(), 67);
+}
+
+}  // namespace
+}  // namespace hfq

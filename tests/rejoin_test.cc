@@ -1,0 +1,220 @@
+// Tests for src/rejoin: featurization properties, the join-order MDP's
+// transition/mask semantics, and short-horizon training improvement.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/reward.h"
+#include "rejoin/join_env.h"
+#include "rejoin/rejoin.h"
+#include "tests/test_common.h"
+#include "workload/generator.h"
+
+namespace hfq {
+namespace {
+
+class RejoinTest : public ::testing::Test {
+ protected:
+  RejoinTest()
+      : featurizer_(kN, &testing::SharedEngine().estimator()),
+        reward_fn_([this](const Query& q, const JoinTreeNode& tree) {
+          auto plan =
+              testing::SharedEngine().expert().PhysicalizeJoinTree(q, tree);
+          HFQ_CHECK(plan.ok());
+          return 1e5 / std::max(1.0, (*plan)->est_cost);
+        }),
+        env_(&featurizer_, reward_fn_) {}
+
+  Query MakeQuery(int n, uint64_t seed, const std::string& name) {
+    WorkloadGenerator gen(&testing::SharedEngine().catalog(), seed);
+    auto q = gen.GenerateQuery(n, name);
+    HFQ_CHECK(q.ok());
+    return std::move(*q);
+  }
+
+  static constexpr int kN = 8;
+  RejoinFeaturizer featurizer_;
+  JoinRewardFn reward_fn_;
+  JoinOrderEnv env_;
+};
+
+TEST_F(RejoinTest, FeatureDimAndStaticBlocks) {
+  EXPECT_EQ(featurizer_.FeatureDim(), 2 * kN * kN + 3 * kN);
+  Query q = MakeQuery(4, 1, "feat1");
+  env_.SetQuery(&q);
+  env_.Reset();
+  std::vector<double> f = env_.StateVector();
+  ASSERT_EQ(static_cast<int>(f.size()), featurizer_.FeatureDim());
+  // Initial state: each leaf subtree s contains only relation s at depth 0
+  // -> tree block is the identity scaled by 1.
+  for (int s = 0; s < 4; ++s) {
+    for (int r = 0; r < kN; ++r) {
+      double expected = (s == r) ? 1.0 : 0.0;
+      EXPECT_DOUBLE_EQ(f[static_cast<size_t>(s * kN + r)], expected);
+    }
+  }
+  // Adjacency block symmetric, matches join count * 2.
+  double adj_sum = 0.0;
+  for (int i = 0; i < kN * kN; ++i) {
+    adj_sum += f[static_cast<size_t>(kN * kN + i)];
+  }
+  EXPECT_DOUBLE_EQ(adj_sum, 2.0 * static_cast<double>(q.joins.size()));
+}
+
+TEST_F(RejoinTest, DepthWeightedTreeEncoding) {
+  Query q = MakeQuery(4, 2, "feat2");
+  env_.SetQuery(&q);
+  env_.Reset();
+  // Join subtrees 0 and 1 (if valid, else first valid pair).
+  std::vector<bool> mask = env_.ActionMask();
+  int action = -1;
+  for (int a = 0; a < env_.action_dim(); ++a) {
+    if (mask[static_cast<size_t>(a)]) {
+      action = a;
+      break;
+    }
+  }
+  ASSERT_GE(action, 0);
+  auto [x, y] = env_.DecodeAction(action);
+  env_.Step(action);
+  std::vector<double> f = env_.StateVector();
+  // The merged tree sits at slot min(x, y); both relations are at depth 1
+  // -> encoded as 1/2.
+  int slot = std::min(x, y);
+  int count_half = 0;
+  for (int r = 0; r < kN; ++r) {
+    if (f[static_cast<size_t>(slot * kN + r)] == 0.5) ++count_half;
+  }
+  EXPECT_EQ(count_half, 2);
+}
+
+TEST_F(RejoinTest, MaskAllowsOnlyConnectedPairs) {
+  Query q = MakeQuery(5, 3, "mask1");
+  env_.SetQuery(&q);
+  env_.Reset();
+  std::vector<bool> mask = env_.ActionMask();
+  auto subtrees = env_.Subtrees();
+  for (int a = 0; a < env_.action_dim(); ++a) {
+    if (!mask[static_cast<size_t>(a)]) continue;
+    auto [x, y] = env_.DecodeAction(a);
+    ASSERT_LT(static_cast<size_t>(x), subtrees.size());
+    ASSERT_LT(static_cast<size_t>(y), subtrees.size());
+    EXPECT_NE(x, y);
+    EXPECT_FALSE(q.JoinPredsBetween(subtrees[static_cast<size_t>(x)]->rels,
+                                    subtrees[static_cast<size_t>(y)]->rels)
+                     .empty())
+        << "masked-in action joins disconnected subtrees";
+  }
+}
+
+TEST_F(RejoinTest, CrossProductsAllowedWhenConfigured) {
+  JoinEnvConfig config;
+  config.allow_cross_products = true;
+  JoinOrderEnv env(&featurizer_, reward_fn_, config);
+  Query q = MakeQuery(4, 4, "mask2");
+  env.SetQuery(&q);
+  env.Reset();
+  std::vector<bool> mask = env.ActionMask();
+  int valid = 0;
+  for (int a = 0; a < env.action_dim(); ++a) {
+    if (mask[static_cast<size_t>(a)]) ++valid;
+  }
+  // Every ordered pair of the 4 subtrees: 4*3 = 12.
+  EXPECT_EQ(valid, 12);
+}
+
+TEST_F(RejoinTest, EpisodeBuildsCompleteTree) {
+  Query q = MakeQuery(6, 5, "ep1");
+  env_.SetQuery(&q);
+  env_.Reset();
+  Rng rng(1);
+  int steps = 0;
+  double final_reward = 0.0;
+  while (!env_.Done()) {
+    std::vector<bool> mask = env_.ActionMask();
+    std::vector<int> valid;
+    for (int a = 0; a < env_.action_dim(); ++a) {
+      if (mask[static_cast<size_t>(a)]) valid.push_back(a);
+    }
+    ASSERT_FALSE(valid.empty());
+    StepResult r = env_.Step(rng.Choice(valid));
+    final_reward = r.reward;
+    ++steps;
+  }
+  EXPECT_EQ(steps, 5);  // n-1 joins.
+  EXPECT_GT(final_reward, 0.0);
+  const JoinTreeNode* tree = env_.FinalTree();
+  EXPECT_EQ(tree->rels, RelSetAll(6));
+  EXPECT_EQ(tree->NumJoins(), 5);
+}
+
+TEST_F(RejoinTest, TrainerImprovesOverRandomBaseline) {
+  // Short ReJOIN training on two fixed queries must beat the mean random-
+  // policy reward on those queries (sanity check of the learning loop; the
+  // full convergence claim lives in the Fig 3a bench).
+  std::vector<Query> workload;
+  workload.push_back(MakeQuery(5, 6, "train_a"));
+  workload.push_back(MakeQuery(6, 7, "train_b"));
+
+  // Random baseline.
+  Rng rng(3);
+  double random_total = 0.0;
+  int random_episodes = 0;
+  for (int e = 0; e < 40; ++e) {
+    const Query& q = workload[static_cast<size_t>(e) % workload.size()];
+    env_.SetQuery(&q);
+    env_.Reset();
+    double reward = 0.0;
+    while (!env_.Done()) {
+      std::vector<bool> mask = env_.ActionMask();
+      std::vector<int> valid;
+      for (int a = 0; a < env_.action_dim(); ++a) {
+        if (mask[static_cast<size_t>(a)]) valid.push_back(a);
+      }
+      reward = env_.Step(rng.Choice(valid)).reward;
+    }
+    random_total += reward;
+    ++random_episodes;
+  }
+  double random_mean = random_total / random_episodes;
+
+  RejoinConfig config;
+  config.pg.hidden_dims = {32, 32};
+  config.pg.policy_lr = 2e-3;
+  RejoinTrainer trainer(&env_, config, 17);
+  trainer.Train(workload, 400);
+
+  double trained_total = 0.0;
+  for (const Query& q : workload) {
+    RejoinEpisodeStats stats = trainer.RunEpisode(q, /*train=*/false);
+    trained_total += stats.reward;
+  }
+  double trained_mean = trained_total / static_cast<double>(workload.size());
+  EXPECT_GT(trained_mean, random_mean);
+}
+
+TEST_F(RejoinTest, PlanIsDeterministicAndTimed) {
+  Query q = MakeQuery(6, 8, "plan1");
+  RejoinConfig config;
+  config.pg.hidden_dims = {16};
+  RejoinTrainer trainer(&env_, config, 19);
+  trainer.Train({q}, 40);
+  double ms1 = -1.0, ms2 = -1.0;
+  auto t1 = trainer.Plan(q, &ms1);
+  auto t2 = trainer.Plan(q, &ms2);
+  EXPECT_EQ(t1->ToString(q), t2->ToString(q));
+  EXPECT_GE(ms1, 0.0);
+  EXPECT_GE(ms2, 0.0);
+  EXPECT_EQ(t1->rels, RelSetAll(6));
+}
+
+TEST_F(RejoinTest, SingleRelationEpisodeIsTrivial) {
+  Query q = MakeQuery(1, 9, "single");
+  env_.SetQuery(&q);
+  env_.Reset();
+  EXPECT_TRUE(env_.Done());
+  EXPECT_EQ(env_.FinalTree()->rels, RelSetOf(0));
+}
+
+}  // namespace
+}  // namespace hfq

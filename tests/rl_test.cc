@@ -1,0 +1,257 @@
+// Tests for src/rl: the policy-gradient agent and reward predictor must
+// solve small closed-form tasks; replay buffer and schedules behave.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/env.h"
+#include "rl/policy_gradient.h"
+#include "rl/replay.h"
+#include "rl/reward_predictor.h"
+#include "rl/schedule.h"
+
+namespace hfq {
+namespace {
+
+// A 4-armed bandit: arm 2 pays 1.0, others pay 0.1. One-step episodes.
+class BanditEnv : public Environment {
+ public:
+  void Reset() override { done_ = false; }
+  int state_dim() const override { return 2; }
+  int action_dim() const override { return 4; }
+  std::vector<double> StateVector() const override { return {1.0, 0.0}; }
+  std::vector<bool> ActionMask() const override {
+    return {true, true, true, true};
+  }
+  StepResult Step(int action) override {
+    done_ = true;
+    return {action == 2 ? 1.0 : 0.1, true};
+  }
+  bool Done() const override { return done_; }
+
+ private:
+  bool done_ = true;
+};
+
+// Two-step corridor: action 0 = "left", 1 = "right"; reward 1 only for
+// (right, left). Tests credit assignment over multiple steps.
+class CorridorEnv : public Environment {
+ public:
+  void Reset() override { step_ = 0; }
+  int state_dim() const override { return 3; }
+  int action_dim() const override { return 2; }
+  std::vector<double> StateVector() const override {
+    std::vector<double> s(3, 0.0);
+    s[static_cast<size_t>(step_)] = 1.0;
+    return s;
+  }
+  std::vector<bool> ActionMask() const override { return {true, true}; }
+  StepResult Step(int action) override {
+    history_[static_cast<size_t>(step_)] = action;
+    ++step_;
+    if (step_ == 2) {
+      double reward = (history_[0] == 1 && history_[1] == 0) ? 1.0 : 0.0;
+      return {reward, true};
+    }
+    return {0.0, false};
+  }
+  bool Done() const override { return step_ >= 2; }
+
+ private:
+  int step_ = 2;
+  int history_[2] = {0, 0};
+};
+
+Episode RunEpisode(Environment* env, PolicyGradientAgent* agent) {
+  env->Reset();
+  Episode episode;
+  while (!env->Done()) {
+    Transition t;
+    t.state = env->StateVector();
+    t.mask = env->ActionMask();
+    t.action = agent->SampleAction(t.state, t.mask, &t.old_prob);
+    StepResult result = env->Step(t.action);
+    t.reward = result.reward;
+    episode.steps.push_back(std::move(t));
+  }
+  return episode;
+}
+
+TEST(PolicyGradientTest, SolvesBandit) {
+  BanditEnv env;
+  PolicyGradientConfig config;
+  config.hidden_dims = {16};
+  config.policy_lr = 5e-3;
+  PolicyGradientAgent agent(env.state_dim(), env.action_dim(), config, 3);
+  for (int round = 0; round < 120; ++round) {
+    std::vector<Episode> batch;
+    for (int e = 0; e < 8; ++e) batch.push_back(RunEpisode(&env, &agent));
+    agent.Update(batch);
+  }
+  env.Reset();
+  int greedy = agent.GreedyAction(env.StateVector(), env.ActionMask());
+  EXPECT_EQ(greedy, 2);
+  auto probs = agent.ActionProbabilities(env.StateVector(), env.ActionMask());
+  EXPECT_GT(probs[2], 0.6);
+}
+
+TEST(PolicyGradientTest, SolvesCorridor) {
+  CorridorEnv env;
+  PolicyGradientConfig config;
+  config.hidden_dims = {16};
+  config.policy_lr = 5e-3;
+  PolicyGradientAgent agent(env.state_dim(), env.action_dim(), config, 5);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<Episode> batch;
+    for (int e = 0; e < 8; ++e) batch.push_back(RunEpisode(&env, &agent));
+    agent.Update(batch);
+  }
+  env.Reset();
+  int first = agent.GreedyAction(env.StateVector(), env.ActionMask());
+  env.Step(first);
+  int second = agent.GreedyAction(env.StateVector(), env.ActionMask());
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);
+}
+
+TEST(PolicyGradientTest, MaskZeroesInvalidActions) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {8};
+  PolicyGradientAgent agent(2, 4, config, 7);
+  std::vector<double> state = {0.3, -0.5};
+  std::vector<bool> mask = {false, true, false, true};
+  auto probs = agent.ActionProbabilities(state, mask);
+  EXPECT_EQ(probs[0], 0.0);
+  EXPECT_EQ(probs[2], 0.0);
+  EXPECT_NEAR(probs[1] + probs[3], 1.0, 1e-9);
+  for (int i = 0; i < 50; ++i) {
+    int a = agent.SampleAction(state, mask);
+    EXPECT_TRUE(a == 1 || a == 3);
+  }
+  int g = agent.GreedyAction(state, mask);
+  EXPECT_TRUE(g == 1 || g == 3);
+}
+
+TEST(PolicyGradientTest, BehaviourCloningImitates) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {16};
+  config.policy_lr = 1e-2;
+  PolicyGradientAgent agent(2, 3, config, 9);
+  // Expert: state (1,0) -> action 0; state (0,1) -> action 2.
+  std::vector<Transition> batch;
+  for (int i = 0; i < 8; ++i) {
+    Transition a;
+    a.state = {1.0, 0.0};
+    a.mask = {true, true, true};
+    a.action = 0;
+    batch.push_back(a);
+    Transition b;
+    b.state = {0.0, 1.0};
+    b.mask = {true, true, true};
+    b.action = 2;
+    batch.push_back(b);
+  }
+  double first_loss = agent.BehaviourCloneStep(batch);
+  double last_loss = first_loss;
+  for (int step = 0; step < 150; ++step) {
+    last_loss = agent.BehaviourCloneStep(batch);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+  EXPECT_EQ(agent.GreedyAction({1.0, 0.0}, {true, true, true}), 0);
+  EXPECT_EQ(agent.GreedyAction({0.0, 1.0}, {true, true, true}), 2);
+}
+
+TEST(PolicyGradientTest, ValueBaselineLearnsReturns) {
+  BanditEnv env;
+  PolicyGradientConfig config;
+  config.hidden_dims = {8};
+  PolicyGradientAgent agent(env.state_dim(), env.action_dim(), config, 11);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<Episode> batch;
+    for (int e = 0; e < 8; ++e) batch.push_back(RunEpisode(&env, &agent));
+    agent.Update(batch);
+  }
+  // Once the policy concentrates on the good arm, V(s) -> ~1.0.
+  double v = agent.Value({1.0, 0.0});
+  EXPECT_GT(v, 0.5);
+  EXPECT_LT(v, 1.5);
+}
+
+TEST(RewardPredictorTest, LearnsActionOutcomes) {
+  RewardPredictorConfig config;
+  config.hidden_dims = {16};
+  config.lr = 3e-3;
+  RewardPredictor predictor(2, 3, config, 13);
+  // Outcome: action 0 -> 5.0, action 1 -> 1.0, action 2 -> 3.0.
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    int a = static_cast<int>(rng.UniformInt(0, 2));
+    double target = a == 0 ? 5.0 : (a == 1 ? 1.0 : 3.0);
+    predictor.AddExample(OutcomeExample{{1.0, 0.5}, a, target});
+  }
+  predictor.TrainSteps(400);
+  EXPECT_NEAR(predictor.Predict({1.0, 0.5}, 0), 5.0, 0.5);
+  EXPECT_NEAR(predictor.Predict({1.0, 0.5}, 1), 1.0, 0.5);
+  EXPECT_NEAR(predictor.Predict({1.0, 0.5}, 2), 3.0, 0.5);
+  // Best action = lowest predicted outcome = 1.
+  EXPECT_EQ(predictor.SelectAction({1.0, 0.5}, {true, true, true}, 0.0), 1);
+  // Mask forces next best.
+  EXPECT_EQ(predictor.SelectAction({1.0, 0.5}, {true, false, true}, 0.0), 2);
+  EXPECT_LT(predictor.EvaluateError(64), 0.6);
+}
+
+TEST(RewardPredictorTest, EpsilonExplores) {
+  RewardPredictorConfig config;
+  config.hidden_dims = {8};
+  RewardPredictor predictor(1, 2, config, 15);
+  for (int i = 0; i < 50; ++i) {
+    predictor.AddExample(OutcomeExample{{1.0}, 0, 0.0});
+    predictor.AddExample(OutcomeExample{{1.0}, 1, 10.0});
+  }
+  predictor.TrainSteps(200);
+  int explored = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (predictor.SelectAction({1.0}, {true, true}, 1.0) == 1) ++explored;
+  }
+  EXPECT_GT(explored, 60);  // epsilon=1.0: uniform over both actions.
+  EXPECT_EQ(predictor.SelectAction({1.0}, {true, true}, 0.0), 0);
+}
+
+TEST(ReplayBufferTest, RingSemantics) {
+  ReplayBuffer<int> buffer(3);
+  EXPECT_TRUE(buffer.empty());
+  buffer.Add(1);
+  buffer.Add(2);
+  buffer.Add(3);
+  EXPECT_EQ(buffer.size(), 3u);
+  buffer.Add(4);  // Overwrites oldest.
+  EXPECT_EQ(buffer.size(), 3u);
+  std::set<int> contents;
+  for (size_t i = 0; i < buffer.size(); ++i) contents.insert(buffer.at(i));
+  EXPECT_EQ(contents, (std::set<int>{2, 3, 4}));
+  Rng rng(1);
+  auto sample = buffer.Sample(&rng, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ScheduleTest, LinearInterpolatesAndClamps) {
+  LinearSchedule s(1.0, 0.0, 10);
+  EXPECT_DOUBLE_EQ(s.Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Value(5), 0.5);
+  EXPECT_DOUBLE_EQ(s.Value(10), 0.0);
+  EXPECT_DOUBLE_EQ(s.Value(100), 0.0);
+  EXPECT_DOUBLE_EQ(s.Value(-5), 1.0);
+}
+
+TEST(ScheduleTest, ExponentialDecaysToFloor) {
+  ExponentialSchedule s(1.0, 0.5, 0.1);
+  EXPECT_DOUBLE_EQ(s.Value(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Value(1), 0.5);
+  EXPECT_DOUBLE_EQ(s.Value(2), 0.25);
+  EXPECT_DOUBLE_EQ(s.Value(10), 0.1);
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,0 +1,228 @@
+// Tests for src/storage: data generation invariants (determinism, FK
+// integrity, skew, correlation), index correctness against scans.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "catalog/imdb_like.h"
+#include "storage/data_generator.h"
+#include "tests/test_common.h"
+
+namespace hfq {
+namespace {
+
+TEST(DataGeneratorTest, DeterministicForSameSeed) {
+  ImdbLikeOptions opts;
+  opts.scale = 0.02;
+  auto catalog = BuildImdbLikeCatalog(opts);
+  ASSERT_TRUE(catalog.ok());
+  DataGenerator g1(7), g2(7);
+  auto db1 = g1.Generate(*catalog);
+  auto db2 = g2.Generate(*catalog);
+  ASSERT_TRUE(db1.ok() && db2.ok());
+  auto t1 = (*db1)->GetTable("cast_info");
+  auto t2 = (*db2)->GetTable("cast_info");
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_EQ((*t1)->num_rows(), (*t2)->num_rows());
+  for (int64_t r = 0; r < (*t1)->num_rows(); ++r) {
+    ASSERT_EQ((*t1)->column(1).GetInt(r), (*t2)->column(1).GetInt(r));
+  }
+}
+
+TEST(DataGeneratorTest, DifferentSeedsDiffer) {
+  ImdbLikeOptions opts;
+  opts.scale = 0.02;
+  auto catalog = BuildImdbLikeCatalog(opts);
+  ASSERT_TRUE(catalog.ok());
+  DataGenerator g1(7), g2(8);
+  auto db1 = g1.Generate(*catalog);
+  auto db2 = g2.Generate(*catalog);
+  ASSERT_TRUE(db1.ok() && db2.ok());
+  auto t1 = (*db1)->GetTable("cast_info");
+  auto t2 = (*db2)->GetTable("cast_info");
+  int diffs = 0;
+  for (int64_t r = 0; r < (*t1)->num_rows(); ++r) {
+    if ((*t1)->column(1).GetInt(r) != (*t2)->column(1).GetInt(r)) ++diffs;
+  }
+  EXPECT_GT(diffs, (*t1)->num_rows() / 2);
+}
+
+TEST(DataGeneratorTest, ForeignKeysInParentRange) {
+  Engine& engine = testing::SharedEngine();
+  for (const auto& table_def : engine.catalog().tables()) {
+    for (size_t ci = 0; ci < table_def.columns.size(); ++ci) {
+      const auto& col_def = table_def.columns[ci];
+      if (col_def.distribution != ValueDistribution::kForeignKey) continue;
+      auto parent = engine.catalog().GetTable(col_def.ref_table);
+      ASSERT_TRUE(parent.ok());
+      auto table = engine.db().GetTable(table_def.name);
+      ASSERT_TRUE(table.ok());
+      const Column& col = (*table)->column(static_cast<int32_t>(ci));
+      for (int64_t r = 0; r < (*table)->num_rows(); ++r) {
+        int64_t v = col.GetInt(r);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, (*parent)->num_rows);
+      }
+    }
+  }
+}
+
+TEST(DataGeneratorTest, SerialColumnsAreRowIds) {
+  Engine& engine = testing::SharedEngine();
+  auto table = engine.db().GetTable("title");
+  ASSERT_TRUE(table.ok());
+  for (int64_t r = 0; r < (*table)->num_rows(); ++r) {
+    ASSERT_EQ((*table)->column(0).GetInt(r), r);
+  }
+}
+
+TEST(DataGeneratorTest, SkewedFkIsSkewed) {
+  Engine& engine = testing::SharedEngine();
+  // cast_info.movie_id is Zipf-skewed: the most popular parent must appear
+  // far more often than the uniform share.
+  auto table = engine.db().GetTable("cast_info");
+  ASSERT_TRUE(table.ok());
+  auto title = engine.db().GetTable("title");
+  ASSERT_TRUE(title.ok());
+  int32_t col = (*table)->def().ColumnIndex("movie_id");
+  std::map<int64_t, int64_t> freq;
+  for (int64_t r = 0; r < (*table)->num_rows(); ++r) {
+    ++freq[(*table)->column(col).GetInt(r)];
+  }
+  int64_t max_count = 0;
+  for (const auto& [k, v] : freq) max_count = std::max(max_count, v);
+  double uniform_share = static_cast<double>((*table)->num_rows()) /
+                         static_cast<double>((*title)->num_rows());
+  EXPECT_GT(static_cast<double>(max_count), 5.0 * uniform_share);
+}
+
+TEST(DataGeneratorTest, CorrelatedColumnFollowsSource) {
+  // movie_info.info is correlated with info_type_id: for a fixed source
+  // value, the derived value should repeat far more often than uniform.
+  Engine& engine = testing::SharedEngine();
+  auto table = engine.db().GetTable("movie_info");
+  ASSERT_TRUE(table.ok());
+  int32_t src = (*table)->def().ColumnIndex("info_type_id");
+  int32_t dst = (*table)->def().ColumnIndex("info");
+  ASSERT_GE(src, 0);
+  ASSERT_GE(dst, 0);
+  std::map<int64_t, std::map<int64_t, int64_t>> cond;
+  for (int64_t r = 0; r < (*table)->num_rows(); ++r) {
+    ++cond[(*table)->column(src).GetInt(r)][(*table)->column(dst).GetInt(r)];
+  }
+  // For the most frequent source value, the modal target share should be
+  // >> 1/1000 (the uniform share over 1000 distinct values).
+  int64_t best_src = -1, best_count = 0;
+  for (const auto& [s, m] : cond) {
+    int64_t total = 0;
+    for (const auto& [v, c] : m) total += c;
+    if (total > best_count) {
+      best_count = total;
+      best_src = s;
+    }
+  }
+  ASSERT_GE(best_src, 0);
+  int64_t modal = 0, total = 0;
+  for (const auto& [v, c] : cond[best_src]) {
+    modal = std::max(modal, c);
+    total += c;
+  }
+  EXPECT_GT(static_cast<double>(modal) / static_cast<double>(total), 0.2);
+}
+
+TEST(IndexTest, SortedIndexMatchesScan) {
+  testing::MicroDb micro;
+  auto child = micro.db->GetTable("child");
+  ASSERT_TRUE(child.ok());
+  const TableIndex* idx = (*child)->FindIndex("pid", IndexKind::kBTree);
+  ASSERT_NE(idx, nullptr);
+  for (int64_t key = -1; key <= 11; ++key) {
+    std::vector<int64_t> via_index;
+    idx->LookupEqual(key, &via_index);
+    std::vector<int64_t> via_scan;
+    for (int64_t r = 0; r < (*child)->num_rows(); ++r) {
+      if ((*child)->column(1).GetInt(r) == key) via_scan.push_back(r);
+    }
+    std::sort(via_index.begin(), via_index.end());
+    EXPECT_EQ(via_index, via_scan) << "key " << key;
+  }
+}
+
+TEST(IndexTest, HashIndexMatchesScan) {
+  testing::MicroDb micro;
+  auto child = micro.db->GetTable("child");
+  ASSERT_TRUE(child.ok());
+  const TableIndex* idx = (*child)->FindIndex("pid", IndexKind::kHash);
+  ASSERT_NE(idx, nullptr);
+  for (int64_t key = 0; key <= 10; ++key) {
+    std::vector<int64_t> via_index;
+    idx->LookupEqual(key, &via_index);
+    int64_t expected = key < 10 ? 4 : 0;  // pid = id % 10 over 40 rows.
+    EXPECT_EQ(static_cast<int64_t>(via_index.size()), expected);
+  }
+}
+
+TEST(IndexTest, SortedIndexRangeLookup) {
+  testing::MicroDb micro;
+  auto child = micro.db->GetTable("child");
+  ASSERT_TRUE(child.ok());
+  const auto* idx = dynamic_cast<const SortedIndex*>(
+      (*child)->FindIndex("pid", IndexKind::kBTree));
+  ASSERT_NE(idx, nullptr);
+  std::vector<int64_t> rows;
+  idx->LookupRange(3, 5, &rows);  // pids 3,4,5 -> 12 rows.
+  EXPECT_EQ(rows.size(), 12u);
+  rows.clear();
+  idx->LookupRange(INT64_MIN, INT64_MAX, &rows);
+  EXPECT_EQ(rows.size(), 40u);
+}
+
+TEST(TableTest, SealValidatesColumns) {
+  TableDef def;
+  def.name = "ragged";
+  def.num_rows = 2;
+  ColumnDef a;
+  a.name = "a";
+  ColumnDef b;
+  b.name = "b";
+  def.columns = {a, b};
+  Table table(def);
+  table.column(0).AppendInt(1);
+  table.column(0).AppendInt(2);
+  table.column(1).AppendInt(1);  // Ragged.
+  EXPECT_EQ(table.Seal().code(), StatusCode::kInternal);
+}
+
+TEST(TableTest, BuildIndexRequiresSeal) {
+  TableDef def;
+  def.name = "t";
+  def.num_rows = 0;
+  ColumnDef a;
+  a.name = "a";
+  def.columns = {a};
+  Table table(def);
+  EXPECT_EQ(table.BuildIndex(IndexDef{"", "t", "a", IndexKind::kBTree})
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, RejectsUnknownAndDuplicateTables) {
+  testing::MicroDb micro;
+  TableDef rogue;
+  rogue.name = "rogue";
+  rogue.num_rows = 0;
+  ColumnDef c;
+  c.name = "c";
+  rogue.columns = {c};
+  auto rogue_table = std::make_unique<Table>(rogue);
+  ASSERT_TRUE(rogue_table->Seal().ok());
+  EXPECT_EQ(micro.db->AddTable(std::move(rogue_table)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(micro.db->GetTable("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(micro.db->TotalRows(), 50);
+}
+
+}  // namespace
+}  // namespace hfq

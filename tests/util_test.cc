@@ -1,0 +1,188 @@
+// Tests for src/util: Status/Result, RNG distributions, string helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace hfq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "table t");
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Doubler(Result<int> in) {
+  HFQ_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBoundsAndCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ZipfBoundsAndSkew) {
+  Rng rng(13);
+  const int64_t n = 100;
+  int64_t ones = 0;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.Zipf(n, 1.0);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, n);
+    if (v == 1) ++ones;
+  }
+  // With s=1.0, P(1) = 1/H_100 ~ 0.193.
+  double p1 = static_cast<double>(ones) / 20000.0;
+  EXPECT_NEAR(p1, 0.193, 0.03);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniform) {
+  Rng rng(13);
+  int64_t low = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Zipf(10, 0.0) <= 5) ++low;
+  }
+  EXPECT_NEAR(low / 20000.0, 0.5, 0.03);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 3.0};
+  int64_t count1 = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.Categorical(weights) == 1) ++count1;
+  }
+  EXPECT_NEAR(count1 / 20000.0, 0.75, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng a(23);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+}
+
+TEST(StringUtilTest, TrimAndLower) {
+  EXPECT_EQ(Trim("  x y\t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+}
+
+}  // namespace
+}  // namespace hfq

@@ -1,0 +1,141 @@
+// Tests for src/workload: generated queries are valid, connected, sized as
+// requested; the JOB-like suite has the right family/variant structure.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_common.h"
+#include "workload/generator.h"
+
+namespace hfq {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  Engine& engine() { return testing::SharedEngine(); }
+};
+
+TEST_F(WorkloadTest, GeneratedQueriesValidateAndConnect) {
+  WorkloadGenerator gen(&engine().catalog(), 123);
+  for (int n = 1; n <= 12; ++n) {
+    auto q = gen.GenerateQuery(n, "wl_" + std::to_string(n));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q->num_relations(), n);
+    EXPECT_TRUE(q->Validate(engine().catalog()).ok());
+    if (n >= 2) {
+      EXPECT_TRUE(q->IsFullyConnected()) << q->ToSql();
+      EXPECT_EQ(q->joins.size(), static_cast<size_t>(n - 1));
+    }
+  }
+}
+
+TEST_F(WorkloadTest, DeterministicPerSeed) {
+  WorkloadGenerator g1(&engine().catalog(), 7);
+  WorkloadGenerator g2(&engine().catalog(), 7);
+  auto q1 = g1.GenerateQuery(5, "a");
+  auto q2 = g2.GenerateQuery(5, "a");
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  EXPECT_EQ(q1->ToSql(), q2->ToSql());
+  WorkloadGenerator g3(&engine().catalog(), 8);
+  auto q3 = g3.GenerateQuery(5, "a");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_NE(q1->ToSql(), q3->ToSql());
+}
+
+TEST_F(WorkloadTest, JobLikeSuiteNamesAndSizes) {
+  WorkloadGenerator gen(&engine().catalog(), 9);
+  auto suite = gen.GenerateJobLikeSuite(/*families=*/6, /*variants=*/3,
+                                        /*min_relations=*/4,
+                                        /*max_relations=*/8);
+  ASSERT_TRUE(suite.ok());
+  ASSERT_EQ(suite->size(), 18u);
+  EXPECT_EQ((*suite)[0].name, "q1a");
+  EXPECT_EQ((*suite)[1].name, "q1b");
+  EXPECT_EQ((*suite)[5].name, "q2c");
+  std::set<int> sizes;
+  for (const Query& q : *suite) {
+    EXPECT_GE(q.num_relations(), 4);
+    EXPECT_LE(q.num_relations(), 8);
+    sizes.insert(q.num_relations());
+    EXPECT_TRUE(q.Validate(engine().catalog()).ok());
+  }
+  EXPECT_GT(sizes.size(), 2u);  // Sizes spread across the range.
+}
+
+TEST_F(WorkloadTest, VariantsShareStructureDifferInPredicates) {
+  WorkloadGenerator gen(&engine().catalog(), 10);
+  auto suite = gen.GenerateJobLikeSuite(2, 3, 5, 7);
+  ASSERT_TRUE(suite.ok());
+  const Query& a = (*suite)[0];  // q1a
+  const Query& b = (*suite)[1];  // q1b
+  ASSERT_EQ(a.num_relations(), b.num_relations());
+  for (int i = 0; i < a.num_relations(); ++i) {
+    EXPECT_EQ(a.relations[static_cast<size_t>(i)].table,
+              b.relations[static_cast<size_t>(i)].table);
+  }
+  ASSERT_EQ(a.joins.size(), b.joins.size());
+  for (size_t i = 0; i < a.joins.size(); ++i) {
+    EXPECT_EQ(a.joins[i].left.column, b.joins[i].left.column);
+    EXPECT_EQ(a.joins[i].right.column, b.joins[i].right.column);
+  }
+}
+
+TEST_F(WorkloadTest, FixedSizeWorkload) {
+  WorkloadGenerator gen(&engine().catalog(), 11);
+  auto wl = gen.GenerateFixedSizeWorkload(5, 3, "fx");
+  ASSERT_TRUE(wl.ok());
+  ASSERT_EQ(wl->size(), 5u);
+  for (const Query& q : *wl) {
+    EXPECT_EQ(q.num_relations(), 3);
+  }
+  EXPECT_EQ((*wl)[0].name, "fx0");
+  EXPECT_EQ((*wl)[4].name, "fx4");
+}
+
+TEST_F(WorkloadTest, RejectsBadRequests) {
+  WorkloadGenerator gen(&engine().catalog(), 12);
+  EXPECT_FALSE(gen.GenerateQuery(0, "z").ok());
+  EXPECT_FALSE(gen.GenerateQuery(64, "z").ok());
+  EXPECT_FALSE(gen.GenerateJobLikeSuite(2, 0, 4, 8).ok());
+  EXPECT_FALSE(gen.GenerateJobLikeSuite(2, 2, 8, 4).ok());
+}
+
+TEST_F(WorkloadTest, SelfJoinsAppear) {
+  // With enough queries, aliasing must kick in (movie_link -> title twice,
+  // etc.). Look for any query with a repeated table.
+  WorkloadGenerator gen(&engine().catalog(), 13);
+  bool found_self_join = false;
+  for (int i = 0; i < 40 && !found_self_join; ++i) {
+    auto q = gen.GenerateQuery(8, "sj" + std::to_string(i));
+    ASSERT_TRUE(q.ok());
+    std::set<std::string> tables;
+    for (const auto& rel : q->relations) {
+      if (!tables.insert(rel.table).second) found_self_join = true;
+    }
+  }
+  EXPECT_TRUE(found_self_join);
+}
+
+TEST_F(WorkloadTest, ShapeOptionsRespected) {
+  QueryShapeOptions shape;
+  shape.selection_prob = 0.0;
+  shape.aggregate_prob = 0.0;
+  WorkloadGenerator bare(&engine().catalog(), 14, shape);
+  auto q = bare.GenerateQuery(5, "bare");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->selections.empty());
+  EXPECT_TRUE(q->aggregates.empty());
+
+  QueryShapeOptions heavy;
+  heavy.selection_prob = 1.0;
+  heavy.aggregate_prob = 1.0;
+  heavy.group_by_prob = 1.0;
+  WorkloadGenerator rich(&engine().catalog(), 14, heavy);
+  auto q2 = rich.GenerateQuery(5, "rich");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(q2->selections.empty());
+  ASSERT_FALSE(q2->aggregates.empty());
+}
+
+}  // namespace
+}  // namespace hfq
