@@ -1,0 +1,46 @@
+# Provide GTest::gtest / GTest::gtest_main.
+#
+# Resolution order:
+#   1. Vendored sources (third_party/googletest, or /usr/src/googletest as
+#      shipped by Debian/Ubuntu libgtest-dev) — built with the project's own
+#      flags, so sanitizer builds get a sanitized gtest too. Fully offline.
+#   2. A system-installed GoogleTest package (find_package).
+#   3. FetchContent from GitHub — only when network is available.
+if(TARGET GTest::gtest_main)
+  return()
+endif()
+
+set(_hfq_gtest_vendor_dirs
+    ${CMAKE_CURRENT_SOURCE_DIR}/third_party/googletest
+    /usr/src/googletest)
+foreach(_dir IN LISTS _hfq_gtest_vendor_dirs)
+  if(EXISTS ${_dir}/CMakeLists.txt)
+    message(STATUS "hfq: using vendored GoogleTest at ${_dir}")
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    add_subdirectory(${_dir} ${CMAKE_BINARY_DIR}/_deps/googletest-build
+                     EXCLUDE_FROM_ALL)
+    if(NOT TARGET GTest::gtest_main)
+      add_library(GTest::gtest ALIAS gtest)
+      add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+    return()
+  endif()
+endforeach()
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "hfq: using system GoogleTest")
+  return()
+endif()
+
+message(STATUS "hfq: fetching GoogleTest from GitHub")
+include(FetchContent)
+FetchContent_Declare(
+  googletest
+  URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)
+if(NOT TARGET GTest::gtest_main)
+  add_library(GTest::gtest ALIAS gtest)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+endif()

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Local parity with CI: configure + build + ctest exactly as the tier-1
+# verify does.
+#
+# Usage: scripts/check.sh [--debug|--release] [--asan] [--label <ctest -L arg>]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_type=""
+sanitize=OFF
+build_dir=build
+label=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --debug)   build_type=Debug ;;
+    --release) build_type=Release ;;
+    --asan)    sanitize=ON; build_dir=build-asan ;;
+    --label)   shift; label="${1:?--label requires an argument}" ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+# Default matches CI: sanitizer runs build Debug, plain runs RelWithDebInfo.
+if [[ -z "$build_type" ]]; then
+  if [[ "$sanitize" == ON ]]; then build_type=Debug; else build_type=RelWithDebInfo; fi
+fi
+
+cmake -B "$build_dir" -S . \
+  -DCMAKE_BUILD_TYPE="$build_type" \
+  -DHFQ_SANITIZE="$sanitize"
+cmake --build "$build_dir" -j
+cd "$build_dir"
+# Explicit job count: ctest's value-less `-j` only exists since CMake 3.29
+# (older versions silently drop it and run serially).
+if [[ -n "$label" ]]; then
+  ctest --output-on-failure -L "$label" -j "$(nproc)"
+else
+  ctest --output-on-failure -j "$(nproc)"
+fi

@@ -1,0 +1,201 @@
+// Tests for the HandsFreeOptimizer facade (src/core/hands_free.{h,cc}):
+// every TrainingStrategy trains on a tiny workload and then produces valid
+// plans, plus the save/load round-trip and the error paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/hands_free.h"
+#include "plan/physical_plan.h"
+#include "tests/test_common.h"
+#include "workload/generator.h"
+
+namespace hfq {
+namespace {
+
+// Counts distinct scanned relations in a plan (leaf coverage check).
+int CountScannedRelations(const PlanNode& node) {
+  if (node.children.empty()) return 1;
+  int total = 0;
+  for (const auto& child : node.children) {
+    total += CountScannedRelations(*child);
+  }
+  return total;
+}
+
+// A facade configuration small enough that training a strategy takes
+// well under a second on the shared 0.05-scale engine.
+HandsFreeConfig TinyConfig(TrainingStrategy strategy) {
+  HandsFreeConfig config;
+  config.strategy = strategy;
+  config.max_relations = 5;
+  config.training_episodes = 8;
+  config.seed = 17;
+  config.lfd.pretrain_steps = 40;
+  config.lfd.finetune_steps_per_episode = 1;
+  config.lfd.predictor.hidden_dims = {32};
+  config.bootstrap.pg.hidden_dims = {32};
+  config.bootstrap.episodes_per_update = 4;
+  config.incremental_pg.hidden_dims = {32};
+  return config;
+}
+
+// Query names embed the seed: the engine's TrueCardinalityOracle memoizes
+// per query name, so names must be unique across the whole binary.
+// Per-process path so concurrent runs of this binary (e.g. a plain and an
+// ASan build in parallel) never race on the same file in TempDir().
+std::string ModelPath(const std::string& tag) {
+  return ::testing::TempDir() + "hfq_model_" + tag + "_" +
+         std::to_string(getpid()) + ".txt";
+}
+
+std::vector<Query> TinyWorkload(int count, int num_relations, uint64_t seed) {
+  WorkloadGenerator gen(&testing::SharedEngine().catalog(), seed);
+  std::vector<Query> workload;
+  for (int i = 0; i < count; ++i) {
+    auto q = gen.GenerateQuery(num_relations, "hf_s" + std::to_string(seed) +
+                                                  "_q" + std::to_string(i));
+    HFQ_CHECK(q.ok());
+    workload.push_back(std::move(*q));
+  }
+  return workload;
+}
+
+class HandsFreeStrategyTest
+    : public ::testing::TestWithParam<TrainingStrategy> {};
+
+TEST_P(HandsFreeStrategyTest, TrainsAndProducesValidPlans) {
+  HandsFreeOptimizer optimizer(&testing::SharedEngine(),
+                               TinyConfig(GetParam()));
+  std::vector<Query> workload = TinyWorkload(4, 3, 900);
+  ASSERT_TRUE(optimizer.Train(workload).ok());
+
+  for (const Query& q : workload) {
+    double planning_ms = -1.0;
+    auto plan = optimizer.Optimize(q, &planning_ms);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    ASSERT_NE(*plan, nullptr);
+    EXPECT_EQ(CountScannedRelations(**plan), q.num_relations());
+    EXPECT_GT((*plan)->est_cost, 0.0);
+    EXPECT_GE(planning_ms, 0.0);
+  }
+}
+
+TEST_P(HandsFreeStrategyTest, CompareReportsBothSides) {
+  HandsFreeOptimizer optimizer(&testing::SharedEngine(),
+                               TinyConfig(GetParam()));
+  std::vector<Query> workload = TinyWorkload(3, 3, 901);
+  ASSERT_TRUE(optimizer.Train(workload).ok());
+  auto cmp = optimizer.Compare(workload[0]);
+  ASSERT_TRUE(cmp.ok()) << cmp.status().ToString();
+  EXPECT_GT(cmp->learned_latency_ms, 0.0);
+  EXPECT_GT(cmp->expert_latency_ms, 0.0);
+  EXPECT_GT(cmp->learned_cost, 0.0);
+  EXPECT_GT(cmp->expert_cost, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, HandsFreeStrategyTest,
+    ::testing::Values(TrainingStrategy::kLearningFromDemonstration,
+                      TrainingStrategy::kCostModelBootstrapping,
+                      TrainingStrategy::kIncrementalHybrid),
+    [](const ::testing::TestParamInfo<TrainingStrategy>& info) {
+      switch (info.param) {
+        case TrainingStrategy::kLearningFromDemonstration:
+          return std::string("Lfd");
+        case TrainingStrategy::kCostModelBootstrapping:
+          return std::string("Bootstrap");
+        case TrainingStrategy::kIncrementalHybrid:
+          return std::string("Incremental");
+      }
+      return std::string("Unknown");
+    });
+
+TEST(HandsFreeTest, StrategyNamesAreDistinct) {
+  EXPECT_STREQ(
+      TrainingStrategyName(TrainingStrategy::kLearningFromDemonstration),
+      "learning-from-demonstration");
+  EXPECT_STREQ(TrainingStrategyName(TrainingStrategy::kCostModelBootstrapping),
+               "cost-model-bootstrapping");
+  EXPECT_STREQ(TrainingStrategyName(TrainingStrategy::kIncrementalHybrid),
+               "incremental-hybrid");
+}
+
+TEST(HandsFreeTest, OptimizeBeforeTrainFails) {
+  HandsFreeOptimizer optimizer(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kLearningFromDemonstration));
+  auto plan = optimizer.Optimize(TinyWorkload(1, 3, 902)[0]);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(HandsFreeTest, TrainOnEmptyWorkloadFails) {
+  HandsFreeOptimizer optimizer(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kLearningFromDemonstration));
+  EXPECT_FALSE(optimizer.Train({}).ok());
+}
+
+TEST(HandsFreeTest, QueryLargerThanMaxRelationsIsRejected) {
+  HandsFreeOptimizer optimizer(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kCostModelBootstrapping));
+  ASSERT_TRUE(optimizer.Train(TinyWorkload(3, 3, 903)).ok());
+  auto plan = optimizer.Optimize(TinyWorkload(1, 6, 904)[0]);
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(HandsFreeTest, SaveLoadRoundTripReproducesPlans) {
+  const std::string path = ModelPath("roundtrip");
+  HandsFreeConfig config = TinyConfig(TrainingStrategy::kIncrementalHybrid);
+  std::vector<Query> workload = TinyWorkload(3, 3, 905);
+
+  HandsFreeOptimizer trained(&testing::SharedEngine(), config);
+  ASSERT_TRUE(trained.Train(workload).ok());
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+  auto expected = trained.Optimize(workload[0]);
+  ASSERT_TRUE(expected.ok());
+
+  HandsFreeOptimizer restored(&testing::SharedEngine(), config);
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+  auto actual = restored.Optimize(workload[0]);
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_DOUBLE_EQ((*actual)->est_cost, (*expected)->est_cost);
+  std::remove(path.c_str());
+}
+
+TEST(HandsFreeTest, SaveBeforeTrainFails) {
+  HandsFreeOptimizer optimizer(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kLearningFromDemonstration));
+  EXPECT_FALSE(optimizer.SaveModel(ModelPath("untrained")).ok());
+}
+
+TEST(HandsFreeTest, LoadRejectsStrategyMismatch) {
+  const std::string path = ModelPath("mismatch");
+  HandsFreeOptimizer trained(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kCostModelBootstrapping));
+  ASSERT_TRUE(trained.Train(TinyWorkload(3, 3, 906)).ok());
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+
+  HandsFreeOptimizer other(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kLearningFromDemonstration));
+  EXPECT_FALSE(other.LoadModel(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(HandsFreeTest, LoadRejectsMissingFile) {
+  HandsFreeOptimizer optimizer(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kIncrementalHybrid));
+  EXPECT_FALSE(optimizer.LoadModel("/nonexistent/hfq_model.txt").ok());
+}
+
+}  // namespace
+}  // namespace hfq
