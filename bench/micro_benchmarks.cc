@@ -3,10 +3,15 @@
 // annotation, oracle counting, planning, and execution.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "bench/bench_common.h"
 #include "exec/executor.h"
+#include "nn/layer.h"
 #include "nn/mlp.h"
 #include "nn/loss.h"
+#include "nn/optimizer.h"
 #include "rejoin/featurizer.h"
 #include "sql/parser.h"
 
@@ -161,31 +166,137 @@ void BM_ParseSql(benchmark::State& state) {
 }
 BENCHMARK(BM_ParseSql);
 
-void BM_PolicyUpdate(benchmark::State& state) {
-  PolicyGradientConfig config;
-  config.hidden_dims = {128, 128};
-  PolicyGradientAgent agent(612, 289, config, 37);
+// 8 episodes x 8 steps = a 64-sample update at ReJOIN dimensions.
+std::vector<Episode> MakeUpdateBatch(int episodes, int steps, int state_dim,
+                                     int action_dim) {
   Rng rng(3);
   std::vector<Episode> batch;
-  for (int e = 0; e < 8; ++e) {
+  for (int e = 0; e < episodes; ++e) {
     Episode episode;
-    for (int s = 0; s < 8; ++s) {
+    for (int s = 0; s < steps; ++s) {
       Transition t;
-      t.state.resize(612);
+      t.state.resize(static_cast<size_t>(state_dim));
       for (auto& v : t.state) v = rng.Normal();
-      t.mask.assign(289, true);
-      t.action = static_cast<int>(rng.UniformInt(0, 288));
-      t.old_prob = 1.0 / 289.0;
-      t.reward = s == 7 ? rng.Uniform() : 0.0;
+      t.mask.assign(static_cast<size_t>(action_dim), true);
+      t.action = static_cast<int>(rng.UniformInt(0, action_dim - 1));
+      t.old_prob = 1.0 / static_cast<double>(action_dim);
+      t.reward = s + 1 == steps ? rng.Uniform() : 0.0;
       episode.steps.push_back(std::move(t));
     }
     batch.push_back(std::move(episode));
   }
+  return batch;
+}
+
+// The minibatched policy+value update (one forward + one backward per
+// epoch). Compare against BM_PolicyUpdatePerSampleReference below.
+void BM_PolicyUpdate(benchmark::State& state) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {128, 128};
+  PolicyGradientAgent agent(612, 289, config, 37);
+  std::vector<Episode> batch = MakeUpdateBatch(8, 8, 612, 289);
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.Update(batch));
   }
 }
 BENCHMARK(BM_PolicyUpdate);
+
+// Reference re-implementation of the pre-batching update path (two policy
+// forwards + one backward per sample per PPO epoch, plus per-sample value
+// passes) over the same 64-sample batch: the speedup of BM_PolicyUpdate
+// over this is the payoff of minibatching.
+void BM_PolicyUpdatePerSampleReference(benchmark::State& state) {
+  constexpr double kMaskedLogit = -1e9;
+  constexpr int kActions = 289;
+  PolicyGradientConfig config;
+  config.hidden_dims = {128, 128};
+  PolicyGradientAgent agent(612, 289, config, 37);
+  Mlp& policy = agent.policy_net();
+  Mlp& value = agent.value_net();
+  Adam policy_opt(config.policy_lr);
+  Adam value_opt(config.value_lr);
+  std::vector<Episode> batch = MakeUpdateBatch(8, 8, 612, 289);
+  for (auto _ : state) {
+    struct Sample {
+      const Transition* t;
+      double ret;
+    };
+    std::vector<Sample> samples;
+    for (const auto& ep : batch) {
+      double ret = 0.0;
+      std::vector<double> rets(ep.steps.size());
+      for (size_t i = ep.steps.size(); i-- > 0;) {
+        ret = ep.steps[i].reward + config.gamma * ret;
+        rets[i] = ret;
+      }
+      for (size_t i = 0; i < ep.steps.size(); ++i) {
+        samples.push_back({&ep.steps[i], rets[i]});
+      }
+    }
+    std::vector<double> advantages(samples.size());
+    for (size_t i = 0; i < samples.size(); ++i) {
+      Matrix v = value.Forward(Matrix::RowVector(samples[i].t->state));
+      advantages[i] = samples[i].ret - v.At(0, 0);
+    }
+    double mean = 0.0, var = 0.0;
+    for (double a : advantages) mean += a;
+    mean /= static_cast<double>(advantages.size());
+    for (double a : advantages) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(advantages.size());
+    double stddev = std::sqrt(std::max(var, 1e-12));
+    for (double& a : advantages) a = (a - mean) / stddev;
+
+    for (int epoch = 0; epoch < config.ppo_epochs; ++epoch) {
+      policy.ZeroGrads();
+      for (size_t i = 0; i < samples.size(); ++i) {
+        const Transition& t = *samples[i].t;
+        Matrix logits = policy.Forward(Matrix::RowVector(t.state));
+        for (int a = 0; a < kActions; ++a) {
+          if (!t.mask[static_cast<size_t>(a)]) logits.At(0, a) = kMaskedLogit;
+        }
+        Matrix probs = Softmax(logits);
+        const double p = std::max(probs.At(0, t.action), 1e-12);
+        const double ratio = p / std::max(t.old_prob, 1e-12);
+        const double adv = advantages[i];
+        const double clipped = std::clamp(ratio, 1.0 - config.clip_epsilon,
+                                          1.0 + config.clip_epsilon);
+        const bool active = ratio * adv <= clipped * adv;
+        const double weight = active ? adv * ratio : 0.0;
+        Matrix grad(1, kActions);
+        for (int a = 0; a < kActions; ++a) {
+          double g = probs.At(0, a) - (a == t.action ? 1.0 : 0.0);
+          grad.At(0, a) = weight * g / static_cast<double>(samples.size());
+        }
+        Matrix ent_grad;
+        SoftmaxEntropy(logits, config.entropy_coef, &ent_grad);
+        for (int a = 0; a < kActions; ++a) {
+          if (t.mask[static_cast<size_t>(a)]) {
+            grad.At(0, a) +=
+                ent_grad.At(0, a) / static_cast<double>(samples.size());
+          }
+        }
+        (void)policy.Forward(Matrix::RowVector(t.state));
+        policy.Backward(grad);
+      }
+      ClipGradientsByGlobalNorm(policy.Grads(), config.max_grad_norm);
+      policy_opt.Step(policy.Params(), policy.Grads());
+    }
+
+    value.ZeroGrads();
+    for (const auto& s : samples) {
+      Matrix pred = value.Forward(Matrix::RowVector(s.t->state));
+      Matrix target = Matrix::Constant(1, 1, s.ret);
+      Matrix grad;
+      MseLoss(pred, target, &grad);
+      grad.Scale(1.0 / static_cast<double>(samples.size()));
+      value.Backward(grad);
+    }
+    ClipGradientsByGlobalNorm(value.Grads(), config.max_grad_norm);
+    value_opt.Step(value.Params(), value.Grads());
+    benchmark::DoNotOptimize(policy.Grads());
+  }
+}
+BENCHMARK(BM_PolicyUpdatePerSampleReference);
 
 }  // namespace
 }  // namespace hfq

@@ -12,6 +12,7 @@ Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng)
       grad_bias_(1, out_dim) {}
 
 Matrix Linear::Forward(const Matrix& input) {
+  HFQ_CHECK(input.cols() == weight_.rows());
   cached_input_ = input;
   Matrix out = Matmul(input, weight_);
   AddRowVectorInPlace(&out, bias_);
@@ -19,9 +20,24 @@ Matrix Linear::Forward(const Matrix& input) {
 }
 
 Matrix Linear::Backward(const Matrix& grad_output) {
+  BackwardParamsOnly(grad_output);
+  // grad_input = grad_output * W^T. For a minibatch, transposing W once is
+  // negligible next to the matmul and routes it through the blocked
+  // row-streaming kernel (per-element summation order matches MatmulTransB
+  // bit-for-bit); for a single row the transpose would dominate, so go
+  // through W directly.
+  if (grad_output.rows() > 1) {
+    return Matmul(grad_output, Transposed(weight_));
+  }
+  return MatmulTransB(grad_output, weight_);
+}
+
+void Linear::BackwardParamsOnly(const Matrix& grad_output) {
+  // The gradient batch must match the cached forward batch row-for-row.
+  HFQ_CHECK(grad_output.rows() == cached_input_.rows());
+  HFQ_CHECK(grad_output.cols() == weight_.cols());
   grad_weight_.Add(MatmulTransA(cached_input_, grad_output));
   grad_bias_.Add(ColumnSum(grad_output));
-  return MatmulTransB(grad_output, weight_);
 }
 
 std::unique_ptr<Layer> Linear::Clone() const {
@@ -39,6 +55,7 @@ Matrix Relu::Forward(const Matrix& input) {
 }
 
 Matrix Relu::Backward(const Matrix& grad_output) {
+  HFQ_CHECK(grad_output.SameShape(cached_input_));
   Matrix grad = grad_output;
   for (int64_t i = 0; i < grad.size(); ++i) {
     if (cached_input_.data()[i] <= 0.0) grad.data()[i] = 0.0;
@@ -60,6 +77,7 @@ Matrix TanhLayer::Forward(const Matrix& input) {
 }
 
 Matrix TanhLayer::Backward(const Matrix& grad_output) {
+  HFQ_CHECK(grad_output.SameShape(cached_output_));
   Matrix grad = grad_output;
   for (int64_t i = 0; i < grad.size(); ++i) {
     double y = cached_output_.data()[i];
@@ -82,6 +100,7 @@ Matrix Sigmoid::Forward(const Matrix& input) {
 }
 
 Matrix Sigmoid::Backward(const Matrix& grad_output) {
+  HFQ_CHECK(grad_output.SameShape(cached_output_));
   Matrix grad = grad_output;
   for (int64_t i = 0; i < grad.size(); ++i) {
     double y = cached_output_.data()[i];

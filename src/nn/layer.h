@@ -27,6 +27,13 @@ class Layer {
   /// layer's parameter gradients, and returns grad w.r.t. the input.
   virtual Matrix Backward(const Matrix& grad_output) = 0;
 
+  /// Accumulates parameter gradients from `grad_output` without computing
+  /// the gradient w.r.t. the layer's input — the network's first layer
+  /// never needs it. Default: full Backward with the result discarded.
+  virtual void BackwardParamsOnly(const Matrix& grad_output) {
+    (void)Backward(grad_output);
+  }
+
   /// Trainable parameters (empty for activations).
   virtual std::vector<Matrix*> Params() { return {}; }
 
@@ -48,6 +55,7 @@ class Linear : public Layer {
 
   Matrix Forward(const Matrix& input) override;
   Matrix Backward(const Matrix& grad_output) override;
+  void BackwardParamsOnly(const Matrix& grad_output) override;
   std::vector<Matrix*> Params() override { return {&weight_, &bias_}; }
   std::vector<Matrix*> Grads() override {
     return {&grad_weight_, &grad_bias_};

@@ -67,20 +67,27 @@ double SoftmaxCrossEntropyLoss(const Matrix& logits,
 }
 
 double SoftmaxEntropy(const Matrix& logits, double coef, Matrix* grad) {
-  const int64_t batch = logits.rows();
-  Matrix probs = Softmax(logits);
-  Matrix logp = LogSoftmax(logits);
-  *grad = Matrix(logits.rows(), logits.cols());
+  return SoftmaxEntropyFromProbs(Softmax(logits), coef, grad);
+}
+
+double SoftmaxEntropyFromProbs(const Matrix& probs, double coef,
+                               Matrix* grad) {
+  const int64_t batch = probs.rows();
+  *grad = Matrix(probs.rows(), probs.cols());
   double entropy = 0.0;
   for (int64_t r = 0; r < batch; ++r) {
+    // First pass stashes log p in the grad row (p = 0 contributes 0).
     double h = 0.0;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      h -= probs.At(r, c) * logp.At(r, c);
+    for (int64_t c = 0; c < probs.cols(); ++c) {
+      double p = probs.At(r, c);
+      double logp = p > 0.0 ? std::log(p) : 0.0;
+      grad->At(r, c) = logp;
+      h -= p * logp;
     }
     entropy += h;
     // dH/dlogit_j = -p_j * (logp_j + H). Gradient of -coef*H is +coef*...
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      grad->At(r, c) = coef * probs.At(r, c) * (logp.At(r, c) + h) /
+    for (int64_t c = 0; c < probs.cols(); ++c) {
+      grad->At(r, c) = coef * probs.At(r, c) * (grad->At(r, c) + h) /
                        static_cast<double>(batch);
     }
   }

@@ -32,6 +32,13 @@ double SoftmaxCrossEntropyLoss(const Matrix& logits,
 /// -coef * H is returned so it can be added to a loss gradient).
 double SoftmaxEntropy(const Matrix& logits, double coef, Matrix* grad);
 
+/// As SoftmaxEntropy, but takes the already-computed row-wise softmax of
+/// the logits (training loops that need the probabilities anyway can avoid
+/// recomputing the exponentials). Zero-probability entries (e.g. masked
+/// actions) contribute nothing to entropy or gradient.
+double SoftmaxEntropyFromProbs(const Matrix& probs, double coef,
+                               Matrix* grad);
+
 }  // namespace hfq
 
 #endif  // HFQ_NN_LOSS_H_

@@ -11,6 +11,15 @@ Matrix Matrix::RowVector(const std::vector<double>& values) {
   return m;
 }
 
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  HFQ_CHECK(!rows.empty());
+  return StackRows(static_cast<int64_t>(rows.size()),
+                   static_cast<int64_t>(rows[0].size()),
+                   [&rows](int64_t r) -> const std::vector<double>& {
+                     return rows[static_cast<size_t>(r)];
+                   });
+}
+
 Matrix Matrix::Constant(int64_t rows, int64_t cols, double value) {
   Matrix m(rows, cols);
   m.Fill(value);
@@ -101,14 +110,43 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
   HFQ_CHECK(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order: streams through b and out rows sequentially.
-  for (int64_t i = 0; i < m; ++i) {
-    double* out_row = out.data() + i * n;
+  // i-k-j loop order: streams through b and out rows sequentially. `out` is
+  // a fresh local, so its rows cannot alias a/b — __restrict lets the inner
+  // axpy loops vectorize. Rows of `a` are processed four at a time so each
+  // sweep of `b` (the large weight matrix in NN use) serves four output
+  // rows: minibatched forwards/backwards are bandwidth-bound on `b`, and
+  // the blocking cuts that traffic 4x. Per-element summation order is the
+  // plain i-k-j order either way, so results are bit-identical.
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* a0 = a.data() + (i + 0) * k;
+    const double* a1 = a.data() + (i + 1) * k;
+    const double* a2 = a.data() + (i + 2) * k;
+    const double* a3 = a.data() + (i + 3) * k;
+    double* __restrict o0 = out.data() + (i + 0) * n;
+    double* __restrict o1 = out.data() + (i + 1) * n;
+    double* __restrict o2 = out.data() + (i + 2) * n;
+    double* __restrict o3 = out.data() + (i + 3) * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const double a0p = a0[p], a1p = a1[p], a2p = a2[p], a3p = a3[p];
+      if (a0p == 0.0 && a1p == 0.0 && a2p == 0.0 && a3p == 0.0) continue;
+      const double* __restrict b_row = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const double bj = b_row[j];
+        o0[j] += a0p * bj;
+        o1[j] += a1p * bj;
+        o2[j] += a2p * bj;
+        o3[j] += a3p * bj;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    double* __restrict out_row = out.data() + i * n;
     const double* a_row = a.data() + i * k;
     for (int64_t p = 0; p < k; ++p) {
       const double a_ip = a_row[p];
       if (a_ip == 0.0) continue;
-      const double* b_row = b.data() + p * n;
+      const double* __restrict b_row = b.data() + p * n;
       for (int64_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
     }
   }
@@ -119,13 +157,39 @@ Matrix MatmulTransA(const Matrix& a, const Matrix& b) {
   HFQ_CHECK(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
   const int64_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (int64_t p = 0; p < k; ++p) {
+  // p indexes the shared (batch) dimension; each out element accumulates p
+  // in ascending order, matching the unblocked loop bit-for-bit.
+  int64_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const double* a0 = a.data() + (p + 0) * m;
+    const double* a1 = a.data() + (p + 1) * m;
+    const double* a2 = a.data() + (p + 2) * m;
+    const double* a3 = a.data() + (p + 3) * m;
+    const double* __restrict b0 = b.data() + (p + 0) * n;
+    const double* __restrict b1 = b.data() + (p + 1) * n;
+    const double* __restrict b2 = b.data() + (p + 2) * n;
+    const double* __restrict b3 = b.data() + (p + 3) * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const double a0i = a0[i], a1i = a1[i], a2i = a2[i], a3i = a3[i];
+      if (a0i == 0.0 && a1i == 0.0 && a2i == 0.0 && a3i == 0.0) continue;
+      double* __restrict out_row = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        double acc = out_row[j];
+        acc += a0i * b0[j];
+        acc += a1i * b1[j];
+        acc += a2i * b2[j];
+        acc += a3i * b3[j];
+        out_row[j] = acc;
+      }
+    }
+  }
+  for (; p < k; ++p) {
     const double* a_row = a.data() + p * m;
-    const double* b_row = b.data() + p * n;
+    const double* __restrict b_row = b.data() + p * n;
     for (int64_t i = 0; i < m; ++i) {
       const double a_pi = a_row[i];
       if (a_pi == 0.0) continue;
-      double* out_row = out.data() + i * n;
+      double* __restrict out_row = out.data() + i * n;
       for (int64_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
     }
   }
@@ -136,15 +200,47 @@ Matrix MatmulTransB(const Matrix& a, const Matrix& b) {
   HFQ_CHECK(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
-    const double* a_row = a.data() + i * k;
+  // Four rows of `a` share each streamed row of `b`; the per-row dot
+  // products accumulate p in ascending order exactly as the scalar loop.
+  int64_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* __restrict a0 = a.data() + (i + 0) * k;
+    const double* __restrict a1 = a.data() + (i + 1) * k;
+    const double* __restrict a2 = a.data() + (i + 2) * k;
+    const double* __restrict a3 = a.data() + (i + 3) * k;
+    for (int64_t j = 0; j < n; ++j) {
+      const double* __restrict b_row = b.data() + j * k;
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        const double bp = b_row[p];
+        acc0 += a0[p] * bp;
+        acc1 += a1[p] * bp;
+        acc2 += a2[p] * bp;
+        acc3 += a3[p] * bp;
+      }
+      out.At(i + 0, j) = acc0;
+      out.At(i + 1, j) = acc1;
+      out.At(i + 2, j) = acc2;
+      out.At(i + 3, j) = acc3;
+    }
+  }
+  for (; i < m; ++i) {
+    const double* __restrict a_row = a.data() + i * k;
     double* out_row = out.data() + i * n;
     for (int64_t j = 0; j < n; ++j) {
-      const double* b_row = b.data() + j * k;
+      const double* __restrict b_row = b.data() + j * k;
       double acc = 0.0;
       for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
       out_row[j] = acc;
     }
+  }
+  return out;
+}
+
+Matrix Transposed(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) out.At(c, r) = m.At(r, c);
   }
   return out;
 }

@@ -27,6 +27,10 @@ class Matrix {
   /// Builds a 1 x n row vector from values.
   static Matrix RowVector(const std::vector<double>& values);
 
+  /// Stacks equal-length rows into a (rows.size() x rows[0].size()) batch
+  /// matrix (convenience wrapper over StackRows).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
   /// Matrix filled with a constant.
   static Matrix Constant(int64_t rows, int64_t cols, double value);
 
@@ -97,6 +101,22 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Stacks `count` equal-length rows produced by `row_of(i)` (any accessor
+/// returning a const std::vector<double>&) into a (count x dim) batch
+/// matrix — the assembly step shared by the minibatched training loops.
+template <typename RowFn>
+Matrix StackRows(int64_t count, int64_t dim, RowFn row_of) {
+  Matrix m(count, dim);
+  for (int64_t r = 0; r < count; ++r) {
+    const std::vector<double>& row = row_of(r);
+    HFQ_CHECK(static_cast<int64_t>(row.size()) == dim);
+    for (int64_t c = 0; c < dim; ++c) {
+      m.At(r, c) = row[static_cast<size_t>(c)];
+    }
+  }
+  return m;
+}
+
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
 Matrix Matmul(const Matrix& a, const Matrix& b);
 
@@ -105,6 +125,9 @@ Matrix MatmulTransA(const Matrix& a, const Matrix& b);
 
 /// out = a * b^T. Shapes: (m x k) * (n x k)^T -> (m x n).
 Matrix MatmulTransB(const Matrix& a, const Matrix& b);
+
+/// Returns m^T.
+Matrix Transposed(const Matrix& m);
 
 /// Sums each column of m into a 1 x cols row vector.
 Matrix ColumnSum(const Matrix& m);

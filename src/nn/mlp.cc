@@ -72,15 +72,21 @@ Mlp& Mlp::operator=(const Mlp& other) {
 
 Matrix Mlp::Forward(const Matrix& input) {
   HFQ_CHECK(!layers_.empty());
+  HFQ_CHECK(input.cols() == config_.input_dim);
   Matrix x = input;
   for (auto& layer : layers_) x = layer->Forward(x);
   return x;
 }
 
-Matrix Mlp::Backward(const Matrix& grad_output) {
+Matrix Mlp::Backward(const Matrix& grad_output, bool need_input_grad) {
+  HFQ_CHECK(!layers_.empty());
   Matrix g = grad_output;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    g = (*it)->Backward(g);
+  for (size_t idx = layers_.size(); idx-- > 0;) {
+    if (idx == 0 && !need_input_grad) {
+      layers_[0]->BackwardParamsOnly(g);
+      return Matrix();
+    }
+    g = layers_[idx]->Backward(g);
   }
   return g;
 }

@@ -38,12 +38,17 @@ class Mlp {
   Mlp(Mlp&&) = default;
   Mlp& operator=(Mlp&&) = default;
 
-  /// Forward pass; caches activations for Backward.
+  /// Forward pass over a (batch x input_dim) matrix; caches the whole
+  /// batch's activations for Backward. Training loops should assemble their
+  /// minibatch into one matrix and call this once, not once per row.
   Matrix Forward(const Matrix& input);
 
-  /// Backward pass from dLoss/dOutput; accumulates parameter gradients and
-  /// returns dLoss/dInput.
-  Matrix Backward(const Matrix& grad_output);
+  /// Backward pass from dLoss/dOutput (batch x output_dim, row-aligned with
+  /// the last Forward); accumulates parameter gradients summed over the
+  /// batch. Returns dLoss/dInput when `need_input_grad` is true; by default
+  /// the first layer's input gradient — which no trainer uses — is skipped
+  /// and an empty matrix is returned.
+  Matrix Backward(const Matrix& grad_output, bool need_input_grad = false);
 
   /// All trainable parameter matrices, in layer order.
   std::vector<Matrix*> Params();

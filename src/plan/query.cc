@@ -1,5 +1,6 @@
 #include "plan/query.h"
 
+#include <cstring>
 #include <set>
 #include <sstream>
 
@@ -111,6 +112,62 @@ Status Query::Validate(const Catalog& catalog) const {
     if (agg.has_arg) HFQ_RETURN_IF_ERROR(check_ref(agg.arg));
   }
   return Status::OK();
+}
+
+uint64_t Query::StructuralFingerprint() const {
+  // FNV-1a over every structural field, with length/tag separators so
+  // adjacent fields cannot alias ("ab"+"c" vs "a"+"bc").
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_str = [&](const std::string& s) {
+    mix(s.size());
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_col = [&](const ColumnRef& ref) {
+    mix(static_cast<uint64_t>(static_cast<int64_t>(ref.rel_idx)));
+    mix_str(ref.column);
+  };
+  auto mix_value = [&](const Value& v) {
+    mix(v.is_double ? 1 : 0);
+    mix(static_cast<uint64_t>(v.i));
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v.d));
+    std::memcpy(&bits, &v.d, sizeof(bits));
+    mix(bits);
+  };
+  mix(relations.size());
+  for (const auto& rel : relations) {
+    mix_str(rel.table);
+    mix_str(rel.alias);
+  }
+  mix(selections.size());
+  for (const auto& sel : selections) {
+    mix_col(sel.column);
+    mix(static_cast<uint64_t>(sel.op));
+    mix_value(sel.value);
+  }
+  mix(joins.size());
+  for (const auto& join : joins) {
+    mix_col(join.left);
+    mix_col(join.right);
+  }
+  mix(group_by.size());
+  for (const auto& g : group_by) mix_col(g);
+  mix(aggregates.size());
+  for (const auto& agg : aggregates) {
+    mix(static_cast<uint64_t>(agg.func));
+    mix(agg.has_arg ? 1 : 0);
+    if (agg.has_arg) mix_col(agg.arg);
+  }
+  return h;
 }
 
 std::string Query::ToSql() const {

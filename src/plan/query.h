@@ -3,6 +3,7 @@
 #ifndef HFQ_PLAN_QUERY_H_
 #define HFQ_PLAN_QUERY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,12 @@ struct Query {
 
   /// Reconstructs SQL text (the mini-SQL dialect of src/sql).
   std::string ToSql() const;
+
+  /// Order-sensitive hash of the query's structure — everything except
+  /// `name`. Two queries with equal fingerprints are structurally
+  /// identical for caching purposes; components that memoize per query
+  /// name use this to detect two distinct queries sharing a name.
+  uint64_t StructuralFingerprint() const;
 };
 
 }  // namespace hfq

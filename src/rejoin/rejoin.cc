@@ -56,6 +56,16 @@ void RejoinTrainer::Train(
     RejoinEpisodeStats stats = RunEpisode(query, /*train=*/true);
     if (on_episode) on_episode(e, stats);
   }
+  // Flush the trailing partial batch: leftover episodes would otherwise
+  // carry stale old_prob values into a later Train/RunEpisode update,
+  // corrupting the PPO ratios.
+  FlushPendingEpisodes();
+}
+
+void RejoinTrainer::FlushPendingEpisodes() {
+  if (pending_.empty()) return;
+  agent_.Update(pending_);
+  pending_.clear();
 }
 
 std::unique_ptr<JoinTreeNode> RejoinTrainer::Plan(const Query& query,

@@ -41,10 +41,19 @@ class RejoinTrainer {
   RejoinEpisodeStats RunEpisode(const Query& query, bool train);
 
   /// Trains over the workload round-robin for `episodes` episodes,
-  /// invoking `on_episode` (if set) after each.
+  /// invoking `on_episode` (if set) after each. Any trailing partial batch
+  /// of episodes is flushed into a final policy update before returning.
   void Train(const std::vector<Query>& workload, int episodes,
              const std::function<void(int, const RejoinEpisodeStats&)>&
                  on_episode = nullptr);
+
+  /// Applies a policy update from any buffered episodes that have not yet
+  /// reached `episodes_per_update` (no-op when none are buffered). Called
+  /// by Train; useful for callers driving RunEpisode directly.
+  void FlushPendingEpisodes();
+
+  /// Episodes buffered toward the next policy update.
+  size_t pending_episodes() const { return pending_.size(); }
 
   /// Greedy inference: returns the join tree the trained policy picks.
   /// If `planning_ms_out` is non-null it receives the pure inference time

@@ -9,8 +9,36 @@
 
 namespace hfq {
 namespace {
+
 constexpr double kMaskedLogit = -1e9;
+
+// Stacks the transitions' states into one (batch x state_dim) matrix.
+Matrix StackStates(const std::vector<const Transition*>& transitions,
+                   int state_dim) {
+  return StackRows(static_cast<int64_t>(transitions.size()), state_dim,
+                   [&transitions](int64_t i) -> const std::vector<double>& {
+                     return transitions[static_cast<size_t>(i)]->state;
+                   });
 }
+
+// Overwrites each row's masked-out entries with kMaskedLogit so the row-wise
+// softmax assigns them probability exactly 0 (the exp underflows).
+void MaskLogitsInPlace(Matrix* logits,
+                       const std::vector<const Transition*>& transitions,
+                       int action_dim) {
+  HFQ_CHECK(logits->rows() == static_cast<int64_t>(transitions.size()));
+  for (size_t i = 0; i < transitions.size(); ++i) {
+    const std::vector<bool>& mask = transitions[i]->mask;
+    HFQ_CHECK(static_cast<int>(mask.size()) == action_dim);
+    for (int a = 0; a < action_dim; ++a) {
+      if (!mask[static_cast<size_t>(a)]) {
+        logits->At(static_cast<int64_t>(i), a) = kMaskedLogit;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 PolicyGradientAgent::PolicyGradientAgent(int state_dim, int action_dim,
                                          PolicyGradientConfig config,
@@ -90,11 +118,8 @@ double PolicyGradientAgent::Update(const std::vector<Episode>& episodes) {
   if (episodes.empty()) return 0.0;
 
   // Flatten (state, mask, action, return-to-go, old_prob).
-  struct Sample {
-    const Transition* t;
-    double ret;
-  };
-  std::vector<Sample> samples;
+  std::vector<const Transition*> transitions;
+  std::vector<double> returns;
   for (const auto& ep : episodes) {
     double ret = 0.0;
     std::vector<double> rets(ep.steps.size());
@@ -103,14 +128,22 @@ double PolicyGradientAgent::Update(const std::vector<Episode>& episodes) {
       rets[i] = ret;
     }
     for (size_t i = 0; i < ep.steps.size(); ++i) {
-      samples.push_back({&ep.steps[i], rets[i]});
+      transitions.push_back(&ep.steps[i]);
+      returns.push_back(rets[i]);
     }
   }
+  if (transitions.empty()) return 0.0;
+  const int64_t batch = static_cast<int64_t>(transitions.size());
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  Matrix states = StackStates(transitions, state_dim_);
 
-  // Advantages from the value baseline; normalized for stability.
-  std::vector<double> advantages(samples.size());
-  for (size_t i = 0; i < samples.size(); ++i) {
-    advantages[i] = samples[i].ret - Value(samples[i].t->state);
+  // Advantages from the value baseline (one batched forward); normalized
+  // for stability.
+  Matrix values = value_.Forward(states);
+  std::vector<double> advantages(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    advantages[static_cast<size_t>(i)] =
+        returns[static_cast<size_t>(i)] - values.At(i, 0);
   }
   double mean = 0.0, var = 0.0;
   for (double a : advantages) mean += a;
@@ -123,17 +156,26 @@ double PolicyGradientAgent::Update(const std::vector<Episode>& episodes) {
   const int epochs = config_.use_ppo_clip ? config_.ppo_epochs : 1;
   double last_loss = 0.0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
-    double total_loss = 0.0;
     policy_.ZeroGrads();
-    for (size_t i = 0; i < samples.size(); ++i) {
-      const Transition& t = *samples[i].t;
-      Matrix logits = MaskedLogits(t.state, t.mask);
-      Matrix probs = Softmax(logits);
-      const double p = std::max(probs.At(0, t.action), 1e-12);
+    // One forward for the whole minibatch: the layer caches now hold the
+    // full batch, so the single Backward below needs no cache-refresh pass.
+    Matrix masked = policy_.Forward(states);
+    MaskLogitsInPlace(&masked, transitions, action_dim_);
+    Matrix probs = Softmax(masked);
+    Matrix ent_grad;
+    if (config_.entropy_coef > 0.0) {
+      // Reuses `probs` and already divides its gradient by the row count.
+      SoftmaxEntropyFromProbs(probs, config_.entropy_coef, &ent_grad);
+    }
+    double total_loss = 0.0;
+    Matrix grad(batch, action_dim_);
+    for (int64_t i = 0; i < batch; ++i) {
+      const Transition& t = *transitions[static_cast<size_t>(i)];
+      const double p = std::max(probs.At(i, t.action), 1e-12);
       double weight;  // scale of dlogp grad
       if (config_.use_ppo_clip) {
         const double ratio = p / std::max(t.old_prob, 1e-12);
-        const double adv = advantages[i];
+        const double adv = advantages[static_cast<size_t>(i)];
         const double clipped = std::clamp(ratio, 1.0 - config_.clip_epsilon,
                                           1.0 + config_.clip_epsilon);
         // d/dtheta of -min(r*A, clip(r)*A): zero when the unclipped term is
@@ -142,46 +184,37 @@ double PolicyGradientAgent::Update(const std::vector<Episode>& episodes) {
         weight = active ? adv * ratio : 0.0;
         total_loss += -std::min(ratio * adv, clipped * adv);
       } else {
-        weight = advantages[i];
-        total_loss += -std::log(p) * advantages[i];
+        weight = advantages[static_cast<size_t>(i)];
+        total_loss += -std::log(p) * weight;
       }
       // Gradient of -weight * log pi(a|s) w.r.t. logits:
       // weight * (softmax - onehot). Masked entries have softmax 0.
-      Matrix grad(1, action_dim_);
       for (int a = 0; a < action_dim_; ++a) {
-        double g = probs.At(0, a) - (a == t.action ? 1.0 : 0.0);
-        grad.At(0, a) = weight * g / static_cast<double>(samples.size());
-      }
-      // Entropy bonus.
-      if (config_.entropy_coef > 0.0) {
-        Matrix ent_grad;
-        SoftmaxEntropy(logits, config_.entropy_coef, &ent_grad);
-        for (int a = 0; a < action_dim_; ++a) {
-          if (t.mask[static_cast<size_t>(a)]) {
-            grad.At(0, a) +=
-                ent_grad.At(0, a) / static_cast<double>(samples.size());
-          }
+        double g = probs.At(i, a) - (a == t.action ? 1.0 : 0.0);
+        grad.At(i, a) = weight * g * inv_batch;
+        // Entropy bonus (zero at masked entries: their probability is 0).
+        if (config_.entropy_coef > 0.0 && t.mask[static_cast<size_t>(a)]) {
+          grad.At(i, a) += ent_grad.At(i, a);
         }
       }
-      // Re-run forward to set layer caches for this sample, then backprop.
-      (void)policy_.Forward(Matrix::RowVector(t.state));
-      policy_.Backward(grad);
     }
+    policy_.Backward(grad);
     ClipGradientsByGlobalNorm(policy_.Grads(), config_.max_grad_norm);
     policy_opt_.Step(policy_.Params(), policy_.Grads());
-    last_loss = total_loss / static_cast<double>(samples.size());
+    last_loss = total_loss * inv_batch;
   }
 
-  // Value regression toward observed returns.
-  value_.ZeroGrads();
-  for (const auto& s : samples) {
-    Matrix pred = value_.Forward(Matrix::RowVector(s.t->state));
-    Matrix target = Matrix::Constant(1, 1, s.ret);
-    Matrix grad;
-    MseLoss(pred, target, &grad);
-    grad.Scale(1.0 / static_cast<double>(samples.size()));
-    value_.Backward(grad);
+  // Value regression toward observed returns. The value parameters have not
+  // changed since the advantage forward above, so its layer caches are
+  // still valid and Backward can run without another forward.
+  Matrix targets(batch, 1);
+  for (int64_t i = 0; i < batch; ++i) {
+    targets.At(i, 0) = returns[static_cast<size_t>(i)];
   }
+  value_.ZeroGrads();
+  Matrix vgrad;
+  MseLoss(values, targets, &vgrad);
+  value_.Backward(vgrad);
   ClipGradientsByGlobalNorm(value_.Grads(), config_.max_grad_norm);
   value_opt_.Step(value_.Params(), value_.Grads());
 
@@ -191,24 +224,33 @@ double PolicyGradientAgent::Update(const std::vector<Episode>& episodes) {
 double PolicyGradientAgent::BehaviourCloneStep(
     const std::vector<Transition>& batch) {
   if (batch.empty()) return 0.0;
-  double total_loss = 0.0;
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<const Transition*> transitions;
+  transitions.reserve(batch.size());
+  for (const auto& t : batch) transitions.push_back(&t);
+
   policy_.ZeroGrads();
-  for (const auto& t : batch) {
-    Matrix logits = MaskedLogits(t.state, t.mask);
-    Matrix probs = Softmax(logits);
-    const double p = std::max(probs.At(0, t.action), 1e-12);
+  // One forward over the whole batch (caches it for the single Backward).
+  Matrix masked = policy_.Forward(StackStates(transitions, state_dim_));
+  MaskLogitsInPlace(&masked, transitions, action_dim_);
+  Matrix probs = Softmax(masked);
+
+  double total_loss = 0.0;
+  Matrix grad(n, action_dim_);
+  for (int64_t i = 0; i < n; ++i) {
+    const Transition& t = batch[static_cast<size_t>(i)];
+    const double p = std::max(probs.At(i, t.action), 1e-12);
     total_loss += -std::log(p);
-    Matrix grad(1, action_dim_);
+    // Cross-entropy gradient: softmax - onehot (masked entries are 0).
     for (int a = 0; a < action_dim_; ++a) {
-      grad.At(0, a) = (probs.At(0, a) - (a == t.action ? 1.0 : 0.0)) /
-                      static_cast<double>(batch.size());
+      grad.At(i, a) = (probs.At(i, a) - (a == t.action ? 1.0 : 0.0)) * inv_n;
     }
-    (void)policy_.Forward(Matrix::RowVector(t.state));
-    policy_.Backward(grad);
   }
+  policy_.Backward(grad);
   ClipGradientsByGlobalNorm(policy_.Grads(), config_.max_grad_norm);
   policy_opt_.Step(policy_.Params(), policy_.Grads());
-  return total_loss / static_cast<double>(batch.size());
+  return total_loss * inv_n;
 }
 
 void PolicyGradientAgent::ResetOptimizerState() {

@@ -72,11 +72,20 @@ double RewardPredictor::TrainSteps(int steps) {
   int total_samples = 0;
   for (int step = 0; step < steps; ++step) {
     auto batch = buffer_.Sample(&rng_, static_cast<size_t>(config_.batch_size));
+    const int64_t n = static_cast<int64_t>(batch.size());
+    Matrix states =
+        StackRows(n, state_dim_,
+                  [&batch](int64_t i) -> const std::vector<double>& {
+                    return batch[static_cast<size_t>(i)]->state;
+                  });
     net_.ZeroGrads();
-    for (const OutcomeExample* ex : batch) {
-      Matrix out = net_.Forward(Matrix::RowVector(ex->state));
+    // One forward per minibatch; the single Backward below reuses its cache.
+    Matrix out = net_.Forward(states);
+    Matrix grad(n, action_dim_);
+    for (int64_t i = 0; i < n; ++i) {
+      const OutcomeExample* ex = batch[static_cast<size_t>(i)];
       // Regression loss on the taken action's output.
-      double pred = out.At(0, ex->action);
+      double pred = out.At(i, ex->action);
       double diff = pred - ex->target;
       double g;
       if (std::abs(diff) <= config_.huber_delta) {
@@ -87,8 +96,7 @@ double RewardPredictor::TrainSteps(int steps) {
                                              0.5 * config_.huber_delta);
         g = diff > 0 ? config_.huber_delta : -config_.huber_delta;
       }
-      Matrix grad(1, action_dim_);
-      grad.At(0, ex->action) = g / static_cast<double>(batch.size());
+      grad.At(i, ex->action) = g / static_cast<double>(batch.size());
       // Large-margin demonstration loss: every non-expert action must
       // predict at least `margin` worse (higher) than the expert outcome.
       if (ex->from_expert && config_.margin_weight > 0.0) {
@@ -98,16 +106,16 @@ double RewardPredictor::TrainSteps(int steps) {
                               static_cast<double>(action_dim_));
         for (int a = 0; a < action_dim_; ++a) {
           if (a == ex->action) continue;
-          double violation = floor - out.At(0, a);
+          double violation = floor - out.At(i, a);
           if (violation > 0.0) {
             total_loss += config_.margin_weight * violation;
-            grad.At(0, a) -= scale;  // Push the prediction up.
+            grad.At(i, a) -= scale;  // Push the prediction up.
           }
         }
       }
-      net_.Backward(grad);
       ++total_samples;
     }
+    net_.Backward(grad);
     ClipGradientsByGlobalNorm(net_.Grads(), config_.max_grad_norm);
     opt_.Step(net_.Params(), net_.Grads());
   }

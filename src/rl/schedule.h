@@ -3,6 +3,7 @@
 #define HFQ_RL_SCHEDULE_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 namespace hfq {
@@ -33,8 +34,10 @@ class ExponentialSchedule {
       : start_(start), decay_(decay), floor_(floor) {}
 
   double Value(int64_t t) const {
-    double v = start_;
-    for (int64_t i = 0; i < t && v > floor_; ++i) v *= decay_;
+    // Closed form: the former multiply loop made a whole training run's
+    // schedule lookups quadratic in total step count.
+    if (t <= 0) return std::max(start_, floor_);
+    double v = start_ * std::pow(decay_, static_cast<double>(t));
     return std::max(v, floor_);
   }
 

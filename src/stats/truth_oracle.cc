@@ -59,7 +59,31 @@ TrueCardinalityOracle::TrueCardinalityOracle(const Database* db,
   HFQ_CHECK(db != nullptr);
 }
 
+void TrueCardinalityOracle::CheckCacheIdentity(const Query& query) {
+  // Fast path: the previous call verified this very object. (A query
+  // mutated in place between calls can slip past this; the guard targets
+  // the real hazard — two distinct queries sharing a name.)
+  if (&query == last_checked_query_ && query.name == last_checked_name_) {
+    return;
+  }
+  uint64_t fp = query.StructuralFingerprint();
+  auto it = fingerprint_cache_.try_emplace(query.name, fp).first;
+  HFQ_CHECK_MSG(it->second == fp,
+                ("oracle caches are keyed by query name, but two "
+                 "structurally different queries share the name '" +
+                 query.name + "'")
+                    .c_str());
+  last_checked_query_ = &query;
+  last_checked_name_ = query.name;
+}
+
 const std::vector<int64_t>& TrueCardinalityOracle::SelectedRows(
+    const Query& query, int rel) {
+  CheckCacheIdentity(query);
+  return SelectedRowsImpl(query, rel);
+}
+
+const std::vector<int64_t>& TrueCardinalityOracle::SelectedRowsImpl(
     const Query& query, int rel) {
   auto key = std::make_pair(query.name, rel);
   auto it = selected_cache_.find(key);
@@ -111,18 +135,19 @@ double TrueCardinalityOracle::BaseRows(const Query& query, int rel) {
 
 Result<double> TrueCardinalityOracle::CountConnectedExact(const Query& query,
                                                           RelSet component) {
+  CheckCacheIdentity(query);
   std::vector<int> members = RelSetMembers(component);
   HFQ_CHECK(!members.empty());
   if (members.size() == 1) {
-    return static_cast<double>(SelectedRows(query, members[0]).size());
+    return static_cast<double>(SelectedRowsImpl(query, members[0]).size());
   }
 
   // Start from the smallest selected relation; grow by the smallest
   // adjacent one (keeps grouped state compact).
   int start = members[0];
   for (int rel : members) {
-    if (SelectedRows(query, rel).size() <
-        SelectedRows(query, start).size()) {
+    if (SelectedRowsImpl(query, rel).size() <
+        SelectedRowsImpl(query, start).size()) {
       start = rel;
     }
   }
@@ -142,7 +167,7 @@ Result<double> TrueCardinalityOracle::CountConnectedExact(const Query& query,
       HFQ_CHECK(col.ok());
       layout_cols.push_back(*col);
     }
-    for (int64_t row : SelectedRows(query, start)) {
+    for (int64_t row : SelectedRowsImpl(query, start)) {
       KeyVec key;
       key.reserve(layout_cols.size());
       for (const Column* c : layout_cols) key.push_back(c->GetInt(row));
@@ -155,8 +180,8 @@ Result<double> TrueCardinalityOracle::CountConnectedExact(const Query& query,
     int next = -1;
     for (int rel : RelSetMembers(remaining)) {
       if (!query.JoinPredsBetween(joined, RelSetOf(rel)).empty()) {
-        if (next < 0 || SelectedRows(query, rel).size() <
-                            SelectedRows(query, next).size()) {
+        if (next < 0 || SelectedRowsImpl(query, rel).size() <
+                            SelectedRowsImpl(query, next).size()) {
           next = rel;
         }
       }
@@ -229,7 +254,7 @@ Result<double> TrueCardinalityOracle::CountConnectedExact(const Query& query,
         next_map;
     {
       std::unordered_map<KeyVec, uint64_t, KeyVecHash> grouped;
-      for (int64_t row : SelectedRows(query, next)) {
+      for (int64_t row : SelectedRowsImpl(query, next)) {
         KeyVec full;
         full.reserve(probe_cols.size() + payload_cols.size());
         for (const Column* c : probe_cols) full.push_back(c->GetInt(row));
@@ -296,13 +321,14 @@ double TrueCardinalityOracle::CountComponent(const Query& query,
   double bound = 1.0;
   for (int rel : RelSetMembers(component)) {
     bound *= std::max<double>(
-        1.0, static_cast<double>(SelectedRows(query, rel).size()));
+        1.0, static_cast<double>(SelectedRowsImpl(query, rel).size()));
   }
   return bound;
 }
 
 double TrueCardinalityOracle::Rows(const Query& query, RelSet s) {
   HFQ_CHECK(s != 0);
+  CheckCacheIdentity(query);
   auto key = std::make_pair(query.name, s);
   auto it = count_cache_.find(key);
   if (it != count_cache_.end()) return it->second;
@@ -358,6 +384,7 @@ double TrueCardinalityOracle::RowsWithSelections(
 
 double TrueCardinalityOracle::GroupRows(const Query& query) {
   if (query.group_by.empty()) return 1.0;
+  CheckCacheIdentity(query);
   auto it = group_cache_.find(query.name);
   if (it != group_cache_.end()) return it->second;
 
@@ -384,7 +411,7 @@ double TrueCardinalityOracle::GroupRows(const Query& query) {
     auto col = (*table)->GetColumn(g.column);
     HFQ_CHECK(col.ok());
     std::unordered_map<int64_t, bool> seen;
-    for (int64_t row : SelectedRows(query, g.rel_idx)) {
+    for (int64_t row : SelectedRowsImpl(query, g.rel_idx)) {
       seen[(*col)->GetInt(row)] = true;
     }
     distinct *= std::max<double>(1.0, static_cast<double>(seen.size()));

@@ -28,7 +28,11 @@
 namespace hfq {
 
 /// Exact cardinalities from data. Memoizes per (query name, relset): query
-/// names must uniquely identify queries within a run.
+/// names must uniquely identify queries within a run. This is enforced: a
+/// per-name structural fingerprint is recorded on first contact, and a
+/// later query reusing the name with a different structure trips an
+/// HFQ_CHECK instead of silently returning the other query's cached
+/// cardinalities.
 class TrueCardinalityOracle : public CardinalitySource {
  public:
   struct Options {
@@ -58,8 +62,22 @@ class TrueCardinalityOracle : public CardinalitySource {
  private:
   double CountComponent(const Query& query, RelSet component);
 
+  /// SelectedRows without the cache-identity check, for internal callers
+  /// inside an already-checked public entry point (the component sweep
+  /// calls it O(n^2) times per query).
+  const std::vector<int64_t>& SelectedRowsImpl(const Query& query, int rel);
+
+  /// Guards the name-keyed caches: checks `query`'s structural fingerprint
+  /// against the one first recorded for its name. Called once per public
+  /// entry; repeated calls with the same query object short-circuit on
+  /// identity before hashing.
+  void CheckCacheIdentity(const Query& query);
+
   const Database* db_;
   Options options_;
+  const Query* last_checked_query_ = nullptr;
+  std::string last_checked_name_;
+  std::map<std::string, uint64_t> fingerprint_cache_;
   std::map<std::pair<std::string, int>, std::vector<int64_t>> selected_cache_;
   std::map<std::pair<std::string, RelSet>, double> count_cache_;
   std::map<std::string, double> group_cache_;

@@ -104,20 +104,32 @@ int64_t Rng::Zipf(int64_t n, double s) {
 }
 
 int64_t Rng::Categorical(const std::vector<double>& weights) {
+  return CategoricalFromUniform(Uniform(), weights);
+}
+
+int64_t Rng::CategoricalFromUniform(double u,
+                                    const std::vector<double>& weights) {
+  HFQ_CHECK(u >= 0.0 && u <= 1.0);
   HFQ_CHECK(!weights.empty());
   double total = 0.0;
-  for (double w : weights) {
-    HFQ_CHECK(w >= 0.0);
-    total += w;
+  int64_t last_nonzero = -1;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    HFQ_CHECK(weights[i] >= 0.0);
+    total += weights[i];
+    if (weights[i] > 0.0) last_nonzero = static_cast<int64_t>(i);
   }
   HFQ_CHECK(total > 0.0);
-  double r = Uniform() * total;
+  double r = u * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
     acc += weights[i];
     if (r < acc) return static_cast<int64_t>(i);
   }
-  return static_cast<int64_t>(weights.size()) - 1;
+  // Rounding pushed r up to the accumulated total (possible because
+  // u * total can round to exactly total). Falling back to the *last* index
+  // could select a zero-weight entry — under a masked action distribution
+  // that is a masked action — so fall back to the last nonzero weight.
+  return last_nonzero;
 }
 
 Rng Rng::Fork() { return Rng(Next()); }

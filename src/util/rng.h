@@ -46,8 +46,15 @@ class Rng {
   int64_t Zipf(int64_t n, double s);
 
   /// Samples an index in [0, weights.size()) proportionally to weights.
-  /// Weights must be non-negative with a positive sum.
+  /// Weights must be non-negative with a positive sum. Never returns an
+  /// index whose weight is zero.
   int64_t Categorical(const std::vector<double>& weights);
+
+  /// Deterministic core of Categorical: maps a uniform draw `u` in [0, 1]
+  /// to an index by inverse CDF. Exposed (static) so edge cases — e.g. the
+  /// rounding fallback when u * total rounds to total — are testable.
+  static int64_t CategoricalFromUniform(double u,
+                                        const std::vector<double>& weights);
 
   /// Fisher-Yates shuffle.
   template <typename T>

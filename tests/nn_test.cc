@@ -101,6 +101,87 @@ TEST(MatrixTest, ColumnSumAndRowBroadcast) {
   EXPECT_EQ(m.At(1, 2), 6.0);
 }
 
+TEST(MatrixTest, FromRowsStacksEqualLengthRows) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_EQ(m.At(0, 0), 1.0);
+  EXPECT_EQ(m.At(1, 1), 4.0);
+  EXPECT_EQ(m.At(2, 1), 6.0);
+}
+
+// The minibatched training path relies on one B-row Forward/Backward
+// accumulating the same parameter gradients as B per-sample passes.
+TEST(MlpBatchTest, BatchedBackwardMatchesPerSampleAccumulation) {
+  Rng rng(14);
+  MlpConfig config;
+  config.input_dim = 4;
+  config.hidden_dims = {6, 5};
+  config.output_dim = 3;
+  config.activation = Activation::kTanh;
+  Mlp batched(config, &rng);
+  Mlp reference = batched;  // Deep copy: identical weights.
+
+  const int64_t kBatch = 5;
+  Matrix x = RandomMatrix(kBatch, config.input_dim, &rng);
+  Matrix g = RandomMatrix(kBatch, config.output_dim, &rng);
+
+  batched.ZeroGrads();
+  batched.Forward(x);
+  batched.Backward(g);
+
+  reference.ZeroGrads();
+  for (int64_t r = 0; r < kBatch; ++r) {
+    reference.Forward(x.Row(r));
+    reference.Backward(g.Row(r));
+  }
+
+  auto bg = batched.Grads();
+  auto rg = reference.Grads();
+  ASSERT_EQ(bg.size(), rg.size());
+  int64_t compared = 0;
+  for (size_t p = 0; p < bg.size(); ++p) {
+    ASSERT_TRUE(bg[p]->SameShape(*rg[p]));
+    for (int64_t k = 0; k < bg[p]->size(); ++k) {
+      EXPECT_NEAR(bg[p]->data()[k], rg[p]->data()[k], 1e-10)
+          << "param " << p << " index " << k;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 50);
+}
+
+// Same property through the ReLU activation (the default for the agents):
+// its gradient gate must be applied row-wise from the batched cache.
+TEST(MlpBatchTest, BatchedBackwardMatchesPerSampleWithRelu) {
+  Rng rng(15);
+  MlpConfig config;
+  config.input_dim = 3;
+  config.hidden_dims = {8};
+  config.output_dim = 2;
+  config.activation = Activation::kRelu;
+  Mlp batched(config, &rng);
+  Mlp reference = batched;
+
+  Matrix x = RandomMatrix(7, 3, &rng);
+  Matrix g = RandomMatrix(7, 2, &rng);
+  batched.ZeroGrads();
+  batched.Forward(x);
+  batched.Backward(g);
+  reference.ZeroGrads();
+  for (int64_t r = 0; r < 7; ++r) {
+    reference.Forward(x.Row(r));
+    reference.Backward(g.Row(r));
+  }
+  auto bg = batched.Grads();
+  auto rg = reference.Grads();
+  for (size_t p = 0; p < bg.size(); ++p) {
+    for (int64_t k = 0; k < bg[p]->size(); ++k) {
+      EXPECT_NEAR(bg[p]->data()[k], rg[p]->data()[k], 1e-10);
+    }
+  }
+}
+
 TEST(SoftmaxTest, RowsSumToOneAndStable) {
   Matrix logits(2, 3);
   logits.At(0, 0) = 1000.0;  // Numerical stability probe.

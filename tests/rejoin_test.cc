@@ -193,6 +193,33 @@ TEST_F(RejoinTest, TrainerImprovesOverRandomBaseline) {
   EXPECT_GT(trained_mean, random_mean);
 }
 
+TEST_F(RejoinTest, TrainFlushesTrailingEpisodes) {
+  // Episodes short of episodes_per_update used to be left in the pending
+  // buffer at the end of Train, leaking (with stale old_prob values) into a
+  // later Train/RunEpisode update. Train must flush the remainder.
+  Query q = MakeQuery(4, 10, "flush1");
+  RejoinConfig config;
+  config.pg.hidden_dims = {16};
+  config.episodes_per_update = 8;
+  RejoinTrainer trainer(&env_, config, 21);
+  trainer.Train({q}, 3);  // 3 < 8: a trailing partial batch.
+  EXPECT_EQ(trainer.pending_episodes(), 0u);
+  trainer.Train({q}, 11);  // 8 trigger an update, 3 trail again.
+  EXPECT_EQ(trainer.pending_episodes(), 0u);
+
+  // Callers driving RunEpisode directly buffer episodes and can flush
+  // explicitly; a second flush is a no-op.
+  trainer.RunEpisode(q, /*train=*/true);
+  EXPECT_EQ(trainer.pending_episodes(), 1u);
+  trainer.FlushPendingEpisodes();
+  EXPECT_EQ(trainer.pending_episodes(), 0u);
+  trainer.FlushPendingEpisodes();
+  EXPECT_EQ(trainer.pending_episodes(), 0u);
+  // Evaluation episodes never enter the pending buffer.
+  trainer.RunEpisode(q, /*train=*/false);
+  EXPECT_EQ(trainer.pending_episodes(), 0u);
+}
+
 TEST_F(RejoinTest, PlanIsDeterministicAndTimed) {
   Query q = MakeQuery(6, 8, "plan1");
   RejoinConfig config;

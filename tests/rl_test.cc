@@ -2,8 +2,12 @@
 // solve small closed-form tasks; replay buffer and schedules behave.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
+#include "nn/layer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
 #include "rl/env.h"
 #include "rl/policy_gradient.h"
 #include "rl/replay.h"
@@ -75,6 +79,244 @@ Episode RunEpisode(Environment* env, PolicyGradientAgent* agent) {
     episode.steps.push_back(std::move(t));
   }
   return episode;
+}
+
+// Reference implementation of the *per-sample* policy/value update (two
+// forwards + one backward per sample, as Update worked before
+// minibatching). The batched Update must produce equivalent parameters.
+double ReferencePerSampleUpdate(const std::vector<Episode>& episodes,
+                                const PolicyGradientConfig& config,
+                                int action_dim, Mlp* policy, Mlp* value,
+                                Adam* policy_opt, Adam* value_opt) {
+  constexpr double kMaskedLogit = -1e9;
+  struct Sample {
+    const Transition* t;
+    double ret;
+  };
+  std::vector<Sample> samples;
+  for (const auto& ep : episodes) {
+    double ret = 0.0;
+    std::vector<double> rets(ep.steps.size());
+    for (size_t i = ep.steps.size(); i-- > 0;) {
+      ret = ep.steps[i].reward + config.gamma * ret;
+      rets[i] = ret;
+    }
+    for (size_t i = 0; i < ep.steps.size(); ++i) {
+      samples.push_back({&ep.steps[i], rets[i]});
+    }
+  }
+  auto masked_logits = [&](const Transition& t) {
+    Matrix logits = policy->Forward(Matrix::RowVector(t.state));
+    for (int a = 0; a < action_dim; ++a) {
+      if (!t.mask[static_cast<size_t>(a)]) logits.At(0, a) = kMaskedLogit;
+    }
+    return logits;
+  };
+
+  std::vector<double> advantages(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    Matrix v = value->Forward(Matrix::RowVector(samples[i].t->state));
+    advantages[i] = samples[i].ret - v.At(0, 0);
+  }
+  double mean = 0.0, var = 0.0;
+  for (double a : advantages) mean += a;
+  mean /= static_cast<double>(advantages.size());
+  for (double a : advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(advantages.size());
+  double stddev = std::sqrt(std::max(var, 1e-12));
+  for (double& a : advantages) a = (a - mean) / stddev;
+
+  const int epochs = config.use_ppo_clip ? config.ppo_epochs : 1;
+  double last_loss = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    double total_loss = 0.0;
+    policy->ZeroGrads();
+    for (size_t i = 0; i < samples.size(); ++i) {
+      const Transition& t = *samples[i].t;
+      Matrix logits = masked_logits(t);
+      Matrix probs = Softmax(logits);
+      const double p = std::max(probs.At(0, t.action), 1e-12);
+      double weight;
+      if (config.use_ppo_clip) {
+        const double ratio = p / std::max(t.old_prob, 1e-12);
+        const double adv = advantages[i];
+        const double clipped = std::clamp(ratio, 1.0 - config.clip_epsilon,
+                                          1.0 + config.clip_epsilon);
+        const bool active = ratio * adv <= clipped * adv;
+        weight = active ? adv * ratio : 0.0;
+        total_loss += -std::min(ratio * adv, clipped * adv);
+      } else {
+        weight = advantages[i];
+        total_loss += -std::log(p) * advantages[i];
+      }
+      Matrix grad(1, action_dim);
+      for (int a = 0; a < action_dim; ++a) {
+        double g = probs.At(0, a) - (a == t.action ? 1.0 : 0.0);
+        grad.At(0, a) = weight * g / static_cast<double>(samples.size());
+      }
+      if (config.entropy_coef > 0.0) {
+        Matrix ent_grad;
+        SoftmaxEntropy(logits, config.entropy_coef, &ent_grad);
+        for (int a = 0; a < action_dim; ++a) {
+          if (t.mask[static_cast<size_t>(a)]) {
+            grad.At(0, a) +=
+                ent_grad.At(0, a) / static_cast<double>(samples.size());
+          }
+        }
+      }
+      (void)policy->Forward(Matrix::RowVector(t.state));
+      policy->Backward(grad);
+    }
+    ClipGradientsByGlobalNorm(policy->Grads(), config.max_grad_norm);
+    policy_opt->Step(policy->Params(), policy->Grads());
+    last_loss = total_loss / static_cast<double>(samples.size());
+  }
+
+  value->ZeroGrads();
+  for (const auto& s : samples) {
+    Matrix pred = value->Forward(Matrix::RowVector(s.t->state));
+    Matrix target = Matrix::Constant(1, 1, s.ret);
+    Matrix grad;
+    MseLoss(pred, target, &grad);
+    grad.Scale(1.0 / static_cast<double>(samples.size()));
+    value->Backward(grad);
+  }
+  ClipGradientsByGlobalNorm(value->Grads(), config.max_grad_norm);
+  value_opt->Step(value->Params(), value->Grads());
+  return last_loss;
+}
+
+void ExpectParamsNear(Mlp& got, Mlp& want, double tol) {
+  auto gp = got.Params();
+  auto wp = want.Params();
+  ASSERT_EQ(gp.size(), wp.size());
+  for (size_t p = 0; p < gp.size(); ++p) {
+    ASSERT_TRUE(gp[p]->SameShape(*wp[p]));
+    for (int64_t k = 0; k < gp[p]->size(); ++k) {
+      EXPECT_NEAR(gp[p]->data()[k], wp[p]->data()[k], tol)
+          << "param " << p << " index " << k;
+    }
+  }
+}
+
+// Episodes with uneven lengths, partial masks, and sampled old_probs —
+// exercises the PPO-clip + entropy path of the batched Update.
+std::vector<Episode> MakeSyntheticEpisodes(PolicyGradientAgent* agent,
+                                           int state_dim, int num_episodes,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Episode> episodes;
+  for (int e = 0; e < num_episodes; ++e) {
+    Episode ep;
+    int len = 1 + e % 3;
+    for (int s = 0; s < len; ++s) {
+      Transition t;
+      t.state.resize(static_cast<size_t>(state_dim));
+      for (auto& v : t.state) v = rng.Normal();
+      t.mask.assign(static_cast<size_t>(agent->action_dim()), true);
+      if (e % 2 == 0) t.mask[1] = false;  // Some masked-out actions.
+      t.action = agent->SampleAction(t.state, t.mask, &t.old_prob);
+      t.reward = s + 1 == len ? rng.Uniform(-1.0, 1.0) : 0.0;
+      ep.steps.push_back(std::move(t));
+    }
+    episodes.push_back(std::move(ep));
+  }
+  return episodes;
+}
+
+TEST(PolicyGradientTest, BatchedUpdateMatchesPerSampleReferencePpo) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {12};
+  ASSERT_TRUE(config.use_ppo_clip);
+  ASSERT_GT(config.entropy_coef, 0.0);
+  PolicyGradientAgent agent(3, 4, config, 21);
+  std::vector<Episode> episodes = MakeSyntheticEpisodes(&agent, 3, 5, 77);
+
+  Mlp ref_policy = agent.policy_net();
+  Mlp ref_value = agent.value_net();
+  Adam ref_popt(config.policy_lr);
+  Adam ref_vopt(config.value_lr);
+  double ref_loss = ReferencePerSampleUpdate(
+      episodes, config, 4, &ref_policy, &ref_value, &ref_popt, &ref_vopt);
+  double loss = agent.Update(episodes);
+
+  EXPECT_NEAR(loss, ref_loss, 1e-9);
+  ExpectParamsNear(agent.policy_net(), ref_policy, 1e-8);
+  ExpectParamsNear(agent.value_net(), ref_value, 1e-8);
+}
+
+TEST(PolicyGradientTest, BatchedUpdateMatchesPerSampleReferenceVanilla) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {10};
+  config.use_ppo_clip = false;
+  config.entropy_coef = 0.0;
+  PolicyGradientAgent agent(2, 3, config, 23);
+  std::vector<Episode> episodes = MakeSyntheticEpisodes(&agent, 2, 6, 79);
+
+  Mlp ref_policy = agent.policy_net();
+  Mlp ref_value = agent.value_net();
+  Adam ref_popt(config.policy_lr);
+  Adam ref_vopt(config.value_lr);
+  double ref_loss = ReferencePerSampleUpdate(
+      episodes, config, 3, &ref_policy, &ref_value, &ref_popt, &ref_vopt);
+  double loss = agent.Update(episodes);
+
+  EXPECT_NEAR(loss, ref_loss, 1e-9);
+  ExpectParamsNear(agent.policy_net(), ref_policy, 1e-8);
+  ExpectParamsNear(agent.value_net(), ref_value, 1e-8);
+}
+
+TEST(PolicyGradientTest, BatchedBehaviourCloneMatchesPerSampleReference) {
+  constexpr double kMaskedLogit = -1e9;
+  PolicyGradientConfig config;
+  config.hidden_dims = {8};
+  PolicyGradientAgent agent(2, 3, config, 25);
+  std::vector<Transition> batch;
+  Rng rng(81);
+  for (int i = 0; i < 7; ++i) {
+    Transition t;
+    t.state = {rng.Normal(), rng.Normal()};
+    t.mask = {true, i % 3 != 0, true};
+    t.action = t.mask[1] ? i % 3 : 2 * (i % 2);  // Always a valid action.
+    batch.push_back(std::move(t));
+  }
+
+  // Per-sample reference: two forwards + one backward per pair.
+  Mlp ref_policy = agent.policy_net();
+  Adam ref_opt(config.policy_lr);
+  double ref_loss = 0.0;
+  ref_policy.ZeroGrads();
+  for (const auto& t : batch) {
+    Matrix logits = ref_policy.Forward(Matrix::RowVector(t.state));
+    for (int a = 0; a < 3; ++a) {
+      if (!t.mask[static_cast<size_t>(a)]) logits.At(0, a) = kMaskedLogit;
+    }
+    Matrix probs = Softmax(logits);
+    ref_loss += -std::log(std::max(probs.At(0, t.action), 1e-12));
+    Matrix grad(1, 3);
+    for (int a = 0; a < 3; ++a) {
+      grad.At(0, a) = (probs.At(0, a) - (a == t.action ? 1.0 : 0.0)) /
+                      static_cast<double>(batch.size());
+    }
+    (void)ref_policy.Forward(Matrix::RowVector(t.state));
+    ref_policy.Backward(grad);
+  }
+  ClipGradientsByGlobalNorm(ref_policy.Grads(), config.max_grad_norm);
+  ref_opt.Step(ref_policy.Params(), ref_policy.Grads());
+  ref_loss /= static_cast<double>(batch.size());
+
+  double loss = agent.BehaviourCloneStep(batch);
+  EXPECT_NEAR(loss, ref_loss, 1e-9);
+  ExpectParamsNear(agent.policy_net(), ref_policy, 1e-9);
+}
+
+TEST(PolicyGradientTest, UpdateIgnoresEmptyEpisodes) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {4};
+  PolicyGradientAgent agent(2, 2, config, 27);
+  std::vector<Episode> empty_steps(3);  // Episodes with no transitions.
+  EXPECT_EQ(agent.Update({}), 0.0);
+  EXPECT_EQ(agent.Update(empty_steps), 0.0);
 }
 
 TEST(PolicyGradientTest, SolvesBandit) {
@@ -200,6 +442,62 @@ TEST(RewardPredictorTest, LearnsActionOutcomes) {
   EXPECT_LT(predictor.EvaluateError(64), 0.6);
 }
 
+TEST(RewardPredictorTest, BatchedTrainingMatchesPerSampleReference) {
+  RewardPredictorConfig config;
+  config.hidden_dims = {10};
+  config.batch_size = 16;
+  RewardPredictor predictor(2, 3, config, 31);
+  Rng gen(5);
+  std::vector<OutcomeExample> examples;
+  for (int i = 0; i < 40; ++i) {
+    OutcomeExample ex;
+    ex.state = {gen.Normal(), gen.Normal()};
+    ex.action = static_cast<int>(gen.UniformInt(0, 2));
+    ex.target = gen.Uniform(0.0, 4.0);
+    ex.from_expert = i % 2 == 0;  // Exercise the margin loss too.
+    examples.push_back(ex);
+    predictor.AddExample(ex);
+  }
+
+  // Snapshot the net and rng, mirror the replay buffer, and run the
+  // per-sample reference (one forward + one backward per example).
+  Mlp ref_net = predictor.net();
+  Rng ref_rng = predictor.rng();
+  ReplayBuffer<OutcomeExample> ref_buffer(config.replay_capacity);
+  for (const auto& ex : examples) ref_buffer.Add(ex);
+  Adam ref_opt(config.lr);
+  const int kSteps = 3;
+  for (int step = 0; step < kSteps; ++step) {
+    auto batch =
+        ref_buffer.Sample(&ref_rng, static_cast<size_t>(config.batch_size));
+    ref_net.ZeroGrads();
+    for (const OutcomeExample* ex : batch) {
+      Matrix out = ref_net.Forward(Matrix::RowVector(ex->state));
+      double diff = out.At(0, ex->action) - ex->target;
+      double g = std::abs(diff) <= config.huber_delta
+                     ? diff
+                     : (diff > 0 ? config.huber_delta : -config.huber_delta);
+      Matrix grad(1, 3);
+      grad.At(0, ex->action) = g / static_cast<double>(batch.size());
+      if (ex->from_expert && config.margin_weight > 0.0) {
+        const double floor = ex->target + config.demonstration_margin;
+        const double scale =
+            config.margin_weight / (static_cast<double>(batch.size()) * 3.0);
+        for (int a = 0; a < 3; ++a) {
+          if (a == ex->action) continue;
+          if (floor - out.At(0, a) > 0.0) grad.At(0, a) -= scale;
+        }
+      }
+      ref_net.Backward(grad);
+    }
+    ClipGradientsByGlobalNorm(ref_net.Grads(), config.max_grad_norm);
+    ref_opt.Step(ref_net.Params(), ref_net.Grads());
+  }
+
+  predictor.TrainSteps(kSteps);
+  ExpectParamsNear(predictor.net(), ref_net, 1e-9);
+}
+
 TEST(RewardPredictorTest, EpsilonExplores) {
   RewardPredictorConfig config;
   config.hidden_dims = {8};
@@ -251,6 +549,28 @@ TEST(ScheduleTest, ExponentialDecaysToFloor) {
   EXPECT_DOUBLE_EQ(s.Value(1), 0.5);
   EXPECT_DOUBLE_EQ(s.Value(2), 0.25);
   EXPECT_DOUBLE_EQ(s.Value(10), 0.1);
+}
+
+TEST(ScheduleTest, ExponentialClosedFormMatchesIterativeReference) {
+  // The closed form must reproduce the former O(t) multiply loop.
+  auto reference = [](double start, double decay, double floor, int64_t t) {
+    double v = start;
+    for (int64_t i = 0; i < t && v > floor; ++i) v *= decay;
+    return std::max(v, floor);
+  };
+  ExponentialSchedule s(0.9, 0.97, 0.05);
+  for (int64_t t : {0, 1, 2, 7, 50, 200, 5000}) {
+    EXPECT_NEAR(s.Value(t), reference(0.9, 0.97, 0.05, t), 1e-12)
+        << "t=" << t;
+  }
+  // Negative steps clamp to the start value; the floor still applies.
+  EXPECT_DOUBLE_EQ(s.Value(-3), 0.9);
+  ExponentialSchedule below_floor(0.2, 0.5, 0.4);
+  EXPECT_DOUBLE_EQ(below_floor.Value(0), 0.4);
+  EXPECT_DOUBLE_EQ(below_floor.Value(100), 0.4);
+  // Large t is O(1) now and saturates at the floor instead of looping.
+  ExponentialSchedule slow(1.0, 0.999999, 0.5);
+  EXPECT_NEAR(slow.Value(2000000000), 0.5, 1e-12);
 }
 
 }  // namespace

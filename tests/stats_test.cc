@@ -231,6 +231,33 @@ TEST(TruthOracleTest, GroupRowsBounded) {
   EXPECT_LE(groups, 5.0);  // attr has 5 distinct values.
 }
 
+TEST(TruthOracleTest, SameQueryNameSameStructureIsCached) {
+  testing::MicroDb micro;
+  TrueCardinalityOracle oracle(micro.db.get());
+  Query q1 = micro.JoinQuery("oracle_identity");
+  double first = oracle.Rows(q1, RelSetAll(2));
+  // A structurally identical copy under the same name hits the cache.
+  Query q2 = micro.JoinQuery("oracle_identity");
+  EXPECT_EQ(q1.StructuralFingerprint(), q2.StructuralFingerprint());
+  EXPECT_EQ(oracle.Rows(q2, RelSetAll(2)), first);
+}
+
+TEST(TruthOracleDeathTest, DetectsQueryNameAliasing) {
+  // The oracle memoizes per query name; a *different* query reusing a name
+  // would silently read the first query's cached cardinalities. That now
+  // trips the structural-fingerprint check instead.
+  testing::MicroDb micro;
+  TrueCardinalityOracle oracle(micro.db.get());
+  Query q1 = micro.JoinQuery("oracle_alias");
+  EXPECT_GT(oracle.Rows(q1, RelSetAll(2)), 0.0);
+  Query q2 = micro.JoinQuery("oracle_alias");
+  q2.selections.push_back(SelectionPredicate{ColumnRef{0, "attr"}, CmpOp::kEq,
+                                             Value::Int(2)});
+  EXPECT_NE(q1.StructuralFingerprint(), q2.StructuralFingerprint());
+  EXPECT_DEATH(oracle.Rows(q2, RelSetAll(2)),
+               "structurally different queries share the name");
+}
+
 TEST(TruthOracleTest, EstimatorErrsOnCorrelatedDataOracleDoesNot) {
   // The paper's core tension: on the IMDB-like data with injected
   // correlations, the estimator's independence assumption must produce

@@ -148,6 +148,30 @@ TEST(RngTest, CategoricalFollowsWeights) {
   EXPECT_NEAR(count1 / 20000.0, 0.75, 0.02);
 }
 
+TEST(RngTest, CategoricalRoundingFallbackSkipsZeroWeights) {
+  // u = 1.0 models the worst rounding case (u * total == total, so the
+  // inverse-CDF scan runs off the end). The old fallback returned the last
+  // index even when its weight was 0 — under a masked action distribution
+  // that is a masked action.
+  EXPECT_EQ(Rng::CategoricalFromUniform(1.0, {1.0, 0.0}), 0);
+  EXPECT_EQ(Rng::CategoricalFromUniform(1.0, {0.0, 2.0, 0.0, 0.0}), 1);
+  EXPECT_EQ(Rng::CategoricalFromUniform(1.0, {0.5, 0.0, 0.5, 0.0}), 2);
+  EXPECT_EQ(Rng::CategoricalFromUniform(1.0, {0.5, 0.5}), 1);
+  // The inverse-CDF mapping is unchanged away from the boundary.
+  EXPECT_EQ(Rng::CategoricalFromUniform(0.0, {0.0, 1.0}), 1);
+  EXPECT_EQ(Rng::CategoricalFromUniform(0.2, {1.0, 1.0}), 0);
+  EXPECT_EQ(Rng::CategoricalFromUniform(0.7, {1.0, 1.0}), 1);
+}
+
+TEST(RngTest, CategoricalNeverSamplesZeroWeight) {
+  Rng rng(29);
+  std::vector<double> weights = {0.0, 0.3, 0.0, 0.7, 0.0};
+  for (int i = 0; i < 5000; ++i) {
+    int64_t idx = rng.Categorical(weights);
+    ASSERT_GT(weights[static_cast<size_t>(idx)], 0.0) << "index " << idx;
+  }
+}
+
 TEST(RngTest, ShufflePreservesElements) {
   Rng rng(19);
   std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
