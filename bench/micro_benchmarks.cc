@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <memory>
 
 #include "bench/bench_common.h"
 #include "exec/executor.h"
@@ -13,6 +15,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "rejoin/featurizer.h"
+#include "rejoin/rejoin.h"
 #include "sql/parser.h"
 
 namespace hfq {
@@ -153,6 +156,30 @@ void BM_ExecuteHashJoinPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecuteHashJoinPlan);
+
+// Join + grouped aggregation: the heaviest per-tuple column-access path in
+// the executor (every group key and aggregate argument is fetched per
+// surviving tuple). Exercises the once-per-operator column binding — the
+// old code re-resolved each ColumnRef with two string-keyed hash lookups
+// per tuple per predicate.
+void BM_ExecuteGroupByAggregatePlan(benchmark::State& state) {
+  QueryShapeOptions shape;
+  shape.aggregate_prob = 1.0;
+  shape.group_by_prob = 1.0;
+  WorkloadGenerator gen(&BenchEngine().catalog(), 37, shape,
+                       &BenchEngine().db());
+  auto q = gen.GenerateQuery(4, "micro_groupby");
+  HFQ_CHECK(q.ok());
+  HFQ_CHECK(!q->group_by.empty());
+  auto plan = BenchEngine().expert().Optimize(*q);
+  HFQ_CHECK(plan.ok());
+  Executor executor(&BenchEngine().db());
+  for (auto _ : state) {
+    auto result = executor.Execute(*q, **plan);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExecuteGroupByAggregatePlan);
 
 void BM_ParseSql(benchmark::State& state) {
   const std::string sql =
@@ -297,6 +324,61 @@ void BM_PolicyUpdatePerSampleReference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PolicyUpdatePerSampleReference);
+
+// Rollout-throughput scaling curve: RejoinTrainer::Train's collection
+// phase on 1/2/4/8 workers over a fixed 6-relation workload.
+// episodes_per_update equals the per-iteration budget, so one iteration is
+// one frozen-policy collection round plus a single batched update —
+// collection dominates the time, and items/sec reports episode throughput.
+void BM_RejoinRolloutCollection(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kEpisodesPerIter = 32;
+  Engine& engine = BenchEngine();
+  std::vector<Query> workload;
+  for (int i = 0; i < 4; ++i) workload.push_back(BenchQuery(6, 41 + i));
+  // Thread-safe reward: expert costs are precomputed, so worker threads
+  // only run PhysicalizeJoinTree + cost annotation (whose shared substrate
+  // is internally synchronized) and read this const map.
+  auto expert_cost = std::make_shared<std::map<std::string, double>>();
+  for (const Query& q : workload) {
+    auto plan = engine.expert().Optimize(q);
+    HFQ_CHECK(plan.ok());
+    (*expert_cost)[q.name] = std::max(1.0, (*plan)->est_cost);
+  }
+  JoinRewardFn reward = [&engine, expert_cost](const Query& q,
+                                               const JoinTreeNode& tree) {
+    auto plan = engine.expert().PhysicalizeJoinTree(q, tree);
+    HFQ_CHECK(plan.ok());
+    return -std::log10(std::max(1.0, (*plan)->est_cost) /
+                       expert_cost->at(q.name));
+  };
+  RejoinFeaturizer featurizer(8, &engine.estimator());
+  JoinOrderEnv primary(&featurizer, reward);
+  std::vector<std::unique_ptr<JoinOrderEnv>> extra_envs;
+  std::vector<JoinOrderEnv*> extra_ptrs;
+  for (int w = 1; w < workers; ++w) {
+    extra_envs.push_back(std::make_unique<JoinOrderEnv>(&featurizer, reward));
+    extra_ptrs.push_back(extra_envs.back().get());
+  }
+  RejoinConfig config;
+  config.pg.hidden_dims = {128, 128};
+  config.episodes_per_update = kEpisodesPerIter;
+  config.num_rollout_workers = workers;
+  RejoinTrainer trainer(&primary, config, 53);
+  trainer.SetWorkerEnvs(extra_ptrs);
+  for (auto _ : state) {
+    trainer.Train(workload, kEpisodesPerIter);
+  }
+  state.SetItemsProcessed(state.iterations() * kEpisodesPerIter);
+}
+BENCHMARK(BM_RejoinRolloutCollection)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace hfq

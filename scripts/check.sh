@@ -2,13 +2,14 @@
 # Local parity with CI: configure + build + ctest exactly as the tier-1
 # verify does.
 #
-# Usage: scripts/check.sh [--debug|--release] [--asan] [--label <ctest -L arg>]
+# Usage: scripts/check.sh [--debug|--release] [--asan|--tsan] [--label <ctest -L arg>]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 build_type=""
 sanitize=OFF
+tsan=OFF
 build_dir=build
 label=""
 
@@ -17,6 +18,7 @@ while [[ $# -gt 0 ]]; do
     --debug)   build_type=Debug ;;
     --release) build_type=Release ;;
     --asan)    sanitize=ON; build_dir=build-asan ;;
+    --tsan)    tsan=ON; build_dir=build-tsan ;;
     --label)   shift; label="${1:?--label requires an argument}" ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
@@ -28,9 +30,15 @@ if [[ -z "$build_type" ]]; then
   if [[ "$sanitize" == ON ]]; then build_type=Debug; else build_type=RelWithDebInfo; fi
 fi
 
+# TSan matches the CI tsan job: portable codegen, no ASan.
+extra_flags=()
+if [[ "$tsan" == ON ]]; then
+  extra_flags+=(-DHFQ_SANITIZE_THREAD=ON -DHFQ_NATIVE_ARCH=OFF)
+fi
+
 cmake -B "$build_dir" -S . \
   -DCMAKE_BUILD_TYPE="$build_type" \
-  -DHFQ_SANITIZE="$sanitize"
+  -DHFQ_SANITIZE="$sanitize" "${extra_flags[@]}"
 cmake --build "$build_dir" -j
 cd "$build_dir"
 # Explicit job count: ctest's value-less `-j` only exists since CMake 3.29

@@ -25,19 +25,58 @@ DemonstrationLearner::DemonstrationLearner(FullPipelineEnv* env,
 
 Result<int> DemonstrationLearner::CollectDemonstrations(
     const std::vector<Query>& workload) {
+  const int num_workers = std::max(1, config_.num_rollout_workers);
+  while (static_cast<int>(worker_envs_.size()) < num_workers - 1) {
+    worker_envs_.push_back(std::make_unique<FullPipelineEnv>(
+        env_->featurizer(), env_->expert(), env_->reward(), env_->config()));
+  }
+  std::vector<FullPipelineEnv*> envs = {env_};
+  for (auto& worker_env : worker_envs_) {
+    worker_env->set_stages(env_->stages());
+    envs.push_back(worker_env.get());
+  }
+  if (num_workers > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_workers);
+  }
+
+  // Steps 1-2 for query i run on worker i % num_workers: the expert
+  // optimizes (thread-safe: estimator/oracle memos are internally
+  // synchronized), the decisions replay through the worker's env, and the
+  // plan's simulated latency is recorded. Examples are then accumulated
+  // serially in workload order, so results match the serial pass exactly.
+  const size_t n = workload.size();
+  std::vector<Episode> episodes(n);
+  std::vector<double> latencies(n, 0.0);
+  std::vector<Status> errors(n, Status::OK());
+  RunOnWorkers(pool_.get(), num_workers, [&](int w) {
+    for (size_t i = static_cast<size_t>(w); i < n;
+         i += static_cast<size_t>(num_workers)) {
+      const Query& query = workload[i];
+      auto expert = engine_->RunExpert(query);
+      if (!expert.ok()) {
+        errors[i] = expert.status();
+        continue;
+      }
+      auto episode =
+          envs[static_cast<size_t>(w)]->ExpertEpisode(query, *expert->plan);
+      if (!episode.ok()) {
+        errors[i] = episode.status();
+        continue;
+      }
+      episodes[i] = std::move(*episode);
+      latencies[i] = expert->latency_ms;
+    }
+  });
+  for (const Status& status : errors) {
+    HFQ_RETURN_IF_ERROR(status);
+  }
+
   int collected = 0;
   double latency_sum = 0.0;
-  for (const Query& query : workload) {
-    // Step 1: the expert optimizes; its actions become an episode history.
-    HFQ_ASSIGN_OR_RETURN(Engine::ExpertResult expert,
-                         engine_->RunExpert(query));
-    HFQ_ASSIGN_OR_RETURN(Episode episode,
-                         env_->ExpertEpisode(query, *expert.plan));
-    // Step 2: measure the plan's latency.
-    const double latency = expert.latency_ms;
-    latency_sum += latency;
-    const double target = LatencyTarget(latency);
-    for (const Transition& t : episode.steps) {
+  for (size_t i = 0; i < n; ++i) {
+    latency_sum += latencies[i];
+    const double target = LatencyTarget(latencies[i]);
+    for (const Transition& t : episodes[i].steps) {
       OutcomeExample example;
       example.state = t.state;
       example.action = t.action;

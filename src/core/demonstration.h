@@ -13,12 +13,14 @@
 #ifndef HFQ_CORE_DEMONSTRATION_H_
 #define HFQ_CORE_DEMONSTRATION_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/engine.h"
 #include "core/full_env.h"
 #include "rl/reward_predictor.h"
 #include "rl/schedule.h"
+#include "util/thread_pool.h"
 
 namespace hfq {
 
@@ -40,6 +42,12 @@ struct LfdConfig {
   int slip_window = 50;
   double slip_factor = 1.5;
   int slip_retrain_steps = 400;
+  /// Parallelism for CollectDemonstrations: N > 1 runs the expert and the
+  /// episode replay for N workload queries concurrently (per-worker env
+  /// clones; the recorded examples keep workload order, so results are
+  /// identical to the serial pass). Fine-tuning is inherently sequential —
+  /// the predictor trains between episodes — and stays serial.
+  int num_rollout_workers = 1;
 };
 
 /// Per-episode fine-tuning diagnostics.
@@ -89,6 +97,9 @@ class DemonstrationLearner {
   LfdConfig config_;
   RewardPredictor predictor_;
   Rng rng_;
+  /// Per-worker env clones + pool for parallel demonstration collection.
+  std::vector<std::unique_ptr<FullPipelineEnv>> worker_envs_;
+  std::unique_ptr<ThreadPool> pool_;
 
   /// Saved expert examples for slip re-training (step 5).
   std::vector<OutcomeExample> expert_examples_;

@@ -68,6 +68,13 @@ class FullPipelineEnv : public Environment {
   void set_reward(RewardSignal* reward);
   RewardSignal* reward() { return reward_; }
 
+  /// Collaborator accessors, exposed so trainers can build independent
+  /// per-worker env clones (same featurizer/expert/reward wiring) for
+  /// parallel rollout collection.
+  RejoinFeaturizer* featurizer() const { return featurizer_; }
+  TraditionalOptimizer* expert() const { return expert_; }
+  const FullEnvConfig& config() const { return config_; }
+
   void Reset() override;
   int state_dim() const override;
   int action_dim() const override;

@@ -1,5 +1,6 @@
 #include "core/hands_free.h"
 
+#include <algorithm>
 #include <fstream>
 
 #include "util/check.h"
@@ -22,6 +23,10 @@ const char* TrainingStrategyName(TrainingStrategy strategy) {
 HandsFreeOptimizer::HandsFreeOptimizer(Engine* engine, HandsFreeConfig config)
     : engine_(engine), config_(config) {
   HFQ_CHECK(engine != nullptr);
+  HFQ_CHECK(config_.num_rollout_workers >= 1);
+  // The facade-level parallelism knob is authoritative for the backends.
+  config_.lfd.num_rollout_workers = config_.num_rollout_workers;
+  config_.bootstrap.num_rollout_workers = config_.num_rollout_workers;
   featurizer_ = std::make_unique<RejoinFeaturizer>(config_.max_relations,
                                                    &engine_->estimator());
   latency_reward_ = std::make_unique<NegLogLatencyReward>(
@@ -44,7 +49,8 @@ HandsFreeOptimizer::HandsFreeOptimizer(Engine* engine, HandsFreeConfig config)
           &engine_->catalog(), config_.seed ^ 0xC0FFEE);
       incremental_ = std::make_unique<IncrementalTrainer>(
           env_.get(), curriculum_generator_.get(), config_.incremental_pg,
-          /*episodes_per_update=*/8, config_.seed);
+          /*episodes_per_update=*/8, config_.seed,
+          config_.num_rollout_workers);
       break;
   }
 }
@@ -193,6 +199,101 @@ Result<HandsFreeOptimizer::Comparison> HandsFreeOptimizer::Compare(
   result.expert_cost = expert.cost;
   result.expert_latency_ms = expert.latency_ms;
   return result;
+}
+
+int HandsFreeOptimizer::SelectActionFrozen(const std::vector<double>& state,
+                                           const std::vector<bool>& mask,
+                                           MlpWorkspace* ws) {
+  switch (config_.strategy) {
+    case TrainingStrategy::kLearningFromDemonstration:
+      return lfd_->predictor().SelectAction(state, mask, /*epsilon=*/0.0,
+                                            /*rng=*/nullptr, ws);
+    case TrainingStrategy::kCostModelBootstrapping:
+      return bootstrap_->agent().GreedyAction(state, mask, ws);
+    case TrainingStrategy::kIncrementalHybrid:
+      return incremental_->agent().GreedyAction(state, mask, ws);
+  }
+  HFQ_CHECK_MSG(false, "unknown strategy");
+  return -1;
+}
+
+PlanNodePtr HandsFreeOptimizer::PlanOnEnv(FullPipelineEnv* env,
+                                          const Query& query,
+                                          MlpWorkspace* ws) {
+  env->SetQuery(&query);
+  env->Reset();
+  while (!env->Done()) {
+    std::vector<double> state = env->StateVector();
+    std::vector<bool> mask = env->ActionMask();
+    env->Step(SelectActionFrozen(state, mask, ws));
+  }
+  return env->FinalPlan()->Clone();
+}
+
+Result<std::vector<PlanNodePtr>> HandsFreeOptimizer::OptimizeWorkload(
+    const std::vector<Query>& workload) {
+  if (!trained_) {
+    return Status::FailedPrecondition("Train() before OptimizeWorkload()");
+  }
+  for (const Query& query : workload) {
+    if (query.num_relations() > config_.max_relations) {
+      return Status::InvalidArgument("query exceeds configured max_relations");
+    }
+  }
+  const int num_workers = std::max(1, config_.num_rollout_workers);
+  while (static_cast<int>(worker_envs_.size()) < num_workers - 1) {
+    worker_envs_.push_back(std::make_unique<FullPipelineEnv>(
+        env_->featurizer(), env_->expert(), env_->reward(), env_->config()));
+  }
+  std::vector<FullPipelineEnv*> envs = {env_.get()};
+  for (auto& worker_env : worker_envs_) {
+    worker_env->set_stages(env_->stages());
+    envs.push_back(worker_env.get());
+  }
+  if (num_workers > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_workers);
+  }
+
+  const size_t n = workload.size();
+  std::vector<PlanNodePtr> plans(n);
+  RunOnWorkers(pool_.get(), num_workers, [&](int w) {
+    MlpWorkspace ws;
+    for (size_t i = static_cast<size_t>(w); i < n;
+         i += static_cast<size_t>(num_workers)) {
+      plans[i] = PlanOnEnv(envs[static_cast<size_t>(w)], workload[i], &ws);
+    }
+  });
+  return plans;
+}
+
+Result<std::vector<HandsFreeOptimizer::Comparison>>
+HandsFreeOptimizer::CompareWorkload(const std::vector<Query>& workload) {
+  HFQ_ASSIGN_OR_RETURN(std::vector<PlanNodePtr> plans,
+                       OptimizeWorkload(workload));
+  const int num_workers = std::max(1, config_.num_rollout_workers);
+  const size_t n = workload.size();
+  std::vector<Comparison> results(n);
+  std::vector<Status> errors(n, Status::OK());
+  RunOnWorkers(pool_.get(), num_workers, [&](int w) {
+    for (size_t i = static_cast<size_t>(w); i < n;
+         i += static_cast<size_t>(num_workers)) {
+      Comparison& cmp = results[i];
+      cmp.learned_cost = plans[i]->est_cost;
+      cmp.learned_latency_ms =
+          engine_->latency().SimulateMs(workload[i], *plans[i]);
+      auto expert = engine_->RunExpert(workload[i]);
+      if (!expert.ok()) {
+        errors[i] = expert.status();
+        continue;
+      }
+      cmp.expert_cost = expert->cost;
+      cmp.expert_latency_ms = expert->latency_ms;
+    }
+  });
+  for (const Status& status : errors) {
+    HFQ_RETURN_IF_ERROR(status);
+  }
+  return results;
 }
 
 }  // namespace hfq

@@ -13,6 +13,7 @@
 #include "core/engine.h"
 #include "core/full_env.h"
 #include "core/incremental.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 
 namespace hfq {
@@ -36,6 +37,12 @@ struct HandsFreeConfig {
   /// Training episode budget.
   int training_episodes = 2000;
   uint64_t seed = 7;
+  /// Parallelism knob, copied into the strategy backends at construction:
+  /// rollout collection during Train and the workload-wide
+  /// Optimize/Compare entry points run on this many workers. 1 = serial;
+  /// N > 1 is deterministic for a fixed (seed, N), and 1 matches the
+  /// serial trajectories bit-for-bit.
+  int num_rollout_workers = 1;
   LfdConfig lfd;
   BootstrapConfig bootstrap;
   PolicyGradientConfig incremental_pg;
@@ -66,6 +73,20 @@ class HandsFreeOptimizer {
   };
   Result<Comparison> Compare(const Query& query);
 
+  /// Optimizes every workload query with the learned policy, fanning the
+  /// inference episodes out over config.num_rollout_workers workers
+  /// (per-worker env clones, thread-safe frozen-policy inference). Plans
+  /// are returned in workload order and are identical to per-query
+  /// Optimize calls.
+  Result<std::vector<PlanNodePtr>> OptimizeWorkload(
+      const std::vector<Query>& workload);
+
+  /// Compare for a whole workload, parallelized the same way (the expert
+  /// side runs concurrently too — the substrate memos are internally
+  /// synchronized). Results are in workload order.
+  Result<std::vector<Comparison>> CompareWorkload(
+      const std::vector<Query>& workload);
+
   /// Persists the trained model to a file (plain-text network weights plus
   /// a strategy header). Fails if not trained.
   Status SaveModel(const std::string& path);
@@ -80,11 +101,23 @@ class HandsFreeOptimizer {
   Engine& engine() { return *engine_; }
 
  private:
+  /// Greedy (frozen-policy) action for the configured strategy; the
+  /// thread-safe core of the workload-wide entry points.
+  int SelectActionFrozen(const std::vector<double>& state,
+                         const std::vector<bool>& mask, MlpWorkspace* ws);
+
+  /// Runs one greedy episode of `query` on `env` and returns the plan.
+  PlanNodePtr PlanOnEnv(FullPipelineEnv* env, const Query& query,
+                        MlpWorkspace* ws);
+
   Engine* engine_;
   HandsFreeConfig config_;
   std::unique_ptr<RejoinFeaturizer> featurizer_;
   std::unique_ptr<NegLogLatencyReward> latency_reward_;
   std::unique_ptr<FullPipelineEnv> env_;
+  /// Per-worker env clones + pool for the workload-wide entry points.
+  std::vector<std::unique_ptr<FullPipelineEnv>> worker_envs_;
+  std::unique_ptr<ThreadPool> pool_;
   // Strategy backends (one non-null, per config).
   std::unique_ptr<DemonstrationLearner> lfd_;
   std::unique_ptr<BootstrapTrainer> bootstrap_;

@@ -1,7 +1,9 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "rl/rollout.h"
 #include "util/check.h"
 #include "util/string_util.h"
 
@@ -21,28 +23,79 @@ const char* CurriculumKindName(CurriculumKind kind) {
   return "?";
 }
 
+std::vector<int> DistributeEpisodes(const std::vector<double>& weights,
+                                    int total) {
+  HFQ_CHECK(!weights.empty());
+  HFQ_CHECK(total >= 0);
+  double weight_sum = 0.0;
+  for (double w : weights) {
+    HFQ_CHECK(w >= 0.0);
+    weight_sum += w;
+  }
+  HFQ_CHECK(weight_sum > 0.0);
+
+  const size_t n = weights.size();
+  std::vector<int> out(n, 0);
+  std::vector<std::pair<double, size_t>> fractions;  // (frac, index)
+  fractions.reserve(n);
+  int assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double ideal =
+        weights[i] / weight_sum * static_cast<double>(total);
+    const int base = static_cast<int>(ideal);
+    out[i] = base;
+    assigned += base;
+    fractions.emplace_back(ideal - static_cast<double>(base), i);
+  }
+  // Largest fractional parts first; ties by lower index (deterministic).
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (size_t k = 0; assigned < total; ++k) {
+    out[fractions[k % n].second] += 1;
+    ++assigned;
+  }
+  // Episode floor: when the budget allows, no phase runs empty (shift from
+  // the fattest phase, which by construction can spare it).
+  if (total >= static_cast<int>(n)) {
+    for (size_t i = 0; i < n; ++i) {
+      if (out[i] > 0) continue;
+      size_t richest = 0;
+      for (size_t j = 1; j < n; ++j) {
+        if (out[j] > out[richest]) richest = j;
+      }
+      HFQ_CHECK(out[richest] > 1);
+      out[richest] -= 1;
+      out[i] += 1;
+    }
+  }
+  HFQ_CHECK(std::accumulate(out.begin(), out.end(), 0) == total);
+  return out;
+}
+
 std::vector<CurriculumPhase> BuildCurriculum(CurriculumKind kind,
                                              int total_episodes,
                                              int max_relations) {
   HFQ_CHECK(total_episodes > 0);
   HFQ_CHECK(max_relations >= 2);
   std::vector<CurriculumPhase> phases;
+  std::vector<double> weights;
   switch (kind) {
     case CurriculumKind::kFlat: {
       phases.push_back(CurriculumPhase{PipelineStages::All(), max_relations,
                                        total_episodes, "flat"});
-      break;
+      return phases;
     }
     case CurriculumKind::kPipeline: {
       // Four phases, stage prefixes growing (Figure 8). Later phases get
       // more episodes (they learn strictly harder tasks).
-      const double weights[4] = {0.15, 0.2, 0.3, 0.35};
+      weights = {0.15, 0.2, 0.3, 0.35};
       for (int k = 1; k <= 4; ++k) {
         CurriculumPhase phase;
         phase.stages = PipelineStages::Prefix(k);
         phase.max_relations = max_relations;
-        phase.episodes = std::max(
-            1, static_cast<int>(weights[k - 1] * total_episodes));
         phase.label = StrFormat("pipeline-prefix%d", k);
         phases.push_back(phase);
       }
@@ -51,16 +104,13 @@ std::vector<CurriculumPhase> BuildCurriculum(CurriculumKind kind,
     case CurriculumKind::kRelations: {
       // Relation count grows 2, 3, ..., max (Figure 9), full pipeline
       // throughout; episode budget proportional to size.
-      const int steps = max_relations - 1;
       for (int n = 2; n <= max_relations; ++n) {
         CurriculumPhase phase;
         phase.stages = PipelineStages::All();
         phase.max_relations = n;
-        phase.episodes =
-            std::max(1, total_episodes * n /
-                            std::max(1, steps * (max_relations + 2) / 2));
         phase.label = StrFormat("relations-%d", n);
         phases.push_back(phase);
+        weights.push_back(static_cast<double>(n));
       }
       break;
     }
@@ -90,35 +140,68 @@ std::vector<CurriculumPhase> BuildCurriculum(CurriculumKind kind,
         CurriculumPhase phase;
         phase.stages = PipelineStages::Prefix(s.prefix);
         phase.max_relations = std::min(s.rels, max_relations);
-        phase.episodes =
-            std::max(1, static_cast<int>(s.weight * total_episodes));
         phase.label =
             StrFormat("hybrid-p%d-n%d", s.prefix, phase.max_relations);
         phases.push_back(phase);
+        weights.push_back(s.weight);
       }
       break;
     }
   }
+  // Exact budget: truncation used to make phases sum to fewer (or, via a
+  // max(1, .) floor, more) episodes than total_episodes.
+  std::vector<int> budgets = DistributeEpisodes(weights, total_episodes);
+  for (size_t i = 0; i < phases.size(); ++i) phases[i].episodes = budgets[i];
   return phases;
 }
 
 IncrementalTrainer::IncrementalTrainer(FullPipelineEnv* env,
                                        WorkloadGenerator* generator,
                                        PolicyGradientConfig pg,
-                                       int episodes_per_update, uint64_t seed)
+                                       int episodes_per_update, uint64_t seed,
+                                       int num_rollout_workers)
     : env_(env),
       generator_(generator),
       agent_(env->state_dim(), env->action_dim(), pg, seed),
-      episodes_per_update_(episodes_per_update) {
+      episodes_per_update_(episodes_per_update),
+      seed_(seed),
+      num_rollout_workers_(std::max(1, num_rollout_workers)) {
   HFQ_CHECK(env != nullptr && generator != nullptr);
+}
+
+void IncrementalTrainer::EnsureWorkers() {
+  if (num_rollout_workers_ <= 1) return;
+  while (static_cast<int>(worker_envs_.size()) < num_rollout_workers_ - 1) {
+    worker_envs_.push_back(std::make_unique<FullPipelineEnv>(
+        env_->featurizer(), env_->expert(), env_->reward(), env_->config()));
+    worker_rngs_.push_back(std::make_unique<Rng>(
+        seed_ + static_cast<uint64_t>(worker_rngs_.size()) + 1));
+  }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_rollout_workers_);
+  }
 }
 
 Status IncrementalTrainer::Run(
     const std::vector<CurriculumPhase>& phases, int queries_per_phase,
     const std::function<void(const CurriculumEpisodeStats&)>& on_episode) {
+  EnsureWorkers();
+  std::vector<FullPipelineEnv*> envs = {env_};
+  std::vector<Rng*> rngs = {&agent_.rng()};
+  for (size_t w = 0; w + 1 < static_cast<size_t>(num_rollout_workers_); ++w) {
+    envs.push_back(worker_envs_[w].get());
+    rngs.push_back(worker_rngs_[w].get());
+  }
+  ThreadPool* pool = num_rollout_workers_ > 1 ? pool_.get() : nullptr;
+
   for (size_t pi = 0; pi < phases.size(); ++pi) {
     const CurriculumPhase& phase = phases[pi];
+    if (phase.episodes <= 0) continue;
     env_->set_stages(phase.stages);
+    for (auto& worker_env : worker_envs_) {
+      worker_env->set_stages(phase.stages);
+      worker_env->set_reward(env_->reward());
+    }
     // Per-phase workload matching the relation cap. Mix sizes 2..cap so
     // earlier skills are not forgotten (except the 2-relation phase).
     std::vector<Query> workload;
@@ -132,33 +215,47 @@ Status IncrementalTrainer::Run(
       workload.push_back(std::move(q));
     }
 
-    for (int e = 0; e < phase.episodes; ++e) {
-      const Query& query = workload[static_cast<size_t>(e) % workload.size()];
-      env_->SetQuery(&query);
-      env_->Reset();
-      Episode episode;
-      while (!env_->Done()) {
-        Transition t;
-        t.state = env_->StateVector();
-        t.mask = env_->ActionMask();
-        t.action = agent_.SampleAction(t.state, t.mask, &t.old_prob);
-        StepResult step = env_->Step(t.action);
-        t.reward = step.reward;
-        episode.steps.push_back(std::move(t));
+    // Round-based collection: a round ends exactly where the serial loop
+    // would apply a policy update, so the policy is frozen within a round
+    // and the update cadence matches the serial path episode-for-episode.
+    int e = 0;
+    while (e < phase.episodes) {
+      const int room =
+          episodes_per_update_ - static_cast<int>(pending_.size());
+      const int round = std::min(phase.episodes - e, std::max(1, room));
+      std::vector<const Query*> queries(static_cast<size_t>(round));
+      for (int i = 0; i < round; ++i) {
+        queries[static_cast<size_t>(i)] =
+            &workload[static_cast<size_t>(e + i) % workload.size()];
       }
-      CurriculumEpisodeStats stats;
-      stats.global_episode = global_episode_++;
-      stats.phase_index = static_cast<int>(pi);
-      stats.query_name = query.name;
-      stats.reward = episode.TotalReward();
-      if (!episode.steps.empty()) {
-        pending_.push_back(std::move(episode));
-        if (static_cast<int>(pending_.size()) >= episodes_per_update_) {
-          agent_.Update(pending_);
-          pending_.clear();
+      std::vector<Episode> collected =
+          CollectRollouts(agent_, envs, rngs, queries, pool,
+                          [](int, FullPipelineEnv*, const Episode&) {});
+      for (int i = 0; i < round; ++i) {
+        Episode& episode = collected[static_cast<size_t>(i)];
+        CurriculumEpisodeStats stats;
+        stats.global_episode = global_episode_++;
+        stats.phase_index = static_cast<int>(pi);
+        stats.query_name = queries[static_cast<size_t>(i)]->name;
+        stats.reward = episode.TotalReward();
+        if (!episode.steps.empty()) {
+          pending_.push_back(std::move(episode));
+          if (static_cast<int>(pending_.size()) >= episodes_per_update_) {
+            agent_.Update(pending_);
+            pending_.clear();
+          }
         }
+        if (on_episode) on_episode(stats);
       }
-      if (on_episode) on_episode(stats);
+      e += round;
+    }
+    // Flush the phase's trailing partial batch: leftover episodes would
+    // otherwise be dropped at the end of the run, or mix this phase's
+    // stage regime (with stale old_prob PPO ratios) into the next phase's
+    // first update — the bug class PR 2 fixed in RejoinTrainer.
+    if (!pending_.empty()) {
+      agent_.Update(pending_);
+      pending_.clear();
     }
   }
   return Status::OK();

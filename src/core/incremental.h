@@ -6,11 +6,13 @@
 #define HFQ_CORE_INCREMENTAL_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/full_env.h"
 #include "rl/policy_gradient.h"
+#include "util/thread_pool.h"
 #include "workload/generator.h"
 
 namespace hfq {
@@ -29,6 +31,14 @@ struct CurriculumPhase {
   std::string label;
 };
 
+/// Splits `total` across weights.size() buckets proportionally to the
+/// (non-negative, positive-sum) weights using deterministic
+/// largest-remainder rounding, so the result always sums to exactly
+/// `total`. When total >= weights.size(), every bucket additionally gets at
+/// least 1 (episodes are shifted from the largest bucket).
+std::vector<int> DistributeEpisodes(const std::vector<double>& weights,
+                                    int total);
+
 /// Expands a curriculum kind into concrete phases.
 ///   kFlat:      one phase, all stages, all sizes.
 ///   kPipeline:  Figure 8 — stage prefixes grow (join order -> +index ->
@@ -36,6 +46,8 @@ struct CurriculumPhase {
 ///   kRelations: Figure 9 — all stages from the start, relation count grows
 ///               from 2 to max.
 ///   kHybrid:    stages and sizes grow together, then sizes keep growing.
+/// Phase episode budgets always sum to exactly `total_episodes`
+/// (largest-remainder distribution over the per-kind weights).
 std::vector<CurriculumPhase> BuildCurriculum(CurriculumKind kind,
                                              int total_episodes,
                                              int max_relations);
@@ -53,12 +65,19 @@ struct CurriculumEpisodeStats {
 /// each phase sees queries matching its relation cap.
 class IncrementalTrainer {
  public:
-  /// `env` and `generator` must outlive the trainer.
+  /// `env` and `generator` must outlive the trainer. With
+  /// `num_rollout_workers` > 1 each update batch is collected in parallel
+  /// on that many workers; worker envs are built internally from the
+  /// primary env's collaborators (worker 0 shares the agent's rng stream,
+  /// worker w >= 1 samples from a stream seeded `seed + w`), so a fixed
+  /// (seed, worker count) is deterministic and 1 worker matches the serial
+  /// trajectories bit-for-bit.
   IncrementalTrainer(FullPipelineEnv* env, WorkloadGenerator* generator,
                      PolicyGradientConfig pg, int episodes_per_update,
-                     uint64_t seed);
+                     uint64_t seed, int num_rollout_workers = 1);
 
-  /// Runs all phases; `on_episode` fires per episode.
+  /// Runs all phases; `on_episode` fires per episode (in episode order; in
+  /// parallel mode, after the episode's batch finished collecting).
   Status Run(const std::vector<CurriculumPhase>& phases,
              int queries_per_phase,
              const std::function<void(const CurriculumEpisodeStats&)>&
@@ -67,12 +86,20 @@ class IncrementalTrainer {
   PolicyGradientAgent& agent() { return agent_; }
 
  private:
+  /// Builds worker envs / rngs / pool on first parallel use.
+  void EnsureWorkers();
+
   FullPipelineEnv* env_;
   WorkloadGenerator* generator_;
   PolicyGradientAgent agent_;
   int episodes_per_update_;
+  uint64_t seed_;
+  int num_rollout_workers_;
   std::vector<Episode> pending_;
   int global_episode_ = 0;
+  std::vector<std::unique_ptr<FullPipelineEnv>> worker_envs_;
+  std::vector<std::unique_ptr<Rng>> worker_rngs_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace hfq

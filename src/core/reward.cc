@@ -14,8 +14,9 @@ ReciprocalCostReward::ReciprocalCostReward(CostModel* cost_model,
 }
 
 double ReciprocalCostReward::Score(const Query& query, PlanNode* plan) {
-  last_cost_ = cost_model_->Annotate(query, plan);
-  return scale_ / std::max(1.0, last_cost_);
+  const double cost = cost_model_->Annotate(query, plan);
+  last_cost_.store(cost);
+  return scale_ / std::max(1.0, cost);
 }
 
 NegLogCostReward::NegLogCostReward(CostModel* cost_model)
@@ -24,8 +25,9 @@ NegLogCostReward::NegLogCostReward(CostModel* cost_model)
 }
 
 double NegLogCostReward::Score(const Query& query, PlanNode* plan) {
-  last_cost_ = cost_model_->Annotate(query, plan);
-  return -std::log10(std::max(1.0, last_cost_));
+  const double cost = cost_model_->Annotate(query, plan);
+  last_cost_.store(cost);
+  return -std::log10(std::max(1.0, cost));
 }
 
 NegLogLatencyReward::NegLogLatencyReward(LatencySimulator* simulator,
@@ -36,8 +38,9 @@ NegLogLatencyReward::NegLogLatencyReward(LatencySimulator* simulator,
 
 double NegLogLatencyReward::Score(const Query& query, PlanNode* plan) {
   if (cost_model_ != nullptr) cost_model_->Annotate(query, plan);
-  last_latency_ms_ = simulator_->SimulateMs(query, *plan);
-  return -std::log10(std::max(1.0, last_latency_ms_));
+  const double latency_ms = simulator_->SimulateMs(query, *plan);
+  last_latency_ms_.store(latency_ms);
+  return -std::log10(std::max(1.0, latency_ms));
 }
 
 ScaledLatencyReward::ScaledLatencyReward(LatencySimulator* simulator,
@@ -69,8 +72,9 @@ double ScaledLatencyReward::ScaleLatency(double latency_ms) const {
 
 double ScaledLatencyReward::Score(const Query& query, PlanNode* plan) {
   if (cost_model_ != nullptr) cost_model_->Annotate(query, plan);
-  last_latency_ms_ = simulator_->SimulateMs(query, *plan);
-  double scaled = std::max(1.0, ScaleLatency(last_latency_ms_));
+  const double latency_ms = simulator_->SimulateMs(query, *plan);
+  last_latency_ms_.store(latency_ms);
+  double scaled = std::max(1.0, ScaleLatency(latency_ms));
   return -std::log10(scaled);
 }
 

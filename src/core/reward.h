@@ -10,6 +10,7 @@
 #ifndef HFQ_CORE_REWARD_H_
 #define HFQ_CORE_REWARD_H_
 
+#include <atomic>
 #include <string>
 
 #include "cost/cost_model.h"
@@ -19,6 +20,10 @@
 namespace hfq {
 
 /// Scores completed physical plans; higher reward = better plan.
+/// Implementations here are thread-safe: Score only touches per-call state
+/// plus an atomic "last metric", so one signal instance may be shared by
+/// concurrent rollout workers (LastMetric then reports *a* recent score,
+/// which is only meaningful for single-threaded instrumentation).
 class RewardSignal {
  public:
   virtual ~RewardSignal() = default;
@@ -39,13 +44,13 @@ class ReciprocalCostReward : public RewardSignal {
   /// `cost_model` must outlive the signal.
   explicit ReciprocalCostReward(CostModel* cost_model, double scale = 1e5);
   double Score(const Query& query, PlanNode* plan) override;
-  double LastMetric() const override { return last_cost_; }
+  double LastMetric() const override { return last_cost_.load(); }
   std::string name() const override { return "reciprocal_cost"; }
 
  private:
   CostModel* cost_model_;
   double scale_;
-  double last_cost_ = 0.0;
+  std::atomic<double> last_cost_{0.0};
 };
 
 /// reward = -log10(cost) — a range-stable cost reward for the Section 5
@@ -54,12 +59,12 @@ class NegLogCostReward : public RewardSignal {
  public:
   explicit NegLogCostReward(CostModel* cost_model);
   double Score(const Query& query, PlanNode* plan) override;
-  double LastMetric() const override { return last_cost_; }
+  double LastMetric() const override { return last_cost_.load(); }
   std::string name() const override { return "neg_log_cost"; }
 
  private:
   CostModel* cost_model_;
-  double last_cost_ = 0.0;
+  std::atomic<double> last_cost_{0.0};
 };
 
 /// reward = -log10(simulated latency ms) — the "true" objective.
@@ -69,13 +74,13 @@ class NegLogLatencyReward : public RewardSignal {
   /// only to annotate plans for diagnostics.
   NegLogLatencyReward(LatencySimulator* simulator, CostModel* cost_model);
   double Score(const Query& query, PlanNode* plan) override;
-  double LastMetric() const override { return last_latency_ms_; }
+  double LastMetric() const override { return last_latency_ms_.load(); }
   std::string name() const override { return "neg_log_latency"; }
 
  private:
   LatencySimulator* simulator_;
   CostModel* cost_model_;
-  double last_latency_ms_ = 0.0;
+  std::atomic<double> last_latency_ms_{0.0};
 };
 
 /// Section 5.2's reward scaling: latency is linearly mapped into the
@@ -97,7 +102,7 @@ class ScaledLatencyReward : public RewardSignal {
   double ScaleLatency(double latency_ms) const;
 
   double Score(const Query& query, PlanNode* plan) override;
-  double LastMetric() const override { return last_latency_ms_; }
+  double LastMetric() const override { return last_latency_ms_.load(); }
   std::string name() const override { return "scaled_latency"; }
 
  private:
@@ -106,7 +111,7 @@ class ScaledLatencyReward : public RewardSignal {
   bool calibrated_ = false;
   double cost_min_ = 0.0, cost_max_ = 1.0;
   double latency_min_ = 0.0, latency_max_ = 1.0;
-  double last_latency_ms_ = 0.0;
+  std::atomic<double> last_latency_ms_{0.0};
 };
 
 }  // namespace hfq

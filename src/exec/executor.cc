@@ -27,6 +27,38 @@ struct PairHash {
   }
 };
 
+// A ColumnRef resolved against a specific RowIdTable: the table column
+// position plus the backing base-table column. Operators bind each ref
+// once and reuse it across the tuple loop — resolving per tuple costs two
+// string-keyed hash lookups on the hottest path in the executor.
+struct BoundColumn {
+  int col_pos = -1;
+  const Column* column = nullptr;
+};
+
+BoundColumn BindColumn(const Database& db, const Query& query,
+                       const RowIdTable& t, const ColumnRef& ref) {
+  BoundColumn bound;
+  bound.col_pos = t.ColumnOf(ref.rel_idx);
+  HFQ_CHECK(bound.col_pos >= 0);
+  bound.column = ResolveColumn(db, query, ref);
+  return bound;
+}
+
+double BoundValue(const BoundColumn& bound, const RowIdTable& t,
+                  int64_t tuple) {
+  int64_t row = t.row_ids[static_cast<size_t>(bound.col_pos)][
+      static_cast<size_t>(tuple)];
+  return bound.column->GetNumeric(row);
+}
+
+int64_t BoundIntValue(const BoundColumn& bound, const RowIdTable& t,
+                      int64_t tuple) {
+  int64_t row = t.row_ids[static_cast<size_t>(bound.col_pos)][
+      static_cast<size_t>(tuple)];
+  return bound.column->GetInt(row);
+}
+
 }  // namespace
 
 int RowIdTable::ColumnOf(int rel) const {
@@ -39,24 +71,6 @@ int RowIdTable::ColumnOf(int rel) const {
 Executor::Executor(const Database* db, ExecOptions options)
     : db_(db), options_(options) {
   HFQ_CHECK(db != nullptr);
-}
-
-double Executor::ColumnValue(const Query& query, const RowIdTable& t,
-                             const ColumnRef& ref, int64_t tuple) const {
-  int col_pos = t.ColumnOf(ref.rel_idx);
-  HFQ_CHECK(col_pos >= 0);
-  int64_t row = t.row_ids[static_cast<size_t>(col_pos)][
-      static_cast<size_t>(tuple)];
-  return ResolveColumn(*db_, query, ref)->GetNumeric(row);
-}
-
-int64_t Executor::ColumnIntValue(const Query& query, const RowIdTable& t,
-                                 const ColumnRef& ref, int64_t tuple) const {
-  int col_pos = t.ColumnOf(ref.rel_idx);
-  HFQ_CHECK(col_pos >= 0);
-  int64_t row = t.row_ids[static_cast<size_t>(col_pos)][
-      static_cast<size_t>(tuple)];
-  return ResolveColumn(*db_, query, ref)->GetInt(row);
 }
 
 Result<RowIdTable> Executor::ExecScan(const Query& query,
@@ -222,9 +236,33 @@ Result<RowIdTable> Executor::ExecJoin(const Query& query,
       const auto& sel = query.selections[static_cast<size_t>(s)];
       inner_filter_cols.push_back(ResolveColumn(*db_, query, sel.column));
     }
+    // Resolve every per-tuple column once, outside the probe loops.
+    const BoundColumn outer_key_bound =
+        BindColumn(*db_, query, outer, outer_key);
+    const Column* index_sel_col = nullptr;
+    if (inner_scan.index_sel_idx >= 0) {
+      const auto& sel =
+          query.selections[static_cast<size_t>(inner_scan.index_sel_idx)];
+      index_sel_col = ResolveColumn(*db_, query, sel.column);
+    }
+    struct RemainingPred {
+      BoundColumn outer;
+      const Column* inner_col;
+    };
+    std::vector<RemainingPred> remaining_preds;
+    for (int pi : node.join_pred_idxs) {
+      if (pi == node.inner_probe_pred_idx) continue;
+      const auto& jp = query.joins[static_cast<size_t>(pi)];
+      const ColumnRef& oref =
+          RelSetHas(outer_rels, jp.left.rel_idx) ? jp.left : jp.right;
+      const ColumnRef& iref =
+          RelSetHas(outer_rels, jp.left.rel_idx) ? jp.right : jp.left;
+      remaining_preds.push_back({BindColumn(*db_, query, outer, oref),
+                                 ResolveColumn(*db_, query, iref)});
+    }
     std::vector<int64_t> matches;
     for (int64_t t = 0; t < outer.NumTuples(); ++t) {
-      int64_t key = ColumnIntValue(query, outer, outer_key, t);
+      int64_t key = BoundIntValue(outer_key_bound, outer, t);
       matches.clear();
       index->LookupEqual(key, &matches);
       for (int64_t row : matches) {
@@ -240,26 +278,20 @@ Result<RowIdTable> Executor::ExecJoin(const Query& query,
           }
         }
         if (!pass) continue;
-        if (inner_scan.index_sel_idx >= 0) {
+        if (index_sel_col != nullptr) {
           const auto& sel = query.selections[
               static_cast<size_t>(inner_scan.index_sel_idx)];
-          const Column* c = ResolveColumn(*db_, query, sel.column);
-          if (!EvalCmp(c->GetNumeric(row), sel.op, sel.value.AsDouble())) {
+          if (!EvalCmp(index_sel_col->GetNumeric(row), sel.op,
+                       sel.value.AsDouble())) {
             continue;
           }
         }
         // Remaining join predicates.
         inner_stub.row_ids[0].assign(1, row);
         bool preds_pass = true;
-        for (int pi : node.join_pred_idxs) {
-          if (pi == node.inner_probe_pred_idx) continue;
-          const auto& jp = query.joins[static_cast<size_t>(pi)];
-          const ColumnRef& oref =
-              RelSetHas(outer_rels, jp.left.rel_idx) ? jp.left : jp.right;
-          const ColumnRef& iref =
-              RelSetHas(outer_rels, jp.left.rel_idx) ? jp.right : jp.left;
-          double ov = ColumnValue(query, outer, oref, t);
-          double iv = ColumnValue(query, inner_stub, iref, 0);
+        for (const RemainingPred& rp : remaining_preds) {
+          double ov = BoundValue(rp.outer, outer, t);
+          double iv = rp.inner_col->GetNumeric(row);
           if (ov != iv) {
             preds_pass = false;
             break;
@@ -277,10 +309,22 @@ Result<RowIdTable> Executor::ExecJoin(const Query& query,
   out.rels.insert(out.rels.end(), inner.rels.begin(), inner.rels.end());
   out.row_ids.resize(outer.rels.size() + inner.rels.size());
 
+  // Bind each predicate's columns against both inputs once per operator.
+  struct BoundPred {
+    BoundColumn outer;
+    BoundColumn inner;
+  };
+  std::vector<BoundPred> bound_preds;
+  bound_preds.reserve(preds.size());
+  for (const SidedPred& pred : preds) {
+    bound_preds.push_back({BindColumn(*db_, query, outer, pred.outer_ref),
+                           BindColumn(*db_, query, inner, pred.inner_ref)});
+  }
+
   auto residual_ok = [&](int64_t ot, int64_t it, size_t first_pred) {
-    for (size_t p = first_pred; p < preds.size(); ++p) {
-      double ov = ColumnValue(query, outer, preds[p].outer_ref, ot);
-      double iv = ColumnValue(query, inner, preds[p].inner_ref, it);
+    for (size_t p = first_pred; p < bound_preds.size(); ++p) {
+      double ov = BoundValue(bound_preds[p].outer, outer, ot);
+      double iv = BoundValue(bound_preds[p].inner, inner, it);
       if (ov != iv) return false;
     }
     return true;
@@ -310,11 +354,10 @@ Result<RowIdTable> Executor::ExecJoin(const Query& query,
       std::unordered_map<int64_t, std::vector<int64_t>, PairHash> ht;
       ht.reserve(static_cast<size_t>(inner.NumTuples()));
       for (int64_t it = 0; it < inner.NumTuples(); ++it) {
-        ht[ColumnIntValue(query, inner, preds[0].inner_ref, it)].push_back(it);
+        ht[BoundIntValue(bound_preds[0].inner, inner, it)].push_back(it);
       }
       for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
-        auto hit = ht.find(ColumnIntValue(query, outer, preds[0].outer_ref,
-                                          ot));
+        auto hit = ht.find(BoundIntValue(bound_preds[0].outer, outer, ot));
         if (hit == ht.end()) continue;
         for (int64_t it : hit->second) {
           if (residual_ok(ot, it, 1)) {
@@ -335,10 +378,10 @@ Result<RowIdTable> Executor::ExecJoin(const Query& query,
       for (size_t i = 0; i < oidx.size(); ++i) oidx[i] = static_cast<int64_t>(i);
       for (size_t i = 0; i < iidx.size(); ++i) iidx[i] = static_cast<int64_t>(i);
       auto okey = [&](int64_t t) {
-        return ColumnIntValue(query, outer, preds[0].outer_ref, t);
+        return BoundIntValue(bound_preds[0].outer, outer, t);
       };
       auto ikey = [&](int64_t t) {
-        return ColumnIntValue(query, inner, preds[0].inner_ref, t);
+        return BoundIntValue(bound_preds[0].inner, inner, t);
       };
       std::sort(oidx.begin(), oidx.end(),
                 [&](int64_t a, int64_t b) { return okey(a) < okey(b); });
@@ -401,11 +444,23 @@ Result<std::vector<AggRow>> Executor::ExecAggregate(const Query& query,
   };
 
   const size_t num_aggs = query.aggregates.size();
+  // Bind group-by keys and aggregate arguments once for the whole input.
+  std::vector<BoundColumn> group_cols;
+  group_cols.reserve(query.group_by.size());
+  for (const auto& g : query.group_by) {
+    group_cols.push_back(BindColumn(*db_, query, input, g));
+  }
+  std::vector<BoundColumn> agg_cols(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (query.aggregates[a].has_arg) {
+      agg_cols[a] = BindColumn(*db_, query, input, query.aggregates[a].arg);
+    }
+  }
   for (int64_t t = 0; t < input.NumTuples(); ++t) {
     std::vector<double> keys;
-    keys.reserve(query.group_by.size());
-    for (const auto& g : query.group_by) {
-      keys.push_back(ColumnValue(query, input, g, t));
+    keys.reserve(group_cols.size());
+    for (const BoundColumn& g : group_cols) {
+      keys.push_back(BoundValue(g, input, t));
     }
     size_t h = hash_keys(keys);
     auto [it, inserted] = groups.try_emplace(h);
@@ -421,7 +476,7 @@ Result<std::vector<AggRow>> Executor::ExecAggregate(const Query& query,
     }
     for (size_t a = 0; a < num_aggs; ++a) {
       const AggSpec& spec = query.aggregates[a];
-      double v = spec.has_arg ? ColumnValue(query, input, spec.arg, t) : 1.0;
+      double v = spec.has_arg ? BoundValue(agg_cols[a], input, t) : 1.0;
       switch (spec.func) {
         case AggFunc::kCount:
           gs.accum[a] += 1.0;

@@ -76,11 +76,6 @@ class Executor {
                                             const PlanNode& node,
                                             const RowIdTable& input);
 
-  double ColumnValue(const Query& query, const RowIdTable& t,
-                     const ColumnRef& ref, int64_t tuple) const;
-  int64_t ColumnIntValue(const Query& query, const RowIdTable& t,
-                         const ColumnRef& ref, int64_t tuple) const;
-
   const Database* db_;
   ExecOptions options_;
 };

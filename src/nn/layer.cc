@@ -12,11 +12,16 @@ Linear::Linear(int64_t in_dim, int64_t out_dim, Rng* rng)
       grad_bias_(1, out_dim) {}
 
 Matrix Linear::Forward(const Matrix& input) {
-  HFQ_CHECK(input.cols() == weight_.rows());
   cached_input_ = input;
-  Matrix out = Matmul(input, weight_);
-  AddRowVectorInPlace(&out, bias_);
+  Matrix out;
+  ForwardInto(input, &out);
   return out;
+}
+
+void Linear::ForwardInto(const Matrix& input, Matrix* out) const {
+  HFQ_CHECK(input.cols() == weight_.rows());
+  MatmulInto(input, weight_, out);
+  AddRowVectorInPlace(out, bias_);
 }
 
 Matrix Linear::Backward(const Matrix& grad_output) {
@@ -47,11 +52,16 @@ std::unique_ptr<Layer> Linear::Clone() const {
 
 Matrix Relu::Forward(const Matrix& input) {
   cached_input_ = input;
-  Matrix out = input;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::max(0.0, out.data()[i]);
-  }
+  Matrix out;
+  ForwardInto(input, &out);
   return out;
+}
+
+void Relu::ForwardInto(const Matrix& input, Matrix* out) const {
+  *out = input;
+  for (int64_t i = 0; i < out->size(); ++i) {
+    out->data()[i] = std::max(0.0, out->data()[i]);
+  }
 }
 
 Matrix Relu::Backward(const Matrix& grad_output) {
@@ -68,12 +78,17 @@ std::unique_ptr<Layer> Relu::Clone() const {
 }
 
 Matrix TanhLayer::Forward(const Matrix& input) {
-  Matrix out = input;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = std::tanh(out.data()[i]);
-  }
+  Matrix out;
+  ForwardInto(input, &out);
   cached_output_ = out;
   return out;
+}
+
+void TanhLayer::ForwardInto(const Matrix& input, Matrix* out) const {
+  *out = input;
+  for (int64_t i = 0; i < out->size(); ++i) {
+    out->data()[i] = std::tanh(out->data()[i]);
+  }
 }
 
 Matrix TanhLayer::Backward(const Matrix& grad_output) {
@@ -91,12 +106,17 @@ std::unique_ptr<Layer> TanhLayer::Clone() const {
 }
 
 Matrix Sigmoid::Forward(const Matrix& input) {
-  Matrix out = input;
-  for (int64_t i = 0; i < out.size(); ++i) {
-    out.data()[i] = 1.0 / (1.0 + std::exp(-out.data()[i]));
-  }
+  Matrix out;
+  ForwardInto(input, &out);
   cached_output_ = out;
   return out;
+}
+
+void Sigmoid::ForwardInto(const Matrix& input, Matrix* out) const {
+  *out = input;
+  for (int64_t i = 0; i < out->size(); ++i) {
+    out->data()[i] = 1.0 / (1.0 + std::exp(-out->data()[i]));
+  }
 }
 
 Matrix Sigmoid::Backward(const Matrix& grad_output) {

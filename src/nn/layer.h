@@ -23,6 +23,13 @@ class Layer {
   /// whatever is needed for the subsequent Backward call.
   virtual Matrix Forward(const Matrix& input) = 0;
 
+  /// Pure forward pass: writes the output into `*out` (reusing its
+  /// allocation) without touching the layer's Backward caches. Safe for
+  /// concurrent callers over a frozen layer — the thread-safe inference
+  /// path. `out` must not alias `input`. Arithmetic is identical to
+  /// Forward, so results are bit-for-bit the same.
+  virtual void ForwardInto(const Matrix& input, Matrix* out) const = 0;
+
   /// Propagates `grad_output` (batch x out_dim) back, accumulating into the
   /// layer's parameter gradients, and returns grad w.r.t. the input.
   virtual Matrix Backward(const Matrix& grad_output) = 0;
@@ -54,6 +61,7 @@ class Linear : public Layer {
   Linear(int64_t in_dim, int64_t out_dim, Rng* rng);
 
   Matrix Forward(const Matrix& input) override;
+  void ForwardInto(const Matrix& input, Matrix* out) const override;
   Matrix Backward(const Matrix& grad_output) override;
   void BackwardParamsOnly(const Matrix& grad_output) override;
   std::vector<Matrix*> Params() override { return {&weight_, &bias_}; }
@@ -80,6 +88,7 @@ class Linear : public Layer {
 class Relu : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
+  void ForwardInto(const Matrix& input, Matrix* out) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "relu"; }
   std::unique_ptr<Layer> Clone() const override;
@@ -92,6 +101,7 @@ class Relu : public Layer {
 class TanhLayer : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
+  void ForwardInto(const Matrix& input, Matrix* out) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "tanh"; }
   std::unique_ptr<Layer> Clone() const override;
@@ -104,6 +114,7 @@ class TanhLayer : public Layer {
 class Sigmoid : public Layer {
  public:
   Matrix Forward(const Matrix& input) override;
+  void ForwardInto(const Matrix& input, Matrix* out) const override;
   Matrix Backward(const Matrix& grad_output) override;
   std::string Name() const override { return "sigmoid"; }
   std::unique_ptr<Layer> Clone() const override;

@@ -40,6 +40,13 @@ Matrix Matrix::HeNormal(int64_t rows, int64_t cols, Rng* rng) {
   return m;
 }
 
+void Matrix::ResizeZeroed(int64_t rows, int64_t cols) {
+  HFQ_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<size_t>(rows * cols), 0.0);
+}
+
 void Matrix::Zero() { Fill(0.0); }
 
 void Matrix::Fill(double value) {
@@ -107,12 +114,20 @@ std::string Matrix::ToString(int max_rows, int max_cols) const {
 }
 
 Matrix Matmul(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  MatmulInto(a, b, &out);
+  return out;
+}
+
+void MatmulInto(const Matrix& a, const Matrix& b, Matrix* out_ptr) {
   HFQ_CHECK(a.cols() == b.rows());
-  Matrix out(a.rows(), b.cols());
+  HFQ_CHECK(out_ptr != &a && out_ptr != &b);
+  Matrix& out = *out_ptr;
+  out.ResizeZeroed(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   // i-k-j loop order: streams through b and out rows sequentially. `out` is
-  // a fresh local, so its rows cannot alias a/b — __restrict lets the inner
-  // axpy loops vectorize. Rows of `a` are processed four at a time so each
+  // checked distinct from a/b above — __restrict lets the inner axpy loops
+  // vectorize. Rows of `a` are processed four at a time so each
   // sweep of `b` (the large weight matrix in NN use) serves four output
   // rows: minibatched forwards/backwards are bandwidth-bound on `b`, and
   // the blocking cuts that traffic 4x. Per-element summation order is the
@@ -150,7 +165,6 @@ Matrix Matmul(const Matrix& a, const Matrix& b) {
       for (int64_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
     }
   }
-  return out;
 }
 
 Matrix MatmulTransA(const Matrix& a, const Matrix& b) {

@@ -58,6 +58,11 @@ class Matrix {
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
 
+  /// Reshapes to (rows x cols) and zeroes every element, reusing the
+  /// existing allocation when capacity allows — the buffer-recycling step
+  /// behind workspace-based forward passes.
+  void ResizeZeroed(int64_t rows, int64_t cols);
+
   /// Sets every element to zero.
   void Zero();
 
@@ -119,6 +124,11 @@ Matrix StackRows(int64_t count, int64_t dim, RowFn row_of) {
 
 /// out = a * b. Shapes: (m x k) * (k x n) -> (m x n).
 Matrix Matmul(const Matrix& a, const Matrix& b);
+
+/// *out = a * b, reusing out's allocation when possible. `out` must not
+/// alias a or b. Summation order is identical to Matmul (bit-identical
+/// results).
+void MatmulInto(const Matrix& a, const Matrix& b, Matrix* out);
 
 /// out = a^T * b. Shapes: (k x m)^T * (k x n) -> (m x n).
 Matrix MatmulTransA(const Matrix& a, const Matrix& b);

@@ -78,6 +78,19 @@ Matrix Mlp::Forward(const Matrix& input) {
   return x;
 }
 
+Matrix& Mlp::ForwardInto(const Matrix& input, MlpWorkspace* workspace) const {
+  HFQ_CHECK(!layers_.empty());
+  HFQ_CHECK(workspace != nullptr);
+  HFQ_CHECK(input.cols() == config_.input_dim);
+  workspace->activations.resize(layers_.size());
+  const Matrix* x = &input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->ForwardInto(*x, &workspace->activations[i]);
+    x = &workspace->activations[i];
+  }
+  return workspace->activations.back();
+}
+
 Matrix Mlp::Backward(const Matrix& grad_output, bool need_input_grad) {
   HFQ_CHECK(!layers_.empty());
   Matrix g = grad_output;

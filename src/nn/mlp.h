@@ -25,6 +25,14 @@ struct MlpConfig {
   Activation activation = Activation::kRelu;
 };
 
+/// Caller-owned activation storage for thread-safe forward passes. One
+/// workspace per concurrent caller; buffers grow on first use and are
+/// recycled across calls.
+struct MlpWorkspace {
+  /// activations[i] holds the output of layer i from the last ForwardInto.
+  std::vector<Matrix> activations;
+};
+
 /// A stack of layers trained with manual backprop.
 class Mlp {
  public:
@@ -42,6 +50,15 @@ class Mlp {
   /// batch's activations for Backward. Training loops should assemble their
   /// minibatch into one matrix and call this once, not once per row.
   Matrix Forward(const Matrix& input);
+
+  /// Thread-safe forward pass: activations are written into the
+  /// caller-owned `workspace` instead of the per-layer Backward caches, so
+  /// any number of threads may run inference concurrently against one
+  /// frozen network (no Backward may be driven from this path). Returns a
+  /// mutable reference to the output inside the workspace (the caller owns
+  /// it), valid until the workspace's next use. Arithmetic is identical to
+  /// Forward — results are bit-for-bit the same.
+  Matrix& ForwardInto(const Matrix& input, MlpWorkspace* workspace) const;
 
   /// Backward pass from dLoss/dOutput (batch x output_dim, row-aligned with
   /// the last Forward); accumulates parameter gradients summed over the

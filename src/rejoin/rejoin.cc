@@ -1,5 +1,8 @@
 #include "rejoin/rejoin.h"
 
+#include <algorithm>
+
+#include "rl/rollout.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -9,8 +12,19 @@ RejoinTrainer::RejoinTrainer(JoinOrderEnv* env, RejoinConfig config,
                              uint64_t seed)
     : env_(env),
       config_(config),
-      agent_(env->state_dim(), env->action_dim(), config.pg, seed) {
+      agent_(env->state_dim(), env->action_dim(), config.pg, seed),
+      seed_(seed) {
   HFQ_CHECK(env != nullptr);
+  HFQ_CHECK(config_.num_rollout_workers >= 1);
+}
+
+void RejoinTrainer::SetWorkerEnvs(std::vector<JoinOrderEnv*> envs) {
+  for (JoinOrderEnv* env : envs) {
+    HFQ_CHECK(env != nullptr);
+    HFQ_CHECK(env->state_dim() == env_->state_dim());
+    HFQ_CHECK(env->action_dim() == env_->action_dim());
+  }
+  worker_envs_ = std::move(envs);
 }
 
 RejoinEpisodeStats RejoinTrainer::RunEpisode(const Query& query, bool train) {
@@ -47,14 +61,73 @@ RejoinEpisodeStats RejoinTrainer::RunEpisode(const Query& query, bool train) {
   return stats;
 }
 
+void RejoinTrainer::AbsorbEpisode(
+    int global_episode, Episode episode, const RejoinEpisodeStats& stats,
+    const std::function<void(int, const RejoinEpisodeStats&)>& on_episode) {
+  if (trajectory_sink_) trajectory_sink_(global_episode, episode);
+  if (!episode.steps.empty()) {
+    pending_.push_back(std::move(episode));
+    if (static_cast<int>(pending_.size()) >= config_.episodes_per_update) {
+      agent_.Update(pending_);
+      pending_.clear();
+    }
+  }
+  if (on_episode) on_episode(global_episode, stats);
+}
+
 void RejoinTrainer::Train(
     const std::vector<Query>& workload, int episodes,
     const std::function<void(int, const RejoinEpisodeStats&)>& on_episode) {
   HFQ_CHECK(!workload.empty());
-  for (int e = 0; e < episodes; ++e) {
-    const Query& query = workload[static_cast<size_t>(e) % workload.size()];
-    RejoinEpisodeStats stats = RunEpisode(query, /*train=*/true);
-    if (on_episode) on_episode(e, stats);
+  const int num_workers = std::max(1, config_.num_rollout_workers);
+  HFQ_CHECK_MSG(
+      static_cast<int>(worker_envs_.size()) >= num_workers - 1,
+      "num_rollout_workers > 1 requires SetWorkerEnvs with one independent "
+      "env per extra worker");
+  while (static_cast<int>(worker_rngs_.size()) < num_workers - 1) {
+    worker_rngs_.push_back(std::make_unique<Rng>(
+        seed_ + static_cast<uint64_t>(worker_rngs_.size()) + 1));
+  }
+  std::vector<JoinOrderEnv*> envs = {env_};
+  std::vector<Rng*> rngs = {&agent_.rng()};
+  for (int w = 1; w < num_workers; ++w) {
+    envs.push_back(worker_envs_[static_cast<size_t>(w - 1)]);
+    rngs.push_back(worker_rngs_[static_cast<size_t>(w - 1)].get());
+  }
+  if (num_workers > 1 &&
+      (pool_ == nullptr || pool_->num_threads() < num_workers)) {
+    pool_ = std::make_unique<ThreadPool>(num_workers);
+  }
+  ThreadPool* pool = num_workers > 1 ? pool_.get() : nullptr;
+
+  // Round-based collection. A round ends exactly where the serial trainer
+  // would apply a policy update (the pending buffer reaching
+  // episodes_per_update), so the policy is frozen within a round in both
+  // modes and the update cadence is identical.
+  int done = 0;
+  while (done < episodes) {
+    const int room =
+        config_.episodes_per_update - static_cast<int>(pending_.size());
+    const int round = std::min(episodes - done, std::max(1, room));
+    std::vector<const Query*> queries(static_cast<size_t>(round));
+    std::vector<RejoinEpisodeStats> stats(static_cast<size_t>(round));
+    for (int i = 0; i < round; ++i) {
+      queries[static_cast<size_t>(i)] =
+          &workload[static_cast<size_t>(done + i) % workload.size()];
+    }
+    std::vector<Episode> collected = CollectRollouts(
+        agent_, envs, rngs, queries, pool,
+        [&queries, &stats](int i, JoinOrderEnv*, const Episode& episode) {
+          RejoinEpisodeStats& s = stats[static_cast<size_t>(i)];
+          s.query_name = queries[static_cast<size_t>(i)]->name;
+          s.reward = episode.TotalReward();
+          s.steps = static_cast<int>(episode.steps.size());
+        });
+    for (int i = 0; i < round; ++i) {
+      AbsorbEpisode(done + i, std::move(collected[static_cast<size_t>(i)]),
+                    stats[static_cast<size_t>(i)], on_episode);
+    }
+    done += round;
   }
   // Flush the trailing partial batch: leftover episodes would otherwise
   // carry stale old_prob values into a later Train/RunEpisode update,

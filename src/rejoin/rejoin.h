@@ -6,11 +6,13 @@
 #define HFQ_REJOIN_REJOIN_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "rejoin/join_env.h"
 #include "rl/policy_gradient.h"
+#include "util/thread_pool.h"
 
 namespace hfq {
 
@@ -20,6 +22,14 @@ struct RejoinConfig {
   PolicyGradientConfig pg;
   /// Episodes per policy update (ReJOIN updated periodically).
   int episodes_per_update = 8;
+  /// Rollout-collection parallelism for Train. 1 (default) collects
+  /// serially on the calling thread; N > 1 collects each update batch
+  /// across N workers against the frozen policy (requires SetWorkerEnvs
+  /// with N-1 extra independent environments). The update cadence is
+  /// identical either way: the policy only ever changes at batch
+  /// boundaries, so 1 worker reproduces the serial trajectories
+  /// bit-for-bit, and N workers are deterministic for a fixed seed and N.
+  int num_rollout_workers = 1;
 };
 
 /// Per-episode diagnostics.
@@ -43,9 +53,29 @@ class RejoinTrainer {
   /// Trains over the workload round-robin for `episodes` episodes,
   /// invoking `on_episode` (if set) after each. Any trailing partial batch
   /// of episodes is flushed into a final policy update before returning.
+  /// With config.num_rollout_workers > 1, each update batch is collected in
+  /// parallel (worker w samples from its own rng stream: worker 0 shares
+  /// the agent's stream, worker w >= 1 is seeded trainer_seed + w);
+  /// `on_episode` still fires in episode order, after the batch is
+  /// collected — callbacks that mutate the agent therefore take effect at
+  /// batch granularity.
   void Train(const std::vector<Query>& workload, int episodes,
              const std::function<void(int, const RejoinEpisodeStats&)>&
                  on_episode = nullptr);
+
+  /// Registers the extra environments parallel Train collects on: worker 0
+  /// uses the constructor env, worker w >= 1 uses envs[w - 1]. Each must be
+  /// an independent JoinOrderEnv (own instance; a thread-safe reward fn)
+  /// with the same dimensions as the primary env, and must outlive the
+  /// trainer. Required before Train when num_rollout_workers > 1.
+  void SetWorkerEnvs(std::vector<JoinOrderEnv*> envs);
+
+  /// Test/diagnostic hook: receives every training episode's trajectory
+  /// (global episode index, episode) in order during Train.
+  void set_trajectory_sink(
+      std::function<void(int, const Episode&)> sink) {
+    trajectory_sink_ = std::move(sink);
+  }
 
   /// Applies a policy update from any buffered episodes that have not yet
   /// reached `episodes_per_update` (no-op when none are buffered). Called
@@ -64,10 +94,24 @@ class RejoinTrainer {
   PolicyGradientAgent& agent() { return agent_; }
 
  private:
+  /// Buffers one collected episode: pending_ push, policy update at the
+  /// batch boundary, then the per-episode callbacks — the serial sequence.
+  void AbsorbEpisode(int global_episode, Episode episode,
+                     const RejoinEpisodeStats& stats,
+                     const std::function<void(int, const RejoinEpisodeStats&)>&
+                         on_episode);
+
   JoinOrderEnv* env_;
   RejoinConfig config_;
   PolicyGradientAgent agent_;
+  uint64_t seed_;
   std::vector<Episode> pending_;
+  std::vector<JoinOrderEnv*> worker_envs_;
+  /// Sampling streams for workers 1..N-1 (worker 0 uses the agent's rng);
+  /// created on first parallel Train and persisted across rounds.
+  std::vector<std::unique_ptr<Rng>> worker_rngs_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::function<void(int, const Episode&)> trajectory_sink_;
 };
 
 }  // namespace hfq

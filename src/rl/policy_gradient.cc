@@ -62,11 +62,12 @@ PolicyGradientAgent::PolicyGradientAgent(int state_dim, int action_dim,
   value_ = Mlp(vc, &rng_);
 }
 
-Matrix PolicyGradientAgent::MaskedLogits(const std::vector<double>& state,
-                                         const std::vector<bool>& mask) {
+Matrix& PolicyGradientAgent::MaskedLogits(const std::vector<double>& state,
+                                          const std::vector<bool>& mask,
+                                          MlpWorkspace* workspace) const {
   HFQ_CHECK(static_cast<int>(state.size()) == state_dim_);
   HFQ_CHECK(static_cast<int>(mask.size()) == action_dim_);
-  Matrix logits = policy_.Forward(Matrix::RowVector(state));
+  Matrix& logits = policy_.ForwardInto(Matrix::RowVector(state), workspace);
   for (int a = 0; a < action_dim_; ++a) {
     if (!mask[static_cast<size_t>(a)]) logits.At(0, a) = kMaskedLogit;
   }
@@ -75,7 +76,13 @@ Matrix PolicyGradientAgent::MaskedLogits(const std::vector<double>& state,
 
 std::vector<double> PolicyGradientAgent::ActionProbabilities(
     const std::vector<double>& state, const std::vector<bool>& mask) {
-  Matrix probs = Softmax(MaskedLogits(state, mask));
+  return ActionProbabilities(state, mask, &scratch_ws_);
+}
+
+std::vector<double> PolicyGradientAgent::ActionProbabilities(
+    const std::vector<double>& state, const std::vector<bool>& mask,
+    MlpWorkspace* workspace) const {
+  Matrix probs = Softmax(MaskedLogits(state, mask, workspace));
   std::vector<double> out(static_cast<size_t>(action_dim_));
   for (int a = 0; a < action_dim_; ++a) {
     out[static_cast<size_t>(a)] =
@@ -87,8 +94,16 @@ std::vector<double> PolicyGradientAgent::ActionProbabilities(
 int PolicyGradientAgent::SampleAction(const std::vector<double>& state,
                                       const std::vector<bool>& mask,
                                       double* prob_out) {
-  std::vector<double> probs = ActionProbabilities(state, mask);
-  int action = static_cast<int>(rng_.Categorical(probs));
+  return SampleAction(state, mask, &rng_, &scratch_ws_, prob_out);
+}
+
+int PolicyGradientAgent::SampleAction(const std::vector<double>& state,
+                                      const std::vector<bool>& mask, Rng* rng,
+                                      MlpWorkspace* workspace,
+                                      double* prob_out) const {
+  HFQ_CHECK(rng != nullptr);
+  std::vector<double> probs = ActionProbabilities(state, mask, workspace);
+  int action = static_cast<int>(rng->Categorical(probs));
   HFQ_CHECK(mask[static_cast<size_t>(action)]);
   if (prob_out != nullptr) *prob_out = probs[static_cast<size_t>(action)];
   return action;
@@ -96,7 +111,13 @@ int PolicyGradientAgent::SampleAction(const std::vector<double>& state,
 
 int PolicyGradientAgent::GreedyAction(const std::vector<double>& state,
                                       const std::vector<bool>& mask) {
-  std::vector<double> probs = ActionProbabilities(state, mask);
+  return GreedyAction(state, mask, &scratch_ws_);
+}
+
+int PolicyGradientAgent::GreedyAction(const std::vector<double>& state,
+                                      const std::vector<bool>& mask,
+                                      MlpWorkspace* workspace) const {
+  std::vector<double> probs = ActionProbabilities(state, mask, workspace);
   int best = -1;
   for (int a = 0; a < action_dim_; ++a) {
     if (!mask[static_cast<size_t>(a)]) continue;
@@ -110,7 +131,12 @@ int PolicyGradientAgent::GreedyAction(const std::vector<double>& state,
 }
 
 double PolicyGradientAgent::Value(const std::vector<double>& state) {
-  Matrix v = value_.Forward(Matrix::RowVector(state));
+  return Value(state, &scratch_ws_);
+}
+
+double PolicyGradientAgent::Value(const std::vector<double>& state,
+                                  MlpWorkspace* workspace) const {
+  const Matrix& v = value_.ForwardInto(Matrix::RowVector(state), workspace);
   return v.At(0, 0);
 }
 

@@ -52,6 +52,24 @@ class PolicyGradientAgent {
   /// Baseline value estimate V(s).
   double Value(const std::vector<double>& state);
 
+  /// Thread-safe inference overloads: any number of rollout workers may
+  /// call these concurrently against one *frozen* agent (no Update /
+  /// BehaviourCloneStep in flight), each worker bringing its own Rng and
+  /// MlpWorkspace. Arithmetic matches the non-const entry points
+  /// bit-for-bit — the non-const versions above delegate here with the
+  /// agent's own rng and a private workspace.
+  std::vector<double> ActionProbabilities(const std::vector<double>& state,
+                                          const std::vector<bool>& mask,
+                                          MlpWorkspace* workspace) const;
+  int SampleAction(const std::vector<double>& state,
+                   const std::vector<bool>& mask, Rng* rng,
+                   MlpWorkspace* workspace, double* prob_out = nullptr) const;
+  int GreedyAction(const std::vector<double>& state,
+                   const std::vector<bool>& mask,
+                   MlpWorkspace* workspace) const;
+  double Value(const std::vector<double>& state,
+               MlpWorkspace* workspace) const;
+
   /// One policy+value update from a batch of complete episodes. Returns the
   /// mean policy loss (diagnostic).
   double Update(const std::vector<Episode>& episodes);
@@ -82,8 +100,10 @@ class PolicyGradientAgent {
   Rng& rng() { return rng_; }
 
  private:
-  Matrix MaskedLogits(const std::vector<double>& state,
-                      const std::vector<bool>& mask);
+  /// Masked policy logits written into (and referencing) `workspace`.
+  Matrix& MaskedLogits(const std::vector<double>& state,
+                       const std::vector<bool>& mask,
+                       MlpWorkspace* workspace) const;
 
   int state_dim_;
   int action_dim_;
@@ -93,6 +113,9 @@ class PolicyGradientAgent {
   Adam policy_opt_;
   Adam value_opt_;
   Rng rng_;
+  /// Workspace behind the non-const inference wrappers (single-threaded
+  /// callers only; parallel callers supply their own).
+  MlpWorkspace scratch_ws_;
 };
 
 }  // namespace hfq

@@ -34,6 +34,17 @@ std::vector<double> RewardPredictor::PredictAll(
   return preds;
 }
 
+std::vector<double> RewardPredictor::PredictAll(
+    const std::vector<double>& state, MlpWorkspace* workspace) const {
+  HFQ_CHECK(static_cast<int>(state.size()) == state_dim_);
+  const Matrix& out = net_.ForwardInto(Matrix::RowVector(state), workspace);
+  std::vector<double> preds(static_cast<size_t>(action_dim_));
+  for (int a = 0; a < action_dim_; ++a) {
+    preds[static_cast<size_t>(a)] = out.At(0, a);
+  }
+  return preds;
+}
+
 double RewardPredictor::Predict(const std::vector<double>& state,
                                 int action) {
   return PredictAll(state)[static_cast<size_t>(action)];
@@ -42,15 +53,23 @@ double RewardPredictor::Predict(const std::vector<double>& state,
 int RewardPredictor::SelectAction(const std::vector<double>& state,
                                   const std::vector<bool>& mask,
                                   double epsilon) {
+  return SelectAction(state, mask, epsilon, &rng_, &scratch_ws_);
+}
+
+int RewardPredictor::SelectAction(const std::vector<double>& state,
+                                  const std::vector<bool>& mask,
+                                  double epsilon, Rng* rng,
+                                  MlpWorkspace* workspace) const {
   std::vector<int> valid;
   for (int a = 0; a < action_dim_; ++a) {
     if (mask[static_cast<size_t>(a)]) valid.push_back(a);
   }
   HFQ_CHECK_MSG(!valid.empty(), "no valid action");
-  if (epsilon > 0.0 && rng_.Bernoulli(epsilon)) {
-    return rng_.Choice(valid);
+  if (epsilon > 0.0) {
+    HFQ_CHECK(rng != nullptr);
+    if (rng->Bernoulli(epsilon)) return rng->Choice(valid);
   }
-  std::vector<double> preds = PredictAll(state);
+  std::vector<double> preds = PredictAll(state, workspace);
   int best = valid[0];
   for (int a : valid) {
     if (preds[static_cast<size_t>(a)] < preds[static_cast<size_t>(best)]) {

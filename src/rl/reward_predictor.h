@@ -65,6 +65,15 @@ class RewardPredictor {
   int SelectAction(const std::vector<double>& state,
                    const std::vector<bool>& mask, double epsilon);
 
+  /// Thread-safe inference overloads against a *frozen* predictor (no
+  /// TrainSteps in flight): concurrent callers each bring their own
+  /// MlpWorkspace (and Rng when epsilon > 0; pass nullptr for pure greedy).
+  std::vector<double> PredictAll(const std::vector<double>& state,
+                                 MlpWorkspace* workspace) const;
+  int SelectAction(const std::vector<double>& state,
+                   const std::vector<bool>& mask, double epsilon, Rng* rng,
+                   MlpWorkspace* workspace) const;
+
   /// Adds a training example to the replay buffer.
   void AddExample(OutcomeExample example);
 
@@ -95,6 +104,9 @@ class RewardPredictor {
   Adam opt_;
   ReplayBuffer<OutcomeExample> buffer_;
   Rng rng_;
+  /// Workspace behind the non-const SelectAction wrapper (single-threaded
+  /// callers only; parallel callers supply their own).
+  MlpWorkspace scratch_ws_;
 };
 
 }  // namespace hfq

@@ -6,6 +6,7 @@
 #define HFQ_STATS_ESTIMATOR_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "catalog/catalog.h"
@@ -14,8 +15,15 @@
 
 namespace hfq {
 
-/// Histogram-based estimates. Thread-compatible; memoizes per (query name,
-/// relset) so repeated optimizer probes are cheap.
+/// Histogram-based estimates. Memoizes per (query name, relset) so repeated
+/// optimizer probes are cheap; query names must therefore uniquely identify
+/// queries within a run — enforced with a per-name structural fingerprint,
+/// exactly like TrueCardinalityOracle (a second structure reusing a name
+/// trips an HFQ_CHECK instead of silently aliasing estimates).
+///
+/// Thread-safe: the memo is internally synchronized so concurrent rollout
+/// workers can share one estimator (the backing Catalog/StatsCatalog are
+/// immutable after construction).
 class CardinalityEstimator : public CardinalitySource {
  public:
   /// `catalog` and `stats` must outlive the estimator.
@@ -40,8 +48,17 @@ class CardinalityEstimator : public CardinalitySource {
  private:
   const ColumnStats* StatsFor(const Query& query, const ColumnRef& ref) const;
 
+  /// Guards the name-keyed memo: checks `query`'s structural fingerprint
+  /// against the one first recorded for its name. Caller must hold mu_.
+  void CheckCacheIdentityLocked(const Query& query);
+
+  /// Rows with mu_ already held (lets GroupRows reuse it re-entrantly).
+  double RowsLocked(const Query& query, RelSet s);
+
   const Catalog* catalog_;
   const StatsCatalog* stats_;
+  std::mutex mu_;
+  std::map<std::string, uint64_t> fingerprint_cache_;
   std::map<std::pair<std::string, RelSet>, double> cache_;
 };
 

@@ -60,12 +60,10 @@ TrueCardinalityOracle::TrueCardinalityOracle(const Database* db,
 }
 
 void TrueCardinalityOracle::CheckCacheIdentity(const Query& query) {
-  // Fast path: the previous call verified this very object. (A query
-  // mutated in place between calls can slip past this; the guard targets
-  // the real hazard — two distinct queries sharing a name.)
-  if (&query == last_checked_query_ && query.name == last_checked_name_) {
-    return;
-  }
+  // Always hash: an address-based fast path would be defeated by stack
+  // reuse (a loop building same-named variants at one address — exactly
+  // the misuse this guard exists to catch). The FNV pass is cheap next to
+  // the name-keyed map lookups on the memo path.
   uint64_t fp = query.StructuralFingerprint();
   auto it = fingerprint_cache_.try_emplace(query.name, fp).first;
   HFQ_CHECK_MSG(it->second == fp,
@@ -73,12 +71,11 @@ void TrueCardinalityOracle::CheckCacheIdentity(const Query& query) {
                  "structurally different queries share the name '" +
                  query.name + "'")
                     .c_str());
-  last_checked_query_ = &query;
-  last_checked_name_ = query.name;
 }
 
 const std::vector<int64_t>& TrueCardinalityOracle::SelectedRows(
     const Query& query, int rel) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CheckCacheIdentity(query);
   return SelectedRowsImpl(query, rel);
 }
@@ -135,6 +132,7 @@ double TrueCardinalityOracle::BaseRows(const Query& query, int rel) {
 
 Result<double> TrueCardinalityOracle::CountConnectedExact(const Query& query,
                                                           RelSet component) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CheckCacheIdentity(query);
   std::vector<int> members = RelSetMembers(component);
   HFQ_CHECK(!members.empty());
@@ -328,6 +326,7 @@ double TrueCardinalityOracle::CountComponent(const Query& query,
 
 double TrueCardinalityOracle::Rows(const Query& query, RelSet s) {
   HFQ_CHECK(s != 0);
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CheckCacheIdentity(query);
   auto key = std::make_pair(query.name, s);
   auto it = count_cache_.find(key);
@@ -384,6 +383,7 @@ double TrueCardinalityOracle::RowsWithSelections(
 
 double TrueCardinalityOracle::GroupRows(const Query& query) {
   if (query.group_by.empty()) return 1.0;
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   CheckCacheIdentity(query);
   auto it = group_cache_.find(query.name);
   if (it != group_cache_.end()) return it->second;

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,11 @@ namespace hfq {
 /// later query reusing the name with a different structure trips an
 /// HFQ_CHECK instead of silently returning the other query's cached
 /// cardinalities.
+///
+/// Thread-safe: all memo state is guarded by one internal lock, so
+/// concurrent rollout workers (whose latency simulations all consult this
+/// oracle) can share a single instance. Uncached counts serialize — the
+/// memo makes repeat queries cheap either way.
 class TrueCardinalityOracle : public CardinalitySource {
  public:
   struct Options {
@@ -69,14 +75,14 @@ class TrueCardinalityOracle : public CardinalitySource {
 
   /// Guards the name-keyed caches: checks `query`'s structural fingerprint
   /// against the one first recorded for its name. Called once per public
-  /// entry; repeated calls with the same query object short-circuit on
-  /// identity before hashing.
+  /// entry, under mu_.
   void CheckCacheIdentity(const Query& query);
 
   const Database* db_;
   Options options_;
-  const Query* last_checked_query_ = nullptr;
-  std::string last_checked_name_;
+  /// Recursive: public entries nest (Rows -> CountConnectedExact,
+  /// GroupRows -> Rows) while holding the lock.
+  std::recursive_mutex mu_;
   std::map<std::string, uint64_t> fingerprint_cache_;
   std::map<std::pair<std::string, int>, std::vector<int64_t>> selected_cache_;
   std::map<std::pair<std::string, RelSet>, double> count_cache_;

@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hfq {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting_down_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task: exceptions land in the future.
+  }
+}
+
+namespace {
+
+// Waits on every future (so no task outlives the caller's stack frame),
+// then re-throws the first captured exception, if any.
+void DrainAll(std::vector<std::future<void>>* futures) {
+  std::exception_ptr first_error;
+  for (auto& f : *futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(int64_t count,
+                             const std::function<void(int64_t)>& fn) {
+  HFQ_CHECK(count >= 0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(count));
+  for (int64_t i = 0; i < count; ++i) {
+    futures.push_back(Submit([&fn, i] { fn(i); }));
+  }
+  DrainAll(&futures);
+}
+
+void RunOnWorkers(ThreadPool* pool, int num_workers,
+                  const std::function<void(int)>& fn) {
+  HFQ_CHECK(num_workers >= 1);
+  if (num_workers == 1 || pool == nullptr) {
+    for (int w = 0; w < num_workers; ++w) fn(w);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    futures.push_back(pool->Submit([&fn, w] { fn(w); }));
+  }
+  DrainAll(&futures);
+}
+
+}  // namespace hfq

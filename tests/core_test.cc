@@ -313,6 +313,61 @@ TEST(CurriculumTest, BuildsExpectedShapes) {
   EXPECT_EQ(hybrid.back().max_relations, 8);
 }
 
+TEST(CurriculumTest, EveryKindSumsExactlyToTotalEpisodes) {
+  // Regression: truncation used to make phases sum to fewer (or, via the
+  // max(1, .) floor, more) episodes than total_episodes — e.g. kPipeline
+  // with total=1001 yielded 1000.
+  const CurriculumKind kinds[] = {CurriculumKind::kFlat,
+                                  CurriculumKind::kPipeline,
+                                  CurriculumKind::kRelations,
+                                  CurriculumKind::kHybrid};
+  for (CurriculumKind kind : kinds) {
+    for (int max_relations : {2, 5, 8, 17}) {
+      for (int total : {1,  2,  3,   5,   7,    8,   13,  16, 17,
+                        31, 99, 100, 101, 1000, 1001, 2000, 4999}) {
+        auto phases = BuildCurriculum(kind, total, max_relations);
+        int sum = 0;
+        for (const auto& phase : phases) {
+          EXPECT_GE(phase.episodes, 0);
+          sum += phase.episodes;
+        }
+        EXPECT_EQ(sum, total)
+            << CurriculumKindName(kind) << " total=" << total
+            << " max_relations=" << max_relations;
+        // When the budget covers every phase, none runs empty.
+        if (total >= static_cast<int>(phases.size())) {
+          for (const auto& phase : phases) EXPECT_GE(phase.episodes, 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(CurriculumTest, PipelineRegression1001) {
+  auto phases = BuildCurriculum(CurriculumKind::kPipeline, 1001, 8);
+  int sum = 0;
+  for (const auto& phase : phases) sum += phase.episodes;
+  EXPECT_EQ(sum, 1001);
+}
+
+TEST(CurriculumTest, DistributeEpisodesLargestRemainder) {
+  // 1001 over {0.15, 0.2, 0.3, 0.35}: ideals 150.15 / 200.2 / 300.3 /
+  // 350.35 -> floors 150/200/300/350 (sum 1000), remainder 1 goes to the
+  // largest fraction (350.35).
+  std::vector<int> got = DistributeEpisodes({0.15, 0.2, 0.3, 0.35}, 1001);
+  EXPECT_EQ(got, (std::vector<int>{150, 200, 300, 351}));
+  // Deterministic tie-break: equal fractions resolve by lower index.
+  EXPECT_EQ(DistributeEpisodes({1.0, 1.0, 1.0, 1.0}, 6),
+            (std::vector<int>{2, 2, 1, 1}));
+  // Zero-episode buckets only when the budget cannot cover every bucket.
+  std::vector<int> tiny = DistributeEpisodes({1.0, 1.0, 1.0, 1.0}, 2);
+  EXPECT_EQ(tiny[0] + tiny[1] + tiny[2] + tiny[3], 2);
+  // A tiny weight still gets its floor of 1 when the budget allows.
+  std::vector<int> floored = DistributeEpisodes({0.0001, 1.0, 1.0, 1.0}, 4);
+  EXPECT_EQ(floored[0] + floored[1] + floored[2] + floored[3], 4);
+  EXPECT_GE(floored[0], 1);
+}
+
 TEST_F(CoreTest, IncrementalTrainerRunsAllPhases) {
   WorkloadGenerator gen(&engine().catalog(), 500);
   PolicyGradientConfig pg;

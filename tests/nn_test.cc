@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 #include "nn/layer.h"
 #include "nn/loss.h"
@@ -12,6 +13,7 @@
 #include "nn/mlp.h"
 #include "nn/optimizer.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace hfq {
 namespace {
@@ -463,6 +465,136 @@ TEST(MlpTest, ParameterCountMatchesArchitecture) {
   Mlp mlp(config, &rng);
   // (4*8 + 8) + (8*3 + 3) = 40 + 27 = 67.
   EXPECT_EQ(mlp.ParameterCount(), 67);
+}
+
+TEST(MatrixTest, MatmulIntoMatchesMatmulAndRecyclesBuffers) {
+  Rng rng(29);
+  Matrix a(5, 7), b(7, 3);
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Normal();
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Normal();
+  Matrix expected = Matmul(a, b);
+  Matrix out(9, 9);  // Wrong shape: must be resized and zeroed.
+  out.Fill(123.0);
+  MatmulInto(a, b, &out);
+  ASSERT_TRUE(out.SameShape(expected));
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected.data()[i]);  // Bit-identical.
+  }
+  // Second call into the same buffer: stale contents must not leak.
+  MatmulInto(a, b, &out);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], expected.data()[i]);
+  }
+}
+
+TEST(MlpTest, ForwardIntoMatchesForwardBitForBit) {
+  for (Activation act :
+       {Activation::kRelu, Activation::kTanh, Activation::kSigmoid}) {
+    Rng rng(31);
+    MlpConfig config;
+    config.input_dim = 6;
+    config.hidden_dims = {16, 8};
+    config.output_dim = 4;
+    config.activation = act;
+    Mlp mlp(config, &rng);
+    Matrix x(3, 6);
+    for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+    Matrix expected = mlp.Forward(x);
+    MlpWorkspace ws;
+    const Matrix& got = mlp.ForwardInto(x, &ws);
+    ASSERT_TRUE(got.SameShape(expected));
+    for (int64_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got.data()[i], expected.data()[i]);
+    }
+    // Workspace reuse across differently-shaped inputs.
+    Matrix single = x.Row(0);
+    Matrix expected1 = mlp.Forward(single);
+    const Matrix& got1 = mlp.ForwardInto(single, &ws);
+    ASSERT_TRUE(got1.SameShape(expected1));
+    for (int64_t i = 0; i < got1.size(); ++i) {
+      EXPECT_EQ(got1.data()[i], expected1.data()[i]);
+    }
+  }
+}
+
+TEST(MlpTest, ForwardIntoDoesNotDisturbBackwardCaches) {
+  // Training pattern: Forward (caches) ... concurrent-style ForwardInto
+  // calls ... Backward. The workspace path must leave the caches intact.
+  Rng rng(37);
+  MlpConfig config;
+  config.input_dim = 5;
+  config.hidden_dims = {8};
+  config.output_dim = 2;
+  Mlp a(config, &rng);
+  Mlp b(a);  // Identical weights; reference runs Forward+Backward only.
+  Matrix x(4, 5);
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+  Matrix grad(4, 2);
+  grad.Fill(0.25);
+
+  (void)b.Forward(x);
+  b.ZeroGrads();
+  b.Backward(grad);
+
+  (void)a.Forward(x);
+  MlpWorkspace ws;
+  Matrix probe(1, 5);
+  probe.Fill(2.5);
+  (void)a.ForwardInto(probe, &ws);  // Must not clobber the caches.
+  a.ZeroGrads();
+  a.Backward(grad);
+
+  auto ga = a.Grads();
+  auto gb = b.Grads();
+  ASSERT_EQ(ga.size(), gb.size());
+  for (size_t i = 0; i < ga.size(); ++i) {
+    for (int64_t j = 0; j < ga[i]->size(); ++j) {
+      EXPECT_EQ(ga[i]->data()[j], gb[i]->data()[j]);
+    }
+  }
+}
+
+TEST(MlpTest, ConcurrentForwardIntoIsRaceFreeAndExact) {
+  Rng rng(41);
+  MlpConfig config;
+  config.input_dim = 12;
+  config.hidden_dims = {32, 32};
+  config.output_dim = 6;
+  const Mlp mlp = [&] {
+    Mlp net(config, &rng);
+    return net;
+  }();
+
+  std::vector<Matrix> inputs;
+  for (int i = 0; i < 16; ++i) {
+    Matrix x(1, 12);
+    for (int64_t j = 0; j < x.size(); ++j) x.data()[j] = rng.Normal();
+    inputs.push_back(std::move(x));
+  }
+  std::vector<Matrix> expected;
+  {
+    MlpWorkspace ws;
+    for (const Matrix& x : inputs) expected.push_back(mlp.ForwardInto(x, &ws));
+  }
+
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  for (int w = 0; w < 4; ++w) {
+    futures.push_back(pool.Submit([&mlp, &inputs, &expected, w] {
+      MlpWorkspace ws;
+      for (int rep = 0; rep < 50; ++rep) {
+        for (size_t i = static_cast<size_t>(w); i < inputs.size(); i += 4) {
+          const Matrix& out = mlp.ForwardInto(inputs[i], &ws);
+          for (int64_t j = 0; j < out.size(); ++j) {
+            if (out.data()[j] != expected[i].data()[j]) {
+              throw std::runtime_error("concurrent forward diverged");
+            }
+          }
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
 }
 
 }  // namespace

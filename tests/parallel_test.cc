@@ -1,0 +1,303 @@
+// Parallel rollout-collection contract tests:
+//   * the 1-worker parallel path reproduces the (pre-threadpool) serial
+//     trainer bit-for-bit — trajectories and final network weights;
+//   * an N-worker run is deterministic for a fixed seed and worker count;
+//   * parallel demonstration collection equals the serial pass;
+//   * the facade's workload-parallel Compare equals per-query Compare.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/hands_free.h"
+#include "core/reward.h"
+#include "rejoin/join_env.h"
+#include "rejoin/rejoin.h"
+#include "tests/test_common.h"
+#include "workload/generator.h"
+
+namespace hfq {
+namespace {
+
+void ExpectEpisodesEqual(const Episode& a, const Episode& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    const Transition& x = a.steps[i];
+    const Transition& y = b.steps[i];
+    EXPECT_EQ(x.action, y.action);
+    EXPECT_EQ(x.old_prob, y.old_prob);  // Bitwise.
+    EXPECT_EQ(x.reward, y.reward);
+    ASSERT_EQ(x.state.size(), y.state.size());
+    for (size_t j = 0; j < x.state.size(); ++j) {
+      EXPECT_EQ(x.state[j], y.state[j]);
+    }
+    EXPECT_EQ(x.mask, y.mask);
+  }
+}
+
+void ExpectNetsEqual(Mlp& a, Mlp& b) {
+  auto pa = a.Params();
+  auto pb = b.Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_TRUE(pa[i]->SameShape(*pb[i]));
+    for (int64_t j = 0; j < pa[i]->size(); ++j) {
+      EXPECT_EQ(pa[i]->data()[j], pb[i]->data()[j]);
+    }
+  }
+}
+
+class ParallelRolloutTest : public ::testing::Test {
+ protected:
+  ParallelRolloutTest()
+      : featurizer_(kN, &testing::SharedEngine().estimator()),
+        // Thread-safe reward: PhysicalizeJoinTree + cost annotation only
+        // touch the internally synchronized substrate.
+        reward_fn_([](const Query& q, const JoinTreeNode& tree) {
+          auto plan =
+              testing::SharedEngine().expert().PhysicalizeJoinTree(q, tree);
+          HFQ_CHECK(plan.ok());
+          return 1e5 / std::max(1.0, (*plan)->est_cost);
+        }),
+        env_(&featurizer_, reward_fn_) {}
+
+  Query MakeQuery(int n, uint64_t seed, const std::string& name) {
+    WorkloadGenerator gen(&testing::SharedEngine().catalog(), seed);
+    auto q = gen.GenerateQuery(n, name);
+    HFQ_CHECK(q.ok());
+    return std::move(*q);
+  }
+
+  std::vector<Query> MakeWorkload(uint64_t seed, const std::string& prefix) {
+    std::vector<Query> workload;
+    workload.push_back(MakeQuery(5, seed, prefix + "_a"));
+    workload.push_back(MakeQuery(6, seed + 1, prefix + "_b"));
+    workload.push_back(MakeQuery(4, seed + 2, prefix + "_c"));
+    return workload;
+  }
+
+  static constexpr int kN = 8;
+  RejoinFeaturizer featurizer_;
+  JoinRewardFn reward_fn_;
+  JoinOrderEnv env_;
+};
+
+TEST_F(ParallelRolloutTest, OneWorkerMatchesSerialReferenceBitForBit) {
+  std::vector<Query> workload = MakeWorkload(100, "eq");
+  constexpr int kEpisodes = 50;
+  constexpr uint64_t kSeed = 33;
+  RejoinConfig config;
+  config.pg.hidden_dims = {24, 24};
+  config.episodes_per_update = 8;
+  config.num_rollout_workers = 1;
+
+  // The trainer's (round-based, workspace-inference) path.
+  RejoinTrainer trainer(&env_, config, kSeed);
+  std::vector<Episode> trainer_trajs;
+  trainer.set_trajectory_sink([&trainer_trajs](int e, const Episode& ep) {
+    ASSERT_EQ(e, static_cast<int>(trainer_trajs.size()));
+    trainer_trajs.push_back(ep);
+  });
+  trainer.Train(workload, kEpisodes);
+
+  // Hand-rolled serial reference replicating the pre-parallelism trainer:
+  // mutating SampleAction from the agent's rng, update every
+  // episodes_per_update episodes, trailing flush.
+  PolicyGradientAgent reference(env_.state_dim(), env_.action_dim(),
+                                config.pg, kSeed);
+  std::vector<Episode> reference_trajs;
+  std::vector<Episode> pending;
+  for (int e = 0; e < kEpisodes; ++e) {
+    const Query& query = workload[static_cast<size_t>(e) % workload.size()];
+    env_.SetQuery(&query);
+    env_.Reset();
+    Episode episode;
+    while (!env_.Done()) {
+      Transition t;
+      t.state = env_.StateVector();
+      t.mask = env_.ActionMask();
+      t.action = reference.SampleAction(t.state, t.mask, &t.old_prob);
+      StepResult step = env_.Step(t.action);
+      t.reward = step.reward;
+      episode.steps.push_back(std::move(t));
+    }
+    reference_trajs.push_back(episode);
+    if (!episode.steps.empty()) {
+      pending.push_back(std::move(episode));
+      if (static_cast<int>(pending.size()) >= config.episodes_per_update) {
+        reference.Update(pending);
+        pending.clear();
+      }
+    }
+  }
+  if (!pending.empty()) reference.Update(pending);
+
+  ASSERT_EQ(trainer_trajs.size(), reference_trajs.size());
+  for (size_t i = 0; i < trainer_trajs.size(); ++i) {
+    ExpectEpisodesEqual(trainer_trajs[i], reference_trajs[i]);
+  }
+  ExpectNetsEqual(trainer.agent().policy_net(), reference.policy_net());
+  ExpectNetsEqual(trainer.agent().value_net(), reference.value_net());
+}
+
+TEST_F(ParallelRolloutTest, NWorkerRunIsDeterministicForFixedSeed) {
+  std::vector<Query> workload = MakeWorkload(200, "det");
+  constexpr int kEpisodes = 40;
+  constexpr int kWorkers = 3;
+  constexpr uint64_t kSeed = 55;
+
+  auto run = [&](std::vector<Episode>* trajs) {
+    JoinOrderEnv primary(&featurizer_, reward_fn_);
+    std::vector<std::unique_ptr<JoinOrderEnv>> extra;
+    std::vector<JoinOrderEnv*> extra_ptrs;
+    for (int w = 1; w < kWorkers; ++w) {
+      extra.push_back(
+          std::make_unique<JoinOrderEnv>(&featurizer_, reward_fn_));
+      extra_ptrs.push_back(extra.back().get());
+    }
+    RejoinConfig config;
+    config.pg.hidden_dims = {24, 24};
+    config.episodes_per_update = 8;
+    config.num_rollout_workers = kWorkers;
+    auto trainer = std::make_unique<RejoinTrainer>(&primary, config, kSeed);
+    trainer->SetWorkerEnvs(extra_ptrs);
+    trainer->set_trajectory_sink(
+        [trajs](int, const Episode& ep) { trajs->push_back(ep); });
+    trainer->Train(workload, kEpisodes);
+    Mlp policy(trainer->agent().policy_net());
+    return policy;
+  };
+
+  std::vector<Episode> trajs1, trajs2;
+  Mlp policy1 = run(&trajs1);
+  Mlp policy2 = run(&trajs2);
+  ASSERT_EQ(trajs1.size(), static_cast<size_t>(kEpisodes));
+  ASSERT_EQ(trajs2.size(), static_cast<size_t>(kEpisodes));
+  for (size_t i = 0; i < trajs1.size(); ++i) {
+    ExpectEpisodesEqual(trajs1[i], trajs2[i]);
+  }
+  ExpectNetsEqual(policy1, policy2);
+}
+
+TEST(ParallelCoreTest, ParallelDemonstrationCollectionMatchesSerial) {
+  Engine& engine = testing::SharedEngine();
+  WorkloadGenerator gen(&engine.catalog(), 777);
+  std::vector<Query> workload;
+  for (int i = 0; i < 6; ++i) {
+    auto q = gen.GenerateQuery(3 + i % 3, "lfd_par" + std::to_string(i));
+    ASSERT_TRUE(q.ok());
+    workload.push_back(std::move(*q));
+  }
+
+  auto make_learner = [&engine](FullPipelineEnv* env,
+                                NegLogLatencyReward* reward, int workers) {
+    (void)reward;
+    LfdConfig config;
+    config.predictor.hidden_dims = {16};
+    config.pretrain_steps = 30;
+    config.num_rollout_workers = workers;
+    return std::make_unique<DemonstrationLearner>(env, &engine, config,
+                                                  /*seed=*/21);
+  };
+
+  RejoinFeaturizer featurizer(8, &engine.estimator());
+  NegLogLatencyReward reward(&engine.latency(), &engine.cost_model());
+  FullPipelineEnv env_serial(&featurizer, &engine.expert(), &reward);
+  FullPipelineEnv env_parallel(&featurizer, &engine.expert(), &reward);
+
+  auto serial = make_learner(&env_serial, &reward, 1);
+  auto parallel = make_learner(&env_parallel, &reward, 3);
+  auto collected_serial = serial->CollectDemonstrations(workload);
+  auto collected_parallel = parallel->CollectDemonstrations(workload);
+  ASSERT_TRUE(collected_serial.ok());
+  ASSERT_TRUE(collected_parallel.ok());
+  EXPECT_EQ(*collected_serial, *collected_parallel);
+  EXPECT_EQ(serial->predictor().buffer_size(),
+            parallel->predictor().buffer_size());
+
+  // Identical example order + identical seeds: pre-training consumes the
+  // same sample stream, so the resulting predictors agree exactly.
+  serial->Pretrain();
+  parallel->Pretrain();
+  for (const Query& q : workload) {
+    EXPECT_EQ(serial->EvaluateQuery(q), parallel->EvaluateQuery(q));
+  }
+}
+
+TEST(ParallelCoreTest, CompareWorkloadMatchesPerQueryCompare) {
+  Engine& engine = testing::SharedEngine();
+  WorkloadGenerator gen(&engine.catalog(), 888);
+  std::vector<Query> workload;
+  for (int i = 0; i < 5; ++i) {
+    auto q = gen.GenerateQuery(3 + i % 2, "hf_par" + std::to_string(i));
+    ASSERT_TRUE(q.ok());
+    workload.push_back(std::move(*q));
+  }
+
+  HandsFreeConfig config;
+  config.strategy = TrainingStrategy::kCostModelBootstrapping;
+  config.max_relations = 6;
+  config.training_episodes = 32;
+  config.num_rollout_workers = 3;
+  config.bootstrap.pg.hidden_dims = {16};
+  HandsFreeOptimizer optimizer(&engine, config);
+  ASSERT_TRUE(optimizer.Train(workload).ok());
+
+  auto parallel = optimizer.CompareWorkload(workload);
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(parallel->size(), workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto single = optimizer.Compare(workload[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*parallel)[i].learned_cost, single->learned_cost);
+    EXPECT_EQ((*parallel)[i].learned_latency_ms, single->learned_latency_ms);
+    EXPECT_EQ((*parallel)[i].expert_cost, single->expert_cost);
+    EXPECT_EQ((*parallel)[i].expert_latency_ms, single->expert_latency_ms);
+  }
+
+  // OptimizeWorkload plans agree with per-query Optimize.
+  auto plans = optimizer.OptimizeWorkload(workload);
+  ASSERT_TRUE(plans.ok());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto single = optimizer.Optimize(workload[i]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ((*plans)[i]->ToString(workload[i]),
+              (*single)->ToString(workload[i]));
+  }
+}
+
+TEST(ParallelCoreTest, IncrementalTrainerParallelRunIsDeterministic) {
+  Engine& engine = testing::SharedEngine();
+  RejoinFeaturizer featurizer(6, &engine.estimator());
+  NegLogCostReward reward(&engine.cost_model());
+
+  auto run = [&](std::vector<double>* rewards) {
+    FullPipelineEnv env(&featurizer, &engine.expert(), &reward);
+    WorkloadGenerator gen(&engine.catalog(), 999);
+    PolicyGradientConfig pg;
+    pg.hidden_dims = {16};
+    IncrementalTrainer trainer(&env, &gen, pg, /*episodes_per_update=*/4,
+                               /*seed=*/61, /*num_rollout_workers=*/3);
+    std::vector<CurriculumPhase> phases =
+        BuildCurriculum(CurriculumKind::kPipeline, 24, 5);
+    Status status = trainer.Run(phases, /*queries_per_phase=*/4,
+                                [rewards](const CurriculumEpisodeStats& s) {
+                                  rewards->push_back(s.reward);
+                                });
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    ASSERT_EQ(rewards->size(), 24u);
+  };
+
+  std::vector<double> rewards1, rewards2;
+  run(&rewards1);
+  run(&rewards2);
+  ASSERT_EQ(rewards1.size(), rewards2.size());
+  for (size_t i = 0; i < rewards1.size(); ++i) {
+    EXPECT_EQ(rewards1[i], rewards2[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hfq

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "nn/layer.h"
@@ -13,6 +14,7 @@
 #include "rl/replay.h"
 #include "rl/reward_predictor.h"
 #include "rl/schedule.h"
+#include "util/thread_pool.h"
 
 namespace hfq {
 namespace {
@@ -571,6 +573,124 @@ TEST(ScheduleTest, ExponentialClosedFormMatchesIterativeReference) {
   // Large t is O(1) now and saturates at the floor instead of looping.
   ExponentialSchedule slow(1.0, 0.999999, 0.5);
   EXPECT_NEAR(slow.Value(2000000000), 0.5, 1e-12);
+}
+
+// Random masked states for the inference-equivalence tests.
+std::vector<std::pair<std::vector<double>, std::vector<bool>>> RandomStates(
+    int count, int state_dim, int action_dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::vector<double>, std::vector<bool>>> out;
+  for (int i = 0; i < count; ++i) {
+    std::vector<double> state(static_cast<size_t>(state_dim));
+    for (auto& v : state) v = rng.Normal();
+    std::vector<bool> mask(static_cast<size_t>(action_dim));
+    bool any = false;
+    for (size_t a = 0; a < mask.size(); ++a) {
+      mask[a] = rng.Bernoulli(0.7);
+      any = any || mask[a];
+    }
+    if (!any) mask[static_cast<size_t>(i) % mask.size()] = true;
+    out.emplace_back(std::move(state), std::move(mask));
+  }
+  return out;
+}
+
+TEST(PolicyGradientTest, ConstInferenceMatchesMutatingPathBitForBit) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {16, 16};
+  PolicyGradientAgent a(6, 5, config, 99);
+  PolicyGradientAgent b(6, 5, config, 99);  // Identical twin.
+  auto states = RandomStates(32, 6, 5, 7);
+
+  MlpWorkspace ws;
+  // Greedy + probabilities + value: pure functions of the weights.
+  for (const auto& [state, mask] : states) {
+    EXPECT_EQ(a.GreedyAction(state, mask), b.GreedyAction(state, mask, &ws));
+    std::vector<double> pa = a.ActionProbabilities(state, mask);
+    std::vector<double> pb = b.ActionProbabilities(state, mask, &ws);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+    EXPECT_EQ(a.Value(state), b.Value(state, &ws));
+  }
+  // Sampling: the const overload driven by the agent's own rng consumes
+  // the identical stream, so the sampled actions match exactly.
+  for (const auto& [state, mask] : states) {
+    double prob_a = 0.0, prob_b = 0.0;
+    int action_a = a.SampleAction(state, mask, &prob_a);
+    int action_b = b.SampleAction(state, mask, &b.rng(), &ws, &prob_b);
+    EXPECT_EQ(action_a, action_b);
+    EXPECT_EQ(prob_a, prob_b);
+  }
+}
+
+TEST(PolicyGradientTest, ConcurrentInferenceOverSharedAgentIsExact) {
+  // The tentpole contract: N workers, one frozen agent, per-worker
+  // workspaces and rngs — concurrent inference must be race-free and
+  // bit-identical to serial answers. Run under TSan in CI.
+  PolicyGradientConfig config;
+  config.hidden_dims = {32, 32};
+  const PolicyGradientAgent agent(10, 8, config, 123);
+  auto states = RandomStates(24, 10, 8, 11);
+
+  // Serial reference answers.
+  std::vector<int> greedy_ref;
+  std::vector<std::vector<double>> probs_ref;
+  std::vector<double> value_ref;
+  {
+    MlpWorkspace ws;
+    for (const auto& [state, mask] : states) {
+      greedy_ref.push_back(agent.GreedyAction(state, mask, &ws));
+      probs_ref.push_back(agent.ActionProbabilities(state, mask, &ws));
+      value_ref.push_back(agent.Value(state, &ws));
+    }
+  }
+
+  constexpr int kThreads = 4;
+  ThreadPool pool(kThreads);
+  std::atomic<int> mismatches{0};
+  std::vector<std::future<void>> futures;
+  for (int w = 0; w < kThreads; ++w) {
+    futures.push_back(pool.Submit([&, w] {
+      MlpWorkspace ws;
+      Rng rng(1000 + static_cast<uint64_t>(w));
+      for (int rep = 0; rep < 100; ++rep) {
+        for (size_t i = 0; i < states.size(); ++i) {
+          const auto& [state, mask] = states[i];
+          if (agent.GreedyAction(state, mask, &ws) !=
+              greedy_ref[i]) {
+            mismatches.fetch_add(1);
+          }
+          std::vector<double> probs =
+              agent.ActionProbabilities(state, mask, &ws);
+          for (size_t a = 0; a < probs.size(); ++a) {
+            if (probs[a] != probs_ref[i][a]) mismatches.fetch_add(1);
+          }
+          if (agent.Value(state, &ws) != value_ref[i]) {
+            mismatches.fetch_add(1);
+          }
+          // Sampling with a per-worker rng must return a valid action.
+          int sampled = agent.SampleAction(state, mask, &rng, &ws);
+          if (!mask[static_cast<size_t>(sampled)]) mismatches.fetch_add(1);
+        }
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(RewardPredictorTest, ConstSelectActionMatchesMutatingGreedy) {
+  RewardPredictorConfig config;
+  config.hidden_dims = {16};
+  RewardPredictor predictor(6, 5, config, 77);
+  auto states = RandomStates(16, 6, 5, 13);
+  MlpWorkspace ws;
+  for (const auto& [state, mask] : states) {
+    int mutating = predictor.SelectAction(state, mask, /*epsilon=*/0.0);
+    int frozen = predictor.SelectAction(state, mask, /*epsilon=*/0.0,
+                                        /*rng=*/nullptr, &ws);
+    EXPECT_EQ(mutating, frozen);
+  }
 }
 
 }  // namespace

@@ -258,6 +258,65 @@ TEST(TruthOracleDeathTest, DetectsQueryNameAliasing) {
                "structurally different queries share the name");
 }
 
+TEST(EstimatorTest, SameQueryNameSameStructureIsCached) {
+  testing::MicroDb micro;
+  auto stats = StatsCatalog::Analyze(*micro.db);
+  ASSERT_TRUE(stats.ok());
+  CardinalityEstimator est(&micro.catalog, &*stats);
+  Query q1 = micro.JoinQuery("est_identity");
+  double first = est.Rows(q1, RelSetAll(2));
+  // A structurally identical copy under the same name hits the memo.
+  Query q2 = micro.JoinQuery("est_identity");
+  EXPECT_EQ(est.Rows(q2, RelSetAll(2)), first);
+  // ClearCache also forgets the fingerprints, so a name may be reused
+  // (with any structure) afterwards — the documented workload-switch path.
+  est.ClearCache();
+  Query q3 = micro.JoinQuery("est_identity");
+  q3.selections.push_back(SelectionPredicate{ColumnRef{1, "v"}, CmpOp::kEq,
+                                             Value::Int(1)});
+  EXPECT_GT(est.Rows(q3, RelSetAll(2)), 0.0);
+}
+
+TEST(EstimatorDeathTest, DetectsQueryNameAliasing) {
+  // The estimator memoizes Rows per (query name, relset) — the same bug
+  // class TrueCardinalityOracle guards against: a *different* query
+  // reusing a name would silently read the first query's cached estimates.
+  // The structural-fingerprint check must trip instead.
+  testing::MicroDb micro;
+  auto stats = StatsCatalog::Analyze(*micro.db);
+  ASSERT_TRUE(stats.ok());
+  CardinalityEstimator est(&micro.catalog, &*stats);
+  Query q1 = micro.JoinQuery("est_alias");
+  EXPECT_GT(est.Rows(q1, RelSetAll(2)), 0.0);
+  Query q2 = micro.JoinQuery("est_alias");
+  q2.selections.push_back(SelectionPredicate{ColumnRef{0, "attr"}, CmpOp::kEq,
+                                             Value::Int(2)});
+  EXPECT_NE(q1.StructuralFingerprint(), q2.StructuralFingerprint());
+  EXPECT_DEATH(est.Rows(q2, RelSetAll(2)),
+               "structurally different queries share the name");
+}
+
+TEST(EstimatorDeathTest, DetectsAliasingAcrossStackAddressReuse) {
+  // The guard must not rely on object identity: successive loop iterations
+  // build same-named variants in the same stack slot, so an address-based
+  // fast path would wave the second (different) structure through.
+  testing::MicroDb micro;
+  auto stats = StatsCatalog::Analyze(*micro.db);
+  ASSERT_TRUE(stats.ok());
+  CardinalityEstimator est(&micro.catalog, &*stats);
+  auto probe = [&](bool with_selection) {
+    Query q = micro.JoinQuery("est_alias_reuse");
+    if (with_selection) {
+      q.selections.push_back(SelectionPredicate{ColumnRef{1, "v"}, CmpOp::kEq,
+                                                Value::Int(1)});
+    }
+    return est.Rows(q, RelSetAll(2));
+  };
+  EXPECT_GT(probe(false), 0.0);
+  EXPECT_DEATH(probe(true),
+               "structurally different queries share the name");
+}
+
 TEST(TruthOracleTest, EstimatorErrsOnCorrelatedDataOracleDoesNot) {
   // The paper's core tension: on the IMDB-like data with injected
   // correlations, the estimator's independence assumption must produce

@@ -1,12 +1,15 @@
 // Tests for src/util: Status/Result, RNG distributions, string helpers.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
 
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace hfq {
 namespace {
@@ -206,6 +209,92 @@ TEST(StringUtilTest, TrimAndLower) {
   EXPECT_EQ(ToLower("AbC"), "abc");
   EXPECT_TRUE(StartsWith("SELECT *", "SELECT"));
   EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+}
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 7; });
+  auto bad = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  ThreadPool pool(4);
+  constexpr int64_t kCount = 500;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.ParallelFor(kCount, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // Destructor joins after finishing all queued tasks.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForDrainsAllTasksBeforeRethrow) {
+  // A throwing task must not abandon its siblings mid-flight: every task
+  // references caller-frame state, so ParallelFor waits for all of them
+  // before re-throwing the first failure.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&ran](int64_t i) {
+                                  if (i % 10 == 0) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                  ran.fetch_add(1);
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 90);
+}
+
+TEST(ThreadPoolTest, RunOnWorkersInlineAndPooled) {
+  std::atomic<int> hits{0};
+  RunOnWorkers(nullptr, 3, [&hits](int w) { hits.fetch_add(w + 1); });
+  EXPECT_EQ(hits.load(), 6);  // Inline: 1 + 2 + 3.
+  ThreadPool pool(3);
+  hits.store(0);
+  RunOnWorkers(&pool, 3, [&hits](int w) { hits.fetch_add(w + 1); });
+  EXPECT_EQ(hits.load(), 6);
+  // Exception from one worker surfaces only after all workers finished.
+  std::atomic<int> finished{0};
+  EXPECT_THROW(RunOnWorkers(&pool, 3,
+                            [&finished](int w) {
+                              if (w == 1) throw std::runtime_error("w1");
+                              finished.fetch_add(1);
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(finished.load(), 2);
+}
+
+TEST(ThreadPoolTest, MinimumOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_EQ(pool.Submit([] { return 42; }).get(), 42);
 }
 
 }  // namespace
