@@ -1,0 +1,131 @@
+// hfq_eval: the scenario-matrix evaluation CLI. Sweeps join-graph
+// topologies x relation counts x data-skew profiles x predicate mixes,
+// compares the learned optimizer against exhaustive DP and GEQO on every
+// cell, prints a regret table, and writes the machine-readable JSON report
+// (schema hfq-eval-v1) that seeds the BENCH_*.json trajectory.
+//
+// Usage:
+//   example_hfq_eval [--out=PATH] [--seed=N] [--workers=N] [--queries=N]
+//                    [--episodes=N] [--scale=F]
+//                    [--strategy=lfd|bootstrap|incremental]
+//                    [--reduced] [--no-timings]
+//
+// --reduced runs the small smoke matrix (the ctest `eval` label / CI
+// eval-smoke job use it); --no-timings drops wall-clock fields so the
+// report bytes are deterministic per seed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "eval/harness.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --reduced picks the base config and everything else overrides it, so
+  // flag order on the command line never matters.
+  hfq::EvalConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--reduced") == 0) {
+      config = hfq::ReducedEvalConfig();
+    }
+  }
+  std::string out_path = "BENCH_eval_scenario_matrix.json";
+  std::string value;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--reduced") == 0) {
+      // Applied in the pre-pass above.
+    } else if (std::strcmp(arg, "--no-timings") == 0) {
+      config.include_timings = false;
+    } else if (ParseFlag(arg, "--out", &value)) {
+      out_path = value;
+    } else if (ParseFlag(arg, "--seed", &value)) {
+      config.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "--workers", &value)) {
+      config.num_workers = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--queries", &value)) {
+      config.queries_per_cell = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--episodes", &value)) {
+      config.training_episodes = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--scale", &value)) {
+      config.engine_scale = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--strategy", &value)) {
+      if (value == "lfd") {
+        config.strategy = hfq::TrainingStrategy::kLearningFromDemonstration;
+      } else if (value == "bootstrap") {
+        config.strategy = hfq::TrainingStrategy::kCostModelBootstrapping;
+      } else if (value == "incremental") {
+        config.strategy = hfq::TrainingStrategy::kIncrementalHybrid;
+      } else {
+        std::fprintf(stderr, "unknown --strategy: %s\n", value.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+
+  std::printf("scenario matrix: %zu topologies x %zu sizes x %zu data x %zu "
+              "predicate mixes, %d queries/cell, %d worker(s)\n",
+              config.topologies.size(), config.relation_counts.size(),
+              config.data_profiles.size(), config.predicate_mixes.size(),
+              config.queries_per_cell, config.num_workers);
+
+  hfq::ScenarioEvaluator evaluator(config);
+  auto report = evaluator.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-28s %10s %10s %10s %8s\n", "cell", "learn[c]", "learn[l]",
+              "geqo[c]", "win[l]");
+  for (const hfq::CellResult& cell : report->cells) {
+    std::printf("%-28s %10.4f %10.4f %10.4f %8.2f\n",
+                cell.cell.Key(report->config).c_str(),
+                cell.learned.cost_regret.mean,
+                cell.learned.latency_regret.mean, cell.geqo.cost_regret.mean,
+                cell.learned.win_rate_latency);
+  }
+  std::printf("---\naggregate over %d queries:\n", report->agg_dp.num_queries);
+  std::printf("  learned: cost regret mean %.4f p95 %.4f | latency regret "
+              "mean %.4f p95 %.4f | latency win rate vs DP %.2f\n",
+              report->agg_learned.cost_regret.mean,
+              report->agg_learned.cost_regret.p95,
+              report->agg_learned.latency_regret.mean,
+              report->agg_learned.latency_regret.p95,
+              report->agg_learned.win_rate_latency);
+  std::printf("  geqo:    cost regret mean %.4f p95 %.4f | latency regret "
+              "mean %.4f p95 %.4f\n",
+              report->agg_geqo.cost_regret.mean,
+              report->agg_geqo.cost_regret.p95,
+              report->agg_geqo.latency_regret.mean,
+              report->agg_geqo.latency_regret.p95);
+  if (config.include_timings) {
+    std::printf("  train %.0f ms, total %.0f ms\n", report->train_ms,
+                report->total_ms);
+  }
+
+  auto write = hfq::WriteReportJson(out_path, *report,
+                                    config.include_timings);
+  if (!write.ok()) {
+    std::fprintf(stderr, "report write failed: %s\n",
+                 write.ToString().c_str());
+    return 1;
+  }
+  std::printf("report written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -2,7 +2,11 @@
 # Local parity with CI: configure + build + ctest exactly as the tier-1
 # verify does.
 #
-# Usage: scripts/check.sh [--debug|--release] [--asan|--tsan] [--label <ctest -L arg>]
+# Usage: scripts/check.sh [--debug|--release] [--asan|--tsan] [--eval] [--label <ctest -L arg>]
+#
+# --eval runs only the `eval` label: the reduced scenario-matrix smoke run
+# (example_hfq_eval --reduced), writing BENCH_eval_smoke.json in the build
+# directory — the same job CI's eval-smoke runs and archives.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +24,7 @@ while [[ $# -gt 0 ]]; do
     --asan)    sanitize=ON; build_dir=build-asan ;;
     --tsan)    tsan=ON; build_dir=build-tsan ;;
     --label)   shift; label="${1:?--label requires an argument}" ;;
+    --eval)    label=eval ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift

@@ -8,7 +8,7 @@ Result<std::unique_ptr<Engine>> Engine::CreateImdbLike(EngineOptions options) {
   auto engine = std::unique_ptr<Engine>(new Engine());
   HFQ_ASSIGN_OR_RETURN(engine->catalog_,
                        BuildImdbLikeCatalog(options.imdb));
-  DataGenerator generator(options.data_seed);
+  DataGenerator generator(options.data_seed, options.data_gen);
   HFQ_ASSIGN_OR_RETURN(engine->db_, generator.Generate(engine->catalog_));
   HFQ_ASSIGN_OR_RETURN(engine->stats_,
                        StatsCatalog::Analyze(*engine->db_, options.stats));

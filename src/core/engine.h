@@ -24,6 +24,9 @@ struct EngineOptions {
   EngineOptions() {}
   ImdbLikeOptions imdb;
   uint64_t data_seed = 42;
+  /// Materialization knobs (the skew_scale data-skew knob in particular);
+  /// defaults reproduce the historic data bit-for-bit.
+  DataGenOptions data_gen;
   StatsOptions stats;
   CostParams cost;
   LatencyParams latency;

@@ -27,6 +27,14 @@ HandsFreeOptimizer::HandsFreeOptimizer(Engine* engine, HandsFreeConfig config)
   // The facade-level parallelism knob is authoritative for the backends.
   config_.lfd.num_rollout_workers = config_.num_rollout_workers;
   config_.bootstrap.num_rollout_workers = config_.num_rollout_workers;
+  OptimizerOptions dp_options = engine_->expert().options();
+  dp_options.geqo_threshold = kMaxRelations;  // Always exhaustive DP.
+  dp_baseline_ = std::make_unique<TraditionalOptimizer>(
+      &engine_->catalog(), &engine_->cost_model(), dp_options);
+  OptimizerOptions geqo_options = engine_->expert().options();
+  geqo_options.geqo_threshold = 1;  // Always genetic search.
+  geqo_baseline_ = std::make_unique<TraditionalOptimizer>(
+      &engine_->catalog(), &engine_->cost_model(), geqo_options);
   featurizer_ = std::make_unique<RejoinFeaturizer>(config_.max_relations,
                                                    &engine_->estimator());
   latency_reward_ = std::make_unique<NegLogLatencyReward>(
@@ -241,18 +249,7 @@ Result<std::vector<PlanNodePtr>> HandsFreeOptimizer::OptimizeWorkload(
     }
   }
   const int num_workers = std::max(1, config_.num_rollout_workers);
-  while (static_cast<int>(worker_envs_.size()) < num_workers - 1) {
-    worker_envs_.push_back(std::make_unique<FullPipelineEnv>(
-        env_->featurizer(), env_->expert(), env_->reward(), env_->config()));
-  }
-  std::vector<FullPipelineEnv*> envs = {env_.get()};
-  for (auto& worker_env : worker_envs_) {
-    worker_env->set_stages(env_->stages());
-    envs.push_back(worker_env.get());
-  }
-  if (num_workers > 1 && pool_ == nullptr) {
-    pool_ = std::make_unique<ThreadPool>(num_workers);
-  }
+  std::vector<FullPipelineEnv*> envs = PrepareWorkerEnvs(num_workers);
 
   const size_t n = workload.size();
   std::vector<PlanNodePtr> plans(n);
@@ -288,6 +285,94 @@ HandsFreeOptimizer::CompareWorkload(const std::vector<Query>& workload) {
       }
       cmp.expert_cost = expert->cost;
       cmp.expert_latency_ms = expert->latency_ms;
+    }
+  });
+  for (const Status& status : errors) {
+    HFQ_RETURN_IF_ERROR(status);
+  }
+  return results;
+}
+
+std::unique_ptr<FullPipelineEnv> HandsFreeOptimizer::MakeWorkerEnv() const {
+  auto env = std::make_unique<FullPipelineEnv>(
+      env_->featurizer(), env_->expert(), env_->reward(), env_->config());
+  env->set_stages(env_->stages());
+  return env;
+}
+
+std::vector<FullPipelineEnv*> HandsFreeOptimizer::PrepareWorkerEnvs(
+    int num_workers) {
+  while (static_cast<int>(worker_envs_.size()) < num_workers - 1) {
+    worker_envs_.push_back(MakeWorkerEnv());
+  }
+  std::vector<FullPipelineEnv*> envs = {env_.get()};
+  for (auto& worker_env : worker_envs_) {
+    worker_env->set_stages(env_->stages());
+    envs.push_back(worker_env.get());
+  }
+  if (num_workers > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_workers);
+  }
+  return envs;
+}
+
+Result<HandsFreeOptimizer::QueryEvaluation> HandsFreeOptimizer::EvaluateOnEnv(
+    FullPipelineEnv* env, const Query& query, MlpWorkspace* ws) {
+  if (!trained_) {
+    return Status::FailedPrecondition("Train() before EvaluateOnEnv()");
+  }
+  if (query.num_relations() > config_.max_relations) {
+    return Status::InvalidArgument("query exceeds configured max_relations");
+  }
+  QueryEvaluation eval;
+
+  Stopwatch watch;
+  PlanNodePtr learned = PlanOnEnv(env, query, ws);
+  eval.learned_planning_ms = watch.ElapsedMillis();
+  eval.learned_cost = learned->est_cost;
+  eval.learned_latency_ms = engine_->latency().SimulateMs(query, *learned);
+
+  watch.Reset();
+  HFQ_ASSIGN_OR_RETURN(PlanNodePtr dp, dp_baseline_->Optimize(query));
+  eval.dp_planning_ms = watch.ElapsedMillis();
+  eval.dp_cost = dp->est_cost;
+  eval.dp_latency_ms = engine_->latency().SimulateMs(query, *dp);
+
+  watch.Reset();
+  HFQ_ASSIGN_OR_RETURN(PlanNodePtr geqo, geqo_baseline_->Optimize(query));
+  eval.geqo_planning_ms = watch.ElapsedMillis();
+  eval.geqo_cost = geqo->est_cost;
+  eval.geqo_latency_ms = engine_->latency().SimulateMs(query, *geqo);
+  return eval;
+}
+
+Result<std::vector<HandsFreeOptimizer::QueryEvaluation>>
+HandsFreeOptimizer::EvaluateWorkload(const std::vector<Query>& workload) {
+  if (!trained_) {
+    return Status::FailedPrecondition("Train() before EvaluateWorkload()");
+  }
+  for (const Query& query : workload) {
+    if (query.num_relations() > config_.max_relations) {
+      return Status::InvalidArgument("query exceeds configured max_relations");
+    }
+  }
+  const int num_workers = std::max(1, config_.num_rollout_workers);
+  std::vector<FullPipelineEnv*> envs = PrepareWorkerEnvs(num_workers);
+
+  const size_t n = workload.size();
+  std::vector<QueryEvaluation> results(n);
+  std::vector<Status> errors(n, Status::OK());
+  RunOnWorkers(pool_.get(), num_workers, [&](int w) {
+    MlpWorkspace ws;
+    for (size_t i = static_cast<size_t>(w); i < n;
+         i += static_cast<size_t>(num_workers)) {
+      auto eval = EvaluateOnEnv(envs[static_cast<size_t>(w)], workload[i],
+                                &ws);
+      if (eval.ok()) {
+        results[i] = *eval;
+      } else {
+        errors[i] = eval.status();
+      }
     }
   });
   for (const Status& status : errors) {

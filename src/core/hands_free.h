@@ -87,6 +87,44 @@ class HandsFreeOptimizer {
   Result<std::vector<Comparison>> CompareWorkload(
       const std::vector<Query>& workload);
 
+  /// One query through all three planners the evaluation harness compares:
+  /// the learned policy, exhaustive System-R DP (the regret baseline,
+  /// cost-optimal by construction), and genetic search (GEQO) forced even
+  /// below the usual threshold. Planning times are wall-clock; everything
+  /// else is deterministic per (model, query).
+  struct QueryEvaluation {
+    double learned_cost = 0.0;
+    double learned_latency_ms = 0.0;
+    double learned_planning_ms = 0.0;
+    double dp_cost = 0.0;
+    double dp_latency_ms = 0.0;
+    double dp_planning_ms = 0.0;
+    double geqo_cost = 0.0;
+    double geqo_latency_ms = 0.0;
+    double geqo_planning_ms = 0.0;
+  };
+
+  /// Evaluates every workload query against the learned policy and both
+  /// traditional baselines, fanning out over config.num_rollout_workers.
+  /// Results are in workload order and identical for any worker count.
+  /// Note the DP baseline is exhaustive regardless of geqo_threshold, so
+  /// very large queries (> ~14 relations) pay exponential planning time.
+  Result<std::vector<QueryEvaluation>> EvaluateWorkload(
+      const std::vector<Query>& workload);
+
+  /// Thread-safe core of EvaluateWorkload: evaluates one query using a
+  /// caller-owned env clone (see MakeWorkerEnv) and MLP workspace. Any
+  /// number of threads may call this concurrently with distinct envs and
+  /// workspaces while no training is running. Used by the scenario-matrix
+  /// harness (src/eval) to parallelize whole cells rather than queries.
+  Result<QueryEvaluation> EvaluateOnEnv(FullPipelineEnv* env,
+                                        const Query& query,
+                                        MlpWorkspace* ws);
+
+  /// A fresh env clone wired to this optimizer's collaborators, carrying
+  /// the primary env's current stage set. One per worker thread.
+  std::unique_ptr<FullPipelineEnv> MakeWorkerEnv() const;
+
   /// Persists the trained model to a file (plain-text network weights plus
   /// a strategy header). Fails if not trained.
   Status SaveModel(const std::string& path);
@@ -110,8 +148,19 @@ class HandsFreeOptimizer {
   PlanNodePtr PlanOnEnv(FullPipelineEnv* env, const Query& query,
                         MlpWorkspace* ws);
 
+  /// Lazily grows the cached worker-env pool to serve `num_workers`,
+  /// refreshes the clones to the primary env's stage set, spins up the
+  /// shared thread pool when needed, and returns [env_, clones...] —
+  /// the per-worker envs behind every workload-wide entry point.
+  std::vector<FullPipelineEnv*> PrepareWorkerEnvs(int num_workers);
+
   Engine* engine_;
   HandsFreeConfig config_;
+  /// Baselines for EvaluateWorkload: the engine's cost model with the
+  /// enumerator pinned to exhaustive DP resp. genetic search. Stateless
+  /// (safe to share across evaluation threads).
+  std::unique_ptr<TraditionalOptimizer> dp_baseline_;
+  std::unique_ptr<TraditionalOptimizer> geqo_baseline_;
   std::unique_ptr<RejoinFeaturizer> featurizer_;
   std::unique_ptr<NegLogLatencyReward> latency_reward_;
   std::unique_ptr<FullPipelineEnv> env_;

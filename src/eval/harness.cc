@@ -1,0 +1,135 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace hfq {
+
+ScenarioEvaluator::ScenarioEvaluator(EvalConfig config)
+    : config_(std::move(config)) {}
+
+Result<ScenarioEvaluator::ProfileContext> ScenarioEvaluator::BuildProfile(
+    const DataProfile& profile) {
+  ProfileContext ctx;
+  EngineOptions options;
+  options.imdb.scale = config_.engine_scale;
+  options.data_gen.skew_scale = profile.skew_scale;
+  HFQ_ASSIGN_OR_RETURN(ctx.engine, Engine::CreateImdbLike(options));
+
+  const int max_relations = *std::max_element(
+      config_.relation_counts.begin(), config_.relation_counts.end());
+  HandsFreeConfig facade_config;
+  facade_config.strategy = config_.strategy;
+  facade_config.max_relations = max_relations;
+  facade_config.training_episodes = config_.training_episodes;
+  facade_config.seed = config_.seed;
+  // Training stays serial regardless of the harness's cell fan-out, so the
+  // learned policy is identical for every worker count.
+  facade_config.num_rollout_workers = 1;
+  ctx.facade =
+      std::make_unique<HandsFreeOptimizer>(ctx.engine.get(), facade_config);
+
+  // JOB-like training suite over the full relation-count range; literals
+  // come from the materialized data so predicates stay non-degenerate.
+  WorkloadGenerator train_gen(&ctx.engine->catalog(),
+                              config_.seed ^ 0x7261A17ull,
+                              QueryShapeOptions(), &ctx.engine->db());
+  HFQ_ASSIGN_OR_RETURN(
+      std::vector<Query> training,
+      train_gen.GenerateJobLikeSuite(config_.training_families,
+                                     /*variants=*/1, /*min_relations=*/2,
+                                     max_relations));
+  HFQ_RETURN_IF_ERROR(ctx.facade->Train(training));
+
+  for (int w = 0; w < config_.num_workers; ++w) {
+    ctx.envs.push_back(ctx.facade->MakeWorkerEnv());
+  }
+  return ctx;
+}
+
+Result<EvalReport> ScenarioEvaluator::Run() {
+  HFQ_RETURN_IF_ERROR(ValidateEvalConfig(config_));
+  Stopwatch total_watch;
+
+  EvalReport report;
+  report.config = config_;
+
+  Stopwatch train_watch;
+  std::vector<ProfileContext> profiles;
+  for (const DataProfile& profile : config_.data_profiles) {
+    HFQ_ASSIGN_OR_RETURN(ProfileContext ctx, BuildProfile(profile));
+    profiles.push_back(std::move(ctx));
+  }
+  report.train_ms = train_watch.ElapsedMillis();
+
+  const std::vector<ScenarioCell> cells = BuildScenarioCells(config_);
+  report.cells.resize(cells.size());
+  std::vector<Status> errors(cells.size(), Status::OK());
+
+  const int num_workers = config_.num_workers;
+  std::unique_ptr<ThreadPool> pool;
+  if (num_workers > 1) pool = std::make_unique<ThreadPool>(num_workers);
+
+  RunOnWorkers(pool.get(), num_workers, [&](int w) {
+    MlpWorkspace ws;
+    for (size_t ci = static_cast<size_t>(w); ci < cells.size();
+         ci += static_cast<size_t>(num_workers)) {
+      const ScenarioCell& cell = cells[ci];
+      ProfileContext& ctx =
+          profiles[static_cast<size_t>(cell.data_profile)];
+      FullPipelineEnv* env = ctx.envs[static_cast<size_t>(w)].get();
+      // The cell's private generator: deterministic per (seed, cell),
+      // independent of worker assignment.
+      WorkloadGenerator gen(
+          &ctx.engine->catalog(), cell.seed,
+          config_.predicate_mixes[static_cast<size_t>(cell.predicate_mix)]
+              .shape,
+          &ctx.engine->db());
+      CellResult result;
+      result.cell = cell;
+      for (int qi = 0; qi < config_.queries_per_cell; ++qi) {
+        // Names are unique per (engine, cell, query): the oracle and
+        // estimator memoize per name and die on structural aliasing.
+        auto query = gen.GenerateTopologyQuery(
+            cell.topology, cell.num_relations,
+            StrFormat("s%llu_c%d_q%d",
+                      static_cast<unsigned long long>(config_.seed),
+                      cell.index, qi));
+        if (!query.ok()) {
+          errors[ci] = query.status();
+          return;
+        }
+        auto row = ctx.facade->EvaluateOnEnv(env, *query, &ws);
+        if (!row.ok()) {
+          errors[ci] = row.status();
+          return;
+        }
+        result.rows.push_back(*row);
+      }
+      result.learned = ComputePlannerStats(result.rows, Planner::kLearned);
+      result.dp = ComputePlannerStats(result.rows, Planner::kDp);
+      result.geqo = ComputePlannerStats(result.rows, Planner::kGeqo);
+      report.cells[ci] = std::move(result);
+    }
+  });
+  for (const Status& status : errors) {
+    HFQ_RETURN_IF_ERROR(status);
+  }
+
+  // Aggregates over every row, in cell order (worker-count independent).
+  std::vector<HandsFreeOptimizer::QueryEvaluation> all_rows;
+  for (const CellResult& cell : report.cells) {
+    all_rows.insert(all_rows.end(), cell.rows.begin(), cell.rows.end());
+  }
+  report.agg_learned = ComputePlannerStats(all_rows, Planner::kLearned);
+  report.agg_dp = ComputePlannerStats(all_rows, Planner::kDp);
+  report.agg_geqo = ComputePlannerStats(all_rows, Planner::kGeqo);
+
+  report.total_ms = total_watch.ElapsedMillis();
+  return report;
+}
+
+}  // namespace hfq

@@ -1,0 +1,54 @@
+// The scenario-matrix evaluation harness: builds one synthetic engine +
+// self-trained HandsFreeOptimizer per data profile, then sweeps every
+// matrix cell (topology x relation count x data x predicate mix), running
+// each generated query through the learned policy, exhaustive DP, and
+// GEQO, and summarizing cost- and latency-regret vs DP per cell and in
+// aggregate.
+//
+// Determinism contract (matches the PR 3 rollout convention): training is
+// serial and seeded; every cell owns a WorkloadGenerator seeded from
+// (config.seed, cell index); cell i runs on worker i % num_workers and
+// writes into its own result slot. Reports are therefore bit-for-bit
+// identical for identical seeds at ANY worker count (1 worker == serial
+// by construction), provided include_timings is off.
+#ifndef HFQ_EVAL_HARNESS_H_
+#define HFQ_EVAL_HARNESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/hands_free.h"
+#include "eval/report.h"
+#include "eval/scenario.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Runs one EvalConfig end to end. Construct fresh per run: Run() builds
+/// its engines and trained facades from scratch, so two evaluators with
+/// the same config produce identical reports.
+class ScenarioEvaluator {
+ public:
+  explicit ScenarioEvaluator(EvalConfig config);
+
+  /// Builds + trains per-profile stacks, sweeps the matrix, aggregates.
+  Result<EvalReport> Run();
+
+ private:
+  /// One data profile's stack: engine, trained facade, per-worker env
+  /// clones for thread-safe frozen-policy planning.
+  struct ProfileContext {
+    std::unique_ptr<Engine> engine;
+    std::unique_ptr<HandsFreeOptimizer> facade;
+    std::vector<std::unique_ptr<FullPipelineEnv>> envs;
+  };
+
+  Result<ProfileContext> BuildProfile(const DataProfile& profile);
+
+  EvalConfig config_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_EVAL_HARNESS_H_

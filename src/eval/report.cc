@@ -1,0 +1,141 @@
+#include "eval/report.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace hfq {
+namespace {
+
+// %.17g round-trips every finite double. Non-finite values (a diverged
+// policy producing inf/NaN stats — exactly when the report matters most)
+// are not legal JSON numbers, so they become quoted tokens instead of
+// corrupting the document.
+std::string Num(double v) {
+  if (!std::isfinite(v)) {
+    if (std::isnan(v)) return "\"nan\"";
+    return v > 0 ? "\"inf\"" : "\"-inf\"";
+  }
+  return StrFormat("%.17g", v);
+}
+
+std::string Quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+void AppendSummary(std::ostringstream* out, const char* key,
+                   const SummaryStats& s) {
+  *out << Quoted(key) << ":{\"mean\":" << Num(s.mean)
+       << ",\"median\":" << Num(s.median) << ",\"p95\":" << Num(s.p95)
+       << ",\"max\":" << Num(s.max) << "}";
+}
+
+void AppendPlanner(std::ostringstream* out, const char* key,
+                   const PlannerStats& p, bool include_timings) {
+  *out << Quoted(key) << ":{";
+  AppendSummary(out, "cost_regret", p.cost_regret);
+  *out << ",";
+  AppendSummary(out, "latency_regret", p.latency_regret);
+  *out << ",\"win_rate_cost\":" << Num(p.win_rate_cost)
+       << ",\"win_rate_latency\":" << Num(p.win_rate_latency)
+       << ",\"num_queries\":" << p.num_queries;
+  if (include_timings) {
+    *out << ",\"mean_planning_ms\":" << Num(p.mean_planning_ms);
+  }
+  *out << "}";
+}
+
+}  // namespace
+
+std::string ReportToJson(const EvalReport& report, bool include_timings) {
+  const EvalConfig& config = report.config;
+  std::ostringstream out;
+  out << "{\"schema\":\"hfq-eval-v1\"";
+
+  out << ",\"config\":{\"seed\":" << config.seed
+      << ",\"engine_scale\":" << Num(config.engine_scale)
+      << ",\"strategy\":" << Quoted(TrainingStrategyName(config.strategy))
+      << ",\"training_episodes\":" << config.training_episodes
+      << ",\"training_families\":" << config.training_families
+      << ",\"queries_per_cell\":" << config.queries_per_cell;
+  out << ",\"topologies\":[";
+  for (size_t i = 0; i < config.topologies.size(); ++i) {
+    out << (i ? "," : "") << Quoted(JoinTopologyName(config.topologies[i]));
+  }
+  out << "],\"relation_counts\":[";
+  for (size_t i = 0; i < config.relation_counts.size(); ++i) {
+    out << (i ? "," : "") << config.relation_counts[i];
+  }
+  out << "],\"data_profiles\":[";
+  for (size_t i = 0; i < config.data_profiles.size(); ++i) {
+    out << (i ? "," : "") << "{\"name\":" << Quoted(config.data_profiles[i].name)
+        << ",\"skew_scale\":" << Num(config.data_profiles[i].skew_scale)
+        << "}";
+  }
+  out << "],\"predicate_mixes\":[";
+  for (size_t i = 0; i < config.predicate_mixes.size(); ++i) {
+    out << (i ? "," : "") << Quoted(config.predicate_mixes[i].name);
+  }
+  out << "]}";
+
+  out << ",\"cells\":[";
+  for (size_t i = 0; i < report.cells.size(); ++i) {
+    const CellResult& cell = report.cells[i];
+    out << (i ? "," : "") << "{\"key\":" << Quoted(cell.cell.Key(config))
+        << ",\"topology\":"
+        << Quoted(JoinTopologyName(cell.cell.topology))
+        << ",\"relations\":" << cell.cell.num_relations << ",\"data\":"
+        << Quoted(config.data_profiles[static_cast<size_t>(
+                                           cell.cell.data_profile)]
+                      .name)
+        << ",\"predicates\":"
+        << Quoted(config.predicate_mixes[static_cast<size_t>(
+                                             cell.cell.predicate_mix)]
+                      .name)
+        << ",\"planners\":{";
+    AppendPlanner(&out, "learned", cell.learned, include_timings);
+    out << ",";
+    AppendPlanner(&out, "dp", cell.dp, include_timings);
+    out << ",";
+    AppendPlanner(&out, "geqo", cell.geqo, include_timings);
+    out << "}}";
+  }
+  out << "]";
+
+  out << ",\"aggregate\":{";
+  AppendPlanner(&out, "learned", report.agg_learned, include_timings);
+  out << ",";
+  AppendPlanner(&out, "dp", report.agg_dp, include_timings);
+  out << ",";
+  AppendPlanner(&out, "geqo", report.agg_geqo, include_timings);
+  out << "}";
+
+  if (include_timings) {
+    out << ",\"timings\":{\"train_ms\":" << Num(report.train_ms)
+        << ",\"total_ms\":" << Num(report.total_ms) << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+Status WriteReportJson(const std::string& path, const EvalReport& report,
+                       bool include_timings) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << ReportToJson(report, include_timings) << "\n";
+  if (!out.good()) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hfq

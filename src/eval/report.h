@@ -1,0 +1,55 @@
+// The machine-readable evaluation report: per-cell and aggregate regret
+// statistics, serialized as JSON ("hfq-eval-v1" schema, documented in the
+// README's Evaluation harness section). This is the artifact that seeds
+// the BENCH_*.json trajectory and that the golden regression gates in
+// tests/eval_test.cc consume.
+#ifndef HFQ_EVAL_REPORT_H_
+#define HFQ_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/regret.h"
+#include "eval/scenario.h"
+#include "util/status.h"
+
+namespace hfq {
+
+/// Everything measured for one matrix cell.
+struct CellResult {
+  ScenarioCell cell;
+  /// Raw per-query rows, in generation order.
+  std::vector<HandsFreeOptimizer::QueryEvaluation> rows;
+  PlannerStats learned;
+  PlannerStats dp;
+  PlannerStats geqo;
+};
+
+/// One full harness run.
+struct EvalReport {
+  EvalConfig config;
+  std::vector<CellResult> cells;
+  /// Aggregates over every query of every cell (cell order).
+  PlannerStats agg_learned;
+  PlannerStats agg_dp;
+  PlannerStats agg_geqo;
+  /// Wall-clock (timings section only).
+  double train_ms = 0.0;
+  double total_ms = 0.0;
+};
+
+/// Serializes with a stable field order and %.17g doubles, so two runs
+/// with identical stats produce identical bytes. `include_timings` adds
+/// wall-clock sections (training/planning times) — leave it off when the
+/// bytes must be deterministic. Execution knobs that cannot change the
+/// stats (num_workers, include_timings itself) are deliberately not
+/// echoed.
+std::string ReportToJson(const EvalReport& report, bool include_timings);
+
+/// ReportToJson to a file.
+Status WriteReportJson(const std::string& path, const EvalReport& report,
+                       bool include_timings);
+
+}  // namespace hfq
+
+#endif  // HFQ_EVAL_REPORT_H_

@@ -1,0 +1,126 @@
+#include "eval/scenario.h"
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace hfq {
+namespace {
+
+// splitmix64 finalizer: decorrelates per-cell seeds derived from one
+// master seed, so adjacent cells never share an Rng stream prefix.
+uint64_t MixSeed(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+EvalConfig::EvalConfig() {
+  topologies = {JoinTopology::kChain, JoinTopology::kStar,
+                JoinTopology::kClique, JoinTopology::kSnowflake};
+  relation_counts = {3, 5, 8};
+  data_profiles = {DataProfile{"uniform", 0.0}, DataProfile{"skewed", 1.5}};
+
+  PredicateMix lite;
+  lite.name = "lite";
+  lite.shape.selection_prob = 0.4;
+  lite.shape.max_selections_per_relation = 1;
+  lite.shape.aggregate_prob = 0.0;
+  lite.shape.range_pred_frac = 0.3;
+  PredicateMix rich;
+  rich.name = "rich";
+  rich.shape.selection_prob = 0.9;
+  rich.shape.max_selections_per_relation = 2;
+  rich.shape.aggregate_prob = 0.6;
+  rich.shape.group_by_prob = 0.5;
+  rich.shape.range_pred_frac = 0.5;
+  predicate_mixes = {lite, rich};
+}
+
+EvalConfig ReducedEvalConfig() {
+  EvalConfig config;
+  config.relation_counts = {3, 4};
+  config.predicate_mixes.resize(1);
+  config.queries_per_cell = 2;
+  config.engine_scale = 0.03;
+  config.training_episodes = 30;
+  config.training_families = 6;
+  return config;
+}
+
+Status ValidateEvalConfig(const EvalConfig& config) {
+  if (config.topologies.empty() || config.relation_counts.empty() ||
+      config.data_profiles.empty() || config.predicate_mixes.empty()) {
+    return Status::InvalidArgument("eval config has an empty matrix axis");
+  }
+  for (int n : config.relation_counts) {
+    if (n < 2 || n > kMaxRelations) {
+      return Status::InvalidArgument(
+          StrFormat("relation count %d out of [2, %d]", n, kMaxRelations));
+    }
+  }
+  std::set<std::string> names;
+  for (const auto& profile : config.data_profiles) {
+    if (profile.name.empty() || !names.insert("d:" + profile.name).second) {
+      return Status::InvalidArgument("missing/duplicate data profile name");
+    }
+    if (profile.skew_scale < 0.0) {
+      return Status::InvalidArgument("data profile skew_scale < 0");
+    }
+  }
+  for (const auto& mix : config.predicate_mixes) {
+    if (mix.name.empty() || !names.insert("p:" + mix.name).second) {
+      return Status::InvalidArgument("missing/duplicate predicate mix name");
+    }
+  }
+  if (config.queries_per_cell < 1) {
+    return Status::InvalidArgument("queries_per_cell must be >= 1");
+  }
+  if (config.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (config.engine_scale <= 0.0) {
+    return Status::InvalidArgument("engine_scale must be positive");
+  }
+  if (config.training_episodes < 1 || config.training_families < 1) {
+    return Status::InvalidArgument("training budget must be >= 1");
+  }
+  return Status::OK();
+}
+
+std::string ScenarioCell::Key(const EvalConfig& config) const {
+  return StrFormat(
+      "%s/r%d/%s/%s", JoinTopologyName(topology), num_relations,
+      config.data_profiles[static_cast<size_t>(data_profile)].name.c_str(),
+      config.predicate_mixes[static_cast<size_t>(predicate_mix)]
+          .name.c_str());
+}
+
+std::vector<ScenarioCell> BuildScenarioCells(const EvalConfig& config) {
+  std::vector<ScenarioCell> cells;
+  int index = 0;
+  for (JoinTopology topology : config.topologies) {
+    for (int n : config.relation_counts) {
+      for (size_t d = 0; d < config.data_profiles.size(); ++d) {
+        for (size_t p = 0; p < config.predicate_mixes.size(); ++p) {
+          ScenarioCell cell;
+          cell.index = index;
+          cell.topology = topology;
+          cell.num_relations = n;
+          cell.data_profile = static_cast<int>(d);
+          cell.predicate_mix = static_cast<int>(p);
+          cell.seed =
+              MixSeed(config.seed ^ (static_cast<uint64_t>(index) << 20));
+          cells.push_back(cell);
+          ++index;
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace hfq

@@ -1,0 +1,90 @@
+// Scenario-matrix definitions for the evaluation harness: the cross
+// product of join-graph topology x relation count x data-skew profile x
+// predicate mix that the harness sweeps, plus per-cell seed derivation so
+// every cell's workload is deterministic and independent of how cells are
+// scheduled across workers.
+#ifndef HFQ_EVAL_SCENARIO_H_
+#define HFQ_EVAL_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hands_free.h"
+#include "util/status.h"
+#include "workload/generator.h"
+
+namespace hfq {
+
+/// One point on the data axis: a named skew multiplier handed to
+/// DataGenerator (0 = uniform data, 1 = the schema's declared skews).
+struct DataProfile {
+  std::string name;
+  double skew_scale = 1.0;
+};
+
+/// One point on the predicate axis: named query-shape knobs.
+struct PredicateMix {
+  std::string name;
+  QueryShapeOptions shape;
+};
+
+/// Harness configuration. The default constructor builds the full default
+/// matrix (4 topology families x {3,5,8} relations x {uniform, skewed}
+/// data x {lite, rich} predicate mixes); ReducedEvalConfig() shrinks it
+/// for smoke tests.
+struct EvalConfig {
+  EvalConfig();
+
+  std::vector<JoinTopology> topologies;
+  std::vector<int> relation_counts;
+  std::vector<DataProfile> data_profiles;
+  std::vector<PredicateMix> predicate_mixes;
+  /// Queries generated and evaluated per matrix cell.
+  int queries_per_cell = 4;
+  /// Master seed: drives training workloads, policy init, and every
+  /// cell's private query stream. Identical seeds give identical reports.
+  uint64_t seed = 7;
+  /// Cell-level fan-out (PR 3 convention: cell i runs on worker i % N;
+  /// results are bit-for-bit identical for any worker count because each
+  /// cell owns its seed and generator).
+  int num_workers = 1;
+  /// Scale of the synthetic IMDB-like engines (one per data profile).
+  double engine_scale = 0.05;
+  TrainingStrategy strategy = TrainingStrategy::kCostModelBootstrapping;
+  int training_episodes = 80;
+  /// Families in the JOB-like training suite (one variant each).
+  int training_families = 10;
+  /// Emit wall-clock timing fields in the JSON report. Turn off for
+  /// byte-identical reports across runs.
+  bool include_timings = true;
+};
+
+/// A small matrix (every topology once, 2 relation counts, both data
+/// profiles, one predicate mix, 2 queries/cell, short training) for smoke
+/// tests and the `eval` ctest label.
+EvalConfig ReducedEvalConfig();
+
+/// Rejects empty axes, out-of-range counts, duplicate axis names.
+Status ValidateEvalConfig(const EvalConfig& config);
+
+/// One cell of the matrix.
+struct ScenarioCell {
+  int index = 0;  ///< Position in BuildScenarioCells order.
+  JoinTopology topology = JoinTopology::kRandom;
+  int num_relations = 0;
+  int data_profile = 0;   ///< Index into EvalConfig::data_profiles.
+  int predicate_mix = 0;  ///< Index into EvalConfig::predicate_mixes.
+  /// Seed of this cell's private WorkloadGenerator, derived from
+  /// (EvalConfig::seed, index) — scheduling-independent.
+  uint64_t seed = 0;
+
+  /// Human-readable coordinates, e.g. "chain/r5/skewed/rich".
+  std::string Key(const EvalConfig& config) const;
+};
+
+/// The full cross product in deterministic (topology-major) order.
+std::vector<ScenarioCell> BuildScenarioCells(const EvalConfig& config);
+
+}  // namespace hfq
+
+#endif  // HFQ_EVAL_SCENARIO_H_

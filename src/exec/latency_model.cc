@@ -24,7 +24,7 @@ double LatencySimulator::TablePages(const Query& query, int rel) const {
 }
 
 LatencySimulator::NodeResult LatencySimulator::Simulate(
-    const Query& query, const PlanNode& node) {
+    const Query& query, const PlanNode& node) const {
   const auto& p = params_;
   NodeResult res;
 
@@ -134,7 +134,8 @@ LatencySimulator::NodeResult LatencySimulator::Simulate(
   return res;
 }
 
-double LatencySimulator::SimulateMs(const Query& query, const PlanNode& plan) {
+double LatencySimulator::SimulateMs(const Query& query,
+                                    const PlanNode& plan) const {
   NodeResult res = Simulate(query, plan);
   double ms = params_.ms_startup + res.ms;
   if (params_.noise_sigma > 0.0) {

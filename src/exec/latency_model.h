@@ -53,8 +53,11 @@ class LatencySimulator {
   LatencySimulator(const Catalog* catalog, CardinalitySource* cards,
                    LatencyParams params = LatencyParams());
 
-  /// Simulated wall-clock milliseconds for the plan.
-  double SimulateMs(const Query& query, const PlanNode& plan);
+  /// Simulated wall-clock milliseconds for the plan. Const (no simulator
+  /// state): safe to call from any number of threads concurrently as long
+  /// as the cardinality source is internally synchronized (the oracle and
+  /// estimator memos are).
+  double SimulateMs(const Query& query, const PlanNode& plan) const;
 
   const LatencyParams& params() const { return params_; }
 
@@ -63,7 +66,7 @@ class LatencySimulator {
     double ms = 0.0;
     double rows = 0.0;
   };
-  NodeResult Simulate(const Query& query, const PlanNode& node);
+  NodeResult Simulate(const Query& query, const PlanNode& node) const;
   double TablePages(const Query& query, int rel) const;
 
   const Catalog* catalog_;

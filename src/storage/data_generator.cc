@@ -21,6 +21,9 @@ int64_t DeriveCorrelated(int64_t source_value, int64_t num_distinct) {
 
 Result<std::unique_ptr<Database>> DataGenerator::Generate(
     const Catalog& catalog) {
+  if (options_.skew_scale < 0.0) {
+    return Status::InvalidArgument("skew_scale must be non-negative");
+  }
   auto db = std::make_unique<Database>(&catalog);
   Rng master(seed_);
   for (const auto& table_def : catalog.tables()) {
@@ -48,10 +51,11 @@ Result<std::unique_ptr<Database>> DataGenerator::Generate(
             return Status::InvalidArgument("FK into empty table " +
                                            col_def.ref_table);
           }
+          const double fk_skew = col_def.skew * options_.skew_scale;
           for (int64_t row = 0; row < n; ++row) {
             // Zipf rank 1 = most-referenced parent (parent id 0).
-            int64_t parent_id = col_def.skew > 0.0
-                                    ? rng.Zipf(parent_rows, col_def.skew) - 1
+            int64_t parent_id = fk_skew > 0.0
+                                    ? rng.Zipf(parent_rows, fk_skew) - 1
                                     : rng.UniformInt(0, parent_rows - 1);
             col.AppendInt(parent_id);
           }
@@ -71,13 +75,14 @@ Result<std::unique_ptr<Database>> DataGenerator::Generate(
             return Status::InvalidArgument(
                 "correlated source column must be int64");
           }
+          const double attr_skew = col_def.skew * options_.skew_scale;
           for (int64_t row = 0; row < n; ++row) {
             int64_t v;
             if (correlated && rng.Bernoulli(col_def.correlation_strength)) {
               v = DeriveCorrelated(source->GetInt(row), distinct);
             } else if (col_def.distribution == ValueDistribution::kZipf &&
-                       col_def.skew > 0.0) {
-              v = rng.Zipf(distinct, col_def.skew) - 1;
+                       attr_skew > 0.0) {
+              v = rng.Zipf(distinct, attr_skew) - 1;
             } else {
               v = rng.UniformInt(0, distinct - 1);
             }

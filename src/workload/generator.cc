@@ -8,6 +8,31 @@
 
 namespace hfq {
 
+const char* JoinTopologyName(JoinTopology topology) {
+  switch (topology) {
+    case JoinTopology::kRandom:
+      return "random";
+    case JoinTopology::kChain:
+      return "chain";
+    case JoinTopology::kStar:
+      return "star";
+    case JoinTopology::kClique:
+      return "clique";
+    case JoinTopology::kSnowflake:
+      return "snowflake";
+  }
+  return "?";
+}
+
+Result<JoinTopology> ParseJoinTopology(const std::string& name) {
+  for (JoinTopology t :
+       {JoinTopology::kRandom, JoinTopology::kChain, JoinTopology::kStar,
+        JoinTopology::kClique, JoinTopology::kSnowflake}) {
+    if (name == JoinTopologyName(t)) return t;
+  }
+  return Status::InvalidArgument("unknown join topology: " + name);
+}
+
 WorkloadGenerator::WorkloadGenerator(const Catalog* catalog, uint64_t seed,
                                      QueryShapeOptions shape,
                                      const Database* db)
@@ -22,7 +47,21 @@ WorkloadGenerator::WorkloadGenerator(const Catalog* catalog, uint64_t seed,
   }
 }
 
-Result<Query> WorkloadGenerator::GenerateStructure(int num_relations,
+namespace {
+
+// Alias for `table` that is unique within `query` (self-joins get _2, _3…).
+std::string AliasFor(const Query& query, const std::string& table) {
+  int count = 0;
+  for (const auto& rel : query.relations) {
+    if (rel.table == table) ++count;
+  }
+  return count == 0 ? table : table + "_" + std::to_string(count + 1);
+}
+
+}  // namespace
+
+Result<Query> WorkloadGenerator::GenerateStructure(JoinTopology topology,
+                                                   int num_relations,
                                                    const std::string& name,
                                                    Rng* rng) {
   if (num_relations < 1) {
@@ -34,39 +73,66 @@ Result<Query> WorkloadGenerator::GenerateStructure(int num_relations,
   if (edges_.empty() && num_relations > 1) {
     return Status::FailedPrecondition("catalog has no foreign keys to join");
   }
+  if (topology == JoinTopology::kClique && num_relations > 1) {
+    return GenerateCliqueStructure(num_relations, name, rng);
+  }
 
   Query query;
   query.name = name;
 
   auto alias_for = [&query](const std::string& table) {
-    int count = 0;
-    for (const auto& rel : query.relations) {
-      if (rel.table == table) ++count;
-    }
-    return count == 0 ? table : table + "_" + std::to_string(count + 1);
+    return AliasFor(query, table);
   };
 
   // Seed relation: favour fact tables (those with FKs) so joins can grow.
+  // Stars instead seed with a referenced (hub-worthy) table, since all
+  // spokes must attach to it directly.
   std::string first;
   if (num_relations == 1) {
     const auto& tables = catalog_->tables();
     first = tables[static_cast<size_t>(rng->UniformInt(
                        0, static_cast<int64_t>(tables.size()) - 1))]
                 .name;
+  } else if (topology == JoinTopology::kStar) {
+    first = rng->Choice(edges_).parent_table;
   } else {
     first = rng->Choice(edges_).child_table;
   }
   query.relations.push_back(RelationRef{first, alias_for(first)});
 
-  // Grow: pick a relation already present, pick an FK edge touching its
-  // table (either direction), attach the relation on the other end.
+  // First-ring budget for snowflakes: about half the relations attach to
+  // the hub, the rest attach somewhere in the ring (or deeper).
+  const int hub_spokes = (num_relations - 1 + 1) / 2;
+
+  // Grow: pick a base relation per the topology's attachment rule, pick an
+  // FK edge touching its table (either direction), attach the relation on
+  // the other end.
   int attempts = 0;
   while (query.num_relations() < num_relations) {
     if (++attempts > 1000) {
       return Status::Internal("workload generator failed to grow join graph");
     }
-    int base = static_cast<int>(
-        rng->UniformInt(0, query.num_relations() - 1));
+    int base;
+    switch (topology) {
+      case JoinTopology::kChain:
+        base = query.num_relations() - 1;
+        break;
+      case JoinTopology::kStar:
+        base = 0;
+        break;
+      case JoinTopology::kSnowflake:
+        base = query.num_relations() - 1 < hub_spokes
+                   ? 0
+                   : static_cast<int>(
+                         rng->UniformInt(1, query.num_relations() - 1));
+        break;
+      case JoinTopology::kRandom:
+      case JoinTopology::kClique:  // Clique n==1 handled above; unreachable.
+      default:
+        base = static_cast<int>(
+            rng->UniformInt(0, query.num_relations() - 1));
+        break;
+    }
     const std::string& base_table =
         query.relations[static_cast<size_t>(base)].table;
     // Candidate edges incident to base_table.
@@ -93,6 +159,39 @@ Result<Query> WorkloadGenerator::GenerateStructure(int num_relations,
       jp.right = ColumnRef{new_idx, edge.child_column};
     }
     query.joins.push_back(jp);
+  }
+  return query;
+}
+
+Result<Query> WorkloadGenerator::GenerateCliqueStructure(
+    int num_relations, const std::string& name, Rng* rng) {
+  Query query;
+  query.name = name;
+
+  // Hub: a table referenced by at least one FK. All other relations are FK
+  // children of the hub; because their FK columns all equal hub.id, the
+  // pairwise child-child equalities are semantically implied — adding them
+  // as explicit predicates makes the join *graph* a clique, which is what
+  // enumerators see.
+  const std::string hub = rng->Choice(edges_).parent_table;
+  std::vector<const FkEdge*> into_hub;
+  for (const auto& e : edges_) {
+    if (e.parent_table == hub) into_hub.push_back(&e);
+  }
+  query.relations.push_back(RelationRef{hub, AliasFor(query, hub)});
+
+  std::vector<std::string> fk_col(1);  // fk_col[0] unused (hub joins on id).
+  for (int i = 1; i < num_relations; ++i) {
+    const FkEdge& edge = *rng->Choice(into_hub);
+    query.relations.push_back(
+        RelationRef{edge.child_table, AliasFor(query, edge.child_table)});
+    fk_col.push_back(edge.child_column);
+    query.joins.push_back(
+        JoinPredicate{ColumnRef{i, edge.child_column}, ColumnRef{0, "id"}});
+    for (int j = 1; j < i; ++j) {
+      query.joins.push_back(JoinPredicate{ColumnRef{i, fk_col[static_cast<size_t>(i)]},
+                                          ColumnRef{j, fk_col[static_cast<size_t>(j)]}});
+    }
   }
   return query;
 }
@@ -199,8 +298,13 @@ void WorkloadGenerator::AddPredicatesAndAggregates(Query* query, Rng* rng) {
 
 Result<Query> WorkloadGenerator::GenerateQuery(int num_relations,
                                                const std::string& name) {
-  HFQ_ASSIGN_OR_RETURN(Query query,
-                       GenerateStructure(num_relations, name, &rng_));
+  return GenerateTopologyQuery(JoinTopology::kRandom, num_relations, name);
+}
+
+Result<Query> WorkloadGenerator::GenerateTopologyQuery(
+    JoinTopology topology, int num_relations, const std::string& name) {
+  HFQ_ASSIGN_OR_RETURN(
+      Query query, GenerateStructure(topology, num_relations, name, &rng_));
   AddPredicatesAndAggregates(&query, &rng_);
   HFQ_RETURN_IF_ERROR(query.Validate(*catalog_));
   return query;
@@ -233,8 +337,9 @@ Result<std::vector<Query>> WorkloadGenerator::GenerateJobLikeSuite(
       Rng variant_rng(family_seed);  // Same structure stream per family...
       std::string name =
           StrFormat("q%d%c", f, static_cast<char>('a' + v));
-      HFQ_ASSIGN_OR_RETURN(Query query, GenerateStructure(n, name,
-                                                          &variant_rng));
+      HFQ_ASSIGN_OR_RETURN(
+          Query query,
+          GenerateStructure(JoinTopology::kRandom, n, name, &variant_rng));
       // ...but different predicates per variant.
       Rng pred_rng(family_seed ^ (0x9E37ull * static_cast<uint64_t>(v + 1)));
       AddPredicatesAndAggregates(&query, &pred_rng);

@@ -17,6 +17,24 @@
 
 namespace hfq {
 
+/// Join-graph shape of a generated query. The evaluation harness sweeps
+/// these families because optimizers degrade differently on each: chains
+/// reward deep pipelines, stars stress hub cardinality, cliques blow up the
+/// enumeration space, snowflakes mix both (the JOB shape).
+enum class JoinTopology {
+  kRandom,     ///< Unconstrained connected growth (the historic default).
+  kChain,      ///< Path graph: each relation joins only its predecessor.
+  kStar,       ///< One hub; every other relation joins the hub directly.
+  kClique,     ///< Join predicate between every pair of relations.
+  kSnowflake,  ///< Hub + first-ring spokes + outer relations off the ring.
+};
+
+/// "random" / "chain" / "star" / "clique" / "snowflake".
+const char* JoinTopologyName(JoinTopology topology);
+
+/// Inverse of JoinTopologyName.
+Result<JoinTopology> ParseJoinTopology(const std::string& name);
+
 /// Query-shape knobs.
 struct QueryShapeOptions {
   QueryShapeOptions() {}
@@ -49,6 +67,17 @@ class WorkloadGenerator {
   /// cannot host the request.
   Result<Query> GenerateQuery(int num_relations, const std::string& name);
 
+  /// Like GenerateQuery but with an explicit join-graph topology. Chains,
+  /// stars and snowflakes are built by constrained growth over the FK
+  /// graph; cliques pick one referenced hub table plus children that all
+  /// carry an FK into it (children are additionally joined pairwise on
+  /// those FK columns, so every relation pair shares a predicate). Fails if
+  /// the catalog's FK graph cannot host the request (e.g. a chain hits a
+  /// table with no further incident FK edges).
+  Result<Query> GenerateTopologyQuery(JoinTopology topology,
+                                      int num_relations,
+                                      const std::string& name);
+
   /// The JOB-like suite: `families` join-structure families, each with
   /// `variants` predicate variants named "q<f><letter>" (q1a, q1b, ...).
   /// Family f's relation count cycles deterministically over
@@ -73,9 +102,15 @@ class WorkloadGenerator {
   };
 
   /// Random connected relation structure (relations + join predicates),
-  /// no selections. Drives both GenerateQuery and family templates.
-  Result<Query> GenerateStructure(int num_relations, const std::string& name,
-                                  Rng* rng);
+  /// no selections. Drives GenerateQuery, GenerateTopologyQuery and family
+  /// templates. kClique delegates to GenerateCliqueStructure.
+  Result<Query> GenerateStructure(JoinTopology topology, int num_relations,
+                                  const std::string& name, Rng* rng);
+
+  /// Clique structure: a referenced hub table plus FK children, all
+  /// pairwise joined.
+  Result<Query> GenerateCliqueStructure(int num_relations,
+                                        const std::string& name, Rng* rng);
 
   /// Adds random selections/aggregates to a structure in place.
   void AddPredicatesAndAggregates(Query* query, Rng* rng);

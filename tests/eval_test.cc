@@ -1,0 +1,263 @@
+// The scenario-matrix evaluation harness's regression gates (the "golden
+// thresholds"): DP regret is exactly zero, learned regret stays finite and
+// cost-bounded below by DP, GEQO stays within a fixed factor of optimal,
+// reports are bit-for-bit deterministic per seed and invariant to the
+// worker count (1 worker runs inline on the calling thread, i.e. IS the
+// serial path; N workers must reproduce it exactly). Any future PR that
+// silently degrades plan quality or breaks eval determinism fails here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "eval/harness.h"
+#include "tests/test_common.h"
+
+namespace hfq {
+namespace {
+
+// --- Golden thresholds (fixed seed below) ------------------------------
+// GEQO explores a tiny fraction of the DP space yet lands near-optimal on
+// these small queries; observed aggregate mean cost regret is ~0.09. The
+// gate leaves ~5x headroom for fp/platform drift, not for real quality
+// regressions (a broken enumerator blows past it immediately).
+constexpr double kGoldenGeqoMeanCostRegret = 0.5;
+constexpr double kGoldenGeqoP95CostRegret = 2.5;
+// The learned policy is trained for only a few dozen episodes here, so its
+// regret is real but must stay finite and within a catastrophic-failure
+// ceiling (observed aggregate means are O(10..100); the gate catches
+// divergence, NaNs, and plans that stop resembling the query).
+constexpr double kGoldenLearnedMeanCostRegretCeiling = 1e5;
+constexpr double kGoldenLearnedMeanLatencyRegretCeiling = 1e6;
+
+EvalConfig TestConfig() {
+  EvalConfig config = ReducedEvalConfig();
+  config.seed = 20260730;
+  config.include_timings = false;
+  return config;
+}
+
+// One harness run shared across the gate tests (built once per binary).
+const EvalReport& SharedReport() {
+  static const EvalReport* report = [] {
+    ScenarioEvaluator evaluator(TestConfig());
+    auto result = evaluator.Run();
+    HFQ_CHECK_MSG(result.ok(), "scenario evaluation failed");
+    return new EvalReport(std::move(*result));
+  }();
+  return *report;
+}
+
+void ExpectSummaryFinite(const SummaryStats& s) {
+  EXPECT_TRUE(std::isfinite(s.mean));
+  EXPECT_TRUE(std::isfinite(s.median));
+  EXPECT_TRUE(std::isfinite(s.p95));
+  EXPECT_TRUE(std::isfinite(s.max));
+}
+
+TEST(EvalScenarioTest, MatrixCoversConfiguredAxes) {
+  const EvalConfig config = TestConfig();
+  const EvalReport& report = SharedReport();
+  const size_t expected_cells =
+      config.topologies.size() * config.relation_counts.size() *
+      config.data_profiles.size() * config.predicate_mixes.size();
+  ASSERT_EQ(report.cells.size(), expected_cells);
+  // The acceptance matrix: >= 4 topology families, and both data profiles.
+  EXPECT_GE(config.topologies.size(), 4u);
+  EXPECT_EQ(config.data_profiles.size(), 2u);
+  std::set<std::string> keys;
+  for (const CellResult& cell : report.cells) {
+    EXPECT_TRUE(keys.insert(cell.cell.Key(config)).second)
+        << "duplicate cell " << cell.cell.Key(config);
+    ASSERT_EQ(cell.rows.size(),
+              static_cast<size_t>(config.queries_per_cell));
+  }
+}
+
+TEST(EvalRegretTest, DpRegretIsExactlyZeroEverywhere) {
+  const EvalReport& report = SharedReport();
+  auto expect_zero = [](const PlannerStats& dp) {
+    EXPECT_EQ(dp.cost_regret.mean, 0.0);
+    EXPECT_EQ(dp.cost_regret.median, 0.0);
+    EXPECT_EQ(dp.cost_regret.p95, 0.0);
+    EXPECT_EQ(dp.cost_regret.max, 0.0);
+    EXPECT_EQ(dp.latency_regret.mean, 0.0);
+    EXPECT_EQ(dp.latency_regret.max, 0.0);
+    EXPECT_EQ(dp.win_rate_cost, 1.0);
+    EXPECT_EQ(dp.win_rate_latency, 1.0);
+  };
+  for (const CellResult& cell : report.cells) expect_zero(cell.dp);
+  expect_zero(report.agg_dp);
+}
+
+TEST(EvalRegretTest, DpIsCostOptimalPerQuery) {
+  // DP enumerates the full bushy space: no planner may beat its cost-model
+  // cost (latency is a different story — that disagreement is the paper).
+  const EvalReport& report = SharedReport();
+  for (const CellResult& cell : report.cells) {
+    for (const auto& row : cell.rows) {
+      EXPECT_GE(row.learned_cost, row.dp_cost * (1.0 - 1e-9));
+      EXPECT_GE(row.geqo_cost, row.dp_cost * (1.0 - 1e-9));
+      EXPECT_GT(row.dp_cost, 0.0);
+      EXPECT_GT(row.dp_latency_ms, 0.0);
+    }
+  }
+}
+
+TEST(EvalRegretTest, LearnedRegretFinite) {
+  const EvalReport& report = SharedReport();
+  for (const CellResult& cell : report.cells) {
+    ExpectSummaryFinite(cell.learned.cost_regret);
+    ExpectSummaryFinite(cell.learned.latency_regret);
+  }
+  ExpectSummaryFinite(report.agg_learned.cost_regret);
+  ExpectSummaryFinite(report.agg_learned.latency_regret);
+}
+
+TEST(EvalGoldenGatesTest, PlanQualityWithinThresholds) {
+  const EvalReport& report = SharedReport();
+  EXPECT_LE(report.agg_geqo.cost_regret.mean, kGoldenGeqoMeanCostRegret);
+  EXPECT_LE(report.agg_geqo.cost_regret.p95, kGoldenGeqoP95CostRegret);
+  EXPECT_GE(report.agg_geqo.cost_regret.mean, -1e-9);
+  EXPECT_LE(report.agg_learned.cost_regret.mean,
+            kGoldenLearnedMeanCostRegretCeiling);
+  EXPECT_LE(report.agg_learned.latency_regret.mean,
+            kGoldenLearnedMeanLatencyRegretCeiling);
+  EXPECT_GE(report.agg_learned.win_rate_latency, 0.0);
+  EXPECT_LE(report.agg_learned.win_rate_latency, 1.0);
+}
+
+TEST(EvalDeterminismTest, IdenticalSeedsProduceIdenticalReports) {
+  ScenarioEvaluator a(TestConfig());
+  ScenarioEvaluator b(TestConfig());
+  auto ra = a.Run();
+  auto rb = b.Run();
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ReportToJson(*ra, /*include_timings=*/false),
+            ReportToJson(*rb, /*include_timings=*/false));
+  // A different seed must actually change the report (the comparison
+  // above is not vacuous).
+  EvalConfig other = TestConfig();
+  other.seed ^= 1;
+  ScenarioEvaluator c(other);
+  auto rc = c.Run();
+  ASSERT_TRUE(rc.ok());
+  EXPECT_NE(ReportToJson(*ra, false), ReportToJson(*rc, false));
+}
+
+TEST(EvalDeterminismTest, WorkerCountDoesNotChangeTheReport) {
+  // SharedReport ran with num_workers == 1 — the serial path (RunOnWorkers
+  // inlines a single worker on the calling thread). A pool of 3 must be
+  // bit-for-bit identical, aggregates and per-cell stats alike.
+  EvalConfig parallel = TestConfig();
+  parallel.num_workers = 3;
+  ScenarioEvaluator evaluator(parallel);
+  auto result = evaluator.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ReportToJson(SharedReport(), /*include_timings=*/false),
+            ReportToJson(*result, /*include_timings=*/false));
+}
+
+TEST(EvalReportTest, JsonShapeAndTimingsGate) {
+  const EvalReport& report = SharedReport();
+  const std::string no_timings = ReportToJson(report, false);
+  EXPECT_NE(no_timings.find("\"schema\":\"hfq-eval-v1\""), std::string::npos);
+  EXPECT_NE(no_timings.find("\"cells\":["), std::string::npos);
+  EXPECT_NE(no_timings.find("\"aggregate\":{"), std::string::npos);
+  EXPECT_EQ(no_timings.find("\"timings\""), std::string::npos);
+  EXPECT_EQ(no_timings.find("planning_ms"), std::string::npos);
+  const std::string with_timings = ReportToJson(report, true);
+  EXPECT_NE(with_timings.find("\"timings\""), std::string::npos);
+  EXPECT_NE(with_timings.find("\"mean_planning_ms\""), std::string::npos);
+}
+
+TEST(EvalConfigTest, ValidationRejectsBadConfigs) {
+  EvalConfig config = TestConfig();
+  config.relation_counts.clear();
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.relation_counts = {1};
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.data_profiles[0].skew_scale = -0.5;
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.data_profiles = {DataProfile{"dup", 0.0}, DataProfile{"dup", 1.0}};
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.queries_per_cell = 0;
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.num_workers = 0;
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  EXPECT_TRUE(ValidateEvalConfig(TestConfig()).ok());
+}
+
+// --- Facade-level EvaluateWorkload -------------------------------------
+
+TEST(EvaluateWorkloadTest, PerQueryRowsMatchAndParallelize) {
+  Engine& engine = testing::SharedEngine();
+  WorkloadGenerator gen(&engine.catalog(), 4242);
+  std::vector<Query> train, eval;
+  for (int i = 0; i < 4; ++i) {
+    auto q = gen.GenerateQuery(3 + i % 2, "ew_train" + std::to_string(i));
+    ASSERT_TRUE(q.ok());
+    train.push_back(std::move(*q));
+  }
+  for (JoinTopology topo :
+       {JoinTopology::kChain, JoinTopology::kStar, JoinTopology::kClique}) {
+    auto q = gen.GenerateTopologyQuery(
+        topo, 4, std::string("ew_eval_") + JoinTopologyName(topo));
+    ASSERT_TRUE(q.ok());
+    eval.push_back(std::move(*q));
+  }
+
+  HandsFreeConfig config;
+  config.strategy = TrainingStrategy::kCostModelBootstrapping;
+  config.max_relations = 5;
+  config.training_episodes = 20;
+  HandsFreeOptimizer serial(&engine, config);
+  // Untrained evaluation is rejected.
+  EXPECT_EQ(serial.EvaluateWorkload(eval).status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(serial.Train(train).ok());
+  auto rows = serial.EvaluateWorkload(eval);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), eval.size());
+  for (const auto& row : *rows) {
+    EXPECT_GE(row.learned_cost, row.dp_cost * (1.0 - 1e-9));
+    EXPECT_GE(row.geqo_cost, row.dp_cost * (1.0 - 1e-9));
+    EXPECT_GT(row.learned_latency_ms, 0.0);
+  }
+
+  // Same model (via save/load — training with 2 rollout workers would
+  // legitimately produce different weights), two evaluation workers:
+  // identical rows in workload order.
+  HandsFreeConfig par_config = config;
+  par_config.num_rollout_workers = 2;
+  HandsFreeOptimizer parallel(&engine, par_config);
+  const std::string model_path = ::testing::TempDir() + "/eval_ew_model.txt";
+  ASSERT_TRUE(serial.SaveModel(model_path).ok());
+  ASSERT_TRUE(parallel.LoadModel(model_path).ok());
+  auto par_rows = parallel.EvaluateWorkload(eval);
+  ASSERT_TRUE(par_rows.ok());
+  ASSERT_EQ(par_rows->size(), rows->size());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i].learned_cost, (*par_rows)[i].learned_cost);
+    EXPECT_EQ((*rows)[i].learned_latency_ms,
+              (*par_rows)[i].learned_latency_ms);
+    EXPECT_EQ((*rows)[i].dp_cost, (*par_rows)[i].dp_cost);
+    EXPECT_EQ((*rows)[i].geqo_cost, (*par_rows)[i].geqo_cost);
+  }
+
+  // Oversized queries are rejected up front.
+  auto big = gen.GenerateQuery(7, "ew_too_big");
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(serial.EvaluateWorkload({*big}).status().code(),
+            StatusCode::kInvalidArgument);
+  std::remove(model_path.c_str());
+}
+
+}  // namespace
+}  // namespace hfq

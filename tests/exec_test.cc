@@ -3,10 +3,15 @@
 // multiset), aggregation, resource guards, and the latency simulator.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <tuple>
+
 #include "exec/executor.h"
 #include "exec/latency_model.h"
+#include "optimizer/optimizer.h"
 #include "stats/truth_oracle.h"
 #include "tests/test_common.h"
+#include "workload/generator.h"
 
 namespace hfq {
 namespace {
@@ -218,6 +223,114 @@ TEST_F(ExecTest, NodeOutputRowsRecorded) {
   EXPECT_EQ(result->node_output_rows.at(plan.get()), 40);
   EXPECT_EQ(result->node_output_rows.at(plan->child(0)), 40);
   EXPECT_EQ(result->node_output_rows.at(plan->child(1)), 10);
+}
+
+// --- Cross-plan result equivalence ---
+
+// Executes one generated query under the DP plan, the GEQO plan, and
+// several random (connected) join orders, asserting identical result
+// multisets: query semantics must be invariant to the join order and to
+// every physical choice the planners make. The query carries GROUP BY +
+// COUNT(*) + SUM so the comparison sees row *content*, not just counts.
+class CrossPlanTest : public ::testing::Test {
+ protected:
+  Engine& engine() { return testing::SharedEngine(); }
+
+  // Sorted (group_keys, agg_values) rows — the canonical result multiset.
+  // COUNT/SUM over integer-valued columns are exact in double, so rows
+  // from different plans compare bit-for-bit.
+  using CanonicalRows = std::vector<std::pair<std::vector<double>,
+                                              std::vector<double>>>;
+  static CanonicalRows CanonicalAggRows(const ExecResult& result) {
+    CanonicalRows rows;
+    for (const AggRow& row : result.agg_rows) {
+      rows.emplace_back(row.group_keys, row.agg_values);
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+
+  // A random relation order that keeps every prefix connected, so
+  // left-deep trees over it never cross-product into the tuple cap.
+  static std::vector<int> RandomConnectedOrder(const Query& q, Rng* rng) {
+    std::vector<int> order;
+    RelSet placed = 0;
+    order.push_back(static_cast<int>(
+        rng->UniformInt(0, q.num_relations() - 1)));
+    placed = RelSetOf(order[0]);
+    while (static_cast<int>(order.size()) < q.num_relations()) {
+      std::vector<int> frontier = RelSetMembers(q.NeighborsOfSet(placed));
+      int next = frontier[static_cast<size_t>(rng->UniformInt(
+          0, static_cast<int64_t>(frontier.size()) - 1))];
+      order.push_back(next);
+      placed |= RelSetOf(next);
+    }
+    return order;
+  }
+};
+
+TEST_F(CrossPlanTest, DpGeqoAndRandomOrdersAgreeOnResultMultisets) {
+  WorkloadGenerator gen(&engine().catalog(), 515);
+  auto generated = gen.GenerateQuery(4, "xplan_equiv");
+  ASSERT_TRUE(generated.ok());
+  Query q = std::move(*generated);
+  // Content-sensitive result: group + count + sum over the group column.
+  q.group_by.clear();
+  q.aggregates.clear();
+  const auto& rel0 = q.relations[0];
+  auto table = engine().catalog().GetTable(rel0.table);
+  ASSERT_TRUE(table.ok());
+  const ColumnDef* group_col = nullptr;
+  for (const auto& col : (*table)->columns) {
+    if (col.distribution == ValueDistribution::kUniform ||
+        col.distribution == ValueDistribution::kZipf) {
+      group_col = &col;
+      break;
+    }
+  }
+  ASSERT_NE(group_col, nullptr);
+  q.group_by.push_back(ColumnRef{0, group_col->name});
+  AggSpec count_star;
+  count_star.func = AggFunc::kCount;
+  AggSpec sum_key;
+  sum_key.func = AggFunc::kSum;
+  sum_key.has_arg = true;
+  sum_key.arg = ColumnRef{0, group_col->name};
+  q.aggregates = {count_star, sum_key};
+
+  Executor executor(&engine().db());
+
+  auto dp_plan = engine().expert().Optimize(q);  // n=4 <= threshold: DP.
+  ASSERT_TRUE(dp_plan.ok());
+  auto dp_result = executor.Execute(q, **dp_plan);
+  ASSERT_TRUE(dp_result.ok()) << dp_result.status().ToString();
+  const CanonicalRows reference = CanonicalAggRows(*dp_result);
+  ASSERT_FALSE(reference.empty());
+
+  OptimizerOptions geqo_options = engine().expert().options();
+  geqo_options.geqo_threshold = 1;  // Force the genetic path.
+  TraditionalOptimizer geqo(&engine().catalog(), &engine().cost_model(),
+                            geqo_options);
+  auto geqo_plan = geqo.Optimize(q);
+  ASSERT_TRUE(geqo_plan.ok());
+  auto geqo_result = executor.Execute(q, **geqo_plan);
+  ASSERT_TRUE(geqo_result.ok()) << geqo_result.status().ToString();
+  EXPECT_EQ(geqo_result->join_rows, dp_result->join_rows);
+  EXPECT_EQ(CanonicalAggRows(*geqo_result), reference) << "GEQO plan";
+
+  Rng rng(99);
+  for (int trial = 0; trial < 4; ++trial) {
+    std::vector<int> order = RandomConnectedOrder(q, &rng);
+    auto tree = LeftDeepTree(order);
+    auto plan = engine().expert().PhysicalizeJoinTree(q, *tree);
+    ASSERT_TRUE(plan.ok());
+    auto result = executor.Execute(q, **plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->join_rows, dp_result->join_rows)
+        << "order " << tree->ToString(q);
+    EXPECT_EQ(CanonicalAggRows(*result), reference)
+        << "order " << tree->ToString(q);
+  }
 }
 
 // --- Latency simulator ---

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <set>
 #include <sstream>
 
 #include "core/full_env.h"
@@ -153,6 +154,70 @@ TEST_P(PropertyTest, FullEnvRandomRolloutsYieldExecutablePlans) {
                            << plan->ToString(q);
   EXPECT_EQ(static_cast<double>(result->join_rows),
             engine().oracle().Rows(q, RelSetAll(q.num_relations())));
+}
+
+TEST_P(PropertyTest, DpNeverCostsMoreThanGeqo) {
+  // DP is exhaustive over the bushy space; GEQO samples permutations
+  // decoded by greedy attachment. Both physicalize with the same BestJoin
+  // arithmetic, so DP's plan cost is a lower bound (up to fp noise) for
+  // every query, size, and topology.
+  OptimizerOptions dp_options = engine().expert().options();
+  dp_options.geqo_threshold = kMaxRelations;
+  TraditionalOptimizer dp(&engine().catalog(), &engine().cost_model(),
+                          dp_options);
+  OptimizerOptions geqo_options = engine().expert().options();
+  geqo_options.geqo_threshold = 1;
+  TraditionalOptimizer geqo(&engine().catalog(), &engine().cost_model(),
+                            geqo_options);
+  int salt = 0;
+  for (JoinTopology topology :
+       {JoinTopology::kRandom, JoinTopology::kChain, JoinTopology::kStar,
+        JoinTopology::kClique, JoinTopology::kSnowflake}) {
+    for (int n : {3, 6, 9}) {
+      WorkloadGenerator gen(&engine().catalog(),
+                            static_cast<uint64_t>(GetParam()) * 104729 +
+                                static_cast<uint64_t>(salt));
+      auto q = gen.GenerateTopologyQuery(
+          topology, n,
+          "dpgeqo" + std::to_string(GetParam()) + "_" +
+              std::to_string(salt));
+      ++salt;
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      auto dp_plan = dp.Optimize(*q);
+      auto geqo_plan = geqo.Optimize(*q);
+      ASSERT_TRUE(dp_plan.ok() && geqo_plan.ok());
+      EXPECT_LE((*dp_plan)->est_cost,
+                (*geqo_plan)->est_cost * (1.0 + 1e-9))
+          << JoinTopologyName(topology) << " n=" << n << ": " << q->ToSql();
+    }
+  }
+}
+
+TEST_P(PropertyTest, JobSuiteConnectedWithUniqueInRangeNames) {
+  // Every generated suite query is fully connected, sized within the
+  // requested range, and named q<family><variant letter> with no
+  // duplicates — the invariants the eval harness and trainers rely on.
+  WorkloadGenerator gen(&engine().catalog(),
+                        static_cast<uint64_t>(GetParam()) * 31337 + 7);
+  const int families = 4, variants = 3, min_rel = 3, max_rel = 9;
+  auto suite = gen.GenerateJobLikeSuite(families, variants, min_rel, max_rel);
+  ASSERT_TRUE(suite.ok());
+  ASSERT_EQ(suite->size(), static_cast<size_t>(families * variants));
+  std::set<std::string> names;
+  for (size_t i = 0; i < suite->size(); ++i) {
+    const Query& q = (*suite)[i];
+    EXPECT_TRUE(q.IsFullyConnected()) << q.ToSql();
+    EXPECT_TRUE(q.Validate(engine().catalog()).ok());
+    EXPECT_GE(q.num_relations(), min_rel);
+    EXPECT_LE(q.num_relations(), max_rel);
+    EXPECT_TRUE(names.insert(q.name).second) << "duplicate name " << q.name;
+    const int family = 1 + static_cast<int>(i) / variants;
+    const char variant = static_cast<char>('a' + static_cast<int>(i) % variants);
+    std::string expected = "q";
+    expected += std::to_string(family);
+    expected += variant;
+    EXPECT_EQ(q.name, expected);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, PropertyTest, ::testing::Range(0, 8));

@@ -97,6 +97,58 @@ TEST(DataGeneratorTest, SkewedFkIsSkewed) {
   EXPECT_GT(static_cast<double>(max_count), 5.0 * uniform_share);
 }
 
+TEST(DataGeneratorTest, SkewScaleKnobControlsSkew) {
+  ImdbLikeOptions opts;
+  opts.scale = 0.02;
+  auto catalog = BuildImdbLikeCatalog(opts);
+  ASSERT_TRUE(catalog.ok());
+
+  auto max_fk_freq = [&](const Database& db) {
+    auto table = db.GetTable("cast_info");
+    HFQ_CHECK(table.ok());
+    int32_t col = (*table)->def().ColumnIndex("movie_id");
+    std::map<int64_t, int64_t> freq;
+    for (int64_t r = 0; r < (*table)->num_rows(); ++r) {
+      ++freq[(*table)->column(col).GetInt(r)];
+    }
+    int64_t max_count = 0;
+    for (const auto& [k, v] : freq) max_count = std::max(max_count, v);
+    return max_count;
+  };
+
+  // skew_scale = 1 must reproduce the legacy constructor bit-for-bit.
+  DataGenOptions declared;
+  DataGenerator legacy(7);
+  DataGenerator scaled_one(7, declared);
+  auto db_legacy = legacy.Generate(*catalog);
+  auto db_one = scaled_one.Generate(*catalog);
+  ASSERT_TRUE(db_legacy.ok() && db_one.ok());
+  auto t1 = (*db_legacy)->GetTable("cast_info");
+  auto t2 = (*db_one)->GetTable("cast_info");
+  for (int64_t r = 0; r < (*t1)->num_rows(); ++r) {
+    ASSERT_EQ((*t1)->column(1).GetInt(r), (*t2)->column(1).GetInt(r));
+  }
+
+  // skew_scale = 0 flattens to uniform; 2.5 sharpens well past declared.
+  DataGenOptions uniform;
+  uniform.skew_scale = 0.0;
+  DataGenOptions sharp;
+  sharp.skew_scale = 2.5;
+  auto db_uniform = DataGenerator(7, uniform).Generate(*catalog);
+  auto db_sharp = DataGenerator(7, sharp).Generate(*catalog);
+  ASSERT_TRUE(db_uniform.ok() && db_sharp.ok());
+  const int64_t uniform_max = max_fk_freq(**db_uniform);
+  const int64_t declared_max = max_fk_freq(**db_legacy);
+  const int64_t sharp_max = max_fk_freq(**db_sharp);
+  EXPECT_LT(uniform_max, declared_max);
+  EXPECT_LT(declared_max, sharp_max);
+
+  // Negative scales are rejected.
+  DataGenOptions bad;
+  bad.skew_scale = -1.0;
+  EXPECT_FALSE(DataGenerator(7, bad).Generate(*catalog).ok());
+}
+
 TEST(DataGeneratorTest, CorrelatedColumnFollowsSource) {
   // movie_info.info is correlated with info_type_id: for a fixed source
   // value, the derived value should repeat far more often than uniform.

@@ -137,5 +137,146 @@ TEST_F(WorkloadTest, ShapeOptionsRespected) {
   ASSERT_FALSE(q2->aggregates.empty());
 }
 
+// --- Topology control ---
+
+TEST_F(WorkloadTest, ChainTopologyIsAPath) {
+  WorkloadGenerator gen(&engine().catalog(), 21);
+  for (int n : {2, 4, 6, 9}) {
+    auto q = gen.GenerateTopologyQuery(JoinTopology::kChain, n,
+                                       "chain" + std::to_string(n));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    ASSERT_EQ(q->num_relations(), n);
+    EXPECT_EQ(q->joins.size(), static_cast<size_t>(n - 1));
+    EXPECT_TRUE(q->IsFullyConnected());
+    // Path degrees: endpoints 1, interior 2 — and join k connects
+    // relations k and k+1 (attachment is always to the newest relation).
+    for (int rel = 0; rel < n; ++rel) {
+      int degree = RelSetCount(q->NeighborsOf(rel));
+      EXPECT_EQ(degree, (rel == 0 || rel == n - 1) ? 1 : 2)
+          << "rel " << rel << " in " << q->ToSql();
+    }
+    for (size_t k = 0; k < q->joins.size(); ++k) {
+      EXPECT_TRUE(q->joins[k].Connects(static_cast<int>(k),
+                                       static_cast<int>(k) + 1));
+    }
+  }
+}
+
+TEST_F(WorkloadTest, StarTopologyHubAndSpokes) {
+  WorkloadGenerator gen(&engine().catalog(), 22);
+  for (int n : {3, 5, 8}) {
+    auto q = gen.GenerateTopologyQuery(JoinTopology::kStar, n,
+                                       "star" + std::to_string(n));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q->joins.size(), static_cast<size_t>(n - 1));
+    EXPECT_EQ(q->NeighborsOf(0), RelSetAll(n) & ~RelSetOf(0));
+    for (int rel = 1; rel < n; ++rel) {
+      EXPECT_EQ(q->NeighborsOf(rel), RelSetOf(0));
+    }
+  }
+}
+
+TEST_F(WorkloadTest, CliqueTopologyJoinsEveryPair) {
+  WorkloadGenerator gen(&engine().catalog(), 23);
+  for (int n : {2, 3, 5, 7}) {
+    auto q = gen.GenerateTopologyQuery(JoinTopology::kClique, n,
+                                       "clique" + std::to_string(n));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q->joins.size(), static_cast<size_t>(n * (n - 1) / 2));
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        EXPECT_FALSE(q->JoinPredsBetween(RelSetOf(a), RelSetOf(b)).empty())
+            << "no predicate between " << a << " and " << b << " in "
+            << q->ToSql();
+      }
+    }
+    EXPECT_TRUE(q->Validate(engine().catalog()).ok());
+  }
+}
+
+TEST_F(WorkloadTest, SnowflakeTopologyIsATreeAroundAHub) {
+  WorkloadGenerator gen(&engine().catalog(), 24);
+  for (int n : {4, 7, 10}) {
+    auto q = gen.GenerateTopologyQuery(JoinTopology::kSnowflake, n,
+                                       "snow" + std::to_string(n));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_EQ(q->joins.size(), static_cast<size_t>(n - 1));  // Tree.
+    EXPECT_TRUE(q->IsFullyConnected());
+    // The hub carries the first ring: at least ceil((n-1)/2) spokes.
+    EXPECT_GE(RelSetCount(q->NeighborsOf(0)), (n - 1 + 1) / 2);
+  }
+}
+
+TEST_F(WorkloadTest, TopologyNamesRoundTrip) {
+  for (JoinTopology t :
+       {JoinTopology::kRandom, JoinTopology::kChain, JoinTopology::kStar,
+        JoinTopology::kClique, JoinTopology::kSnowflake}) {
+    auto parsed = ParseJoinTopology(JoinTopologyName(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(ParseJoinTopology("mesh").ok());
+}
+
+TEST_F(WorkloadTest, TopologyQueriesAreDeterministicPerSeed) {
+  for (JoinTopology t :
+       {JoinTopology::kChain, JoinTopology::kStar, JoinTopology::kClique,
+        JoinTopology::kSnowflake}) {
+    WorkloadGenerator g1(&engine().catalog(), 31);
+    WorkloadGenerator g2(&engine().catalog(), 31);
+    auto q1 = g1.GenerateTopologyQuery(t, 5, "t");
+    auto q2 = g2.GenerateTopologyQuery(t, 5, "t");
+    ASSERT_TRUE(q1.ok() && q2.ok());
+    EXPECT_EQ(q1->StructuralFingerprint(), q2->StructuralFingerprint())
+        << JoinTopologyName(t);
+  }
+}
+
+// Golden seed-determinism gate: a fixed seed must keep producing exactly
+// these structures. If a future PR reorders the generator's Rng draws,
+// the JOB-like suites every bench and training run consume silently
+// change — this test makes that drift explicit. If the change is
+// intentional, re-golden from the failure output (each mismatch prints
+// the query name, SQL, and actual fingerprint).
+TEST_F(WorkloadTest, SeedDeterminismGoldenFingerprints) {
+  WorkloadGenerator gen(&engine().catalog(), 20260730);
+  auto suite = gen.GenerateJobLikeSuite(/*families=*/3, /*variants=*/2,
+                                        /*min_relations=*/3,
+                                        /*max_relations=*/6);
+  ASSERT_TRUE(suite.ok());
+  ASSERT_EQ(suite->size(), 6u);
+  const uint64_t kGolden[6] = {
+      3699669685081625162ull,   // q1a
+      811787936918634060ull,    // q1b
+      10896524390246305322ull,  // q2a
+      1154259011132775680ull,   // q2b
+      17110300728057086856ull,  // q3a
+      11871372097647470553ull,  // q3b
+  };
+  for (size_t i = 0; i < suite->size(); ++i) {
+    EXPECT_EQ((*suite)[i].StructuralFingerprint(), kGolden[i])
+        << (*suite)[i].name << ": " << (*suite)[i].ToSql();
+  }
+  // One golden per topology family as well (the eval harness's axes).
+  WorkloadGenerator topo_gen(&engine().catalog(), 20260730);
+  const uint64_t kTopologyGolden[4] = {
+      1509671550611486504ull,   // g_chain
+      5470756596394253000ull,   // g_star
+      10847657903055055428ull,  // g_clique
+      15539099773457389180ull,  // g_snowflake
+  };
+  const JoinTopology kTopologies[4] = {
+      JoinTopology::kChain, JoinTopology::kStar, JoinTopology::kClique,
+      JoinTopology::kSnowflake};
+  for (int i = 0; i < 4; ++i) {
+    auto q = topo_gen.GenerateTopologyQuery(
+        kTopologies[i], 5,
+        std::string("g_") + JoinTopologyName(kTopologies[i]));
+    ASSERT_TRUE(q.ok());
+    EXPECT_EQ(q->StructuralFingerprint(), kTopologyGolden[i])
+        << q->name << ": " << q->ToSql();
+  }
+}
+
 }  // namespace
 }  // namespace hfq
