@@ -380,6 +380,43 @@ BENCHMARK(BM_RejoinRolloutCollection)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Plan-time search cost: one searched inference of a 7-relation query
+// under each mode. Greedy is the single-rollout floor; best-of-8 pays ~8
+// rollouts; beam-4 pays ~width x valid-actions expansions plus the value
+// head. Together with fig3c this is the latency side of the plan-quality
+// trade-off the eval matrix measures.
+void BM_PlanSearch(benchmark::State& state) {
+  static bench::RejoinHarness* harness = [] {
+    auto* h = new bench::RejoinHarness(
+        bench::MakeRejoinHarness(&BenchEngine(), 8));
+    std::vector<Query> workload;
+    for (int i = 0; i < 3; ++i) workload.push_back(BenchQuery(7, 71 + i));
+    h->trainer->Train(workload, 64);
+    return h;
+  }();
+  const Query query = BenchQuery(7, 71);
+  SearchConfig config;
+  switch (state.range(0)) {
+    case 0:
+      config.mode = SearchMode::kGreedy;
+      break;
+    case 1:
+      config.mode = SearchMode::kBestOfK;
+      config.best_of_k = 8;
+      break;
+    default:
+      config.mode = SearchMode::kBeam;
+      config.beam_width = 4;
+      break;
+  }
+  for (auto _ : state) {
+    auto tree = harness->trainer->PlanWithSearch(query, config);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetLabel(SearchConfigName(config));
+}
+BENCHMARK(BM_PlanSearch)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace hfq
 

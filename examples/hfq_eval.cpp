@@ -8,17 +8,22 @@
 //   example_hfq_eval [--out=PATH] [--seed=N] [--workers=N] [--queries=N]
 //                    [--episodes=N] [--scale=F]
 //                    [--strategy=lfd|bootstrap|incremental]
+//                    [--search=MODE[,MODE...]] [--topologies=T[,T...]]
 //                    [--reduced] [--no-timings]
 //
 // --reduced runs the small smoke matrix (the ctest `eval` label / CI
 // eval-smoke job use it); --no-timings drops wall-clock fields so the
-// report bytes are deterministic per seed.
+// report bytes are deterministic per seed. --search sweeps the learned
+// planner over plan-search modes ("greedy", "best-of-<K>", "beam-<W>");
+// a single "greedy" reproduces the pre-search v1 report byte-for-byte.
+// --topologies restricts the topology axis (names per JoinTopologyName).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "eval/harness.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -60,6 +65,26 @@ int main(int argc, char** argv) {
       config.training_episodes = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--scale", &value)) {
       config.engine_scale = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--search", &value)) {
+      config.search_modes.clear();
+      for (const std::string& spec : hfq::Split(value, ',')) {
+        auto mode = hfq::ParseSearchSpec(spec);
+        if (!mode.ok()) {
+          std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+          return 2;
+        }
+        config.search_modes.push_back(*mode);
+      }
+    } else if (ParseFlag(arg, "--topologies", &value)) {
+      config.topologies.clear();
+      for (const std::string& name : hfq::Split(value, ',')) {
+        auto topology = hfq::ParseJoinTopology(name);
+        if (!topology.ok()) {
+          std::fprintf(stderr, "%s\n", topology.status().ToString().c_str());
+          return 2;
+        }
+        config.topologies.push_back(*topology);
+      }
     } else if (ParseFlag(arg, "--strategy", &value)) {
       if (value == "lfd") {
         config.strategy = hfq::TrainingStrategy::kLearningFromDemonstration;
@@ -101,13 +126,23 @@ int main(int argc, char** argv) {
                 cell.learned.win_rate_latency);
   }
   std::printf("---\naggregate over %d queries:\n", report->agg_dp.num_queries);
-  std::printf("  learned: cost regret mean %.4f p95 %.4f | latency regret "
-              "mean %.4f p95 %.4f | latency win rate vs DP %.2f\n",
+  std::printf("  learned [%s]: cost regret mean %.4f p95 %.4f | latency "
+              "regret mean %.4f p95 %.4f | latency win rate vs DP %.2f\n",
+              hfq::SearchConfigName(config.search_modes[0]).c_str(),
               report->agg_learned.cost_regret.mean,
               report->agg_learned.cost_regret.p95,
               report->agg_learned.latency_regret.mean,
               report->agg_learned.latency_regret.p95,
               report->agg_learned.win_rate_latency);
+  for (size_t m = 0; m < report->agg_more_search.size(); ++m) {
+    const hfq::PlannerStats& s = report->agg_more_search[m];
+    std::printf("  learned [%s]: cost regret mean %.4f p95 %.4f | latency "
+                "regret mean %.4f p95 %.4f | latency win rate vs DP %.2f\n",
+                hfq::SearchConfigName(config.search_modes[m + 1]).c_str(),
+                s.cost_regret.mean, s.cost_regret.p95,
+                s.latency_regret.mean, s.latency_regret.p95,
+                s.win_rate_latency);
+  }
   std::printf("  geqo:    cost regret mean %.4f p95 %.4f | latency regret "
               "mean %.4f p95 %.4f\n",
               report->agg_geqo.cost_regret.mean,

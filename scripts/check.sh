@@ -6,7 +6,13 @@
 #
 # --eval runs only the `eval` label: the reduced scenario-matrix smoke run
 # (example_hfq_eval --reduced), writing BENCH_eval_smoke.json in the build
-# directory — the same job CI's eval-smoke runs and archives.
+# directory — the same job CI's eval-smoke runs and archives — and then
+# diffs the fresh report's aggregate cost regret against the committed
+# BENCH_eval_smoke.json reference (scripts/diff_eval_regret.py), failing
+# on mean/p95 increases beyond a small tolerance, not just the golden
+# ceilings in eval_test. The eval build uses portable codegen
+# (HFQ_NATIVE_ARCH=OFF, own build dir) so the regret numbers are
+# comparable across machines.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -14,6 +20,7 @@ cd "$(dirname "$0")/.."
 build_type=""
 sanitize=OFF
 tsan=OFF
+eval_gate=OFF
 build_dir=build
 label=""
 
@@ -24,21 +31,29 @@ while [[ $# -gt 0 ]]; do
     --asan)    sanitize=ON; build_dir=build-asan ;;
     --tsan)    tsan=ON; build_dir=build-tsan ;;
     --label)   shift; label="${1:?--label requires an argument}" ;;
-    --eval)    label=eval ;;
+    --eval)    label=eval; eval_gate=ON; build_dir=build-eval ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
 done
 
-# Default matches CI: sanitizer runs build Debug, plain runs RelWithDebInfo.
+# Default matches CI: sanitizer runs build Debug, plain runs RelWithDebInfo,
+# the eval gate runs Release (like the eval-smoke job).
 if [[ -z "$build_type" ]]; then
-  if [[ "$sanitize" == ON ]]; then build_type=Debug; else build_type=RelWithDebInfo; fi
+  if [[ "$sanitize" == ON ]]; then build_type=Debug;
+  elif [[ "$eval_gate" == ON ]]; then build_type=Release;
+  else build_type=RelWithDebInfo; fi
 fi
 
-# TSan matches the CI tsan job: portable codegen, no ASan.
+# TSan matches the CI tsan job: portable codegen, no ASan. The eval gate
+# is also portable so its regret trajectory diffs cleanly against the
+# committed cross-machine reference.
 extra_flags=()
 if [[ "$tsan" == ON ]]; then
   extra_flags+=(-DHFQ_SANITIZE_THREAD=ON -DHFQ_NATIVE_ARCH=OFF)
+fi
+if [[ "$eval_gate" == ON ]]; then
+  extra_flags+=(-DHFQ_NATIVE_ARCH=OFF)
 fi
 
 cmake -B "$build_dir" -S . \
@@ -52,4 +67,9 @@ if [[ -n "$label" ]]; then
   ctest --output-on-failure -L "$label" -j "$(nproc)"
 else
   ctest --output-on-failure -j "$(nproc)"
+fi
+
+if [[ "$eval_gate" == ON ]]; then
+  python3 ../scripts/diff_eval_regret.py ../BENCH_eval_smoke.json \
+    BENCH_eval_smoke.json
 fi

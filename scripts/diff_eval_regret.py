@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Regret-trajectory gate: diff two hfq-eval JSON reports and fail on
+aggregate cost-regret increases.
+
+Usage: diff_eval_regret.py REFERENCE.json FRESH.json [--rel-tol R] [--abs-tol A]
+
+Compares the `aggregate` section planner by planner (learned, geqo, and any
+"learned:<search-mode>" entries; `dp` is pinned to exactly zero separately).
+For each planner present in the REFERENCE, the FRESH report must satisfy
+
+    fresh <= reference * (1 + rel_tol) + abs_tol
+
+for both the mean and the p95 cost regret. Regret *decreases* always pass —
+the gate only stops regressions, so the committed reference can be
+regenerated (ratcheted down) whenever a PR legitimately improves planning.
+A planner present in the reference but missing from the fresh report fails
+(lost coverage); planners only in the fresh report are ignored (new search
+modes may land before the reference is regenerated).
+
+Exit codes: 0 ok, 1 regression/coverage failure, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not str(report.get("schema", "")).startswith("hfq-eval-v"):
+        print(f"error: {path} is not an hfq-eval report", file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def cost_regret(aggregate, planner, field):
+    value = aggregate[planner]["cost_regret"][field]
+    # Non-finite stats are serialized as quoted tokens ("inf"/"nan"); any
+    # of them in a fresh report is itself a regression.
+    return float(value) if isinstance(value, (int, float)) else float("inf")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("reference")
+    parser.add_argument("fresh")
+    parser.add_argument("--rel-tol", type=float, default=0.10,
+                        help="relative headroom over the reference "
+                             "(default 0.10)")
+    parser.add_argument("--abs-tol", type=float, default=0.05,
+                        help="absolute headroom, absorbs fp/platform noise "
+                             "near zero (default 0.05)")
+    args = parser.parse_args()
+
+    ref = load(args.reference)["aggregate"]
+    fresh = load(args.fresh)["aggregate"]
+
+    failures = []
+    print(f"{'planner':<22} {'metric':<6} {'reference':>12} {'fresh':>12}")
+    for planner in ref:
+        if planner == "dp":
+            continue  # DP regret is exactly zero; eval_test pins it.
+        if planner not in fresh:
+            failures.append(f"planner '{planner}' missing from fresh report")
+            continue
+        for field in ("mean", "p95"):
+            r = cost_regret(ref, planner, field)
+            f = cost_regret(fresh, planner, field)
+            bound = r * (1.0 + args.rel_tol) + args.abs_tol
+            verdict = "" if f <= bound else "  REGRESSION"
+            print(f"{planner:<22} {field:<6} {r:>12.4f} {f:>12.4f}{verdict}")
+            if f > bound:
+                failures.append(
+                    f"{planner} cost-regret {field}: {f:.4f} > "
+                    f"{r:.4f} * (1 + {args.rel_tol}) + {args.abs_tol}")
+
+    if failures:
+        print("\nregret trajectory gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nregret trajectory gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -444,6 +444,35 @@ bool FullPipelineEnv::Done() const {
   return stage_ == Stage::kDone && final_plan_ != nullptr;
 }
 
+std::unique_ptr<SearchEnv> FullPipelineEnv::CloneSearch() const {
+  auto clone = std::make_unique<FullPipelineEnv>(featurizer_, expert_,
+                                                 reward_, config_);
+  clone->query_ = query_;
+  clone->stage_ = stage_;
+  clone->subtrees_.reserve(subtrees_.size());
+  for (const auto& tree : subtrees_) {
+    clone->subtrees_.push_back(tree->Clone());
+  }
+  if (tree_ != nullptr) {
+    clone->tree_ = tree_->Clone();
+    // Recomputing the post-order yields the same node sequence as the
+    // original tree's, so join_op_choice_ indices keep their meaning.
+    clone->tree_->InternalNodesPostOrder(&clone->internal_nodes_);
+  }
+  clone->access_choice_ = access_choice_;
+  clone->join_op_choice_ = join_op_choice_;
+  clone->agg_choice_ = agg_choice_;
+  clone->access_cursor_ = access_cursor_;
+  clone->join_op_cursor_ = join_op_cursor_;
+  if (final_plan_ != nullptr) clone->final_plan_ = final_plan_->Clone();
+  clone->last_reward_ = last_reward_;
+  return clone;
+}
+
+double FullPipelineEnv::FinalCost() const {
+  return FinalPlan()->est_cost;
+}
+
 const PlanNode* FullPipelineEnv::FinalPlan() const {
   HFQ_CHECK(final_plan_ != nullptr);
   return final_plan_.get();

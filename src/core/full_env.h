@@ -53,7 +53,7 @@ struct FullEnvConfig {
 ///   access path: 0 = SeqScan, 1 = B-tree IndexScan, 2 = Hash IndexScan
 ///   join operator: 0 = NLJ, 1 = IndexNLJ, 2 = HashJoin, 3 = MergeJoin
 ///   aggregate: 0 = HashAggregate, 1 = SortAggregate
-class FullPipelineEnv : public Environment {
+class FullPipelineEnv : public SearchEnv {
  public:
   /// All pointers must outlive the env.
   FullPipelineEnv(RejoinFeaturizer* featurizer, TraditionalOptimizer* expert,
@@ -82,6 +82,16 @@ class FullPipelineEnv : public Environment {
   std::vector<bool> ActionMask() const override;
   StepResult Step(int action) override;
   bool Done() const override;
+
+  /// Forks the in-flight episode — query, stage cursor, partial join
+  /// forest / decided operators all deep-copied; featurizer, expert and
+  /// reward are shared (thread-safe substrate). Enables prefix expansion
+  /// by the plan-search layer.
+  std::unique_ptr<SearchEnv> CloneSearch() const override;
+
+  /// The finished plan's cost-model cost (valid once Done()) — the
+  /// minimization objective plan-time search compares rollouts by.
+  double FinalCost() const override;
 
   /// The completed, annotated physical plan (valid once Done()).
   const PlanNode* FinalPlan() const;

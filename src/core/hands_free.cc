@@ -47,10 +47,12 @@ HandsFreeOptimizer::HandsFreeOptimizer(Engine* engine, HandsFreeConfig config)
       lfd_ = std::make_unique<DemonstrationLearner>(env_.get(), engine_,
                                                     config_.lfd,
                                                     config_.seed);
+      frozen_policy_ = std::make_unique<PredictorPolicy>(&lfd_->predictor());
       break;
     case TrainingStrategy::kCostModelBootstrapping:
       bootstrap_ = std::make_unique<BootstrapTrainer>(
           env_.get(), engine_, config_.bootstrap, config_.seed);
+      frozen_policy_ = std::make_unique<AgentPolicy>(&bootstrap_->agent());
       break;
     case TrainingStrategy::kIncrementalHybrid:
       curriculum_generator_ = std::make_unique<WorkloadGenerator>(
@@ -59,6 +61,7 @@ HandsFreeOptimizer::HandsFreeOptimizer(Engine* engine, HandsFreeConfig config)
           env_.get(), curriculum_generator_.get(), config_.incremental_pg,
           /*episodes_per_update=*/8, config_.seed,
           config_.num_rollout_workers);
+      frozen_policy_ = std::make_unique<AgentPolicy>(&incremental_->agent());
       break;
   }
 }
@@ -103,40 +106,36 @@ Status HandsFreeOptimizer::Train(const std::vector<Query>& workload) {
   return Status::OK();
 }
 
-Result<PlanNodePtr> HandsFreeOptimizer::Optimize(const Query& query,
-                                                 double* planning_ms_out) {
+Status HandsFreeOptimizer::CheckReadyToPlan(const Query& query) const {
   if (!trained_) {
-    return Status::FailedPrecondition("Train() before Optimize()");
+    return Status::FailedPrecondition("Train() before planning");
   }
   if (query.num_relations() > config_.max_relations) {
     return Status::InvalidArgument("query exceeds configured max_relations");
   }
-  env_->SetQuery(&query);
-  env_->Reset();
-  double inference_ms = 0.0;
-  while (!env_->Done()) {
-    Stopwatch watch;
-    std::vector<double> state = env_->StateVector();
-    std::vector<bool> mask = env_->ActionMask();
-    int action;
-    switch (config_.strategy) {
-      case TrainingStrategy::kLearningFromDemonstration:
-        action = lfd_->predictor().SelectAction(state, mask, /*epsilon=*/0.0);
-        break;
-      case TrainingStrategy::kCostModelBootstrapping:
-        action = bootstrap_->agent().GreedyAction(state, mask);
-        break;
-      case TrainingStrategy::kIncrementalHybrid:
-        action = incremental_->agent().GreedyAction(state, mask);
-        break;
-      default:
-        return Status::Internal("unknown strategy");
+  return Status::OK();
+}
+
+Result<PlanNodePtr> HandsFreeOptimizer::Optimize(const Query& query,
+                                                 double* planning_ms_out) {
+  return OptimizeWithSearch(query, config_.search, planning_ms_out);
+}
+
+Result<PlanNodePtr> HandsFreeOptimizer::OptimizeWithSearch(
+    const Query& query, const SearchConfig& search, double* planning_ms_out) {
+  HFQ_RETURN_IF_ERROR(CheckReadyToPlan(query));
+  // The single-query entry point may fan multi-rollout searches out over
+  // the facade pool; the workload-wide entry points keep per-query search
+  // serial because whole queries are already spread across the workers.
+  ThreadPool* pool = nullptr;
+  if (config_.num_rollout_workers > 1 && search.mode == SearchMode::kBestOfK) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(config_.num_rollout_workers);
     }
-    inference_ms += watch.ElapsedMillis();
-    env_->Step(action);
+    pool = pool_.get();
   }
-  if (planning_ms_out != nullptr) *planning_ms_out = inference_ms;
-  return env_->FinalPlan()->Clone();
+  MlpWorkspace ws;
+  return PlanOnEnv(env_.get(), query, &ws, search, planning_ms_out, pool);
 }
 
 Status HandsFreeOptimizer::SaveModel(const std::string& path) {
@@ -209,32 +208,14 @@ Result<HandsFreeOptimizer::Comparison> HandsFreeOptimizer::Compare(
   return result;
 }
 
-int HandsFreeOptimizer::SelectActionFrozen(const std::vector<double>& state,
-                                           const std::vector<bool>& mask,
-                                           MlpWorkspace* ws) {
-  switch (config_.strategy) {
-    case TrainingStrategy::kLearningFromDemonstration:
-      return lfd_->predictor().SelectAction(state, mask, /*epsilon=*/0.0,
-                                            /*rng=*/nullptr, ws);
-    case TrainingStrategy::kCostModelBootstrapping:
-      return bootstrap_->agent().GreedyAction(state, mask, ws);
-    case TrainingStrategy::kIncrementalHybrid:
-      return incremental_->agent().GreedyAction(state, mask, ws);
-  }
-  HFQ_CHECK_MSG(false, "unknown strategy");
-  return -1;
-}
-
-PlanNodePtr HandsFreeOptimizer::PlanOnEnv(FullPipelineEnv* env,
-                                          const Query& query,
-                                          MlpWorkspace* ws) {
+Result<PlanNodePtr> HandsFreeOptimizer::PlanOnEnv(
+    FullPipelineEnv* env, const Query& query, MlpWorkspace* ws,
+    const SearchConfig& search, double* planning_ms_out, ThreadPool* pool) {
   env->SetQuery(&query);
-  env->Reset();
-  while (!env->Done()) {
-    std::vector<double> state = env->StateVector();
-    std::vector<bool> mask = env->ActionMask();
-    env->Step(SelectActionFrozen(state, mask, ws));
-  }
+  SearchContext ctx{frozen_policy_.get(), /*rng=*/nullptr, ws};
+  std::unique_ptr<PlanSearch> searcher = MakePlanSearch(search);
+  HFQ_ASSIGN_OR_RETURN(SearchResult result, searcher->Search(env, ctx, pool));
+  if (planning_ms_out != nullptr) *planning_ms_out = result.planning_ms;
   return env->FinalPlan()->Clone();
 }
 
@@ -253,13 +234,24 @@ Result<std::vector<PlanNodePtr>> HandsFreeOptimizer::OptimizeWorkload(
 
   const size_t n = workload.size();
   std::vector<PlanNodePtr> plans(n);
+  std::vector<Status> errors(n, Status::OK());
   RunOnWorkers(pool_.get(), num_workers, [&](int w) {
     MlpWorkspace ws;
     for (size_t i = static_cast<size_t>(w); i < n;
          i += static_cast<size_t>(num_workers)) {
-      plans[i] = PlanOnEnv(envs[static_cast<size_t>(w)], workload[i], &ws);
+      auto plan =
+          PlanOnEnv(envs[static_cast<size_t>(w)], workload[i], &ws,
+                    config_.search);
+      if (plan.ok()) {
+        plans[i] = std::move(*plan);
+      } else {
+        errors[i] = plan.status();
+      }
     }
   });
+  for (const Status& status : errors) {
+    HFQ_RETURN_IF_ERROR(status);
+  }
   return plans;
 }
 
@@ -318,21 +310,39 @@ std::vector<FullPipelineEnv*> HandsFreeOptimizer::PrepareWorkerEnvs(
 
 Result<HandsFreeOptimizer::QueryEvaluation> HandsFreeOptimizer::EvaluateOnEnv(
     FullPipelineEnv* env, const Query& query, MlpWorkspace* ws) {
-  if (!trained_) {
-    return Status::FailedPrecondition("Train() before EvaluateOnEnv()");
-  }
-  if (query.num_relations() > config_.max_relations) {
-    return Status::InvalidArgument("query exceeds configured max_relations");
-  }
+  return EvaluateOnEnv(env, query, ws, config_.search);
+}
+
+Result<HandsFreeOptimizer::LearnedEvaluation>
+HandsFreeOptimizer::EvaluateLearnedOnEnv(FullPipelineEnv* env,
+                                         const Query& query, MlpWorkspace* ws,
+                                         const SearchConfig& search) {
+  HFQ_RETURN_IF_ERROR(CheckReadyToPlan(query));
+  LearnedEvaluation eval;
+  // Wall clock around the whole call: a searched plan is charged for every
+  // rollout/expansion it took, not just the winning rollout (Figure 3c
+  // accounting).
+  Stopwatch watch;
+  HFQ_ASSIGN_OR_RETURN(PlanNodePtr learned,
+                       PlanOnEnv(env, query, ws, search));
+  eval.planning_ms = watch.ElapsedMillis();
+  eval.cost = learned->est_cost;
+  eval.latency_ms = engine_->latency().SimulateMs(query, *learned);
+  return eval;
+}
+
+Result<HandsFreeOptimizer::QueryEvaluation> HandsFreeOptimizer::EvaluateOnEnv(
+    FullPipelineEnv* env, const Query& query, MlpWorkspace* ws,
+    const SearchConfig& search) {
   QueryEvaluation eval;
 
-  Stopwatch watch;
-  PlanNodePtr learned = PlanOnEnv(env, query, ws);
-  eval.learned_planning_ms = watch.ElapsedMillis();
-  eval.learned_cost = learned->est_cost;
-  eval.learned_latency_ms = engine_->latency().SimulateMs(query, *learned);
+  HFQ_ASSIGN_OR_RETURN(LearnedEvaluation learned,
+                       EvaluateLearnedOnEnv(env, query, ws, search));
+  eval.learned_planning_ms = learned.planning_ms;
+  eval.learned_cost = learned.cost;
+  eval.learned_latency_ms = learned.latency_ms;
 
-  watch.Reset();
+  Stopwatch watch;
   HFQ_ASSIGN_OR_RETURN(PlanNodePtr dp, dp_baseline_->Optimize(query));
   eval.dp_planning_ms = watch.ElapsedMillis();
   eval.dp_cost = dp->est_cost;

@@ -13,6 +13,8 @@
 #include "core/engine.h"
 #include "core/full_env.h"
 #include "core/incremental.h"
+#include "rl/search_context.h"
+#include "search/plan_search.h"
 #include "util/thread_pool.h"
 #include "workload/generator.h"
 
@@ -43,6 +45,13 @@ struct HandsFreeConfig {
   /// N > 1 is deterministic for a fixed (seed, N), and 1 matches the
   /// serial trajectories bit-for-bit.
   int num_rollout_workers = 1;
+  /// How the trained policy is used at plan time (src/search): greedy
+  /// single-rollout inference (default — the paper's case study),
+  /// best-of-K sampled rollouts keeping the cheapest by cost model, or
+  /// value-guided beam search over plan prefixes. Every Optimize /
+  /// *Workload / Evaluate* entry point routes through this config; the
+  /// default is bit-for-bit the historic greedy path.
+  SearchConfig search;
   LfdConfig lfd;
   BootstrapConfig bootstrap;
   PolicyGradientConfig incremental_pg;
@@ -58,10 +67,19 @@ class HandsFreeOptimizer {
   /// second call continues training.
   Status Train(const std::vector<Query>& workload);
 
-  /// Optimizes a query with the learned policy. `planning_ms_out`
-  /// (optional) receives pure inference time.
+  /// Optimizes a query with the learned policy through the configured
+  /// plan search. `planning_ms_out` (optional) receives the search's
+  /// planning-time charge: pure inference time for greedy (the historic
+  /// Figure 3c metric), the full search wall clock — every rollout and
+  /// expansion — for best-of-K and beam.
   Result<PlanNodePtr> Optimize(const Query& query,
                                double* planning_ms_out = nullptr);
+
+  /// Optimize under an explicit search config (ignoring config.search);
+  /// used by the evaluation harness's per-mode sweeps.
+  Result<PlanNodePtr> OptimizeWithSearch(const Query& query,
+                                         const SearchConfig& search,
+                                         double* planning_ms_out = nullptr);
 
   /// Simulated latency of the learned plan vs the expert plan for a query
   /// (positive ratio < 1 means the learned optimizer wins).
@@ -121,6 +139,26 @@ class HandsFreeOptimizer {
                                         const Query& query,
                                         MlpWorkspace* ws);
 
+  /// EvaluateOnEnv under an explicit search config for the learned
+  /// planner (DP/GEQO baselines are search-independent).
+  Result<QueryEvaluation> EvaluateOnEnv(FullPipelineEnv* env,
+                                        const Query& query, MlpWorkspace* ws,
+                                        const SearchConfig& search);
+
+  /// The learned planner's side of EvaluateOnEnv only — what the
+  /// scenario-matrix harness calls per extra search mode, so the DP/GEQO
+  /// baselines are not recomputed per mode. Thread-safe under the same
+  /// contract as EvaluateOnEnv.
+  struct LearnedEvaluation {
+    double cost = 0.0;
+    double latency_ms = 0.0;
+    double planning_ms = 0.0;
+  };
+  Result<LearnedEvaluation> EvaluateLearnedOnEnv(FullPipelineEnv* env,
+                                                 const Query& query,
+                                                 MlpWorkspace* ws,
+                                                 const SearchConfig& search);
+
   /// A fresh env clone wired to this optimizer's collaborators, carrying
   /// the primary env's current stage set. One per worker thread.
   std::unique_ptr<FullPipelineEnv> MakeWorkerEnv() const;
@@ -138,15 +176,22 @@ class HandsFreeOptimizer {
   FullPipelineEnv& env() { return *env_; }
   Engine& engine() { return *engine_; }
 
- private:
-  /// Greedy (frozen-policy) action for the configured strategy; the
-  /// thread-safe core of the workload-wide entry points.
-  int SelectActionFrozen(const std::vector<double>& state,
-                         const std::vector<bool>& mask, MlpWorkspace* ws);
+  /// The frozen inference view of the trained model (strategy-agnostic);
+  /// what every plan-time search runs on. Valid for the facade's
+  /// lifetime; meaningful once trained.
+  const FrozenPolicy* policy() const { return frozen_policy_.get(); }
 
-  /// Runs one greedy episode of `query` on `env` and returns the plan.
-  PlanNodePtr PlanOnEnv(FullPipelineEnv* env, const Query& query,
-                        MlpWorkspace* ws);
+ private:
+  /// Runs `search` for `query` on `env` (thread-safe with distinct
+  /// env/ws) and returns the finished plan. `planning_ms_out` optional;
+  /// `pool` optionally fans out multi-rollout searches.
+  Result<PlanNodePtr> PlanOnEnv(FullPipelineEnv* env, const Query& query,
+                                MlpWorkspace* ws, const SearchConfig& search,
+                                double* planning_ms_out = nullptr,
+                                ThreadPool* pool = nullptr);
+
+  /// Shared validation for the planning entry points.
+  Status CheckReadyToPlan(const Query& query) const;
 
   /// Lazily grows the cached worker-env pool to serve `num_workers`,
   /// refreshes the clones to the primary env's stage set, spins up the
@@ -164,6 +209,9 @@ class HandsFreeOptimizer {
   std::unique_ptr<RejoinFeaturizer> featurizer_;
   std::unique_ptr<NegLogLatencyReward> latency_reward_;
   std::unique_ptr<FullPipelineEnv> env_;
+  /// Strategy-agnostic frozen inference view over the active backend's
+  /// model; the policy every plan-time search queries.
+  std::unique_ptr<FrozenPolicy> frozen_policy_;
   /// Per-worker env clones + pool for the workload-wide entry points.
   std::vector<std::unique_ptr<FullPipelineEnv>> worker_envs_;
   std::unique_ptr<ThreadPool> pool_;

@@ -88,8 +88,10 @@ Result<EvalReport> ScenarioEvaluator::Run() {
           config_.predicate_mixes[static_cast<size_t>(cell.predicate_mix)]
               .shape,
           &ctx.engine->db());
+      const size_t num_modes = config_.search_modes.size();
       CellResult result;
       result.cell = cell;
+      result.more_rows.resize(num_modes - 1);
       for (int qi = 0; qi < config_.queries_per_cell; ++qi) {
         // Names are unique per (engine, cell, query): the oracle and
         // estimator memoize per name and die on structural aliasing.
@@ -102,16 +104,38 @@ Result<EvalReport> ScenarioEvaluator::Run() {
           errors[ci] = query.status();
           return;
         }
-        auto row = ctx.facade->EvaluateOnEnv(env, *query, &ws);
+        auto row =
+            ctx.facade->EvaluateOnEnv(env, *query, &ws,
+                                      config_.search_modes[0]);
         if (!row.ok()) {
           errors[ci] = row.status();
           return;
+        }
+        // Additional search modes re-plan the learned side only; the
+        // DP/GEQO columns carry over so every mode row is a complete,
+        // regret-computable QueryEvaluation.
+        for (size_t m = 1; m < num_modes; ++m) {
+          auto learned = ctx.facade->EvaluateLearnedOnEnv(
+              env, *query, &ws, config_.search_modes[m]);
+          if (!learned.ok()) {
+            errors[ci] = learned.status();
+            return;
+          }
+          HandsFreeOptimizer::QueryEvaluation mode_row = *row;
+          mode_row.learned_cost = learned->cost;
+          mode_row.learned_latency_ms = learned->latency_ms;
+          mode_row.learned_planning_ms = learned->planning_ms;
+          result.more_rows[m - 1].push_back(mode_row);
         }
         result.rows.push_back(*row);
       }
       result.learned = ComputePlannerStats(result.rows, Planner::kLearned);
       result.dp = ComputePlannerStats(result.rows, Planner::kDp);
       result.geqo = ComputePlannerStats(result.rows, Planner::kGeqo);
+      for (const auto& mode_rows : result.more_rows) {
+        result.more_search.push_back(
+            ComputePlannerStats(mode_rows, Planner::kLearned));
+      }
       report.cells[ci] = std::move(result);
     }
   });
@@ -127,6 +151,15 @@ Result<EvalReport> ScenarioEvaluator::Run() {
   report.agg_learned = ComputePlannerStats(all_rows, Planner::kLearned);
   report.agg_dp = ComputePlannerStats(all_rows, Planner::kDp);
   report.agg_geqo = ComputePlannerStats(all_rows, Planner::kGeqo);
+  for (size_t m = 1; m < config_.search_modes.size(); ++m) {
+    std::vector<HandsFreeOptimizer::QueryEvaluation> mode_rows;
+    for (const CellResult& cell : report.cells) {
+      mode_rows.insert(mode_rows.end(), cell.more_rows[m - 1].begin(),
+                       cell.more_rows[m - 1].end());
+    }
+    report.agg_more_search.push_back(
+        ComputePlannerStats(mode_rows, Planner::kLearned));
+  }
 
   report.total_ms = total_watch.ElapsedMillis();
   return report;

@@ -56,8 +56,11 @@ void AppendPlanner(std::ostringstream* out, const char* key,
 
 std::string ReportToJson(const EvalReport& report, bool include_timings) {
   const EvalConfig& config = report.config;
+  // The historic v1 layout is preserved bit-for-bit for a plain greedy
+  // sweep; search sections only appear (as v2) when there is a sweep.
+  const bool v1 = EvalConfigIsV1Compatible(config);
   std::ostringstream out;
-  out << "{\"schema\":\"hfq-eval-v1\"";
+  out << "{\"schema\":\"" << (v1 ? "hfq-eval-v1" : "hfq-eval-v2") << "\"";
 
   out << ",\"config\":{\"seed\":" << config.seed
       << ",\"engine_scale\":" << Num(config.engine_scale)
@@ -83,7 +86,16 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
   for (size_t i = 0; i < config.predicate_mixes.size(); ++i) {
     out << (i ? "," : "") << Quoted(config.predicate_mixes[i].name);
   }
-  out << "]}";
+  out << "]";
+  if (!v1) {
+    out << ",\"search_modes\":[";
+    for (size_t i = 0; i < config.search_modes.size(); ++i) {
+      out << (i ? "," : "")
+          << Quoted(SearchConfigName(config.search_modes[i]));
+    }
+    out << "]";
+  }
+  out << "}";
 
   out << ",\"cells\":[";
   for (size_t i = 0; i < report.cells.size(); ++i) {
@@ -105,6 +117,13 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
     AppendPlanner(&out, "dp", cell.dp, include_timings);
     out << ",";
     AppendPlanner(&out, "geqo", cell.geqo, include_timings);
+    for (size_t m = 0; m < cell.more_search.size(); ++m) {
+      out << ",";
+      AppendPlanner(
+          &out,
+          ("learned:" + SearchConfigName(config.search_modes[m + 1])).c_str(),
+          cell.more_search[m], include_timings);
+    }
     out << "}}";
   }
   out << "]";
@@ -115,6 +134,13 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
   AppendPlanner(&out, "dp", report.agg_dp, include_timings);
   out << ",";
   AppendPlanner(&out, "geqo", report.agg_geqo, include_timings);
+  for (size_t m = 0; m < report.agg_more_search.size(); ++m) {
+    out << ",";
+    AppendPlanner(
+        &out,
+        ("learned:" + SearchConfigName(config.search_modes[m + 1])).c_str(),
+        report.agg_more_search[m], include_timings);
+  }
   out << "}";
 
   if (include_timings) {

@@ -18,11 +18,17 @@ namespace hfq {
 /// Everything measured for one matrix cell.
 struct CellResult {
   ScenarioCell cell;
-  /// Raw per-query rows, in generation order.
+  /// Raw per-query rows for search mode 0, in generation order.
   std::vector<HandsFreeOptimizer::QueryEvaluation> rows;
-  PlannerStats learned;
+  PlannerStats learned;  ///< The learned planner under search mode 0.
   PlannerStats dp;
   PlannerStats geqo;
+  /// Learned-planner results under each *additional* search mode
+  /// (config.search_modes[1..]; mode 0 is `rows`/`learned` above).
+  /// more_rows[m] copies the DP/GEQO columns of `rows` — only the
+  /// learned_* fields differ.
+  std::vector<std::vector<HandsFreeOptimizer::QueryEvaluation>> more_rows;
+  std::vector<PlannerStats> more_search;
 };
 
 /// One full harness run.
@@ -33,6 +39,9 @@ struct EvalReport {
   PlannerStats agg_learned;
   PlannerStats agg_dp;
   PlannerStats agg_geqo;
+  /// Aggregates for the additional search modes (parallel to
+  /// config.search_modes[1..]).
+  std::vector<PlannerStats> agg_more_search;
   /// Wall-clock (timings section only).
   double train_ms = 0.0;
   double total_ms = 0.0;
@@ -43,7 +52,10 @@ struct EvalReport {
 /// wall-clock sections (training/planning times) — leave it off when the
 /// bytes must be deterministic. Execution knobs that cannot change the
 /// stats (num_workers, include_timings itself) are deliberately not
-/// echoed.
+/// echoed. Schema: a single default-greedy search sweep emits the
+/// historic "hfq-eval-v1" bytes exactly; any other sweep emits
+/// "hfq-eval-v2", which adds `config.search_modes` plus per-cell and
+/// aggregate "learned:<mode>" planner sections.
 std::string ReportToJson(const EvalReport& report, bool include_timings);
 
 /// ReportToJson to a file.

@@ -2,27 +2,26 @@
 
 #include <set>
 
+#include "util/rng.h"
 #include "util/string_util.h"
 
 namespace hfq {
-namespace {
-
-// splitmix64 finalizer: decorrelates per-cell seeds derived from one
-// master seed, so adjacent cells never share an Rng stream prefix.
-uint64_t MixSeed(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
-  return x ^ (x >> 31);
-}
-
-}  // namespace
 
 EvalConfig::EvalConfig() {
-  topologies = {JoinTopology::kChain, JoinTopology::kStar,
-                JoinTopology::kClique, JoinTopology::kSnowflake};
+  topologies = {JoinTopology::kChain,     JoinTopology::kStar,
+                JoinTopology::kClique,    JoinTopology::kSnowflake,
+                JoinTopology::kCyclic,    JoinTopology::kDisconnected};
   relation_counts = {3, 5, 8};
   data_profiles = {DataProfile{"uniform", 0.0}, DataProfile{"skewed", 1.5}};
+
+  SearchConfig greedy;  // Mode 0: the paper's single-rollout inference.
+  SearchConfig best_of_8;
+  best_of_8.mode = SearchMode::kBestOfK;
+  best_of_8.best_of_k = 8;
+  SearchConfig beam_4;
+  beam_4.mode = SearchMode::kBeam;
+  beam_4.beam_width = 4;
+  search_modes = {greedy, best_of_8, beam_4};
 
   PredicateMix lite;
   lite.name = "lite";
@@ -88,7 +87,24 @@ Status ValidateEvalConfig(const EvalConfig& config) {
   if (config.training_episodes < 1 || config.training_families < 1) {
     return Status::InvalidArgument("training budget must be >= 1");
   }
+  if (config.search_modes.empty()) {
+    return Status::InvalidArgument("search_modes must not be empty");
+  }
+  for (const SearchConfig& mode : config.search_modes) {
+    if (mode.best_of_k < 1 || mode.beam_width < 1) {
+      return Status::InvalidArgument("search mode knobs must be >= 1");
+    }
+    if (!names.insert("s:" + SearchConfigName(mode)).second) {
+      return Status::InvalidArgument("duplicate search mode " +
+                                     SearchConfigName(mode));
+    }
+  }
   return Status::OK();
+}
+
+bool EvalConfigIsV1Compatible(const EvalConfig& config) {
+  return config.search_modes.size() == 1 &&
+         IsDefaultGreedy(config.search_modes[0]);
 }
 
 std::string ScenarioCell::Key(const EvalConfig& config) const {
@@ -112,8 +128,10 @@ std::vector<ScenarioCell> BuildScenarioCells(const EvalConfig& config) {
           cell.num_relations = n;
           cell.data_profile = static_cast<int>(d);
           cell.predicate_mix = static_cast<int>(p);
+          // Per-cell derived seed, decorrelated via the shared splitmix64
+          // finalizer so adjacent cells never share an Rng stream prefix.
           cell.seed =
-              MixSeed(config.seed ^ (static_cast<uint64_t>(index) << 20));
+              MixSeed64(config.seed ^ (static_cast<uint64_t>(index) << 20));
           cells.push_back(cell);
           ++index;
         }

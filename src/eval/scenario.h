@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/hands_free.h"
+#include "search/plan_search.h"
 #include "util/status.h"
 #include "workload/generator.h"
 
@@ -29,9 +30,10 @@ struct PredicateMix {
 };
 
 /// Harness configuration. The default constructor builds the full default
-/// matrix (4 topology families x {3,5,8} relations x {uniform, skewed}
-/// data x {lite, rich} predicate mixes); ReducedEvalConfig() shrinks it
-/// for smoke tests.
+/// matrix (6 topology families — chain, star, clique, snowflake, cyclic,
+/// disconnected — x {3,5,8} relations x {uniform, skewed} data x {lite,
+/// rich} predicate mixes, learned planner swept over greedy / best-of-8 /
+/// beam-4 plan search); ReducedEvalConfig() shrinks it for smoke tests.
 struct EvalConfig {
   EvalConfig();
 
@@ -54,6 +56,13 @@ struct EvalConfig {
   int training_episodes = 80;
   /// Families in the JOB-like training suite (one variant each).
   int training_families = 10;
+  /// Plan-search sweep for the learned planner: every query of every cell
+  /// is planned once per mode (DP/GEQO baselines are search-independent
+  /// and run once). Mode 0 is the report's "learned" planner; additional
+  /// modes appear as "learned:<mode>" sections. When this is exactly
+  /// {default greedy}, the report is byte-identical to the pre-search
+  /// "hfq-eval-v1" schema; otherwise it is "hfq-eval-v2".
+  std::vector<SearchConfig> search_modes;
   /// Emit wall-clock timing fields in the JSON report. Turn off for
   /// byte-identical reports across runs.
   bool include_timings = true;
@@ -64,8 +73,13 @@ struct EvalConfig {
 /// tests and the `eval` ctest label.
 EvalConfig ReducedEvalConfig();
 
-/// Rejects empty axes, out-of-range counts, duplicate axis names.
+/// Rejects empty axes, out-of-range counts, duplicate axis names
+/// (including duplicate search-mode tags).
 Status ValidateEvalConfig(const EvalConfig& config);
+
+/// True when the report this config produces keeps the pre-search
+/// "hfq-eval-v1" byte layout: a single default-greedy search mode.
+bool EvalConfigIsV1Compatible(const EvalConfig& config);
 
 /// One cell of the matrix.
 struct ScenarioCell {

@@ -27,6 +27,25 @@ void JoinOrderEnv::Reset() {
     subtrees_.push_back(JoinTreeNode::Leaf(rel));
   }
   done_ = subtrees_.size() <= 1;
+  last_reward_ = 0.0;
+}
+
+std::unique_ptr<SearchEnv> JoinOrderEnv::CloneSearch() const {
+  auto clone =
+      std::make_unique<JoinOrderEnv>(featurizer_, reward_fn_, config_);
+  clone->query_ = query_;
+  clone->done_ = done_;
+  clone->last_reward_ = last_reward_;
+  clone->subtrees_.reserve(subtrees_.size());
+  for (const auto& tree : subtrees_) {
+    clone->subtrees_.push_back(tree->Clone());
+  }
+  return clone;
+}
+
+double JoinOrderEnv::FinalCost() const {
+  HFQ_CHECK(done_);
+  return -last_reward_;
 }
 
 int JoinOrderEnv::state_dim() const { return featurizer_->FeatureDim(); }
@@ -114,6 +133,7 @@ StepResult JoinOrderEnv::Step(int action) {
     done_ = true;
     result.done = true;
     result.reward = reward_fn_(*query_, *subtrees_[0]);
+    last_reward_ = result.reward;
   }
   return result;
 }

@@ -31,7 +31,7 @@ struct JoinEnvConfig {
 /// join subtree at slot x (becomes the outer/left child) with subtree at
 /// slot y. After the action the merged tree sits at slot min(x, y) and the
 /// other slot is vacated (slots compact, ReJOIN's shrinking subtree list).
-class JoinOrderEnv : public Environment {
+class JoinOrderEnv : public SearchEnv {
  public:
   /// `featurizer` and `reward_fn` must outlive the env.
   JoinOrderEnv(RejoinFeaturizer* featurizer, JoinRewardFn reward_fn,
@@ -47,6 +47,16 @@ class JoinOrderEnv : public Environment {
   std::vector<bool> ActionMask() const override;
   StepResult Step(int action) override;
   bool Done() const override;
+
+  /// Forks the in-flight episode (same query, deep-cloned subtrees);
+  /// featurizer and reward fn are shared. Enables prefix expansion by the
+  /// plan-search layer.
+  std::unique_ptr<SearchEnv> CloneSearch() const override;
+
+  /// Negated terminal reward (reward_fn is higher-is-better; search
+  /// minimizes), valid once Done() via Step. A trivial episode that was
+  /// never stepped (single relation) scores 0.
+  double FinalCost() const override;
 
   /// The finished join tree (valid once Done()).
   const JoinTreeNode* FinalTree() const;
@@ -69,6 +79,7 @@ class JoinOrderEnv : public Environment {
   const Query* query_ = nullptr;
   std::vector<std::unique_ptr<JoinTreeNode>> subtrees_;
   bool done_ = true;
+  double last_reward_ = 0.0;
 };
 
 }  // namespace hfq

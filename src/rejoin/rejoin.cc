@@ -143,18 +143,23 @@ void RejoinTrainer::FlushPendingEpisodes() {
 
 std::unique_ptr<JoinTreeNode> RejoinTrainer::Plan(const Query& query,
                                                   double* planning_ms_out) {
+  return PlanWithSearch(query, SearchConfig(), planning_ms_out);
+}
+
+std::unique_ptr<JoinTreeNode> RejoinTrainer::PlanWithSearch(
+    const Query& query, const SearchConfig& search, double* planning_ms_out,
+    SearchResult* result_out) {
   env_->SetQuery(&query);
-  env_->Reset();
-  double inference_ms = 0.0;
-  while (!env_->Done()) {
-    Stopwatch watch;
-    std::vector<double> state = env_->StateVector();
-    std::vector<bool> mask = env_->ActionMask();
-    int action = agent_.GreedyAction(state, mask);
-    inference_ms += watch.ElapsedMillis();
-    env_->Step(action);
-  }
-  if (planning_ms_out != nullptr) *planning_ms_out = inference_ms;
+  AgentPolicy policy(&agent_);
+  MlpWorkspace ws;
+  // No Rng: searchers derive any sampling streams from the SearchConfig
+  // seed, so planning never advances the trainer's streams.
+  SearchContext ctx{&policy, /*rng=*/nullptr, &ws};
+  std::unique_ptr<PlanSearch> searcher = MakePlanSearch(search);
+  auto result = searcher->Search(env_, ctx, pool_.get());
+  HFQ_CHECK_MSG(result.ok(), "plan search failed");
+  if (planning_ms_out != nullptr) *planning_ms_out = result->planning_ms;
+  if (result_out != nullptr) *result_out = std::move(*result);
   return env_->FinalTree()->Clone();
 }
 

@@ -12,6 +12,7 @@
 
 #include "rejoin/join_env.h"
 #include "rl/policy_gradient.h"
+#include "search/plan_search.h"
 #include "util/thread_pool.h"
 
 namespace hfq {
@@ -88,8 +89,21 @@ class RejoinTrainer {
   /// Greedy inference: returns the join tree the trained policy picks.
   /// If `planning_ms_out` is non-null it receives the pure inference time
   /// (featurization + network forward passes), the Figure 3c metric.
+  /// Equivalent to PlanWithSearch with a default-greedy SearchConfig.
   std::unique_ptr<JoinTreeNode> Plan(const Query& query,
                                      double* planning_ms_out = nullptr);
+
+  /// Plan-time search over the frozen policy (src/search): greedy,
+  /// best-of-K sampled rollouts, or value-guided beam, per `search`. The
+  /// returned tree never scores worse than Plan()'s under the env reward
+  /// (the greedy rollout is always a candidate). `planning_ms_out`
+  /// receives the full search charge — every rollout and expansion, not
+  /// just the winning one (the honest Figure 3c accounting for searched
+  /// inference). Deterministic per (model, query, search config); does
+  /// not consume the trainer's sampling streams.
+  std::unique_ptr<JoinTreeNode> PlanWithSearch(
+      const Query& query, const SearchConfig& search,
+      double* planning_ms_out = nullptr, SearchResult* result_out = nullptr);
 
   PolicyGradientAgent& agent() { return agent_; }
 

@@ -1,9 +1,11 @@
 // The reinforcement-learning environment interface (states, masked discrete
 // actions, terminal rewards) shared by ReJOIN's join-ordering MDP and the
-// full-pipeline MDP.
+// full-pipeline MDP, plus the branchable extension (SearchEnv) that
+// plan-time search (src/search) builds on.
 #ifndef HFQ_RL_ENV_H_
 #define HFQ_RL_ENV_H_
 
+#include <memory>
 #include <vector>
 
 namespace hfq {
@@ -44,6 +46,29 @@ class Environment {
 
   /// True once the episode has terminated.
   virtual bool Done() const = 0;
+};
+
+/// An Environment that plan-time search can branch. Beyond the episodic
+/// contract above, a SearchEnv can fork the in-flight episode prefix
+/// (CloneSearch) so a searcher may expand several continuations of the
+/// same partial plan, and it scores its finished episode with a
+/// minimization objective (FinalCost) so different rollouts of one query
+/// are comparable. Reset() restarts the *current* query from scratch,
+/// which is how multi-rollout searchers (best-of-K) re-run an episode.
+class SearchEnv : public Environment {
+ public:
+  /// Deep copy of this env including the in-flight episode state (same
+  /// query, same partial-plan prefix). Collaborators (featurizers, cost
+  /// models, reward signals) are shared, not copied; the clone is an
+  /// independent single-threaded object on top of the thread-safe shared
+  /// substrate, so clones may step on different threads.
+  virtual std::unique_ptr<SearchEnv> CloneSearch() const = 0;
+
+  /// Scalar score of the finished episode, lower is better (valid once
+  /// Done()). Concrete envs define the unit: the full-pipeline env reports
+  /// the final plan's cost-model cost; the join-order env reports the
+  /// negated terminal reward.
+  virtual double FinalCost() const = 0;
 };
 
 }  // namespace hfq

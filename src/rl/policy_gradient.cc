@@ -118,6 +118,11 @@ int PolicyGradientAgent::GreedyAction(const std::vector<double>& state,
                                       const std::vector<bool>& mask,
                                       MlpWorkspace* workspace) const {
   std::vector<double> probs = ActionProbabilities(state, mask, workspace);
+  // Strict > : equal-probability ties resolve to the lowest action index,
+  // never to Rng state — greedy inference on a frozen model is a pure
+  // function of (weights, state, mask). tests/hands_free_test.cc pins
+  // this via save/load -> Optimize bit-equality across interleaved
+  // sampling.
   int best = -1;
   for (int a = 0; a < action_dim_; ++a) {
     if (!mask[static_cast<size_t>(a)]) continue;

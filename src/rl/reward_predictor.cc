@@ -70,6 +70,9 @@ int RewardPredictor::SelectAction(const std::vector<double>& state,
     if (rng->Bernoulli(epsilon)) return rng->Choice(valid);
   }
   std::vector<double> preds = PredictAll(state, workspace);
+  // Strict < : ties resolve to the lowest valid action index, never to
+  // Rng state (the rng is only touched by the epsilon branch above), so
+  // epsilon-0 inference on a frozen predictor is fully deterministic.
   int best = valid[0];
   for (int a : valid) {
     if (preds[static_cast<size_t>(a)] < preds[static_cast<size_t>(best)]) {

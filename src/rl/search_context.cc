@@ -1,0 +1,105 @@
+#include "rl/search_context.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace hfq {
+
+AgentPolicy::AgentPolicy(const PolicyGradientAgent* agent) : agent_(agent) {
+  HFQ_CHECK(agent != nullptr);
+}
+
+int AgentPolicy::Greedy(const std::vector<double>& state,
+                        const std::vector<bool>& mask,
+                        MlpWorkspace* ws) const {
+  return agent_->GreedyAction(state, mask, ws);
+}
+
+int AgentPolicy::Sample(const std::vector<double>& state,
+                        const std::vector<bool>& mask, Rng* rng,
+                        MlpWorkspace* ws) const {
+  return agent_->SampleAction(state, mask, rng, ws);
+}
+
+std::vector<double> AgentPolicy::Probabilities(
+    const std::vector<double>& state, const std::vector<bool>& mask,
+    MlpWorkspace* ws) const {
+  return agent_->ActionProbabilities(state, mask, ws);
+}
+
+double AgentPolicy::Value(const std::vector<double>& state,
+                          const std::vector<bool>& mask,
+                          MlpWorkspace* ws) const {
+  (void)mask;
+  return agent_->Value(state, ws);
+}
+
+PredictorPolicy::PredictorPolicy(const RewardPredictor* predictor)
+    : predictor_(predictor) {
+  HFQ_CHECK(predictor != nullptr);
+}
+
+int PredictorPolicy::Greedy(const std::vector<double>& state,
+                            const std::vector<bool>& mask,
+                            MlpWorkspace* ws) const {
+  return predictor_->SelectAction(state, mask, /*epsilon=*/0.0,
+                                  /*rng=*/nullptr, ws);
+}
+
+std::vector<double> PredictorPolicy::Probabilities(
+    const std::vector<double>& state, const std::vector<bool>& mask,
+    MlpWorkspace* ws) const {
+  // Softmax over negated predictions, max-shifted for stability. The
+  // predictor's outcomes are lower-is-better, so the best action gets the
+  // largest probability and argmax (lowest-index ties) matches Greedy.
+  std::vector<double> preds = predictor_->PredictAll(state, ws);
+  HFQ_CHECK(preds.size() == mask.size());
+  double best = 0.0;
+  bool any = false;
+  for (size_t a = 0; a < preds.size(); ++a) {
+    if (!mask[a]) continue;
+    if (!any || -preds[a] > best) best = -preds[a];
+    any = true;
+  }
+  HFQ_CHECK_MSG(any, "no valid action");
+  std::vector<double> probs(preds.size(), 0.0);
+  double total = 0.0;
+  for (size_t a = 0; a < preds.size(); ++a) {
+    if (!mask[a]) continue;
+    probs[a] = std::exp(-preds[a] - best);
+    total += probs[a];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+int PredictorPolicy::Sample(const std::vector<double>& state,
+                            const std::vector<bool>& mask, Rng* rng,
+                            MlpWorkspace* ws) const {
+  HFQ_CHECK(rng != nullptr);
+  std::vector<double> probs = Probabilities(state, mask, ws);
+  int action = static_cast<int>(rng->Categorical(probs));
+  HFQ_CHECK(mask[static_cast<size_t>(action)]);
+  return action;
+}
+
+double PredictorPolicy::Value(const std::vector<double>& state,
+                              const std::vector<bool>& mask,
+                              MlpWorkspace* ws) const {
+  std::vector<double> preds = predictor_->PredictAll(state, ws);
+  HFQ_CHECK(preds.size() == mask.size());
+  double best = 0.0;
+  bool any = false;
+  for (size_t a = 0; a < preds.size(); ++a) {
+    if (!mask[a]) continue;
+    if (!any || -preds[a] > best) best = -preds[a];
+    any = true;
+  }
+  // Terminal states expose an empty mask; the best achievable outcome of
+  // "no decision left" is neutral.
+  return any ? best : 0.0;
+}
+
+}  // namespace hfq

@@ -1,0 +1,118 @@
+// The frozen-policy surface plan-time search runs on. A FrozenPolicy wraps
+// one trained model behind a uniform const interface (greedy action,
+// sampled action, per-action probabilities, state value) built on the
+// PR 3 thread-safe inference overloads, so a searcher neither knows nor
+// cares whether the policy is a PolicyGradientAgent or a RewardPredictor.
+// A SearchContext bundles the policy with the per-worker mutable state
+// (Rng + MlpWorkspace) one search thread needs.
+#ifndef HFQ_RL_SEARCH_CONTEXT_H_
+#define HFQ_RL_SEARCH_CONTEXT_H_
+
+#include <vector>
+
+#include "rl/policy_gradient.h"
+#include "rl/reward_predictor.h"
+#include "util/rng.h"
+
+namespace hfq {
+
+/// Read-only view of a trained policy. All methods are const and safe to
+/// call from any number of threads against a *frozen* model (no training
+/// update in flight), each caller bringing its own Rng/MlpWorkspace.
+class FrozenPolicy {
+ public:
+  virtual ~FrozenPolicy() = default;
+
+  /// The policy's exploitation action — bit-for-bit the action the
+  /// wrapped model's own greedy entry point picks (ties broken by lowest
+  /// action index, never by Rng state, so repeated calls on a frozen
+  /// model are deterministic).
+  virtual int Greedy(const std::vector<double>& state,
+                     const std::vector<bool>& mask,
+                     MlpWorkspace* ws) const = 0;
+
+  /// One exploration sample from the policy distribution.
+  virtual int Sample(const std::vector<double>& state,
+                     const std::vector<bool>& mask, Rng* rng,
+                     MlpWorkspace* ws) const = 0;
+
+  /// Full action distribution (masked entries are exactly 0). Argmax of
+  /// this vector with lowest-index tie-breaking equals Greedy().
+  virtual std::vector<double> Probabilities(const std::vector<double>& state,
+                                            const std::vector<bool>& mask,
+                                            MlpWorkspace* ws) const = 0;
+
+  /// Estimated goodness of a (possibly non-terminal) state, higher is
+  /// better — the value head that guides beam search. Implementations
+  /// without a usable value model may return 0.
+  virtual double Value(const std::vector<double>& state,
+                       const std::vector<bool>& mask,
+                       MlpWorkspace* ws) const = 0;
+};
+
+/// FrozenPolicy over a PolicyGradientAgent: policy net for actions, the
+/// learned value baseline as the value head.
+class AgentPolicy : public FrozenPolicy {
+ public:
+  /// `agent` must outlive the policy and stay frozen while it is in use.
+  explicit AgentPolicy(const PolicyGradientAgent* agent);
+
+  int Greedy(const std::vector<double>& state, const std::vector<bool>& mask,
+             MlpWorkspace* ws) const override;
+  int Sample(const std::vector<double>& state, const std::vector<bool>& mask,
+             Rng* rng, MlpWorkspace* ws) const override;
+  std::vector<double> Probabilities(const std::vector<double>& state,
+                                    const std::vector<bool>& mask,
+                                    MlpWorkspace* ws) const override;
+  double Value(const std::vector<double>& state,
+               const std::vector<bool>& mask,
+               MlpWorkspace* ws) const override;
+
+ private:
+  const PolicyGradientAgent* agent_;
+};
+
+/// FrozenPolicy over a RewardPredictor (learning-from-demonstration).
+/// The predictor scores actions by predicted outcome, lower is better:
+/// Greedy delegates to SelectAction(epsilon=0) — bit-for-bit the LfD
+/// inference path — Probabilities is the softmax over negated predicted
+/// outcomes (argmax therefore equals Greedy), and Value is the negated
+/// best predicted outcome among valid actions.
+class PredictorPolicy : public FrozenPolicy {
+ public:
+  /// `predictor` must outlive the policy and stay frozen while in use.
+  explicit PredictorPolicy(const RewardPredictor* predictor);
+
+  int Greedy(const std::vector<double>& state, const std::vector<bool>& mask,
+             MlpWorkspace* ws) const override;
+  int Sample(const std::vector<double>& state, const std::vector<bool>& mask,
+             Rng* rng, MlpWorkspace* ws) const override;
+  std::vector<double> Probabilities(const std::vector<double>& state,
+                                    const std::vector<bool>& mask,
+                                    MlpWorkspace* ws) const override;
+  double Value(const std::vector<double>& state,
+               const std::vector<bool>& mask,
+               MlpWorkspace* ws) const override;
+
+ private:
+  const RewardPredictor* predictor_;
+};
+
+/// Everything one search worker needs: the shared frozen policy plus its
+/// private mutable state. `rng` is an optional exploration stream for
+/// callers driving FrozenPolicy::Sample directly; NONE of the built-in
+/// searchers consume it — stochastic searches derive their streams from
+/// SearchConfig::seed and the rollout index instead, which is what makes
+/// a search never perturb training streams and repeated searches of one
+/// query deterministic (pinned in tests/search_test.cc and
+/// tests/hands_free_test.cc). Do not wire a future searcher to it
+/// without revisiting that contract.
+struct SearchContext {
+  const FrozenPolicy* policy = nullptr;
+  Rng* rng = nullptr;
+  MlpWorkspace* ws = nullptr;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_SEARCH_CONTEXT_H_

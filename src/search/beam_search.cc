@@ -1,0 +1,150 @@
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "search/plan_search.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hfq {
+
+using search_internal::GreedyRollout;
+using search_internal::ReplayActions;
+
+namespace {
+
+// One live (non-terminal) plan prefix, either on the frontier or
+// competing for a slot. The state/mask of the prefix's current position
+// are computed once, when the prefix is created, and reused for both the
+// value-head ranking and the next round's expansion.
+struct BeamItem {
+  std::unique_ptr<SearchEnv> env;
+  std::vector<int> actions;
+  double log_prob = 0.0;  // Cumulative log pi(a|s) along the prefix.
+  std::vector<double> state;
+  std::vector<bool> mask;
+  double rank = 0.0;  // log_prob + value_weight * V(state).
+};
+
+// Top-`width` valid actions by probability, descending, ties to the lower
+// action index (so width 1 picks exactly the greedy action).
+std::vector<int> TopActions(const std::vector<double>& probs,
+                            const std::vector<bool>& mask, int width) {
+  std::vector<int> valid;
+  for (size_t a = 0; a < probs.size(); ++a) {
+    if (mask[a]) valid.push_back(static_cast<int>(a));
+  }
+  std::stable_sort(valid.begin(), valid.end(), [&probs](int a, int b) {
+    return probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(b)];
+  });
+  if (static_cast<int>(valid.size()) > width) {
+    valid.resize(static_cast<size_t>(width));
+  }
+  return valid;
+}
+
+}  // namespace
+
+BeamSearch::BeamSearch(SearchConfig config) : config_(config) {
+  HFQ_CHECK(config_.beam_width >= 1);
+}
+
+Result<SearchResult> BeamSearch::Search(SearchEnv* env,
+                                        const SearchContext& ctx,
+                                        ThreadPool* pool) {
+  (void)pool;  // Rounds are sequential; expansion work per round is small.
+  HFQ_CHECK(env != nullptr && ctx.policy != nullptr && ctx.ws != nullptr);
+  Stopwatch total;
+  const int width = config_.beam_width;
+
+  // The greedy rollout: fallback, cost floor, and first completed
+  // candidate.
+  SearchResult result;
+  result.actions = GreedyRollout(env, ctx, nullptr);
+  result.cost = env->FinalCost();
+  result.rollouts = 1;
+
+  // Root prefix: the episode start. A zero-decision episode (single
+  // relation / all-trivial stages) is already Done here and counts as a
+  // completed candidate immediately.
+  bool any_beam_candidate = false;
+  std::vector<BeamItem> frontier;
+  {
+    BeamItem root;
+    root.env = env->CloneSearch();
+    root.env->Reset();
+    if (root.env->Done()) {
+      any_beam_candidate = true;
+      ++result.rollouts;
+      double cost = root.env->FinalCost();
+      if (cost < result.cost) {
+        result.cost = cost;
+        result.actions.clear();
+      }
+    } else {
+      root.state = root.env->StateVector();
+      root.mask = root.env->ActionMask();
+      frontier.push_back(std::move(root));
+    }
+  }
+
+  const double budget = config_.time_budget_ms;
+  while (!frontier.empty()) {
+    if (budget > 0.0 && total.ElapsedMillis() > budget) break;
+    std::vector<BeamItem> children;
+    for (BeamItem& item : frontier) {
+      std::vector<double> probs =
+          ctx.policy->Probabilities(item.state, item.mask, ctx.ws);
+      for (int action : TopActions(probs, item.mask, width)) {
+        BeamItem child;
+        child.env = item.env->CloneSearch();
+        child.env->Step(action);
+        child.actions = item.actions;
+        child.actions.push_back(action);
+        child.log_prob =
+            item.log_prob +
+            std::log(std::max(probs[static_cast<size_t>(action)], 1e-300));
+        if (child.env->Done()) {
+          // Finished prefix: a candidate plan, scored by its true cost.
+          any_beam_candidate = true;
+          ++result.rollouts;
+          double cost = child.env->FinalCost();
+          if (cost < result.cost) {
+            result.cost = cost;
+            result.actions = std::move(child.actions);
+          }
+          continue;
+        }
+        // Featurized once here; reused for the value-head ranking below
+        // and for this prefix's expansion next round if it survives.
+        child.state = child.env->StateVector();
+        child.mask = child.env->ActionMask();
+        child.rank = child.log_prob;
+        if (config_.value_weight != 0.0) {
+          child.rank += config_.value_weight *
+                        ctx.policy->Value(child.state, child.mask, ctx.ws);
+        }
+        children.push_back(std::move(child));
+      }
+    }
+    // Keep the best `width` unfinished prefixes; stable on ties, so equal
+    // ranks resolve by (parent order, action probability order) — fully
+    // deterministic.
+    std::stable_sort(children.begin(), children.end(),
+                     [](const BeamItem& a, const BeamItem& b) {
+                       return a.rank > b.rank;
+                     });
+    if (static_cast<int>(children.size()) > width) {
+      children.resize(static_cast<size_t>(width));
+    }
+    frontier = std::move(children);
+  }
+  result.fell_back_to_greedy = !any_beam_candidate;
+
+  ReplayActions(env, result.actions);
+  HFQ_CHECK(env->FinalCost() == result.cost);
+  result.planning_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace hfq

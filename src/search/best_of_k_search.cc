@@ -1,0 +1,83 @@
+#include <memory>
+
+#include "search/plan_search.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hfq {
+
+using search_internal::GreedyRollout;
+using search_internal::ReplayActions;
+using search_internal::SampledRollout;
+
+BestOfKSearch::BestOfKSearch(SearchConfig config) : config_(config) {
+  HFQ_CHECK(config_.best_of_k >= 1);
+}
+
+Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
+                                           const SearchContext& ctx,
+                                           ThreadPool* pool) {
+  HFQ_CHECK(env != nullptr && ctx.policy != nullptr && ctx.ws != nullptr);
+  Stopwatch total;
+  const int k = config_.best_of_k;
+
+  // Rollout 0: greedy, always completed — the fallback and the floor.
+  SearchResult result;
+  result.actions = GreedyRollout(env, ctx, nullptr);
+  result.cost = env->FinalCost();
+  result.rollouts = 1;
+
+  // Rollouts 1..K-1: sampled, each from an Rng derived from (seed, r) so
+  // the set of candidates is a prefix-closed function of K — the chosen
+  // cost is monotone non-increasing in K — and is identical at any worker
+  // count and regardless of prior sampling anywhere in the process.
+  struct Candidate {
+    std::vector<int> actions;
+    double cost = 0.0;
+    bool completed = false;
+  };
+  std::vector<Candidate> sampled(static_cast<size_t>(k - 1));
+  const double budget = config_.time_budget_ms;
+  const int num_workers =
+      pool != nullptr ? std::min(pool->num_threads(), k - 1) : 1;
+  if (k > 1) {
+    RunOnWorkers(num_workers > 1 ? pool : nullptr, std::max(1, num_workers),
+                 [&](int w) {
+                   std::unique_ptr<SearchEnv> worker_env = env->CloneSearch();
+                   MlpWorkspace ws;
+                   for (int r = w; r < k - 1; r += std::max(1, num_workers)) {
+                     if (budget > 0.0 && total.ElapsedMillis() > budget) {
+                       return;  // Budget spent: keep what completed.
+                     }
+                     Candidate& cand = sampled[static_cast<size_t>(r)];
+                     Rng rng(MixSeed64(config_.seed ^
+                                       (static_cast<uint64_t>(r) + 1)));
+                     cand.actions = SampledRollout(worker_env.get(),
+                                                   *ctx.policy, &rng, &ws);
+                     cand.cost = worker_env->FinalCost();
+                     cand.completed = true;
+                   }
+                 });
+  }
+
+  bool any_sampled = false;
+  for (const Candidate& cand : sampled) {
+    if (!cand.completed) continue;
+    any_sampled = true;
+    ++result.rollouts;
+    // Strict <: ties go to the earliest rollout (greedy first), so
+    // best-of-1 is exactly greedy.
+    if (cand.cost < result.cost) {
+      result.cost = cand.cost;
+      result.actions = cand.actions;
+    }
+  }
+  result.fell_back_to_greedy = k > 1 && !any_sampled;
+
+  ReplayActions(env, result.actions);
+  HFQ_CHECK(env->FinalCost() == result.cost);
+  result.planning_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace hfq

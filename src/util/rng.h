@@ -11,6 +11,12 @@
 
 namespace hfq {
 
+/// The splitmix64 finalizer: decorrelates seeds derived from one master
+/// seed (e.g. per-cell or per-rollout streams), so adjacent derived
+/// values never share an Rng stream prefix. This is the same expansion
+/// Rng's constructor applies internally.
+uint64_t MixSeed64(uint64_t x);
+
 /// A small, fast, seedable PRNG (xoshiro256++) with distribution helpers.
 /// Not thread-safe; use one Rng per thread / component.
 class Rng {

@@ -20,6 +20,10 @@ const char* JoinTopologyName(JoinTopology topology) {
       return "clique";
     case JoinTopology::kSnowflake:
       return "snowflake";
+    case JoinTopology::kCyclic:
+      return "cyclic";
+    case JoinTopology::kDisconnected:
+      return "disconnected";
   }
   return "?";
 }
@@ -27,7 +31,8 @@ const char* JoinTopologyName(JoinTopology topology) {
 Result<JoinTopology> ParseJoinTopology(const std::string& name) {
   for (JoinTopology t :
        {JoinTopology::kRandom, JoinTopology::kChain, JoinTopology::kStar,
-        JoinTopology::kClique, JoinTopology::kSnowflake}) {
+        JoinTopology::kClique, JoinTopology::kSnowflake,
+        JoinTopology::kCyclic, JoinTopology::kDisconnected}) {
     if (name == JoinTopologyName(t)) return t;
   }
   return Status::InvalidArgument("unknown join topology: " + name);
@@ -75,6 +80,12 @@ Result<Query> WorkloadGenerator::GenerateStructure(JoinTopology topology,
   }
   if (topology == JoinTopology::kClique && num_relations > 1) {
     return GenerateCliqueStructure(num_relations, name, rng);
+  }
+  if (topology == JoinTopology::kCyclic) {
+    return GenerateCyclicStructure(num_relations, name, rng);
+  }
+  if (topology == JoinTopology::kDisconnected) {
+    return GenerateDisconnectedStructure(num_relations, name, rng);
   }
 
   Query query;
@@ -133,34 +144,39 @@ Result<Query> WorkloadGenerator::GenerateStructure(JoinTopology topology,
             rng->UniformInt(0, query.num_relations() - 1));
         break;
     }
-    const std::string& base_table =
-        query.relations[static_cast<size_t>(base)].table;
-    // Candidate edges incident to base_table.
-    std::vector<const FkEdge*> candidates;
-    for (const auto& e : edges_) {
-      if (e.child_table == base_table || e.parent_table == base_table) {
-        candidates.push_back(&e);
-      }
-    }
-    if (candidates.empty()) continue;
-    const FkEdge& edge = *rng->Choice(candidates);
-    bool base_is_child = edge.child_table == base_table;
-    const std::string& new_table =
-        base_is_child ? edge.parent_table : edge.child_table;
-    std::string alias = alias_for(new_table);
-    query.relations.push_back(RelationRef{new_table, alias});
-    int new_idx = query.num_relations() - 1;
-    JoinPredicate jp;
-    if (base_is_child) {
-      jp.left = ColumnRef{base, edge.child_column};
-      jp.right = ColumnRef{new_idx, "id"};
-    } else {
-      jp.left = ColumnRef{base, "id"};
-      jp.right = ColumnRef{new_idx, edge.child_column};
-    }
-    query.joins.push_back(jp);
+    AttachViaRandomEdge(&query, base, rng);
   }
   return query;
+}
+
+bool WorkloadGenerator::AttachViaRandomEdge(Query* query, int base,
+                                            Rng* rng) {
+  const std::string& base_table =
+      query->relations[static_cast<size_t>(base)].table;
+  // Candidate edges incident to base_table.
+  std::vector<const FkEdge*> candidates;
+  for (const auto& e : edges_) {
+    if (e.child_table == base_table || e.parent_table == base_table) {
+      candidates.push_back(&e);
+    }
+  }
+  if (candidates.empty()) return false;
+  const FkEdge& edge = *rng->Choice(candidates);
+  bool base_is_child = edge.child_table == base_table;
+  const std::string& new_table =
+      base_is_child ? edge.parent_table : edge.child_table;
+  query->relations.push_back(RelationRef{new_table, AliasFor(*query, new_table)});
+  int new_idx = query->num_relations() - 1;
+  JoinPredicate jp;
+  if (base_is_child) {
+    jp.left = ColumnRef{base, edge.child_column};
+    jp.right = ColumnRef{new_idx, "id"};
+  } else {
+    jp.left = ColumnRef{base, "id"};
+    jp.right = ColumnRef{new_idx, edge.child_column};
+  }
+  query->joins.push_back(jp);
+  return true;
 }
 
 Result<Query> WorkloadGenerator::GenerateCliqueStructure(
@@ -191,6 +207,86 @@ Result<Query> WorkloadGenerator::GenerateCliqueStructure(
     for (int j = 1; j < i; ++j) {
       query.joins.push_back(JoinPredicate{ColumnRef{i, fk_col[static_cast<size_t>(i)]},
                                           ColumnRef{j, fk_col[static_cast<size_t>(j)]}});
+    }
+  }
+  return query;
+}
+
+Result<Query> WorkloadGenerator::GenerateCyclicStructure(
+    int num_relations, const std::string& name, Rng* rng) {
+  if (num_relations < 3) {
+    return Status::InvalidArgument(
+        "cyclic topology needs at least 3 relations to close a cycle");
+  }
+  Query query;
+  query.name = name;
+
+  // A ring of FK siblings: every relation carries an FK into one hub
+  // table (which is *not* part of the query), and neighbors join on those
+  // FK columns — all equal hub.id, so every ring edge is a meaningful
+  // equi-join. n relations, n predicates: the join graph is a single
+  // cycle, which no FK-tree generator path can produce.
+  const std::string hub = rng->Choice(edges_).parent_table;
+  std::vector<const FkEdge*> into_hub;
+  for (const auto& e : edges_) {
+    if (e.parent_table == hub) into_hub.push_back(&e);
+  }
+  std::vector<std::string> fk_col;
+  for (int i = 0; i < num_relations; ++i) {
+    const FkEdge& edge = *rng->Choice(into_hub);
+    query.relations.push_back(
+        RelationRef{edge.child_table, AliasFor(query, edge.child_table)});
+    fk_col.push_back(edge.child_column);
+    if (i > 0) {
+      query.joins.push_back(
+          JoinPredicate{ColumnRef{i - 1, fk_col[static_cast<size_t>(i - 1)]},
+                        ColumnRef{i, fk_col[static_cast<size_t>(i)]}});
+    }
+  }
+  // Close the cycle.
+  query.joins.push_back(JoinPredicate{
+      ColumnRef{num_relations - 1,
+                fk_col[static_cast<size_t>(num_relations - 1)]},
+      ColumnRef{0, fk_col[0]}});
+  return query;
+}
+
+Result<Query> WorkloadGenerator::GenerateDisconnectedStructure(
+    int num_relations, const std::string& name, Rng* rng) {
+  if (num_relations < 2) {
+    return Status::InvalidArgument(
+        "disconnected topology needs at least 2 relations");
+  }
+  Query query;
+  query.name = name;
+
+  // Two independent connected components with no predicate between them:
+  // every planner must eventually take a cross product. Component sizes
+  // split ~evenly (ceil / floor).
+  const int sizes[2] = {(num_relations + 1) / 2, num_relations / 2};
+  for (int c = 0; c < 2; ++c) {
+    const int start = query.num_relations();
+    // Seed: a random table for singleton components, else a fact table so
+    // the component can grow.
+    std::string first;
+    if (sizes[c] == 1) {
+      const auto& tables = catalog_->tables();
+      first = tables[static_cast<size_t>(rng->UniformInt(
+                         0, static_cast<int64_t>(tables.size()) - 1))]
+                  .name;
+    } else {
+      first = rng->Choice(edges_).child_table;
+    }
+    query.relations.push_back(RelationRef{first, AliasFor(query, first)});
+    int attempts = 0;
+    while (query.num_relations() < start + sizes[c]) {
+      if (++attempts > 1000) {
+        return Status::Internal(
+            "workload generator failed to grow disconnected component");
+      }
+      int base = start + static_cast<int>(rng->UniformInt(
+                             0, query.num_relations() - start - 1));
+      AttachViaRandomEdge(&query, base, rng);
     }
   }
   return query;

@@ -27,9 +27,13 @@ enum class JoinTopology {
   kStar,       ///< One hub; every other relation joins the hub directly.
   kClique,     ///< Join predicate between every pair of relations.
   kSnowflake,  ///< Hub + first-ring spokes + outer relations off the ring.
+  kCyclic,     ///< Ring: a non-tree join graph closing one cycle (n >= 3).
+  kDisconnected,  ///< Two components, no predicate between them: every
+                  ///< planner is forced into a cross product (n >= 2).
 };
 
-/// "random" / "chain" / "star" / "clique" / "snowflake".
+/// "random" / "chain" / "star" / "clique" / "snowflake" / "cyclic" /
+/// "disconnected".
 const char* JoinTopologyName(JoinTopology topology);
 
 /// Inverse of JoinTopologyName.
@@ -71,9 +75,14 @@ class WorkloadGenerator {
   /// stars and snowflakes are built by constrained growth over the FK
   /// graph; cliques pick one referenced hub table plus children that all
   /// carry an FK into it (children are additionally joined pairwise on
-  /// those FK columns, so every relation pair shares a predicate). Fails if
-  /// the catalog's FK graph cannot host the request (e.g. a chain hits a
-  /// table with no further incident FK edges).
+  /// those FK columns, so every relation pair shares a predicate); cyclic
+  /// queries (n >= 3) are a ring of n such FK siblings joined neighbor to
+  /// neighbor on their FK columns plus one closing predicate — a join
+  /// graph with a cycle, which no FK-tree workload produces; disconnected
+  /// queries (n >= 2) grow two independent connected components with no
+  /// predicate between them, forcing a cross product on every planner.
+  /// Fails if the catalog's FK graph cannot host the request (e.g. a chain
+  /// hits a table with no further incident FK edges).
   Result<Query> GenerateTopologyQuery(JoinTopology topology,
                                       int num_relations,
                                       const std::string& name);
@@ -111,6 +120,21 @@ class WorkloadGenerator {
   /// pairwise joined.
   Result<Query> GenerateCliqueStructure(int num_relations,
                                         const std::string& name, Rng* rng);
+
+  /// Cyclic structure: FK siblings of one hub table joined in a ring.
+  Result<Query> GenerateCyclicStructure(int num_relations,
+                                        const std::string& name, Rng* rng);
+
+  /// Disconnected structure: two independent random connected components.
+  Result<Query> GenerateDisconnectedStructure(int num_relations,
+                                              const std::string& name,
+                                              Rng* rng);
+
+  /// Tries to attach one new relation to relation `base` over a random FK
+  /// edge incident to its table (either direction), appending the relation
+  /// and the join predicate. Returns false (consuming no Rng draw) when
+  /// the table has no incident FK edges.
+  bool AttachViaRandomEdge(Query* query, int base, Rng* rng);
 
   /// Adds random selections/aggregates to a structure in place.
   void AddPredicatesAndAggregates(Query* query, Rng* rng);

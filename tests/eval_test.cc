@@ -31,7 +31,19 @@ constexpr double kGoldenGeqoP95CostRegret = 2.5;
 constexpr double kGoldenLearnedMeanCostRegretCeiling = 1e5;
 constexpr double kGoldenLearnedMeanLatencyRegretCeiling = 1e6;
 
+// Greedy-only sweep: must keep producing the pre-search "hfq-eval-v1"
+// report (the PR 4 behavior) byte-for-byte.
 EvalConfig TestConfig() {
+  EvalConfig config = ReducedEvalConfig();
+  config.seed = 20260730;
+  config.include_timings = false;
+  config.search_modes = {SearchConfig()};
+  return config;
+}
+
+// The default search sweep (greedy + best-of-8 + beam-4) on the same
+// matrix: the source of the per-search-mode gates.
+EvalConfig SearchSweepConfig() {
   EvalConfig config = ReducedEvalConfig();
   config.seed = 20260730;
   config.include_timings = false;
@@ -44,6 +56,16 @@ const EvalReport& SharedReport() {
     ScenarioEvaluator evaluator(TestConfig());
     auto result = evaluator.Run();
     HFQ_CHECK_MSG(result.ok(), "scenario evaluation failed");
+    return new EvalReport(std::move(*result));
+  }();
+  return *report;
+}
+
+const EvalReport& SearchSweepReport() {
+  static const EvalReport* report = [] {
+    ScenarioEvaluator evaluator(SearchSweepConfig());
+    auto result = evaluator.Run();
+    HFQ_CHECK_MSG(result.ok(), "search-sweep evaluation failed");
     return new EvalReport(std::move(*result));
   }();
   return *report;
@@ -162,7 +184,10 @@ TEST(EvalDeterminismTest, WorkerCountDoesNotChangeTheReport) {
 TEST(EvalReportTest, JsonShapeAndTimingsGate) {
   const EvalReport& report = SharedReport();
   const std::string no_timings = ReportToJson(report, false);
+  // A greedy-only sweep keeps the PR 4 v1 schema with no search fields —
+  // byte-compatible with every pre-search consumer.
   EXPECT_NE(no_timings.find("\"schema\":\"hfq-eval-v1\""), std::string::npos);
+  EXPECT_EQ(no_timings.find("search"), std::string::npos);
   EXPECT_NE(no_timings.find("\"cells\":["), std::string::npos);
   EXPECT_NE(no_timings.find("\"aggregate\":{"), std::string::npos);
   EXPECT_EQ(no_timings.find("\"timings\""), std::string::npos);
@@ -170,6 +195,96 @@ TEST(EvalReportTest, JsonShapeAndTimingsGate) {
   const std::string with_timings = ReportToJson(report, true);
   EXPECT_NE(with_timings.find("\"timings\""), std::string::npos);
   EXPECT_NE(with_timings.find("\"mean_planning_ms\""), std::string::npos);
+}
+
+// --- Plan-search sweep gates (the PR 5 acceptance criteria) ------------
+
+TEST(EvalSearchGatesTest, SweptModesCoverReportAndAggregate) {
+  const EvalConfig config = SearchSweepConfig();
+  ASSERT_EQ(config.search_modes.size(), 3u);
+  EXPECT_EQ(SearchConfigName(config.search_modes[0]), "greedy");
+  EXPECT_EQ(SearchConfigName(config.search_modes[1]), "best-of-8");
+  EXPECT_EQ(SearchConfigName(config.search_modes[2]), "beam-4");
+
+  const EvalReport& report = SearchSweepReport();
+  ASSERT_EQ(report.agg_more_search.size(), 2u);
+  for (const CellResult& cell : report.cells) {
+    ASSERT_EQ(cell.more_search.size(), 2u);
+    ASSERT_EQ(cell.more_rows.size(), 2u);
+    for (const auto& rows : cell.more_rows) {
+      ASSERT_EQ(rows.size(), cell.rows.size());
+      // DP/GEQO columns are search-independent and carried over.
+      for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].dp_cost, cell.rows[i].dp_cost);
+        EXPECT_EQ(rows[i].geqo_cost, cell.rows[i].geqo_cost);
+      }
+    }
+  }
+
+  const std::string json = ReportToJson(report, false);
+  EXPECT_NE(json.find("\"schema\":\"hfq-eval-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"search_modes\":[\"greedy\",\"best-of-8\","
+                      "\"beam-4\"]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"learned:best-of-8\""), std::string::npos);
+  EXPECT_NE(json.find("\"learned:beam-4\""), std::string::npos);
+}
+
+TEST(EvalSearchGatesTest, SearchedModesNeverIncreaseMeanCostRegret) {
+  // Per query, every search mode's candidate set includes the greedy
+  // rollout, so per-cell and aggregate mean cost regret can only improve.
+  const EvalReport& report = SearchSweepReport();
+  const double greedy_mean = report.agg_learned.cost_regret.mean;
+  EXPECT_LE(report.agg_more_search[0].cost_regret.mean,
+            greedy_mean + 1e-12);  // best-of-8
+  EXPECT_LE(report.agg_more_search[1].cost_regret.mean,
+            greedy_mean + 1e-12);  // beam-4
+  for (const CellResult& cell : report.cells) {
+    for (size_t m = 0; m < cell.more_search.size(); ++m) {
+      EXPECT_LE(cell.more_search[m].cost_regret.mean,
+                cell.learned.cost_regret.mean + 1e-12)
+          << cell.cell.Key(report.config) << " mode " << m;
+    }
+    for (size_t m = 0; m < cell.more_rows.size(); ++m) {
+      for (size_t i = 0; i < cell.more_rows[m].size(); ++i) {
+        EXPECT_LE(cell.more_rows[m][i].learned_cost,
+                  cell.rows[i].learned_cost + 1e-12)
+            << cell.cell.Key(report.config);
+      }
+    }
+  }
+}
+
+TEST(EvalSearchGatesTest, BeamStrictlyImprovesAtLeastOneCell) {
+  const EvalReport& report = SearchSweepReport();
+  int improved = 0;
+  for (const CellResult& cell : report.cells) {
+    const PlannerStats& beam = cell.more_search[1];
+    if (beam.cost_regret.mean < cell.learned.cost_regret.mean - 1e-9) {
+      ++improved;
+    }
+  }
+  EXPECT_GE(improved, 1)
+      << "beam-4 should beat greedy on at least one matrix cell";
+}
+
+TEST(EvalSearchGatesTest, GreedyModeRowsIdenticalToGreedyOnlyRun) {
+  // Mode 0 of the sweep IS greedy: its rows must match the greedy-only
+  // report bit-for-bit (the sweep changes nothing about mode 0).
+  const EvalReport& greedy_only = SharedReport();
+  const EvalReport& swept = SearchSweepReport();
+  ASSERT_EQ(greedy_only.cells.size(), swept.cells.size());
+  for (size_t c = 0; c < swept.cells.size(); ++c) {
+    ASSERT_EQ(greedy_only.cells[c].rows.size(), swept.cells[c].rows.size());
+    for (size_t i = 0; i < swept.cells[c].rows.size(); ++i) {
+      EXPECT_EQ(greedy_only.cells[c].rows[i].learned_cost,
+                swept.cells[c].rows[i].learned_cost);
+      EXPECT_EQ(greedy_only.cells[c].rows[i].learned_latency_ms,
+                swept.cells[c].rows[i].learned_latency_ms);
+      EXPECT_EQ(greedy_only.cells[c].rows[i].dp_cost,
+                swept.cells[c].rows[i].dp_cost);
+    }
+  }
 }
 
 TEST(EvalConfigTest, ValidationRejectsBadConfigs) {

@@ -168,6 +168,104 @@ TEST(HandsFreeTest, SaveLoadRoundTripReproducesPlans) {
   std::remove(path.c_str());
 }
 
+// Regression for the plan-time determinism contract: greedy inference
+// breaks ties by action index — never by Rng state — and stochastic
+// searches derive their streams per call, so a fresh-loaded model gives
+// bit-identical Optimize results no matter how much sampling (training
+// episodes, prior searches) happened in between, for every strategy.
+TEST_P(HandsFreeStrategyTest, OptimizeDeterministicAfterLoadRegardlessOfPriorSampling) {
+  const std::string path = ModelPath(
+      std::string("determinism_") +
+      std::to_string(static_cast<int>(GetParam())));
+  HandsFreeConfig config = TinyConfig(GetParam());
+  std::vector<Query> workload = TinyWorkload(4, 3, 910);
+
+  HandsFreeOptimizer trained(&testing::SharedEngine(), config);
+  ASSERT_TRUE(trained.Train(workload).ok());
+  ASSERT_TRUE(trained.SaveModel(path).ok());
+
+  HandsFreeOptimizer restored(&testing::SharedEngine(), config);
+  ASSERT_TRUE(restored.LoadModel(path).ok());
+
+  SearchConfig best_of_4;
+  best_of_4.mode = SearchMode::kBestOfK;
+  best_of_4.best_of_k = 4;
+
+  for (const Query& q : workload) {
+    auto first = restored.Optimize(q);
+    ASSERT_TRUE(first.ok());
+    auto first_searched = restored.OptimizeWithSearch(q, best_of_4);
+    ASSERT_TRUE(first_searched.ok());
+    // Perturb anything stateful between the calls: more training (which
+    // samples from the strategy's Rng; the incremental curriculum is not
+    // re-entrant under fixed query names, so it is perturbed by searches
+    // alone) and interleaved stochastic searches.
+    if (GetParam() != TrainingStrategy::kIncrementalHybrid) {
+      ASSERT_TRUE(restored.Train(workload).ok());
+    }
+    for (int burn = 0; burn < 3; ++burn) {
+      ASSERT_TRUE(restored.OptimizeWithSearch(workload[0], best_of_4).ok());
+    }
+    ASSERT_TRUE(restored.LoadModel(path).ok());  // Back to the saved model.
+    auto second = restored.Optimize(q);
+    ASSERT_TRUE(second.ok());
+    auto second_searched = restored.OptimizeWithSearch(q, best_of_4);
+    ASSERT_TRUE(second_searched.ok());
+    EXPECT_EQ((*first)->est_cost, (*second)->est_cost) << q.name;
+    EXPECT_EQ((*first)->ToString(q), (*second)->ToString(q)) << q.name;
+    EXPECT_EQ((*first_searched)->est_cost, (*second_searched)->est_cost)
+        << q.name;
+    EXPECT_EQ((*first_searched)->ToString(q), (*second_searched)->ToString(q))
+        << q.name;
+  }
+  std::remove(path.c_str());
+}
+
+// Every strategy's searched inference is never costlier than its greedy
+// inference (the greedy rollout is always in the candidate set), and the
+// facade's configured search mode is what Optimize runs.
+TEST_P(HandsFreeStrategyTest, SearchModesNeverWorseThanGreedyByCost) {
+  HandsFreeConfig config = TinyConfig(GetParam());
+  HandsFreeOptimizer optimizer(&testing::SharedEngine(), config);
+  std::vector<Query> workload = TinyWorkload(4, 4, 911);
+  ASSERT_TRUE(optimizer.Train(workload).ok());
+
+  SearchConfig best_of_8;
+  best_of_8.mode = SearchMode::kBestOfK;
+  best_of_8.best_of_k = 8;
+  SearchConfig beam_4;
+  beam_4.mode = SearchMode::kBeam;
+  beam_4.beam_width = 4;
+
+  for (const Query& q : workload) {
+    auto greedy = optimizer.Optimize(q);
+    ASSERT_TRUE(greedy.ok());
+    for (const SearchConfig& mode : {best_of_8, beam_4}) {
+      auto searched = optimizer.OptimizeWithSearch(q, mode);
+      ASSERT_TRUE(searched.ok()) << searched.status().ToString();
+      EXPECT_LE((*searched)->est_cost, (*greedy)->est_cost + 1e-12)
+          << q.name << " " << SearchConfigName(mode);
+    }
+  }
+
+  // Optimize honors config.search: a facade configured for beam produces
+  // the beam plan.
+  HandsFreeConfig beam_config = config;
+  beam_config.search = beam_4;
+  HandsFreeOptimizer beam_optimizer(&testing::SharedEngine(), beam_config);
+  const std::string path = ModelPath(
+      std::string("beamcfg_") + std::to_string(static_cast<int>(GetParam())));
+  ASSERT_TRUE(optimizer.SaveModel(path).ok());
+  ASSERT_TRUE(beam_optimizer.LoadModel(path).ok());
+  for (const Query& q : workload) {
+    auto via_config = beam_optimizer.Optimize(q);
+    auto via_explicit = optimizer.OptimizeWithSearch(q, beam_4);
+    ASSERT_TRUE(via_config.ok() && via_explicit.ok());
+    EXPECT_EQ((*via_config)->est_cost, (*via_explicit)->est_cost) << q.name;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(HandsFreeTest, SaveBeforeTrainFails) {
   HandsFreeOptimizer optimizer(
       &testing::SharedEngine(),

@@ -172,7 +172,8 @@ TEST_P(PropertyTest, DpNeverCostsMoreThanGeqo) {
   int salt = 0;
   for (JoinTopology topology :
        {JoinTopology::kRandom, JoinTopology::kChain, JoinTopology::kStar,
-        JoinTopology::kClique, JoinTopology::kSnowflake}) {
+        JoinTopology::kClique, JoinTopology::kSnowflake,
+        JoinTopology::kCyclic, JoinTopology::kDisconnected}) {
     for (int n : {3, 6, 9}) {
       WorkloadGenerator gen(&engine().catalog(),
                             static_cast<uint64_t>(GetParam()) * 104729 +

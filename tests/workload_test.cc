@@ -207,10 +207,56 @@ TEST_F(WorkloadTest, SnowflakeTopologyIsATreeAroundAHub) {
   }
 }
 
+TEST_F(WorkloadTest, CyclicTopologyClosesOneCycle) {
+  WorkloadGenerator gen(&engine().catalog(), 25);
+  for (int n : {3, 5, 8}) {
+    auto q = gen.GenerateTopologyQuery(JoinTopology::kCyclic, n,
+                                       "cyc" + std::to_string(n));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    ASSERT_EQ(q->num_relations(), n);
+    // A single cycle: n relations, n predicates (one more than any tree),
+    // every relation of degree exactly 2, still fully connected.
+    EXPECT_EQ(q->joins.size(), static_cast<size_t>(n));
+    EXPECT_TRUE(q->IsFullyConnected());
+    for (int rel = 0; rel < n; ++rel) {
+      EXPECT_EQ(RelSetCount(q->NeighborsOf(rel)), 2)
+          << "rel " << rel << " in " << q->ToSql();
+    }
+    EXPECT_TRUE(q->Validate(engine().catalog()).ok());
+  }
+  // A cycle needs at least 3 relations.
+  EXPECT_FALSE(gen.GenerateTopologyQuery(JoinTopology::kCyclic, 2, "cyc2")
+                   .ok());
+}
+
+TEST_F(WorkloadTest, DisconnectedTopologyForcesCrossProducts) {
+  WorkloadGenerator gen(&engine().catalog(), 26);
+  for (int n : {2, 3, 5, 8}) {
+    auto q = gen.GenerateTopologyQuery(JoinTopology::kDisconnected, n,
+                                       "disc" + std::to_string(n));
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    ASSERT_EQ(q->num_relations(), n);
+    EXPECT_FALSE(q->IsFullyConnected()) << q->ToSql();
+    // Exactly two components, sizes ceil/floor, each internally a tree.
+    const int n1 = (n + 1) / 2;
+    const RelSet comp1 = RelSetAll(n1);
+    const RelSet comp2 = RelSetAll(n) & ~comp1;
+    EXPECT_TRUE(q->IsConnected(comp1)) << q->ToSql();
+    EXPECT_TRUE(q->IsConnected(comp2)) << q->ToSql();
+    EXPECT_TRUE(q->JoinPredsBetween(comp1, comp2).empty()) << q->ToSql();
+    EXPECT_EQ(q->joins.size(), static_cast<size_t>(n - 2));
+    EXPECT_TRUE(q->Validate(engine().catalog()).ok());
+  }
+  EXPECT_FALSE(
+      gen.GenerateTopologyQuery(JoinTopology::kDisconnected, 1, "disc1")
+          .ok());
+}
+
 TEST_F(WorkloadTest, TopologyNamesRoundTrip) {
   for (JoinTopology t :
        {JoinTopology::kRandom, JoinTopology::kChain, JoinTopology::kStar,
-        JoinTopology::kClique, JoinTopology::kSnowflake}) {
+        JoinTopology::kClique, JoinTopology::kSnowflake,
+        JoinTopology::kCyclic, JoinTopology::kDisconnected}) {
     auto parsed = ParseJoinTopology(JoinTopologyName(t));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, t);
@@ -221,7 +267,8 @@ TEST_F(WorkloadTest, TopologyNamesRoundTrip) {
 TEST_F(WorkloadTest, TopologyQueriesAreDeterministicPerSeed) {
   for (JoinTopology t :
        {JoinTopology::kChain, JoinTopology::kStar, JoinTopology::kClique,
-        JoinTopology::kSnowflake}) {
+        JoinTopology::kSnowflake, JoinTopology::kCyclic,
+        JoinTopology::kDisconnected}) {
     WorkloadGenerator g1(&engine().catalog(), 31);
     WorkloadGenerator g2(&engine().catalog(), 31);
     auto q1 = g1.GenerateTopologyQuery(t, 5, "t");
@@ -258,17 +305,23 @@ TEST_F(WorkloadTest, SeedDeterminismGoldenFingerprints) {
         << (*suite)[i].name << ": " << (*suite)[i].ToSql();
   }
   // One golden per topology family as well (the eval harness's axes).
+  // The first four goldens predate the cyclic/disconnected families and
+  // also pin that adding those families did not shift the generator's
+  // Rng draw order.
   WorkloadGenerator topo_gen(&engine().catalog(), 20260730);
-  const uint64_t kTopologyGolden[4] = {
+  const uint64_t kTopologyGolden[6] = {
       1509671550611486504ull,   // g_chain
       5470756596394253000ull,   // g_star
       10847657903055055428ull,  // g_clique
       15539099773457389180ull,  // g_snowflake
+      18009930698498328550ull,  // g_cyclic
+      4588156099386951913ull,   // g_disconnected
   };
-  const JoinTopology kTopologies[4] = {
-      JoinTopology::kChain, JoinTopology::kStar, JoinTopology::kClique,
-      JoinTopology::kSnowflake};
-  for (int i = 0; i < 4; ++i) {
+  const JoinTopology kTopologies[6] = {
+      JoinTopology::kChain,     JoinTopology::kStar,
+      JoinTopology::kClique,    JoinTopology::kSnowflake,
+      JoinTopology::kCyclic,    JoinTopology::kDisconnected};
+  for (int i = 0; i < 6; ++i) {
     auto q = topo_gen.GenerateTopologyQuery(
         kTopologies[i], 5,
         std::string("g_") + JoinTopologyName(kTopologies[i]));
