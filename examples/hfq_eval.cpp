@@ -9,14 +9,19 @@
 //                    [--episodes=N] [--scale=F]
 //                    [--strategy=lfd|bootstrap|incremental]
 //                    [--search=MODE[,MODE...]] [--topologies=T[,T...]]
+//                    [--teacher=N] [--teacher-mode=MODE]
 //                    [--reduced] [--no-timings]
 //
 // --reduced runs the small smoke matrix (the ctest `eval` label / CI
 // eval-smoke job use it); --no-timings drops wall-clock fields so the
 // report bytes are deterministic per seed. --search sweeps the learned
-// planner over plan-search modes ("greedy", "best-of-<K>", "beam-<W>");
-// a single "greedy" reproduces the pre-search v1 report byte-for-byte.
-// --topologies restricts the topology axis (names per JoinTopologyName).
+// planner over plan-search modes ("greedy", "best-of-<K>", "beam-<W>",
+// "best-first-<W>"); a single "greedy" reproduces the pre-search v1
+// report byte-for-byte. --topologies restricts the topology axis (names
+// per JoinTopologyName). --teacher sets the search-as-teacher refinement
+// iterations run after training (default 4; 0 reproduces the pre-teacher
+// training path) and --teacher-mode the plan search the teacher uses
+// (default beam-4).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +80,15 @@ int main(int argc, char** argv) {
         }
         config.search_modes.push_back(*mode);
       }
+    } else if (ParseFlag(arg, "--teacher", &value)) {
+      config.teacher_iterations = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--teacher-mode", &value)) {
+      auto mode = hfq::ParseSearchSpec(value);
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      config.teacher_mode = *mode;
     } else if (ParseFlag(arg, "--topologies", &value)) {
       config.topologies.clear();
       for (const std::string& name : hfq::Split(value, ',')) {

@@ -3,6 +3,7 @@
 aggregate cost-regret increases.
 
 Usage: diff_eval_regret.py REFERENCE.json FRESH.json [--rel-tol R] [--abs-tol A]
+                           [--ceiling PLANNER=VALUE ...]
 
 Compares the `aggregate` section planner by planner (learned, geqo, and any
 "learned:<search-mode>" entries; `dp` is pinned to exactly zero separately).
@@ -16,6 +17,13 @@ regenerated (ratcheted down) whenever a PR legitimately improves planning.
 A planner present in the reference but missing from the fresh report fails
 (lost coverage); planners only in the fresh report are ignored (new search
 modes may land before the reference is regenerated).
+
+`--ceiling PLANNER=VALUE` (repeatable) additionally pins the FRESH
+planner's aggregate mean cost regret below an absolute VALUE, independent
+of the reference. The relative gate only stops backsliding; the ceiling
+encodes a quality floor that must hold even if someone regenerates the
+reference from a bad run (e.g. `--ceiling learned=3.4` keeps the
+search-as-teacher greedy-regret win locked in).
 
 Exit codes: 0 ok, 1 regression/coverage failure, 2 usage/parse error.
 """
@@ -55,7 +63,23 @@ def main():
     parser.add_argument("--abs-tol", type=float, default=0.05,
                         help="absolute headroom, absorbs fp/platform noise "
                              "near zero (default 0.05)")
+    parser.add_argument("--ceiling", action="append", default=[],
+                        metavar="PLANNER=VALUE",
+                        help="absolute cap on the fresh planner's aggregate "
+                             "mean cost regret, independent of the "
+                             "reference (repeatable)")
     args = parser.parse_args()
+
+    ceilings = {}
+    for spec in args.ceiling:
+        planner, sep, value = spec.partition("=")
+        try:
+            if not sep or not planner:
+                raise ValueError("expected PLANNER=VALUE")
+            ceilings[planner] = float(value)
+        except ValueError as e:
+            print(f"error: bad --ceiling '{spec}': {e}", file=sys.stderr)
+            sys.exit(2)
 
     ref = load(args.reference)["aggregate"]
     fresh = load(args.fresh)["aggregate"]
@@ -78,6 +102,20 @@ def main():
                 failures.append(
                     f"{planner} cost-regret {field}: {f:.4f} > "
                     f"{r:.4f} * (1 + {args.rel_tol}) + {args.abs_tol}")
+
+    for planner, ceiling in sorted(ceilings.items()):
+        if planner not in fresh:
+            failures.append(
+                f"--ceiling planner '{planner}' missing from fresh report")
+            continue
+        f = cost_regret(fresh, planner, "mean")
+        verdict = "" if f <= ceiling else "  ABOVE CEILING"
+        print(f"{planner:<22} {'mean':<6} {'<= ' + format(ceiling, '.4f'):>12} "
+              f"{f:>12.4f}{verdict}")
+        if f > ceiling:
+            failures.append(
+                f"{planner} mean cost-regret {f:.4f} exceeds the absolute "
+                f"ceiling {ceiling:.4f}")
 
     if failures:
         print("\nregret trajectory gate FAILED:", file=sys.stderr)

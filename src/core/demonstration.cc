@@ -83,8 +83,10 @@ Result<int> DemonstrationLearner::CollectDemonstrations(
       example.target = target;
       example.from_expert = true;  // Enables the large-margin loss.
       expert_examples_.push_back(example);
-      predictor_.AddExample(std::move(example));
-      ++collected;
+      // Unique insert: re-collecting a workload that shares expert traces
+      // (or a repeated Train call) must not stack duplicate copies that
+      // would overweight uniform replay sampling.
+      if (predictor_.AddExampleUnique(std::move(example))) ++collected;
     }
   }
   if (!workload.empty()) {
@@ -152,8 +154,11 @@ LfdEpisodeStats DemonstrationLearner::FineTuneEpisode(const Query& query) {
     if (mean > config_.slip_factor * expert_mean_latency_ &&
         !expert_examples_.empty()) {
       // Re-train on expert demonstrations until performance recovers.
+      // Unique insert: copies evicted from replay are restored, but
+      // resident ones are not duplicated — repeated slips previously piled
+      // up identical demonstrations and skewed the sampling distribution.
       for (const OutcomeExample& ex : expert_examples_) {
-        predictor_.AddExample(ex);
+        predictor_.AddExampleUnique(ex);
       }
       predictor_.TrainSteps(config_.slip_retrain_steps);
       recent_latencies_.clear();

@@ -68,7 +68,9 @@ class DemonstrationLearner {
                        uint64_t seed);
 
   /// Steps 1-2: expert demonstrations for every workload query. Returns
-  /// the number of (state, action) examples collected.
+  /// the number of (state, action) examples newly inserted into the
+  /// predictor's replay — 0 when every example was already resident
+  /// (e.g. a repeated Train over the same workload).
   Result<int> CollectDemonstrations(const std::vector<Query>& workload);
 
   /// Step 3: pre-trains the reward predictor; returns final training loss.
@@ -83,6 +85,8 @@ class DemonstrationLearner {
 
   RewardPredictor& predictor() { return predictor_; }
   int episodes_run() const { return episodes_run_; }
+  /// Expert examples collected so far (the slip-retrain set).
+  size_t num_expert_examples() const { return expert_examples_.size(); }
 
  private:
   /// Runs one env episode selecting actions via the predictor; returns the

@@ -74,7 +74,9 @@ Status HandsFreeOptimizer::Train(const std::vector<Query>& workload) {
     case TrainingStrategy::kLearningFromDemonstration: {
       HFQ_ASSIGN_OR_RETURN(int collected,
                            lfd_->CollectDemonstrations(workload));
-      if (collected == 0) {
+      // Unique inserts make 0 legitimate on a re-train over known queries;
+      // only a learner with no expert knowledge at all is an error.
+      if (collected == 0 && lfd_->num_expert_examples() == 0) {
         return Status::Internal("no demonstrations collected");
       }
       lfd_->Pretrain();
@@ -103,6 +105,84 @@ Status HandsFreeOptimizer::Train(const std::vector<Query>& workload) {
     }
   }
   trained_ = true;
+  if (config_.teacher.iterations > 0) {
+    HFQ_RETURN_IF_ERROR(RefineWithTeacher(workload, config_.teacher));
+  }
+  return Status::OK();
+}
+
+Status HandsFreeOptimizer::RefineWithTeacher(const std::vector<Query>& workload,
+                                             const TeacherConfig& teacher) {
+  if (!trained_) {
+    return Status::FailedPrecondition("Train() before RefineWithTeacher()");
+  }
+  if (workload.empty()) {
+    return Status::InvalidArgument("teacher workload is empty");
+  }
+  for (const Query& query : workload) {
+    if (query.num_relations() > config_.max_relations) {
+      return Status::InvalidArgument("query exceeds configured max_relations");
+    }
+  }
+  if (teacher_pool_ == nullptr) {
+    teacher_pool_ = std::make_unique<ExperiencePool>();
+  }
+
+  // The student is the active strategy backend's model — the same object
+  // frozen_policy_ reads, so the loop's greedy evaluation always sees the
+  // weights the student just trained.
+  std::unique_ptr<TeacherStudent> student;
+  switch (config_.strategy) {
+    case TrainingStrategy::kLearningFromDemonstration:
+      student = std::make_unique<PredictorTeacherStudent>(
+          &lfd_->predictor(), teacher.predictor_steps);
+      break;
+    case TrainingStrategy::kCostModelBootstrapping:
+      student = std::make_unique<AgentTeacherStudent>(&bootstrap_->agent());
+      break;
+    case TrainingStrategy::kIncrementalHybrid:
+      student = std::make_unique<AgentTeacherStudent>(&incremental_->agent());
+      break;
+  }
+
+  std::unique_ptr<PlanSearch> searcher = MakePlanSearch(config_.teacher_search);
+  MlpWorkspace search_ws;
+
+  TeacherLoopTask task;
+  task.env = env_.get();
+  task.num_queries = workload.size();
+  task.select_query = [this, &workload](size_t i) {
+    env_->SetQuery(&workload[i]);
+    return workload[i].StructuralFingerprint();
+  };
+  task.search = [this, &searcher,
+                 &search_ws](SearchEnv* env) -> Result<TeacherSearchOutcome> {
+    SearchContext ctx{frozen_policy_.get(), /*rng=*/nullptr, &search_ws};
+    HFQ_ASSIGN_OR_RETURN(SearchResult found, searcher->Search(env, ctx));
+    TeacherSearchOutcome outcome;
+    outcome.actions = std::move(found.actions);
+    outcome.cost = found.cost;
+    return outcome;
+  };
+  task.policy = frozen_policy_.get();
+  task.student = student.get();
+  task.pool = teacher_pool_.get();
+  if (config_.strategy == TrainingStrategy::kLearningFromDemonstration) {
+    // The predictor regresses log10 latency (LatencyTarget), not the
+    // episode return: NegLogLatencyReward is -log10(ms), a different
+    // scale, so the default -TotalReward() target would be wrong here.
+    task.demo_target = [this, &workload](size_t i, const Episode& episode,
+                                         double final_cost) {
+      (void)episode;
+      (void)final_cost;
+      return LatencyTarget(
+          engine_->latency().SimulateMs(workload[i], *env_->FinalPlan()));
+    };
+  }
+
+  HFQ_ASSIGN_OR_RETURN(std::vector<TeacherIterationStats> stats,
+                       RunTeacherLoop(task, teacher));
+  teacher_stats_.insert(teacher_stats_.end(), stats.begin(), stats.end());
   return Status::OK();
 }
 

@@ -13,7 +13,9 @@
 #include "core/engine.h"
 #include "core/full_env.h"
 #include "core/incremental.h"
+#include "rl/experience_pool.h"
 #include "rl/search_context.h"
+#include "rl/teacher_loop.h"
 #include "search/plan_search.h"
 #include "util/thread_pool.h"
 #include "workload/generator.h"
@@ -31,7 +33,10 @@ const char* TrainingStrategyName(TrainingStrategy strategy);
 
 /// Facade configuration.
 struct HandsFreeConfig {
-  HandsFreeConfig() {}
+  HandsFreeConfig() {
+    teacher_search.mode = SearchMode::kBeam;
+    teacher_search.beam_width = 4;
+  }
   TrainingStrategy strategy =
       TrainingStrategy::kLearningFromDemonstration;
   /// Largest query (relation count) the optimizer will ever see.
@@ -52,6 +57,15 @@ struct HandsFreeConfig {
   /// *Workload / Evaluate* entry point routes through this config; the
   /// default is bit-for-bit the historic greedy path.
   SearchConfig search;
+  /// Search-as-teacher refinement (rl/teacher_loop.h) run automatically at
+  /// the end of Train() when teacher.iterations > 0 (default off): the
+  /// frozen policy searches the training workload with `teacher_search`
+  /// (default beam-4), discovered plans land in a deduplicated experience
+  /// pool, and the strategy backend trains on the cheapest plan per query.
+  /// Closes most of the greedy-inference regret gap at zero plan-time
+  /// cost. Deterministic at any worker count (the loop is serial).
+  TeacherConfig teacher;
+  SearchConfig teacher_search;
   LfdConfig lfd;
   BootstrapConfig bootstrap;
   PolicyGradientConfig incremental_pg;
@@ -64,8 +78,21 @@ class HandsFreeOptimizer {
   HandsFreeOptimizer(Engine* engine, HandsFreeConfig config);
 
   /// Trains on the workload with the configured strategy. Re-entrant: a
-  /// second call continues training.
+  /// second call continues training. When config.teacher.iterations > 0,
+  /// finishes with that many search-as-teacher refinement iterations over
+  /// the same workload (see RefineWithTeacher).
   Status Train(const std::vector<Query>& workload);
+
+  /// Runs the search-as-teacher loop over `workload` against the current
+  /// trained model: per iteration, the frozen policy searches every query
+  /// with config.teacher_search, discoveries accumulate in a deduplicated
+  /// cross-call experience pool (teacher_pool()), and the strategy backend
+  /// trains on the cheapest known plan per query. Weights only survive an
+  /// iteration that did not worsen greedy inference, so the per-iteration
+  /// greedy mean cost (teacher_stats()) is non-increasing. Requires a
+  /// trained model; callable repeatedly (stats append, the pool persists).
+  Status RefineWithTeacher(const std::vector<Query>& workload,
+                           const TeacherConfig& teacher);
 
   /// Optimizes a query with the learned policy through the configured
   /// plan search. `planning_ms_out` (optional) receives the search's
@@ -181,6 +208,16 @@ class HandsFreeOptimizer {
   /// lifetime; meaningful once trained.
   const FrozenPolicy* policy() const { return frozen_policy_.get(); }
 
+  /// Per-iteration diagnostics of every RefineWithTeacher call so far
+  /// (appended in call order).
+  const std::vector<TeacherIterationStats>& teacher_stats() const {
+    return teacher_stats_;
+  }
+
+  /// The cross-call experience pool of discovered plans; nullptr until the
+  /// first RefineWithTeacher call.
+  const ExperiencePool* teacher_pool() const { return teacher_pool_.get(); }
+
  private:
   /// Runs `search` for `query` on `env` (thread-safe with distinct
   /// env/ws) and returns the finished plan. `planning_ms_out` optional;
@@ -220,6 +257,9 @@ class HandsFreeOptimizer {
   std::unique_ptr<BootstrapTrainer> bootstrap_;
   std::unique_ptr<WorkloadGenerator> curriculum_generator_;
   std::unique_ptr<IncrementalTrainer> incremental_;
+  /// Search-as-teacher state (lazily created by RefineWithTeacher).
+  std::unique_ptr<ExperiencePool> teacher_pool_;
+  std::vector<TeacherIterationStats> teacher_stats_;
   bool trained_ = false;
 };
 

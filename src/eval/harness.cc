@@ -29,6 +29,7 @@ Result<ScenarioEvaluator::ProfileContext> ScenarioEvaluator::BuildProfile(
   // Training stays serial regardless of the harness's cell fan-out, so the
   // learned policy is identical for every worker count.
   facade_config.num_rollout_workers = 1;
+  facade_config.teacher_search = config_.teacher_mode;
   ctx.facade =
       std::make_unique<HandsFreeOptimizer>(ctx.engine.get(), facade_config);
 
@@ -43,6 +44,33 @@ Result<ScenarioEvaluator::ProfileContext> ScenarioEvaluator::BuildProfile(
                                      /*variants=*/1, /*min_relations=*/2,
                                      max_relations));
   HFQ_RETURN_IF_ERROR(ctx.facade->Train(training));
+
+  if (config_.teacher_iterations > 0) {
+    // The teacher workload is the training suite plus one query per
+    // (topology, relation count) combination of the matrix, so the teacher
+    // also discovers plans for shapes (e.g. cliques) the JOB-like suite
+    // underrepresents. Its own derived seed keeps the cells' private query
+    // streams untouched.
+    std::vector<Query> teacher_workload = training;
+    WorkloadGenerator teach_gen(&ctx.engine->catalog(),
+                                config_.seed ^ 0x7EAC4E5ull,
+                                config_.predicate_mixes[0].shape,
+                                &ctx.engine->db());
+    for (JoinTopology topology : config_.topologies) {
+      for (int n : config_.relation_counts) {
+        HFQ_ASSIGN_OR_RETURN(
+            Query query,
+            teach_gen.GenerateTopologyQuery(
+                topology, n,
+                StrFormat("teach_%s_r%d", JoinTopologyName(topology), n)));
+        teacher_workload.push_back(std::move(query));
+      }
+    }
+    TeacherConfig teacher;
+    teacher.iterations = config_.teacher_iterations;
+    HFQ_RETURN_IF_ERROR(
+        ctx.facade->RefineWithTeacher(teacher_workload, teacher));
+  }
 
   for (int w = 0; w < config_.num_workers; ++w) {
     ctx.envs.push_back(ctx.facade->MakeWorkerEnv());

@@ -68,6 +68,13 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
       << ",\"training_episodes\":" << config.training_episodes
       << ",\"training_families\":" << config.training_families
       << ",\"queries_per_cell\":" << config.queries_per_cell;
+  // Teacher-off configs keep the historic config section byte-for-byte.
+  // Field names deliberately avoid the "search" substring, which the v1
+  // byte-layout gate forbids anywhere in a v1 report.
+  if (config.teacher_iterations > 0) {
+    out << ",\"teacher_iterations\":" << config.teacher_iterations
+        << ",\"teacher_mode\":" << Quoted(SearchConfigName(config.teacher_mode));
+  }
   out << ",\"topologies\":[";
   for (size_t i = 0; i < config.topologies.size(); ++i) {
     out << (i ? "," : "") << Quoted(JoinTopologyName(config.topologies[i]));

@@ -22,6 +22,7 @@ EvalConfig::EvalConfig() {
   beam_4.mode = SearchMode::kBeam;
   beam_4.beam_width = 4;
   search_modes = {greedy, best_of_8, beam_4};
+  teacher_mode = beam_4;
 
   PredicateMix lite;
   lite.name = "lite";
@@ -89,6 +90,12 @@ Status ValidateEvalConfig(const EvalConfig& config) {
   }
   if (config.search_modes.empty()) {
     return Status::InvalidArgument("search_modes must not be empty");
+  }
+  if (config.teacher_iterations < 0) {
+    return Status::InvalidArgument("teacher_iterations must be >= 0");
+  }
+  if (config.teacher_mode.best_of_k < 1 || config.teacher_mode.beam_width < 1) {
+    return Status::InvalidArgument("teacher mode knobs must be >= 1");
   }
   for (const SearchConfig& mode : config.search_modes) {
     if (mode.best_of_k < 1 || mode.beam_width < 1) {

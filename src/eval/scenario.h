@@ -63,6 +63,17 @@ struct EvalConfig {
   /// {default greedy}, the report is byte-identical to the pre-search
   /// "hfq-eval-v1" schema; otherwise it is "hfq-eval-v2".
   std::vector<SearchConfig> search_modes;
+  /// Search-as-teacher refinement iterations run after each profile's
+  /// training (HandsFreeOptimizer::RefineWithTeacher): the frozen policy
+  /// searches a teacher workload (the training suite plus one query per
+  /// topology x relation-count combination) with `teacher_mode`, and the
+  /// backend trains on the cheapest discovered plan per query. On by
+  /// default — this is what closes the greedy-inference regret gap. 0
+  /// disables refinement entirely (the pre-teacher training path,
+  /// byte-identical reports included).
+  int teacher_iterations = 4;
+  /// Plan search the teacher uses (constructor default: beam-4).
+  SearchConfig teacher_mode;
   /// Emit wall-clock timing fields in the JSON report. Turn off for
   /// byte-identical reports across runs.
   bool include_timings = true;

@@ -141,6 +141,40 @@ void RejoinTrainer::FlushPendingEpisodes() {
   pending_.clear();
 }
 
+Result<std::vector<TeacherIterationStats>> RejoinTrainer::RefineWithTeacher(
+    const std::vector<Query>& workload, const TeacherConfig& teacher,
+    const SearchConfig& teacher_search, ExperiencePool* pool) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("teacher workload is empty");
+  }
+  ExperiencePool local_pool;
+  AgentPolicy policy(&agent_);
+  AgentTeacherStudent student(&agent_);
+  std::unique_ptr<PlanSearch> searcher = MakePlanSearch(teacher_search);
+  MlpWorkspace search_ws;
+
+  TeacherLoopTask task;
+  task.env = env_;
+  task.num_queries = workload.size();
+  task.select_query = [this, &workload](size_t i) {
+    env_->SetQuery(&workload[i]);
+    return workload[i].StructuralFingerprint();
+  };
+  task.search = [&policy, &searcher,
+                 &search_ws](SearchEnv* env) -> Result<TeacherSearchOutcome> {
+    SearchContext ctx{&policy, /*rng=*/nullptr, &search_ws};
+    HFQ_ASSIGN_OR_RETURN(SearchResult found, searcher->Search(env, ctx));
+    TeacherSearchOutcome outcome;
+    outcome.actions = std::move(found.actions);
+    outcome.cost = found.cost;
+    return outcome;
+  };
+  task.policy = &policy;
+  task.student = &student;
+  task.pool = pool != nullptr ? pool : &local_pool;
+  return RunTeacherLoop(task, teacher);
+}
+
 std::unique_ptr<JoinTreeNode> RejoinTrainer::Plan(const Query& query,
                                                   double* planning_ms_out) {
   return PlanWithSearch(query, SearchConfig(), planning_ms_out);

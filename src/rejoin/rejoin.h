@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "rejoin/join_env.h"
+#include "rl/experience_pool.h"
 #include "rl/policy_gradient.h"
+#include "rl/teacher_loop.h"
 #include "search/plan_search.h"
 #include "util/thread_pool.h"
 
@@ -104,6 +106,19 @@ class RejoinTrainer {
   std::unique_ptr<JoinTreeNode> PlanWithSearch(
       const Query& query, const SearchConfig& search,
       double* planning_ms_out = nullptr, SearchResult* result_out = nullptr);
+
+  /// Search-as-teacher refinement (rl/teacher_loop.h) of the trained
+  /// policy: per iteration, the frozen policy plans every workload query
+  /// with `teacher_search`, discovered join orders accumulate in `pool`
+  /// (deduplicated; a caller-owned pool persists across calls — pass
+  /// nullptr for a call-local one), and the agent behaviour-clones the
+  /// cheapest known plan per query. Weights only survive iterations that
+  /// do not worsen greedy inference, so the returned per-iteration greedy
+  /// mean cost is non-increasing. Serial and deterministic at any
+  /// num_rollout_workers; does not consume the trainer's sampling streams.
+  Result<std::vector<TeacherIterationStats>> RefineWithTeacher(
+      const std::vector<Query>& workload, const TeacherConfig& teacher,
+      const SearchConfig& teacher_search, ExperiencePool* pool = nullptr);
 
   PolicyGradientAgent& agent() { return agent_; }
 

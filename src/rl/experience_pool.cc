@@ -1,0 +1,103 @@
+#include "rl/experience_pool.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/string_util.h"
+
+namespace hfq {
+namespace {
+
+// FNV-1a over the fingerprint and the action sequence — the dedup key.
+uint64_t ExperienceKey(const PlanExperience& experience) {
+  uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(experience.fingerprint);
+  mix(static_cast<uint64_t>(experience.actions.size()));
+  for (int action : experience.actions) {
+    mix(static_cast<uint64_t>(static_cast<int64_t>(action)));
+  }
+  return h;
+}
+
+}  // namespace
+
+bool ExperiencePool::Add(PlanExperience experience) {
+  const uint64_t key = ExperienceKey(experience);
+  if (keys_.count(key) > 0) return false;
+  keys_.insert(key);
+  const size_t index = items_.size();
+  auto best = best_.find(experience.fingerprint);
+  if (best == best_.end()) {
+    fingerprint_order_.push_back(experience.fingerprint);
+    best_[experience.fingerprint] = index;
+  } else if (experience.cost < items_[best->second].cost) {
+    // Strict <: cost ties keep the earliest inserted plan, so the
+    // demonstration set never depends on discovery order among equals.
+    best->second = index;
+  }
+  items_.push_back(std::move(experience));
+  return true;
+}
+
+const PlanExperience* ExperiencePool::BestFor(uint64_t fingerprint) const {
+  auto it = best_.find(fingerprint);
+  if (it == best_.end()) return nullptr;
+  return &items_[it->second];
+}
+
+std::vector<const PlanExperience*> ExperiencePool::BestPerQuery() const {
+  std::vector<const PlanExperience*> out;
+  out.reserve(fingerprint_order_.size());
+  for (uint64_t fingerprint : fingerprint_order_) {
+    out.push_back(BestFor(fingerprint));
+  }
+  return out;
+}
+
+Status ExperiencePool::Save(std::ostream& out) const {
+  out << "hfq-experience-pool-v1 " << items_.size() << "\n";
+  for (const PlanExperience& experience : items_) {
+    out << experience.fingerprint << " "
+        << StrFormat("%.17g", experience.cost) << " "
+        << experience.actions.size();
+    for (int action : experience.actions) out << " " << action;
+    out << "\n";
+  }
+  if (!out.good()) return Status::Internal("experience pool write failed");
+  return Status::OK();
+}
+
+Result<ExperiencePool> ExperiencePool::Load(std::istream& in) {
+  std::string magic;
+  size_t n = 0;
+  in >> magic >> n;
+  if (!in.good() || magic != "hfq-experience-pool-v1") {
+    return Status::InvalidArgument("not an experience pool stream");
+  }
+  ExperiencePool pool;
+  for (size_t i = 0; i < n; ++i) {
+    PlanExperience experience;
+    size_t num_actions = 0;
+    in >> experience.fingerprint >> experience.cost >> num_actions;
+    if (in.fail()) {
+      return Status::InvalidArgument("truncated experience pool stream");
+    }
+    experience.actions.resize(num_actions);
+    for (size_t a = 0; a < num_actions; ++a) {
+      in >> experience.actions[a];
+      if (in.fail()) {
+        return Status::InvalidArgument("truncated experience pool stream");
+      }
+    }
+    pool.Add(std::move(experience));
+  }
+  return pool;
+}
+
+}  // namespace hfq

@@ -1,0 +1,70 @@
+// The cross-iteration experience pool of the search-as-teacher loop
+// (Balsa's "experience" set): every plan the teacher search ever
+// discovered, deduplicated by (query structural fingerprint, action
+// sequence) so a plan re-discovered on every iteration is stored exactly
+// once and cannot overweight the demonstration distribution. The pool
+// answers "cheapest known plan per query" (BestPerQuery / BestFor) and
+// round-trips through a plain-text format so a refinement run can be
+// checkpointed and resumed.
+#ifndef HFQ_RL_EXPERIENCE_POOL_H_
+#define HFQ_RL_EXPERIENCE_POOL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hfq {
+
+/// One discovered plan: the env action sequence that produced it and the
+/// env's FinalCost for it, keyed by the query's structural fingerprint.
+struct PlanExperience {
+  uint64_t fingerprint = 0;
+  std::vector<int> actions;
+  double cost = 0.0;
+};
+
+/// Insertion-ordered, deduplicated store of discovered plans.
+class ExperiencePool {
+ public:
+  /// Stores `experience` unless an identical (fingerprint, actions) pair is
+  /// already present; returns whether it was stored. On a duplicate the
+  /// stored copy keeps its original cost (replays of one action sequence
+  /// are deterministic, so the costs agree anyway).
+  bool Add(PlanExperience experience);
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  const PlanExperience& at(size_t i) const { return items_[i]; }
+
+  /// The cheapest known plan for `fingerprint` (strictly lowest cost; ties
+  /// keep the earliest inserted), or nullptr when none is known.
+  const PlanExperience* BestFor(uint64_t fingerprint) const;
+
+  /// The cheapest known plan of every fingerprint, in first-seen
+  /// fingerprint order — the deterministic demonstration set one teacher
+  /// iteration trains on.
+  std::vector<const PlanExperience*> BestPerQuery() const;
+
+  /// Plain-text persistence; Load rebuilds through Add so the dedup and
+  /// best-per-query indexes are reconstructed, and costs round-trip
+  /// exactly (%.17g).
+  Status Save(std::ostream& out) const;
+  static Result<ExperiencePool> Load(std::istream& in);
+
+ private:
+  std::vector<PlanExperience> items_;
+  /// Content hashes of every stored (fingerprint, actions) pair.
+  std::unordered_set<uint64_t> keys_;
+  /// fingerprint -> index into items_ of its cheapest plan.
+  std::unordered_map<uint64_t, size_t> best_;
+  /// Fingerprints in first-seen order (drives BestPerQuery ordering).
+  std::vector<uint64_t> fingerprint_order_;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_RL_EXPERIENCE_POOL_H_

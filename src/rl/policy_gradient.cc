@@ -284,6 +284,41 @@ double PolicyGradientAgent::BehaviourCloneStep(
   return total_loss * inv_n;
 }
 
+double PolicyGradientAgent::ValueRegressionStep(
+    const std::vector<Episode>& episodes) {
+  if (episodes.empty()) return 0.0;
+  // Same returns-to-go flatten as Update, minus the policy step.
+  std::vector<const Transition*> transitions;
+  std::vector<double> returns;
+  for (const auto& ep : episodes) {
+    double ret = 0.0;
+    std::vector<double> rets(ep.steps.size());
+    for (size_t i = ep.steps.size(); i-- > 0;) {
+      ret = ep.steps[i].reward + config_.gamma * ret;
+      rets[i] = ret;
+    }
+    for (size_t i = 0; i < ep.steps.size(); ++i) {
+      transitions.push_back(&ep.steps[i]);
+      returns.push_back(rets[i]);
+    }
+  }
+  if (transitions.empty()) return 0.0;
+  const int64_t batch = static_cast<int64_t>(transitions.size());
+  Matrix states = StackStates(transitions, state_dim_);
+  value_.ZeroGrads();
+  Matrix values = value_.Forward(states);
+  Matrix targets(batch, 1);
+  for (int64_t i = 0; i < batch; ++i) {
+    targets.At(i, 0) = returns[static_cast<size_t>(i)];
+  }
+  Matrix vgrad;
+  const double loss = MseLoss(values, targets, &vgrad);
+  value_.Backward(vgrad);
+  ClipGradientsByGlobalNorm(value_.Grads(), config_.max_grad_norm);
+  value_opt_.Step(value_.Params(), value_.Grads());
+  return loss;
+}
+
 void PolicyGradientAgent::ResetOptimizerState() {
   policy_opt_.ResetState();
   value_opt_.ResetState();

@@ -79,6 +79,12 @@ class PolicyGradientAgent {
   /// cross-entropy loss.
   double BehaviourCloneStep(const std::vector<Transition>& batch);
 
+  /// One value-head regression step toward the episodes' returns-to-go
+  /// (the same targets Update's value fit uses), without touching the
+  /// policy net — how the search-as-teacher loop distills discovered-plan
+  /// outcomes into the value head. Returns the MSE loss.
+  double ValueRegressionStep(const std::vector<Episode>& episodes);
+
   /// Resets optimizer moments (used at reward-regime switches).
   void ResetOptimizerState();
 

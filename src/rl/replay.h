@@ -1,8 +1,12 @@
-// A bounded experience-replay buffer (ring buffer with uniform sampling).
+// A bounded experience-replay buffer (ring buffer with uniform sampling),
+// with an optional keyed-insert path (AddUnique) so demonstration-style
+// items that get re-offered every iteration cannot pile up as duplicates
+// and overweight uniform sampling.
 #ifndef HFQ_RL_REPLAY_H_
 #define HFQ_RL_REPLAY_H_
 
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "util/check.h"
@@ -17,15 +21,22 @@ class ReplayBuffer {
   explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {
     HFQ_CHECK(capacity > 0);
     items_.reserve(capacity);
+    slots_.reserve(capacity);
   }
 
-  void Add(T item) {
-    if (items_.size() < capacity_) {
-      items_.push_back(std::move(item));
-    } else {
-      items_[next_] = std::move(item);
-    }
-    next_ = (next_ + 1) % capacity_;
+  void Add(T item) { Store(std::move(item), /*has_key=*/false, /*key=*/0); }
+
+  /// Adds `item` only if no resident item was inserted under the same
+  /// `key`; returns whether it was stored. A key becomes free again once
+  /// its item is evicted by the ring, so long-lived buffers can re-admit
+  /// an example after it ages out — the invariant is "at most one resident
+  /// copy per key", not "at most once ever". Add and AddUnique mix freely
+  /// (plain Add never consumes or blocks a key).
+  bool AddUnique(T item, uint64_t key) {
+    if (keys_.count(key) > 0) return false;
+    keys_.insert(key);
+    Store(std::move(item), /*has_key=*/true, key);
+    return true;
   }
 
   size_t size() const { return items_.size(); }
@@ -49,13 +60,35 @@ class ReplayBuffer {
 
   void Clear() {
     items_.clear();
+    slots_.clear();
+    keys_.clear();
     next_ = 0;
   }
 
  private:
+  /// Per-slot key record, so eviction can release the evicted item's key.
+  struct SlotKey {
+    bool has_key = false;
+    uint64_t key = 0;
+  };
+
+  void Store(T item, bool has_key, uint64_t key) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      slots_.push_back(SlotKey{has_key, key});
+    } else {
+      if (slots_[next_].has_key) keys_.erase(slots_[next_].key);
+      items_[next_] = std::move(item);
+      slots_[next_] = SlotKey{has_key, key};
+    }
+    next_ = (next_ + 1) % capacity_;
+  }
+
   size_t capacity_;
   size_t next_ = 0;
   std::vector<T> items_;
+  std::vector<SlotKey> slots_;
+  std::unordered_set<uint64_t> keys_;
 };
 
 }  // namespace hfq

@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace hfq {
+
+uint64_t OutcomeExampleKey(const OutcomeExample& example) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis.
+  auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  uint64_t bits = 0;
+  for (double d : example.state) {
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+  mix(static_cast<uint64_t>(example.action));
+  std::memcpy(&bits, &example.target, sizeof(bits));
+  mix(bits);
+  mix(example.from_expert ? 1u : 0u);
+  return h;
+}
 
 RewardPredictor::RewardPredictor(int state_dim, int action_dim,
                                  RewardPredictorConfig config, uint64_t seed)
@@ -14,7 +35,8 @@ RewardPredictor::RewardPredictor(int state_dim, int action_dim,
       config_(config),
       opt_(config.lr),
       buffer_(config.replay_capacity),
-      rng_(seed) {
+      rng_(seed),
+      eval_rng_(MixSeed64(seed ^ 0xE7A1D057ull)) {
   HFQ_CHECK(state_dim > 0 && action_dim > 0);
   MlpConfig mc;
   mc.input_dim = state_dim;
@@ -88,60 +110,78 @@ void RewardPredictor::AddExample(OutcomeExample example) {
   buffer_.Add(std::move(example));
 }
 
-double RewardPredictor::TrainSteps(int steps) {
-  if (buffer_.empty()) return 0.0;
+bool RewardPredictor::AddExampleUnique(OutcomeExample example) {
+  HFQ_CHECK(static_cast<int>(example.state.size()) == state_dim_);
+  HFQ_CHECK(example.action >= 0 && example.action < action_dim_);
+  const uint64_t key = OutcomeExampleKey(example);
+  return buffer_.AddUnique(std::move(example), key);
+}
+
+double RewardPredictor::BatchLossAndGradients(
+    const std::vector<const OutcomeExample*>& batch) {
+  HFQ_CHECK(!batch.empty());
+  const int64_t n = static_cast<int64_t>(batch.size());
+  const double inv_n = 1.0 / static_cast<double>(n);
+  Matrix states =
+      StackRows(n, state_dim_,
+                [&batch](int64_t i) -> const std::vector<double>& {
+                  return batch[static_cast<size_t>(i)]->state;
+                });
+  net_.ZeroGrads();
+  // One forward per minibatch; the single Backward below reuses its cache.
+  Matrix out = net_.Forward(states);
   double total_loss = 0.0;
-  int total_samples = 0;
-  for (int step = 0; step < steps; ++step) {
-    auto batch = buffer_.Sample(&rng_, static_cast<size_t>(config_.batch_size));
-    const int64_t n = static_cast<int64_t>(batch.size());
-    Matrix states =
-        StackRows(n, state_dim_,
-                  [&batch](int64_t i) -> const std::vector<double>& {
-                    return batch[static_cast<size_t>(i)]->state;
-                  });
-    net_.ZeroGrads();
-    // One forward per minibatch; the single Backward below reuses its cache.
-    Matrix out = net_.Forward(states);
-    Matrix grad(n, action_dim_);
-    for (int64_t i = 0; i < n; ++i) {
-      const OutcomeExample* ex = batch[static_cast<size_t>(i)];
-      // Regression loss on the taken action's output.
-      double pred = out.At(i, ex->action);
-      double diff = pred - ex->target;
-      double g;
-      if (std::abs(diff) <= config_.huber_delta) {
-        total_loss += 0.5 * diff * diff;
-        g = diff;
-      } else {
-        total_loss += config_.huber_delta * (std::abs(diff) -
-                                             0.5 * config_.huber_delta);
-        g = diff > 0 ? config_.huber_delta : -config_.huber_delta;
-      }
-      grad.At(i, ex->action) = g / static_cast<double>(batch.size());
-      // Large-margin demonstration loss: every non-expert action must
-      // predict at least `margin` worse (higher) than the expert outcome.
-      if (ex->from_expert && config_.margin_weight > 0.0) {
-        const double floor = ex->target + config_.demonstration_margin;
-        const double scale = config_.margin_weight /
-                             (static_cast<double>(batch.size()) *
-                              static_cast<double>(action_dim_));
-        for (int a = 0; a < action_dim_; ++a) {
-          if (a == ex->action) continue;
-          double violation = floor - out.At(i, a);
-          if (violation > 0.0) {
-            total_loss += config_.margin_weight * violation;
-            grad.At(i, a) -= scale;  // Push the prediction up.
-          }
+  Matrix grad(n, action_dim_);
+  for (int64_t i = 0; i < n; ++i) {
+    const OutcomeExample* ex = batch[static_cast<size_t>(i)];
+    // Regression loss on the taken action's output.
+    double pred = out.At(i, ex->action);
+    double diff = pred - ex->target;
+    double g;
+    if (std::abs(diff) <= config_.huber_delta) {
+      total_loss += 0.5 * diff * diff;
+      g = diff;
+    } else {
+      total_loss += config_.huber_delta * (std::abs(diff) -
+                                           0.5 * config_.huber_delta);
+      g = diff > 0 ? config_.huber_delta : -config_.huber_delta;
+    }
+    grad.At(i, ex->action) = g * inv_n;
+    // Large-margin demonstration loss: every non-expert action must
+    // predict at least `margin` worse (higher) than the expert outcome.
+    // Loss and gradient carry the same margin_weight / action_dim
+    // normalization (plus the 1/n batch mean applied to both terms), so
+    // the reported loss is exactly the objective the gradient descends.
+    if (ex->from_expert && config_.margin_weight > 0.0) {
+      const double floor = ex->target + config_.demonstration_margin;
+      const double weight =
+          config_.margin_weight / static_cast<double>(action_dim_);
+      for (int a = 0; a < action_dim_; ++a) {
+        if (a == ex->action) continue;
+        double violation = floor - out.At(i, a);
+        if (violation > 0.0) {
+          total_loss += weight * violation;
+          grad.At(i, a) -= weight * inv_n;  // Push the prediction up.
         }
       }
-      ++total_samples;
     }
-    net_.Backward(grad);
+  }
+  net_.Backward(grad);
+  return total_loss * inv_n;
+}
+
+double RewardPredictor::TrainSteps(int steps) {
+  if (buffer_.empty()) return 0.0;
+  double loss_sum = 0.0;
+  int batches = 0;
+  for (int step = 0; step < steps; ++step) {
+    auto batch = buffer_.Sample(&rng_, static_cast<size_t>(config_.batch_size));
+    loss_sum += BatchLossAndGradients(batch);
+    ++batches;
     ClipGradientsByGlobalNorm(net_.Grads(), config_.max_grad_norm);
     opt_.Step(net_.Params(), net_.Grads());
   }
-  return total_samples > 0 ? total_loss / total_samples : 0.0;
+  return batches > 0 ? loss_sum / batches : 0.0;
 }
 
 Status RewardPredictor::Save(std::ostream& out) { return net_.Save(out); }
@@ -160,7 +200,10 @@ Status RewardPredictor::LoadWeights(std::istream& in) {
 
 double RewardPredictor::EvaluateError(size_t sample_size) {
   if (buffer_.empty()) return 0.0;
-  auto batch = buffer_.Sample(&rng_, sample_size);
+  // Evaluation draws from its own derived stream: a diagnostic call must
+  // never move rng_, or training trajectories would depend on whether and
+  // when the caller evaluated.
+  auto batch = buffer_.Sample(&eval_rng_, sample_size);
   double total = 0.0;
   for (const OutcomeExample* ex : batch) {
     total += std::abs(Predict(ex->state, ex->action) - ex->target);

@@ -47,6 +47,12 @@ struct OutcomeExample {
   bool from_expert = false;
 };
 
+/// Content hash of an example (FNV-1a over the state's bit patterns,
+/// action, target bits, and the expert flag) — the dedup key AddExampleUnique
+/// uses so identical demonstrations re-offered every iteration keep exactly
+/// one resident copy in the replay buffer.
+uint64_t OutcomeExampleKey(const OutcomeExample& example);
+
 /// MLP mapping state -> per-action predicted outcome.
 class RewardPredictor {
  public:
@@ -77,11 +83,29 @@ class RewardPredictor {
   /// Adds a training example to the replay buffer.
   void AddExample(OutcomeExample example);
 
+  /// Adds an example only if no identical example (by OutcomeExampleKey) is
+  /// resident in the buffer; returns whether it was stored. Use for
+  /// demonstration examples that are re-offered across training iterations
+  /// so duplicates cannot overweight uniform replay sampling.
+  bool AddExampleUnique(OutcomeExample example);
+
   /// One SGD pass over `steps` minibatches sampled from replay; returns the
-  /// mean Huber loss (diagnostic; 0 if the buffer is empty).
+  /// mean per-sample loss of the optimized objective (Huber regression +
+  /// normalized large-margin term; diagnostic; 0 if the buffer is empty).
   double TrainSteps(int steps);
 
-  /// Mean absolute prediction error over a sample of the buffer.
+  /// Computes the mean per-sample loss of the minibatch objective TrainSteps
+  /// optimizes (Huber on the taken action + margin_weight / action_dim *
+  /// per-action margin violations for expert examples) and leaves its exact
+  /// gradient — pre-clipping, no optimizer step, no Rng use — in
+  /// net().Grads(). TrainSteps routes through this; exposed publicly so the
+  /// loss/gradient agreement is testable via finite differences.
+  double BatchLossAndGradients(const std::vector<const OutcomeExample*>& batch);
+
+  /// Mean absolute prediction error over a sample of the buffer. Samples
+  /// from a dedicated evaluation Rng stream, so calling this between
+  /// TrainSteps never perturbs the training minibatch draws (train-with-eval
+  /// and train-without-eval produce bit-identical weights).
   double EvaluateError(size_t sample_size);
 
   /// Persists the predictor network (plain text, Mlp format).
@@ -104,6 +128,9 @@ class RewardPredictor {
   Adam opt_;
   ReplayBuffer<OutcomeExample> buffer_;
   Rng rng_;
+  /// Evaluation-only stream, derived from the seed: EvaluateError draws
+  /// here so diagnostics never advance the training stream above.
+  Rng eval_rng_;
   /// Workspace behind the non-const SelectAction wrapper (single-threaded
   /// callers only; parallel callers supply their own).
   MlpWorkspace scratch_ws_;

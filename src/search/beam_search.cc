@@ -10,6 +10,7 @@ namespace hfq {
 
 using search_internal::GreedyRollout;
 using search_internal::ReplayActions;
+using search_internal::TopActions;
 
 namespace {
 
@@ -25,23 +26,6 @@ struct BeamItem {
   std::vector<bool> mask;
   double rank = 0.0;  // log_prob + value_weight * V(state).
 };
-
-// Top-`width` valid actions by probability, descending, ties to the lower
-// action index (so width 1 picks exactly the greedy action).
-std::vector<int> TopActions(const std::vector<double>& probs,
-                            const std::vector<bool>& mask, int width) {
-  std::vector<int> valid;
-  for (size_t a = 0; a < probs.size(); ++a) {
-    if (mask[a]) valid.push_back(static_cast<int>(a));
-  }
-  std::stable_sort(valid.begin(), valid.end(), [&probs](int a, int b) {
-    return probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(b)];
-  });
-  if (static_cast<int>(valid.size()) > width) {
-    valid.resize(static_cast<size_t>(width));
-  }
-  return valid;
-}
 
 }  // namespace
 

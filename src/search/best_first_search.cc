@@ -1,0 +1,125 @@
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "search/plan_search.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hfq {
+
+using search_internal::GreedyRollout;
+using search_internal::ReplayActions;
+using search_internal::TopActions;
+
+namespace {
+
+// One unfinished plan prefix on the best-first frontier. The state/mask of
+// the prefix's current position are featurized once, at creation, and
+// reused for the value ranking and the eventual expansion.
+struct FrontierNode {
+  std::unique_ptr<SearchEnv> env;
+  std::vector<int> actions;
+  std::vector<double> state;
+  std::vector<bool> mask;
+  double value = 0.0;  // V(state): the sole expansion-priority signal.
+};
+
+// Index of the node to expand next: highest value, ties to the earliest
+// inserted (strict >), so expansion order is a pure function of (weights,
+// query) — no Rng, no pointer order.
+size_t BestNode(const std::vector<FrontierNode>& frontier) {
+  size_t best = 0;
+  for (size_t i = 1; i < frontier.size(); ++i) {
+    if (frontier[i].value > frontier[best].value) best = i;
+  }
+  return best;
+}
+
+}  // namespace
+
+BestFirstSearch::BestFirstSearch(SearchConfig config) : config_(config) {
+  HFQ_CHECK(config_.beam_width >= 1);
+  HFQ_CHECK(config_.best_first_expansions >= 1);
+}
+
+Result<SearchResult> BestFirstSearch::Search(SearchEnv* env,
+                                             const SearchContext& ctx,
+                                             ThreadPool* pool) {
+  (void)pool;  // Expansions are inherently sequential (each pops the max).
+  HFQ_CHECK(env != nullptr && ctx.policy != nullptr && ctx.ws != nullptr);
+  Stopwatch total;
+  const int width = config_.beam_width;
+
+  // The greedy rollout: fallback, cost floor, and first completed
+  // candidate.
+  SearchResult result;
+  result.actions = GreedyRollout(env, ctx, nullptr);
+  result.cost = env->FinalCost();
+  result.rollouts = 1;
+
+  bool any_search_candidate = false;
+  std::vector<FrontierNode> frontier;
+  {
+    FrontierNode root;
+    root.env = env->CloneSearch();
+    root.env->Reset();
+    if (root.env->Done()) {
+      // Zero-decision episode: the root is already a complete plan.
+      any_search_candidate = true;
+      ++result.rollouts;
+      double cost = root.env->FinalCost();
+      if (cost < result.cost) {
+        result.cost = cost;
+        result.actions.clear();
+      }
+    } else {
+      root.state = root.env->StateVector();
+      root.mask = root.env->ActionMask();
+      frontier.push_back(std::move(root));
+    }
+  }
+
+  const double budget = config_.time_budget_ms;
+  for (int expansion = 0;
+       expansion < config_.best_first_expansions && !frontier.empty();
+       ++expansion) {
+    if (budget > 0.0 && total.ElapsedMillis() > budget) break;
+    const size_t index = BestNode(frontier);
+    FrontierNode node = std::move(frontier[index]);
+    frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(index));
+
+    std::vector<double> probs =
+        ctx.policy->Probabilities(node.state, node.mask, ctx.ws);
+    for (int action : TopActions(probs, node.mask, width)) {
+      FrontierNode child;
+      child.env = node.env->CloneSearch();
+      child.env->Step(action);
+      child.actions = node.actions;
+      child.actions.push_back(action);
+      if (child.env->Done()) {
+        // Complete plan: a candidate, scored by its true cost.
+        any_search_candidate = true;
+        ++result.rollouts;
+        double cost = child.env->FinalCost();
+        if (cost < result.cost) {
+          result.cost = cost;
+          result.actions = std::move(child.actions);
+        }
+        continue;
+      }
+      child.state = child.env->StateVector();
+      child.mask = child.env->ActionMask();
+      child.value = ctx.policy->Value(child.state, child.mask, ctx.ws);
+      frontier.push_back(std::move(child));
+    }
+  }
+  result.fell_back_to_greedy = !any_search_candidate;
+
+  ReplayActions(env, result.actions);
+  HFQ_CHECK(env->FinalCost() == result.cost);
+  result.planning_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace hfq

@@ -1,5 +1,6 @@
 #include "search/plan_search.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 
@@ -17,6 +18,8 @@ const char* SearchModeName(SearchMode mode) {
       return "best-of-k";
     case SearchMode::kBeam:
       return "beam";
+    case SearchMode::kBestFirst:
+      return "best-first";
   }
   return "?";
 }
@@ -29,6 +32,8 @@ std::string SearchConfigName(const SearchConfig& config) {
       return StrFormat("best-of-%d", config.best_of_k);
     case SearchMode::kBeam:
       return StrFormat("beam-%d", config.beam_width);
+    case SearchMode::kBestFirst:
+      return StrFormat("best-first-%d", config.beam_width);
   }
   return "?";
 }
@@ -56,6 +61,17 @@ Result<SearchConfig> ParseSearchSpec(const std::string& spec) {
     *out = static_cast<int>(v);
     return true;
   };
+  // "best-first" must be checked before "best-of-": the prefixes are
+  // distinct, but keeping the more specific spelling first makes that
+  // independence obvious.
+  if (spec == "best-first" || spec.rfind("best-first-", 0) == 0) {
+    config.mode = SearchMode::kBestFirst;
+    if (spec == "best-first") return config;
+    if (!parse_suffix(spec, 11, &config.beam_width)) {
+      return Status::InvalidArgument("bad best-first spec: " + spec);
+    }
+    return config;
+  }
   if (spec.rfind("best-of-", 0) == 0 || spec == "best-of-k") {
     config.mode = SearchMode::kBestOfK;
     if (spec == "best-of-k") return config;
@@ -87,6 +103,8 @@ std::unique_ptr<PlanSearch> MakePlanSearch(const SearchConfig& config) {
       return std::make_unique<BestOfKSearch>(config);
     case SearchMode::kBeam:
       return std::make_unique<BeamSearch>(config);
+    case SearchMode::kBestFirst:
+      return std::make_unique<BestFirstSearch>(config);
   }
   HFQ_CHECK_MSG(false, "unknown search mode");
   return nullptr;
@@ -122,6 +140,21 @@ std::vector<int> SampledRollout(SearchEnv* env, const FrozenPolicy& policy,
     actions.push_back(action);
   }
   return actions;
+}
+
+std::vector<int> TopActions(const std::vector<double>& probs,
+                            const std::vector<bool>& mask, int width) {
+  std::vector<int> valid;
+  for (size_t a = 0; a < probs.size(); ++a) {
+    if (mask[a]) valid.push_back(static_cast<int>(a));
+  }
+  std::stable_sort(valid.begin(), valid.end(), [&probs](int a, int b) {
+    return probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(b)];
+  });
+  if (static_cast<int>(valid.size()) > width) {
+    valid.resize(static_cast<size_t>(width));
+  }
+  return valid;
 }
 
 void ReplayActions(SearchEnv* env, const std::vector<int>& actions) {

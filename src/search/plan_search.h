@@ -3,19 +3,22 @@
 // paper's case study infers plans by greedy argmax (one rollout, no
 // backtracking); its successors show the win from searching at plan time —
 // Neo steers best-first search with a learned value model, Balsa runs beam
-// search over plan prefixes. This layer provides all three strategies over
+// search over plan prefixes. This layer provides all four strategies over
 // any SearchEnv + FrozenPolicy:
 //
-//   * GreedySearch   — one greedy rollout; bit-for-bit the historic
-//                      trainer/facade inference path;
-//   * BestOfKSearch  — K independent rollouts (rollout 0 greedy, the rest
-//                      sampled from per-rollout derived Rng streams),
-//                      keeping the cheapest by the env's FinalCost;
-//                      optionally fanned out on a ThreadPool;
-//   * BeamSearch     — width-W frontier over plan prefixes: the policy
-//                      proposes each prefix's top-W continuations by
-//                      probability, the value head ranks which W prefixes
-//                      survive (score = cumulative log-prob + value).
+//   * GreedySearch    — one greedy rollout; bit-for-bit the historic
+//                       trainer/facade inference path;
+//   * BestOfKSearch   — K independent rollouts (rollout 0 greedy, the rest
+//                       sampled from per-rollout derived Rng streams),
+//                       keeping the cheapest by the env's FinalCost;
+//                       optionally fanned out on a ThreadPool;
+//   * BeamSearch      — width-W frontier over plan prefixes: the policy
+//                       proposes each prefix's top-W continuations by
+//                       probability, the value head ranks which W prefixes
+//                       survive (score = cumulative log-prob + value);
+//   * BestFirstSearch — Neo's strategy: a global frontier ranked purely by
+//                       the value head, expanded best-node-first under a
+//                       node budget.
 //
 // Every searcher's candidate set includes the greedy rollout, so a search
 // never returns a plan costlier than greedy inference, and an exhausted
@@ -40,12 +43,13 @@ namespace hfq {
 
 /// Which plan-time search strategy to run.
 enum class SearchMode {
-  kGreedy,   ///< One greedy rollout (the paper's inference).
-  kBestOfK,  ///< K rollouts, keep the cheapest (sampling-based).
-  kBeam,     ///< Width-W value-guided beam over plan prefixes.
+  kGreedy,     ///< One greedy rollout (the paper's inference).
+  kBestOfK,    ///< K rollouts, keep the cheapest (sampling-based).
+  kBeam,       ///< Width-W value-guided beam over plan prefixes.
+  kBestFirst,  ///< Neo-style best-first search ranked by the value head.
 };
 
-/// "greedy" / "best-of-k" / "beam".
+/// "greedy" / "best-of-k" / "beam" / "best-first".
 const char* SearchModeName(SearchMode mode);
 
 /// Plan-time search knobs.
@@ -54,8 +58,13 @@ struct SearchConfig {
   SearchMode mode = SearchMode::kGreedy;
   /// Rollouts for kBestOfK (>= 1; rollout 0 is the greedy rollout).
   int best_of_k = 8;
-  /// Frontier width for kBeam (>= 1).
+  /// Frontier width for kBeam, and the per-expansion fan-out of
+  /// kBestFirst (>= 1).
   int beam_width = 4;
+  /// Node-expansion budget for kBestFirst (>= 1): how many frontier nodes
+  /// may be popped and expanded before the search settles for the best
+  /// candidate found (at minimum the greedy rollout).
+  int best_first_expansions = 64;
   /// Weight of the value head in beam frontier ranking (score =
   /// cumulative log-prob + value_weight * value). 0 disables the head.
   double value_weight = 1.0;
@@ -72,12 +81,13 @@ struct SearchConfig {
   uint64_t seed = 1;
 };
 
-/// Human-readable mode tag, e.g. "greedy", "best-of-8", "beam-4"; used as
-/// the per-mode key in evaluation reports.
+/// Human-readable mode tag, e.g. "greedy", "best-of-8", "beam-4",
+/// "best-first-4"; used as the per-mode key in evaluation reports.
 std::string SearchConfigName(const SearchConfig& config);
 
-/// Parses SearchConfigName output (also accepts "best-of-k" / "beam" with
-/// the config's current K / width): "greedy", "best-of-<K>", "beam-<W>".
+/// Parses SearchConfigName output (also accepts "best-of-k" / "beam" /
+/// "best-first" with the config's current K / width): "greedy",
+/// "best-of-<K>", "beam-<W>", "best-first-<W>".
 Result<SearchConfig> ParseSearchSpec(const std::string& spec);
 
 /// True when `config` is plain greedy search with no budget — the mode
@@ -167,6 +177,26 @@ class BeamSearch : public PlanSearch {
   SearchConfig config_;
 };
 
+/// Neo-style best-first search: a global frontier of unfinished plan
+/// prefixes ranked purely by the trained value head (highest estimated
+/// value expands first; insertion order breaks ties). Each expansion pops
+/// the best node and steps its top-`beam_width` policy actions; finished
+/// children become candidate plans. Stops after `best_first_expansions`
+/// expansions (or an empty frontier, or the time budget) and returns the
+/// cheapest candidate, which always includes the greedy rollout. With
+/// beam_width 1 the value head never arbitrates between siblings, so the
+/// search reproduces GreedySearch's plan bit-for-bit.
+class BestFirstSearch : public PlanSearch {
+ public:
+  explicit BestFirstSearch(SearchConfig config);
+  Result<SearchResult> Search(SearchEnv* env, const SearchContext& ctx,
+                              ThreadPool* pool = nullptr) override;
+  SearchMode mode() const override { return SearchMode::kBestFirst; }
+
+ private:
+  SearchConfig config_;
+};
+
 /// Factory keyed on config.mode.
 std::unique_ptr<PlanSearch> MakePlanSearch(const SearchConfig& config);
 
@@ -185,6 +215,12 @@ std::vector<int> SampledRollout(SearchEnv* env, const FrozenPolicy& policy,
 
 /// Replays `actions` from Reset; leaves the env Done().
 void ReplayActions(SearchEnv* env, const std::vector<int>& actions);
+
+/// Top-`width` valid actions by probability, descending, ties to the
+/// lower action index (so width 1 picks exactly the greedy action).
+/// Shared by the beam and best-first expansions.
+std::vector<int> TopActions(const std::vector<double>& probs,
+                            const std::vector<bool>& mask, int width);
 
 }  // namespace search_internal
 

@@ -26,10 +26,16 @@ constexpr double kGoldenGeqoMeanCostRegret = 0.5;
 constexpr double kGoldenGeqoP95CostRegret = 2.5;
 // The learned policy is trained for only a few dozen episodes here, so its
 // regret is real but must stay finite and within a catastrophic-failure
-// ceiling (observed aggregate means are O(10..100); the gate catches
-// divergence, NaNs, and plans that stop resembling the query).
+// ceiling (the gate catches divergence, NaNs, and plans that stop
+// resembling the query).
 constexpr double kGoldenLearnedMeanCostRegretCeiling = 1e5;
 constexpr double kGoldenLearnedMeanLatencyRegretCeiling = 1e6;
+// The search-as-teacher refinement loop (on by default) closes most of the
+// greedy-inference gap: observed aggregate mean greedy cost regret at this
+// seed is ~0.75 (down from ~33 without the teacher). The tight gate leaves
+// ~4.5x headroom for fp/platform drift while still failing immediately if
+// the teacher loop stops working.
+constexpr double kGoldenTeacherGreedyMeanCostRegret = 3.4;
 
 // Greedy-only sweep: must keep producing the pre-search "hfq-eval-v1"
 // report (the PR 4 behavior) byte-for-byte.
@@ -148,6 +154,33 @@ TEST(EvalGoldenGatesTest, PlanQualityWithinThresholds) {
             kGoldenLearnedMeanLatencyRegretCeiling);
   EXPECT_GE(report.agg_learned.win_rate_latency, 0.0);
   EXPECT_LE(report.agg_learned.win_rate_latency, 1.0);
+  // The tight post-teacher gate: greedy inference must stay near-optimal.
+  EXPECT_LE(report.agg_learned.cost_regret.mean,
+            kGoldenTeacherGreedyMeanCostRegret);
+}
+
+TEST(EvalGoldenGatesTest, TeacherRefinementClosesTheGreedyGap) {
+  // The same matrix without the teacher loop: the config knob must be a
+  // real off-switch (pre-teacher v1 report bytes, no teacher fields) and
+  // the refined policy must not be worse than the unrefined one. At this
+  // seed the gap is ~40x, so the comparison has enormous slack; it fails
+  // only if refinement stops helping at all.
+  EvalConfig off_config = TestConfig();
+  off_config.teacher_iterations = 0;
+  ScenarioEvaluator off_eval(off_config);
+  auto off = off_eval.Run();
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  const std::string off_json = ReportToJson(*off, false);
+  EXPECT_EQ(off_json.find("teacher"), std::string::npos);
+  EXPECT_NE(off_json.find("\"schema\":\"hfq-eval-v1\""), std::string::npos);
+
+  const EvalReport& on = SharedReport();
+  const std::string on_json = ReportToJson(on, false);
+  EXPECT_NE(on_json.find("\"teacher_iterations\":4"), std::string::npos);
+  EXPECT_NE(on_json.find("\"teacher_mode\":\"beam-4\""), std::string::npos);
+
+  EXPECT_LE(on.agg_learned.cost_regret.mean,
+            off->agg_learned.cost_regret.mean);
 }
 
 TEST(EvalDeterminismTest, IdenticalSeedsProduceIdenticalReports) {

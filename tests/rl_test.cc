@@ -5,11 +5,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <sstream>
 
 #include "nn/layer.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "rl/env.h"
+#include "rl/experience_pool.h"
 #include "rl/policy_gradient.h"
 #include "rl/replay.h"
 #include "rl/reward_predictor.h"
@@ -677,6 +679,201 @@ TEST(PolicyGradientTest, ConcurrentInferenceOverSharedAgentIsExact) {
   }
   for (auto& f : futures) f.get();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(RewardPredictorTest, EvaluateErrorNeverPerturbsTraining) {
+  // EvaluateError draws from a dedicated eval stream: interleaving it with
+  // TrainSteps must leave the trained weights bit-for-bit identical to a
+  // run that never evaluated. (The historic bug: evaluation sampled from
+  // the training rng_, shifting every later minibatch draw.)
+  RewardPredictorConfig config;
+  config.hidden_dims = {12};
+  config.batch_size = 8;
+  RewardPredictor plain(2, 3, config, 404);
+  RewardPredictor evaluated(2, 3, config, 404);
+  Rng gen(21);
+  for (int i = 0; i < 60; ++i) {
+    OutcomeExample ex;
+    ex.state = {gen.Normal(), gen.Normal()};
+    ex.action = static_cast<int>(gen.UniformInt(0, 2));
+    ex.target = gen.Uniform(0.0, 3.0);
+    ex.from_expert = i % 3 == 0;
+    plain.AddExample(ex);
+    evaluated.AddExample(ex);
+  }
+  plain.TrainSteps(6);
+  evaluated.TrainSteps(2);
+  evaluated.EvaluateError(16);
+  evaluated.TrainSteps(1);
+  evaluated.EvaluateError(32);
+  evaluated.EvaluateError(8);
+  evaluated.TrainSteps(3);
+  std::ostringstream plain_weights, evaluated_weights;
+  ASSERT_TRUE(plain.Save(plain_weights).ok());
+  ASSERT_TRUE(evaluated.Save(evaluated_weights).ok());
+  EXPECT_EQ(plain_weights.str(), evaluated_weights.str());
+}
+
+TEST(RewardPredictorTest, ReportedLossMatchesGradientByFiniteDifference) {
+  // The reported loss and the gradient descended must be the same
+  // objective: central finite differences of BatchLossAndGradients around
+  // each parameter must reproduce the analytic gradient. (The historic
+  // bug: the margin term entered the loss unnormalized but the gradient
+  // carried margin_weight / (batch * action_dim) — two different
+  // objectives, undetectable from training curves alone.)
+  RewardPredictorConfig config;
+  config.hidden_dims = {4};
+  RewardPredictor predictor(2, 3, config, 99);
+  std::vector<OutcomeExample> storage;
+  Rng gen(17);
+  for (int i = 0; i < 5; ++i) {
+    OutcomeExample ex;
+    ex.state = {gen.Normal(), gen.Normal()};
+    ex.action = static_cast<int>(gen.UniformInt(0, 2));
+    // Targets far from the initial ~0 predictions keep some examples in
+    // the linear Huber regime, and from_expert examples raise the margin
+    // floor well above the other actions' outputs so the margin term has
+    // active violations — both loss branches are exercised.
+    ex.target = gen.Uniform(-2.0, 2.0);
+    ex.from_expert = true;
+    storage.push_back(std::move(ex));
+  }
+  std::vector<const OutcomeExample*> batch;
+  for (const auto& ex : storage) batch.push_back(&ex);
+
+  predictor.BatchLossAndGradients(batch);
+  std::vector<Matrix> analytic;
+  for (Matrix* g : predictor.net().Grads()) analytic.push_back(*g);
+
+  const double eps = 1e-6;
+  std::vector<Matrix*> params = predictor.net().Params();
+  for (size_t p = 0; p < params.size(); ++p) {
+    // A few probe entries per parameter matrix keep the test fast.
+    const int64_t rows = params[p]->rows(), cols = params[p]->cols();
+    for (int64_t probe = 0; probe < std::min<int64_t>(rows * cols, 6);
+         ++probe) {
+      const int64_t r = probe % rows, c = (probe * 7) % cols;
+      const double saved = params[p]->At(r, c);
+      params[p]->At(r, c) = saved + eps;
+      const double loss_hi = predictor.BatchLossAndGradients(batch);
+      params[p]->At(r, c) = saved - eps;
+      const double loss_lo = predictor.BatchLossAndGradients(batch);
+      params[p]->At(r, c) = saved;
+      const double numeric = (loss_hi - loss_lo) / (2.0 * eps);
+      EXPECT_NEAR(numeric, analytic[p].At(r, c), 1e-5)
+          << "param " << p << " entry (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(ReplayBufferTest, AddUniqueRejectsResidentKeysAndFreesOnEviction) {
+  ReplayBuffer<int> buffer(2);
+  EXPECT_TRUE(buffer.AddUnique(10, /*key=*/100));
+  EXPECT_FALSE(buffer.AddUnique(10, /*key=*/100));  // Resident: rejected.
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_TRUE(buffer.AddUnique(20, /*key=*/200));
+  // Capacity 2: this evicts key 100's slot, freeing its key...
+  EXPECT_TRUE(buffer.AddUnique(30, /*key=*/300));
+  EXPECT_EQ(buffer.size(), 2u);
+  // ...so the same key is insertable again (exactly one resident copy).
+  EXPECT_TRUE(buffer.AddUnique(10, /*key=*/100));
+  EXPECT_FALSE(buffer.AddUnique(10, /*key=*/100));
+  // Unkeyed Add coexists with keyed inserts and never blocks a key.
+  buffer.Add(40);
+  EXPECT_EQ(buffer.size(), 2u);
+  buffer.Clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_TRUE(buffer.AddUnique(10, /*key=*/100));  // Clear frees keys too.
+}
+
+TEST(RewardPredictorTest, AddExampleUniqueDeduplicatesIdenticalExamples) {
+  RewardPredictorConfig config;
+  config.hidden_dims = {4};
+  RewardPredictor predictor(2, 2, config, 7);
+  OutcomeExample ex;
+  ex.state = {0.25, -1.5};
+  ex.action = 1;
+  ex.target = 2.0;
+  ex.from_expert = true;
+  EXPECT_TRUE(predictor.AddExampleUnique(ex));
+  EXPECT_FALSE(predictor.AddExampleUnique(ex));  // Identical: rejected.
+  EXPECT_EQ(predictor.buffer_size(), 1u);
+  ex.target = 3.0;  // Any field difference is a different example.
+  EXPECT_TRUE(predictor.AddExampleUnique(ex));
+  EXPECT_EQ(predictor.buffer_size(), 2u);
+}
+
+TEST(ExperiencePoolTest, DedupsBestForAndRoundTrips) {
+  ExperiencePool pool;
+  EXPECT_TRUE(pool.Add({/*fingerprint=*/1, {0, 2, 1}, 50.0}));
+  EXPECT_FALSE(pool.Add({1, {0, 2, 1}, 50.0}));  // Same plan: rejected.
+  EXPECT_TRUE(pool.Add({1, {2, 0, 1}, 30.0}));   // Cheaper plan, same query.
+  EXPECT_TRUE(pool.Add({1, {1, 0, 2}, 30.0}));   // Cost tie: not best.
+  EXPECT_TRUE(pool.Add({2, {3}, 10.0}));
+  EXPECT_EQ(pool.size(), 4u);
+
+  const PlanExperience* best1 = pool.BestFor(1);
+  ASSERT_NE(best1, nullptr);
+  EXPECT_EQ(best1->actions, (std::vector<int>{2, 0, 1}));  // Earliest tie.
+  EXPECT_EQ(pool.BestFor(3), nullptr);
+
+  std::vector<const PlanExperience*> best = pool.BestPerQuery();
+  ASSERT_EQ(best.size(), 2u);  // First-seen fingerprint order.
+  EXPECT_EQ(best[0]->fingerprint, 1u);
+  EXPECT_EQ(best[1]->fingerprint, 2u);
+
+  std::ostringstream saved;
+  ASSERT_TRUE(pool.Save(saved).ok());
+  std::istringstream in(saved.str());
+  auto loaded = ExperiencePool::Load(in);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), pool.size());
+  ASSERT_NE(loaded->BestFor(1), nullptr);
+  EXPECT_EQ(loaded->BestFor(1)->actions, best1->actions);
+  EXPECT_EQ(loaded->BestFor(1)->cost, best1->cost);
+  // The rebuilt indexes dedup exactly like the original.
+  EXPECT_FALSE(loaded->Add({1, {0, 2, 1}, 50.0}));
+  std::ostringstream resaved;
+  ASSERT_TRUE(loaded->Save(resaved).ok());
+  EXPECT_EQ(saved.str(), resaved.str());
+
+  std::istringstream garbage("not-a-pool 3\n");
+  EXPECT_FALSE(ExperiencePool::Load(garbage).ok());
+}
+
+TEST(PolicyGradientTest, ValueRegressionStepFitsReturnsWithoutPolicyChange) {
+  PolicyGradientConfig config;
+  config.hidden_dims = {16};
+  PolicyGradientAgent agent(2, 2, config, 55);
+  // Two fixed episodes with distinct returns-to-go.
+  std::vector<Episode> episodes(2);
+  for (int e = 0; e < 2; ++e) {
+    for (int s = 0; s < 2; ++s) {
+      Transition t;
+      t.state = {e == 0 ? 1.0 : -1.0, s == 0 ? 1.0 : 0.0};
+      t.mask = {true, true};
+      t.action = s % 2;
+      t.reward = (s == 1) ? (e == 0 ? 2.0 : -1.0) : 0.0;
+      episodes[static_cast<size_t>(e)].steps.push_back(std::move(t));
+    }
+  }
+  std::ostringstream policy_before;
+  ASSERT_TRUE(agent.policy_net().Save(policy_before).ok());
+
+  const double first = agent.ValueRegressionStep(episodes);
+  double last = first;
+  for (int i = 0; i < 200; ++i) last = agent.ValueRegressionStep(episodes);
+  EXPECT_LT(last, first);
+  EXPECT_LT(last, 0.05);  // Terminal returns are learnable exactly.
+  // Returns-to-go targets: V({1,1}) -> 2, V({-1,1}) -> -1.
+  EXPECT_NEAR(agent.Value({1.0, 1.0}), 2.0, 0.3);
+  EXPECT_NEAR(agent.Value({-1.0, 1.0}), -1.0, 0.3);
+
+  // The policy net is untouched; empty input is a no-op.
+  std::ostringstream policy_after;
+  ASSERT_TRUE(agent.policy_net().Save(policy_after).ok());
+  EXPECT_EQ(policy_before.str(), policy_after.str());
+  EXPECT_EQ(agent.ValueRegressionStep({}), 0.0);
 }
 
 TEST(RewardPredictorTest, ConstSelectActionMatchesMutatingGreedy) {

@@ -2,9 +2,9 @@
 // contracts the refactor rests on — GreedySearch is bit-for-bit the
 // historic inline greedy inference, best-of-1 and beam-1 degenerate to
 // greedy exactly, best-of-K is monotone non-increasing in K and
-// deterministic at any worker count, beam search is deterministic, the
-// time-budget path falls back to greedy, and no search mode ever returns
-// a plan costlier than greedy.
+// deterministic at any worker count, beam and best-first search are
+// deterministic, the time-budget path falls back to greedy, and no
+// search mode ever returns a plan costlier than greedy.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -118,6 +118,33 @@ TEST_F(SearchTest, BestOf1AndBeam1ReproduceGreedyBitForBit) {
     SearchResult w1 = RunSearch(beam1, q);
     EXPECT_EQ(w1.actions, greedy.actions) << q.name;
     EXPECT_EQ(w1.cost, greedy.cost) << q.name;
+
+    // Width-1 best-first only ever steps the top-probability action, so
+    // the value head never arbitrates and the plan is exactly greedy's.
+    SearchConfig bf1;
+    bf1.mode = SearchMode::kBestFirst;
+    bf1.beam_width = 1;
+    SearchResult f1 = RunSearch(bf1, q);
+    EXPECT_EQ(f1.actions, greedy.actions) << q.name;
+    EXPECT_EQ(f1.cost, greedy.cost) << q.name;
+  }
+}
+
+TEST_F(SearchTest, BestFirstDeterministicAndNeverWorseThanGreedy) {
+  SearchConfig config;
+  config.mode = SearchMode::kBestFirst;
+  config.beam_width = 3;
+  config.best_first_expansions = 32;
+  for (const Query& q : queries_) {
+    SearchResult greedy = RunSearch(SearchConfig(), q);
+    SearchResult a = RunSearch(config, q);
+    EXPECT_LE(a.cost, greedy.cost) << q.name;
+    EXPECT_TRUE(env_.Done()) << q.name;
+    EXPECT_EQ(env_.FinalCost(), a.cost) << q.name;
+    SearchResult b = RunSearch(config, q);
+    EXPECT_EQ(a.actions, b.actions) << q.name;
+    EXPECT_EQ(a.cost, b.cost) << q.name;
+    EXPECT_EQ(a.rollouts, b.rollouts) << q.name;
   }
 }
 
@@ -195,7 +222,8 @@ TEST_F(SearchTest, BeamSearchDeterministicForFixedConfig) {
 TEST_F(SearchTest, SearchModesNeverWorseThanGreedy) {
   for (const Query& q : queries_) {
     SearchResult greedy = RunSearch(SearchConfig(), q);
-    for (SearchMode mode : {SearchMode::kBestOfK, SearchMode::kBeam}) {
+    for (SearchMode mode : {SearchMode::kBestOfK, SearchMode::kBeam,
+                            SearchMode::kBestFirst}) {
       SearchConfig config;
       config.mode = mode;
       config.best_of_k = 8;
@@ -212,7 +240,8 @@ TEST_F(SearchTest, SearchModesNeverWorseThanGreedy) {
 
 TEST_F(SearchTest, TimeBudgetFallsBackToGreedy) {
   SearchResult greedy = RunSearch(SearchConfig(), queries_[0]);
-  for (SearchMode mode : {SearchMode::kBestOfK, SearchMode::kBeam}) {
+  for (SearchMode mode : {SearchMode::kBestOfK, SearchMode::kBeam,
+                          SearchMode::kBestFirst}) {
     SearchConfig config;
     config.mode = mode;
     config.best_of_k = 64;
@@ -263,13 +292,24 @@ TEST_F(SearchTest, SearchSpecsParseAndRoundTrip) {
   EXPECT_EQ(beam->beam_width, 6);
   EXPECT_EQ(SearchConfigName(*beam), "beam-6");
 
+  auto bf = ParseSearchSpec("best-first-3");
+  ASSERT_TRUE(bf.ok());
+  EXPECT_EQ(bf->mode, SearchMode::kBestFirst);
+  EXPECT_EQ(bf->beam_width, 3);
+  EXPECT_EQ(SearchConfigName(*bf), "best-first-3");
+  auto bf_default = ParseSearchSpec("best-first");
+  ASSERT_TRUE(bf_default.ok());
+  EXPECT_EQ(bf_default->mode, SearchMode::kBestFirst);
+
   EXPECT_FALSE(ParseSearchSpec("dfs").ok());
   EXPECT_FALSE(ParseSearchSpec("beam-0").ok());
   EXPECT_FALSE(ParseSearchSpec("best-of-x").ok());
+  EXPECT_FALSE(ParseSearchSpec("best-first-0").ok());
   // Trailing dash (empty suffix) and overflowing values are rejected
   // instead of silently wrapping into a tiny or negative knob.
   EXPECT_FALSE(ParseSearchSpec("best-of-").ok());
   EXPECT_FALSE(ParseSearchSpec("beam-").ok());
+  EXPECT_FALSE(ParseSearchSpec("best-first-").ok());
   EXPECT_FALSE(ParseSearchSpec("best-of-4294967297").ok());
   EXPECT_FALSE(ParseSearchSpec("beam-99999999999999999999").ok());
 }
@@ -280,7 +320,8 @@ TEST_F(SearchTest, TrivialEpisodeHandledByAllModes) {
   WorkloadGenerator gen(&testing::SharedEngine().catalog(), 123);
   auto q = gen.GenerateQuery(1, "search_single");
   ASSERT_TRUE(q.ok());
-  for (const char* spec : {"greedy", "best-of-4", "beam-3"}) {
+  for (const char* spec : {"greedy", "best-of-4", "beam-3",
+                           "best-first-2"}) {
     auto config = ParseSearchSpec(spec);
     ASSERT_TRUE(config.ok());
     SearchResult result = RunSearch(*config, *q);
