@@ -380,6 +380,55 @@ BENCHMARK(BM_RejoinRolloutCollection)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// Frontier evaluation, the per-candidate way the searchers used to do it:
+// N separate single-row forwards at ReJOIN inference dimensions. Pair with
+// BM_FrontierForwardBatched at the same Arg to read off the batching
+// payoff per frontier size (beam-4 fans out ~4 x valid-actions rows).
+void BM_FrontierForwardPerCandidate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  MlpConfig config;
+  config.input_dim = 612;
+  config.hidden_dims = {128, 128};
+  config.output_dim = 289;
+  Mlp mlp(config, &rng);
+  std::vector<Matrix> rows;
+  for (int i = 0; i < n; ++i) {
+    Matrix x(1, config.input_dim);
+    for (int64_t j = 0; j < x.size(); ++j) x.data()[j] = rng.Normal();
+    rows.push_back(std::move(x));
+  }
+  MlpWorkspace ws;
+  for (auto _ : state) {
+    for (const Matrix& x : rows) {
+      benchmark::DoNotOptimize(mlp.ForwardInto(x, &ws));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FrontierForwardPerCandidate)->Arg(4)->Arg(16)->Arg(64);
+
+// The same N frontier rows evaluated in ONE matrix forward (the batched
+// search core's inner loop). Row i of the output is bit-identical to the
+// per-candidate run above; the speedup is pure batching.
+void BM_FrontierForwardBatched(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  MlpConfig config;
+  config.input_dim = 612;
+  config.hidden_dims = {128, 128};
+  config.output_dim = 289;
+  Mlp mlp(config, &rng);
+  Matrix batch(n, config.input_dim);
+  for (int64_t j = 0; j < batch.size(); ++j) batch.data()[j] = rng.Normal();
+  MlpWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.ForwardBatchInto(batch, &ws));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FrontierForwardBatched)->Arg(4)->Arg(16)->Arg(64);
+
 // Plan-time search cost: one searched inference of a 7-relation query
 // under each mode. Greedy is the single-rollout floor; best-of-8 pays ~8
 // rollouts; beam-4 pays ~width x valid-actions expansions plus the value
@@ -409,11 +458,19 @@ void BM_PlanSearch(benchmark::State& state) {
       config.beam_width = 4;
       break;
   }
+  double planning_ms = 0.0;
+  SearchResult found;
   for (auto _ : state) {
-    auto tree = harness->trainer->PlanWithSearch(query, config);
+    auto tree = harness->trainer->PlanWithSearch(query, config, &planning_ms,
+                                                 &found);
     benchmark::DoNotOptimize(tree);
   }
   state.SetLabel(SearchConfigName(config));
+  // The per-strategy planning time (the searcher's own stopwatch, i.e.
+  // the Figure 3c charge) next to the plan cost it buys — the trade-off
+  // in one row.
+  state.counters["planning_ms"] = planning_ms;
+  state.counters["plan_cost"] = found.cost;
 }
 BENCHMARK(BM_PlanSearch)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 

@@ -9,7 +9,7 @@
 //                    [--episodes=N] [--scale=F]
 //                    [--strategy=lfd|bootstrap|incremental]
 //                    [--search=MODE[,MODE...]] [--topologies=T[,T...]]
-//                    [--teacher=N] [--teacher-mode=MODE]
+//                    [--teacher=N] [--teacher-mode=MODE] [--plan-repeats=N]
 //                    [--reduced] [--no-timings]
 //
 // --reduced runs the small smoke matrix (the ctest `eval` label / CI
@@ -21,7 +21,10 @@
 // per JoinTopologyName). --teacher sets the search-as-teacher refinement
 // iterations run after training (default 4; 0 reproduces the pre-teacher
 // training path) and --teacher-mode the plan search the teacher uses
-// (default beam-4).
+// (default beam-4). --plan-repeats measures each query's planning time as
+// the median of N timed plans after one unmeasured warmup (default 1, the
+// historic single cold measurement); plans and costs are identical at any
+// repeat count.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -82,6 +85,8 @@ int main(int argc, char** argv) {
       }
     } else if (ParseFlag(arg, "--teacher", &value)) {
       config.teacher_iterations = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--plan-repeats", &value)) {
+      config.plan_repeats = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--teacher-mode", &value)) {
       auto mode = hfq::ParseSearchSpec(value);
       if (!mode.ok()) {

@@ -2,7 +2,8 @@
 # Local parity with CI: configure + build + ctest exactly as the tier-1
 # verify does.
 #
-# Usage: scripts/check.sh [--debug|--release] [--asan|--tsan] [--eval] [--label <ctest -L arg>]
+# Usage: scripts/check.sh [--debug|--release] [--asan|--tsan] [--eval]
+#                         [--bench-smoke] [--label <ctest -L arg>]
 #
 # --eval runs only the `eval` label: the reduced scenario-matrix smoke run
 # (example_hfq_eval --reduced), writing BENCH_eval_smoke.json in the build
@@ -13,6 +14,11 @@
 # ceilings in eval_test. The eval build uses portable codegen
 # (HFQ_NATIVE_ARCH=OFF, own build dir) so the regret numbers are
 # comparable across machines.
+#
+# --bench-smoke additionally executes the batched-search-core benchmarks
+# (BM_PlanSearch + BM_FrontierForward) for a fraction of a second each,
+# mirroring CI's bench-smoke step: it proves the bench targets still run,
+# not just compile. Numbers are printed, not gated.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +27,7 @@ build_type=""
 sanitize=OFF
 tsan=OFF
 eval_gate=OFF
+bench_smoke=OFF
 build_dir=build
 label=""
 
@@ -32,6 +39,7 @@ while [[ $# -gt 0 ]]; do
     --tsan)    tsan=ON; build_dir=build-tsan ;;
     --label)   shift; label="${1:?--label requires an argument}" ;;
     --eval)    label=eval; eval_gate=ON; build_dir=build-eval ;;
+    --bench-smoke) bench_smoke=ON ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
@@ -74,4 +82,12 @@ if [[ "$eval_gate" == ON ]]; then
   # independent of the committed reference (mirrors CI's eval-smoke job).
   python3 ../scripts/diff_eval_regret.py ../BENCH_eval_smoke.json \
     BENCH_eval_smoke.json --ceiling learned=3.4
+fi
+
+if [[ "$bench_smoke" == ON ]]; then
+  # Mirrors CI's bench-smoke step (local builds keep HFQ_BUILD_BENCH on
+  # in every configuration, so the binary is always here).
+  ./bench/bench_micro_benchmarks \
+    --benchmark_filter='BM_PlanSearch|BM_FrontierForward' \
+    --benchmark_min_time=0.01
 fi

@@ -294,7 +294,7 @@ std::vector<double> FullPipelineEnv::StateVector() const {
     subtrees.push_back(tree_.get());
   }
   std::vector<double> features =
-      featurizer_->Featurize(*query_, subtrees);
+      featurizer_->Featurize(*query_, subtrees, &feat_cache_);
 
   // Stage one-hot.
   std::vector<double> extra(static_cast<size_t>(4 + 2 * n), 0.0);
@@ -467,6 +467,43 @@ std::unique_ptr<SearchEnv> FullPipelineEnv::CloneSearch() const {
   if (final_plan_ != nullptr) clone->final_plan_ = final_plan_->Clone();
   clone->last_reward_ = last_reward_;
   return clone;
+}
+
+bool FullPipelineEnv::TryCopySearchStateFrom(const SearchEnv& other) {
+  const auto* src = dynamic_cast<const FullPipelineEnv*>(&other);
+  if (src == nullptr || src == this) return false;
+  // Full copy, wiring included, so a pooled env from any earlier search is
+  // reusable — only the vectors' capacities survive from this object.
+  // Equivalent to CloneSearch into existing storage.
+  featurizer_ = src->featurizer_;
+  expert_ = src->expert_;
+  reward_ = src->reward_;
+  config_ = src->config_;
+  query_ = src->query_;
+  stage_ = src->stage_;
+  subtrees_.clear();
+  subtrees_.reserve(src->subtrees_.size());
+  for (const auto& tree : src->subtrees_) {
+    subtrees_.push_back(tree->Clone());
+  }
+  internal_nodes_.clear();
+  if (src->tree_ != nullptr) {
+    tree_ = src->tree_->Clone();
+    // Recomputing the post-order yields the same node sequence as the
+    // source tree's, so join_op_choice_ indices keep their meaning.
+    tree_->InternalNodesPostOrder(&internal_nodes_);
+  } else {
+    tree_.reset();
+  }
+  access_choice_ = src->access_choice_;
+  join_op_choice_ = src->join_op_choice_;
+  agg_choice_ = src->agg_choice_;
+  access_cursor_ = src->access_cursor_;
+  join_op_cursor_ = src->join_op_cursor_;
+  final_plan_ =
+      src->final_plan_ != nullptr ? src->final_plan_->Clone() : nullptr;
+  last_reward_ = src->last_reward_;
+  return true;
 }
 
 double FullPipelineEnv::FinalCost() const {

@@ -93,6 +93,11 @@ class FullPipelineEnv : public SearchEnv {
   /// minimization objective plan-time search compares rollouts by.
   double FinalCost() const override;
 
+  /// Pool reuse: becomes a copy of `other` (wiring included) while keeping
+  /// this object's vector capacities; false iff `other` is not a
+  /// FullPipelineEnv. Semantics match CloneSearch exactly.
+  bool TryCopySearchStateFrom(const SearchEnv& other) override;
+
   /// The completed, annotated physical plan (valid once Done()).
   const PlanNode* FinalPlan() const;
 
@@ -144,6 +149,9 @@ class FullPipelineEnv : public SearchEnv {
   int join_op_cursor_ = 0;
   PlanNodePtr final_plan_;
   double last_reward_ = 0.0;
+  /// Query-static featurization scratch (mutable: StateVector is const but
+  /// warms the cache). Not copied on clone/pool-copy — see JoinOrderEnv.
+  mutable FeaturizeCache feat_cache_;
 };
 
 }  // namespace hfq

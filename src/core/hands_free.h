@@ -167,10 +167,17 @@ class HandsFreeOptimizer {
                                         MlpWorkspace* ws);
 
   /// EvaluateOnEnv under an explicit search config for the learned
-  /// planner (DP/GEQO baselines are search-independent).
+  /// planner (DP/GEQO baselines are search-independent). `plan_repeats`
+  /// controls the planning-time measurement: 1 (default) is the historic
+  /// single cold measurement; R > 1 runs one unmeasured warmup then R
+  /// timed plans and reports the median — the plan itself is identical
+  /// every repeat (deterministic search), only the timing changes.
+  /// `scratch` (optional) is caller-owned reusable search memory.
   Result<QueryEvaluation> EvaluateOnEnv(FullPipelineEnv* env,
                                         const Query& query, MlpWorkspace* ws,
-                                        const SearchConfig& search);
+                                        const SearchConfig& search,
+                                        int plan_repeats = 1,
+                                        SearchScratch* scratch = nullptr);
 
   /// The learned planner's side of EvaluateOnEnv only — what the
   /// scenario-matrix harness calls per extra search mode, so the DP/GEQO
@@ -184,7 +191,10 @@ class HandsFreeOptimizer {
   Result<LearnedEvaluation> EvaluateLearnedOnEnv(FullPipelineEnv* env,
                                                  const Query& query,
                                                  MlpWorkspace* ws,
-                                                 const SearchConfig& search);
+                                                 const SearchConfig& search,
+                                                 int plan_repeats = 1,
+                                                 SearchScratch* scratch =
+                                                     nullptr);
 
   /// A fresh env clone wired to this optimizer's collaborators, carrying
   /// the primary env's current stage set. One per worker thread.
@@ -225,7 +235,8 @@ class HandsFreeOptimizer {
   Result<PlanNodePtr> PlanOnEnv(FullPipelineEnv* env, const Query& query,
                                 MlpWorkspace* ws, const SearchConfig& search,
                                 double* planning_ms_out = nullptr,
-                                ThreadPool* pool = nullptr);
+                                ThreadPool* pool = nullptr,
+                                SearchScratch* scratch = nullptr);
 
   /// Shared validation for the planning entry points.
   Status CheckReadyToPlan(const Query& query) const;
@@ -260,6 +271,13 @@ class HandsFreeOptimizer {
   /// Search-as-teacher state (lazily created by RefineWithTeacher).
   std::unique_ptr<ExperiencePool> teacher_pool_;
   std::vector<TeacherIterationStats> teacher_stats_;
+  /// Reusable inference scratch behind the serial single-query planning
+  /// entry points (Optimize/OptimizeWithSearch): the MLP workspace and
+  /// search memory persist across queries instead of being rebuilt per
+  /// call (searchers clear the scratch at the start of every search).
+  /// Parallel entry points give each worker its own pair instead.
+  MlpWorkspace plan_ws_;
+  SearchScratch plan_scratch_;
   bool trained_ = false;
 };
 

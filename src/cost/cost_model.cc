@@ -140,8 +140,14 @@ double CostModel::Annotate(const Query& query, PlanNode* root) {
   }
   HFQ_CHECK(root->IsAggregate());
   HFQ_CHECK(root->children.size() == 1);
+  Annotate(query, root->mutable_child(0));
+  return AnnotateAggregateTop(query, root);
+}
+
+double CostModel::AnnotateAggregateTop(const Query& query, PlanNode* root) {
+  HFQ_CHECK(root->IsAggregate());
+  HFQ_CHECK(root->children.size() == 1);
   PlanNode* input = root->mutable_child(0);
-  Annotate(query, input);
   const auto& p = params_;
   double in_rows = input->est_rows;
   double groups = cards_->GroupRows(query);

@@ -47,6 +47,13 @@ class CostModel {
                   double outer_cost, double inner_rows, double inner_cost,
                   double output_rows, bool inner_is_indexable) const;
 
+  /// Annotates just an aggregate root whose single child is already
+  /// annotated — what operator selection needs to price hash vs sort
+  /// aggregation on top of one finished input without re-annotating (and
+  /// re-querying the estimator for) the whole subtree. Annotate delegates
+  /// here, so the values are identical to a full annotation.
+  double AnnotateAggregateTop(const Query& query, PlanNode* root);
+
   /// Number of heap pages for a base relation.
   double TablePages(const Query& query, int rel) const;
 

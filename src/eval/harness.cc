@@ -103,6 +103,7 @@ Result<EvalReport> ScenarioEvaluator::Run() {
 
   RunOnWorkers(pool.get(), num_workers, [&](int w) {
     MlpWorkspace ws;
+    SearchScratch scratch;
     for (size_t ci = static_cast<size_t>(w); ci < cells.size();
          ci += static_cast<size_t>(num_workers)) {
       const ScenarioCell& cell = cells[ci];
@@ -132,9 +133,9 @@ Result<EvalReport> ScenarioEvaluator::Run() {
           errors[ci] = query.status();
           return;
         }
-        auto row =
-            ctx.facade->EvaluateOnEnv(env, *query, &ws,
-                                      config_.search_modes[0]);
+        auto row = ctx.facade->EvaluateOnEnv(env, *query, &ws,
+                                             config_.search_modes[0],
+                                             config_.plan_repeats, &scratch);
         if (!row.ok()) {
           errors[ci] = row.status();
           return;
@@ -144,7 +145,8 @@ Result<EvalReport> ScenarioEvaluator::Run() {
         // regret-computable QueryEvaluation.
         for (size_t m = 1; m < num_modes; ++m) {
           auto learned = ctx.facade->EvaluateLearnedOnEnv(
-              env, *query, &ws, config_.search_modes[m]);
+              env, *query, &ws, config_.search_modes[m],
+              config_.plan_repeats, &scratch);
           if (!learned.ok()) {
             errors[ci] = learned.status();
             return;

@@ -75,6 +75,11 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
     out << ",\"teacher_iterations\":" << config.teacher_iterations
         << ",\"teacher_mode\":" << Quoted(SearchConfigName(config.teacher_mode));
   }
+  // Default single-measurement runs keep the historic bytes too; the
+  // repeat count only affects timing fields, never plans or costs.
+  if (config.plan_repeats != 1) {
+    out << ",\"plan_repeats\":" << config.plan_repeats;
+  }
   out << ",\"topologies\":[";
   for (size_t i = 0; i < config.topologies.size(); ++i) {
     out << (i ? "," : "") << Quoted(JoinTopologyName(config.topologies[i]));

@@ -94,6 +94,9 @@ Status ValidateEvalConfig(const EvalConfig& config) {
   if (config.teacher_iterations < 0) {
     return Status::InvalidArgument("teacher_iterations must be >= 0");
   }
+  if (config.plan_repeats < 1) {
+    return Status::InvalidArgument("plan_repeats must be >= 1");
+  }
   if (config.teacher_mode.best_of_k < 1 || config.teacher_mode.beam_width < 1) {
     return Status::InvalidArgument("teacher mode knobs must be >= 1");
   }

@@ -77,6 +77,12 @@ struct EvalConfig {
   /// Emit wall-clock timing fields in the JSON report. Turn off for
   /// byte-identical reports across runs.
   bool include_timings = true;
+  /// Planning-time measurement repeats per (query, mode). 1 (default) is
+  /// the historic single cold measurement; R > 1 plans each query once
+  /// unmeasured (warmup) plus R timed times and reports the median
+  /// planning_ms — the plan, and thus every cost/regret field, is
+  /// identical either way.
+  int plan_repeats = 1;
 };
 
 /// A small matrix (every topology once, 2 relation counts, both data

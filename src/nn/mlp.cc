@@ -82,6 +82,8 @@ Matrix& Mlp::ForwardInto(const Matrix& input, MlpWorkspace* workspace) const {
   HFQ_CHECK(!layers_.empty());
   HFQ_CHECK(workspace != nullptr);
   HFQ_CHECK(input.cols() == config_.input_dim);
+  workspace->forward_calls += 1;
+  workspace->forward_rows += input.rows();
   workspace->activations.resize(layers_.size());
   const Matrix* x = &input;
   for (size_t i = 0; i < layers_.size(); ++i) {
@@ -89,6 +91,16 @@ Matrix& Mlp::ForwardInto(const Matrix& input, MlpWorkspace* workspace) const {
     x = &workspace->activations[i];
   }
   return workspace->activations.back();
+}
+
+Matrix& Mlp::ForwardBatchInto(const Matrix& inputs,
+                              MlpWorkspace* workspace) const {
+  // One minibatch forward for the whole frontier. Every layer maps rows
+  // independently and every kernel (MatmulInto's row blocking included)
+  // keeps per-row summation order identical at any batch size, so this is
+  // exactly N single-row ForwardInto calls fused into one invocation.
+  HFQ_CHECK(inputs.rows() >= 1);
+  return ForwardInto(inputs, workspace);
 }
 
 Matrix Mlp::Backward(const Matrix& grad_output, bool need_input_grad) {

@@ -31,6 +31,13 @@ struct MlpConfig {
 struct MlpWorkspace {
   /// activations[i] holds the output of layer i from the last ForwardInto.
   std::vector<Matrix> activations;
+  /// Counting hook: network invocations through this workspace — each
+  /// ForwardInto/ForwardBatchInto call counts once regardless of batch
+  /// rows. The batched-search tests assert O(1) forwards per frontier
+  /// expansion on this counter.
+  int64_t forward_calls = 0;
+  /// Total rows forwarded through this workspace (the work actually done).
+  int64_t forward_rows = 0;
 };
 
 /// A stack of layers trained with manual backprop.
@@ -59,6 +66,17 @@ class Mlp {
   /// it), valid until the workspace's next use. Arithmetic is identical to
   /// Forward — results are bit-for-bit the same.
   Matrix& ForwardInto(const Matrix& input, MlpWorkspace* workspace) const;
+
+  /// Batched frontier forward: N candidate states stacked as the rows of
+  /// `inputs` (N x input_dim) evaluated in ONE network invocation,
+  /// returning N rows of logits/values inside the workspace. Row i of the
+  /// result is bit-identical to ForwardInto of row i alone — every kernel
+  /// on the inference path keeps per-row summation order independent of
+  /// the batch (unit-asserted in nn_test) — so search code may batch any
+  /// frontier without changing which plan wins. Same threading contract
+  /// as ForwardInto.
+  Matrix& ForwardBatchInto(const Matrix& inputs,
+                           MlpWorkspace* workspace) const;
 
   /// Backward pass from dLoss/dOutput (batch x output_dim, row-aligned with
   /// the last Forward); accumulates parameter gradients summed over the

@@ -15,6 +15,8 @@
 #ifndef HFQ_REJOIN_FEATURIZER_H_
 #define HFQ_REJOIN_FEATURIZER_H_
 
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "plan/join_tree.h"
@@ -22,6 +24,26 @@
 #include "stats/estimator.h"
 
 namespace hfq {
+
+/// Reusable featurization memory carried by one env instance. Blocks 2-4
+/// of the encoding (join-graph adjacency, selection selectivities, base
+/// cardinalities) depend only on the query, and block 5's per-subtree
+/// cardinality only on the subtree's relation set — but the uncached path
+/// re-asks the (internally synchronized) estimator for all of them on
+/// every state featurization. Search featurizes dozens of states per
+/// query, so the cache turns all but the first of those round-trips into
+/// local reads. Self-invalidates when the query changes (pointer or name
+/// mismatch; estimator memos are keyed by query name with structural
+/// aliasing fatal elsewhere, so name identity is already authoritative).
+/// Not thread-safe: one cache per env, like MlpWorkspace.
+struct FeaturizeCache {
+  const Query* query = nullptr;
+  std::string query_name;
+  /// Blocks 2-4 exactly as Featurize lays them out, ready to copy.
+  std::vector<double> static_blocks;
+  /// Block 5 memo: subtree relation set -> log-scaled estimated rows.
+  std::unordered_map<RelSet, double> subtree_rows;
+};
 
 /// Fixed-size featurization of (query, subtree list) states.
 class RejoinFeaturizer {
@@ -34,9 +56,13 @@ class RejoinFeaturizer {
 
   /// Encodes the current state. `subtrees` are the episode's live subtrees
   /// in slot order; the query must have at most max_relations relations.
+  /// `cache`, when provided, is consulted and maintained as described on
+  /// FeaturizeCache; the returned vector is bit-identical with or without
+  /// it.
   std::vector<double> Featurize(
       const Query& query,
-      const std::vector<const JoinTreeNode*>& subtrees);
+      const std::vector<const JoinTreeNode*>& subtrees,
+      FeaturizeCache* cache = nullptr);
 
   int max_relations() const { return max_relations_; }
   CardinalityEstimator* estimator() { return estimator_; }

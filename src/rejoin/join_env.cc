@@ -48,6 +48,26 @@ double JoinOrderEnv::FinalCost() const {
   return -last_reward_;
 }
 
+bool JoinOrderEnv::TryCopySearchStateFrom(const SearchEnv& other) {
+  const auto* src = dynamic_cast<const JoinOrderEnv*>(&other);
+  if (src == nullptr || src == this) return false;
+  // Full copy, wiring included, so a pooled env from any earlier search is
+  // reusable — only the subtree buffer's capacity survives from this
+  // object. Equivalent to CloneSearch into existing storage.
+  featurizer_ = src->featurizer_;
+  reward_fn_ = src->reward_fn_;
+  config_ = src->config_;
+  query_ = src->query_;
+  done_ = src->done_;
+  last_reward_ = src->last_reward_;
+  subtrees_.clear();
+  subtrees_.reserve(src->subtrees_.size());
+  for (const auto& tree : src->subtrees_) {
+    subtrees_.push_back(tree->Clone());
+  }
+  return true;
+}
+
 int JoinOrderEnv::state_dim() const { return featurizer_->FeatureDim(); }
 
 int JoinOrderEnv::action_dim() const {
@@ -64,7 +84,7 @@ std::vector<const JoinTreeNode*> JoinOrderEnv::Subtrees() const {
 
 std::vector<double> JoinOrderEnv::StateVector() const {
   HFQ_CHECK(query_ != nullptr);
-  return featurizer_->Featurize(*query_, Subtrees());
+  return featurizer_->Featurize(*query_, Subtrees(), &feat_cache_);
 }
 
 std::pair<int, int> JoinOrderEnv::DecodeAction(int action) const {

@@ -58,6 +58,11 @@ class JoinOrderEnv : public SearchEnv {
   /// never stepped (single relation) scores 0.
   double FinalCost() const override;
 
+  /// Pool reuse: becomes a copy of `other` (wiring included) while keeping
+  /// this object's vector capacity; false iff `other` is not a
+  /// JoinOrderEnv. Semantics match CloneSearch exactly.
+  bool TryCopySearchStateFrom(const SearchEnv& other) override;
+
   /// The finished join tree (valid once Done()).
   const JoinTreeNode* FinalTree() const;
 
@@ -80,6 +85,12 @@ class JoinOrderEnv : public SearchEnv {
   std::vector<std::unique_ptr<JoinTreeNode>> subtrees_;
   bool done_ = true;
   double last_reward_ = 0.0;
+  /// Query-static featurization scratch (mutable: StateVector is const but
+  /// warms the cache). Deliberately NOT copied by CloneSearch /
+  /// TryCopySearchStateFrom — pooled envs keep their own warm cache, and a
+  /// cold cache only costs one estimator round-trip, while copying the
+  /// map on every fork would cost more than it saves.
+  mutable FeaturizeCache feat_cache_;
 };
 
 }  // namespace hfq

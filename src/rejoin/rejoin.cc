@@ -152,6 +152,7 @@ Result<std::vector<TeacherIterationStats>> RejoinTrainer::RefineWithTeacher(
   AgentTeacherStudent student(&agent_);
   std::unique_ptr<PlanSearch> searcher = MakePlanSearch(teacher_search);
   MlpWorkspace search_ws;
+  SearchScratch search_scratch;
 
   TeacherLoopTask task;
   task.env = env_;
@@ -160,9 +161,9 @@ Result<std::vector<TeacherIterationStats>> RejoinTrainer::RefineWithTeacher(
     env_->SetQuery(&workload[i]);
     return workload[i].StructuralFingerprint();
   };
-  task.search = [&policy, &searcher,
-                 &search_ws](SearchEnv* env) -> Result<TeacherSearchOutcome> {
-    SearchContext ctx{&policy, /*rng=*/nullptr, &search_ws};
+  task.search = [&policy, &searcher, &search_ws,
+                 &search_scratch](SearchEnv* env) -> Result<TeacherSearchOutcome> {
+    SearchContext ctx{&policy, /*rng=*/nullptr, &search_ws, &search_scratch};
     HFQ_ASSIGN_OR_RETURN(SearchResult found, searcher->Search(env, ctx));
     TeacherSearchOutcome outcome;
     outcome.actions = std::move(found.actions);
@@ -185,10 +186,10 @@ std::unique_ptr<JoinTreeNode> RejoinTrainer::PlanWithSearch(
     SearchResult* result_out) {
   env_->SetQuery(&query);
   AgentPolicy policy(&agent_);
-  MlpWorkspace ws;
   // No Rng: searchers derive any sampling streams from the SearchConfig
-  // seed, so planning never advances the trainer's streams.
-  SearchContext ctx{&policy, /*rng=*/nullptr, &ws};
+  // seed, so planning never advances the trainer's streams. The workspace
+  // and search scratch are trainer members, reused across queries.
+  SearchContext ctx{&policy, /*rng=*/nullptr, &plan_ws_, &plan_scratch_};
   std::unique_ptr<PlanSearch> searcher = MakePlanSearch(search);
   auto result = searcher->Search(env_, ctx, pool_.get());
   HFQ_CHECK_MSG(result.ok(), "plan search failed");

@@ -140,6 +140,11 @@ class RejoinTrainer {
   /// created on first parallel Train and persisted across rounds.
   std::vector<std::unique_ptr<Rng>> worker_rngs_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Reusable inference scratch for Plan/PlanWithSearch: forward buffers
+  /// plus arena/env-pool search state, cleared (not freed) between
+  /// queries so steady-state planning allocates nothing per call.
+  MlpWorkspace plan_ws_;
+  SearchScratch plan_scratch_;
   std::function<void(int, const Episode&)> trajectory_sink_;
 };
 

@@ -69,6 +69,20 @@ class SearchEnv : public Environment {
   /// the final plan's cost-model cost; the join-order env reports the
   /// negated terminal reward.
   virtual double FinalCost() const = 0;
+
+  /// Pool-reuse hook: overwrite this env's in-flight episode state with a
+  /// copy of `other`'s, reusing this object's existing allocations where
+  /// possible, and return true — or return false when `other` is not a
+  /// compatible env (different concrete type or different shared
+  /// collaborators), in which case this env is left unchanged and the
+  /// caller must fall back to CloneSearch(). Lets searchers recycle env
+  /// objects from a free list instead of allocating a fresh deep clone per
+  /// expanded node. The default declines, so the hook is strictly an
+  /// optimization: semantics always match CloneSearch().
+  virtual bool TryCopySearchStateFrom(const SearchEnv& other) {
+    (void)other;
+    return false;
+  }
 };
 
 }  // namespace hfq

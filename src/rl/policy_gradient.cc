@@ -135,6 +135,55 @@ int PolicyGradientAgent::GreedyAction(const std::vector<double>& state,
   return best;
 }
 
+std::vector<std::vector<double>> PolicyGradientAgent::ActionProbabilitiesBatch(
+    const std::vector<const std::vector<double>*>& states,
+    const std::vector<const std::vector<bool>*>& masks,
+    MlpWorkspace* workspace) const {
+  HFQ_CHECK(states.size() == masks.size());
+  if (states.empty()) return {};
+  const int64_t n = static_cast<int64_t>(states.size());
+  Matrix inputs = StackRows(n, state_dim_, [&states](int64_t i) ->
+                            const std::vector<double>& {
+                              return *states[static_cast<size_t>(i)];
+                            });
+  Matrix& logits = policy_.ForwardBatchInto(inputs, workspace);
+  for (int64_t i = 0; i < n; ++i) {
+    const std::vector<bool>& mask = *masks[static_cast<size_t>(i)];
+    HFQ_CHECK(static_cast<int>(mask.size()) == action_dim_);
+    for (int a = 0; a < action_dim_; ++a) {
+      if (!mask[static_cast<size_t>(a)]) logits.At(i, a) = kMaskedLogit;
+    }
+  }
+  // Softmax is row-wise, so row i equals the single-row path bit-for-bit.
+  Matrix probs = Softmax(logits);
+  std::vector<std::vector<double>> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const std::vector<bool>& mask = *masks[static_cast<size_t>(i)];
+    std::vector<double>& row = out[static_cast<size_t>(i)];
+    row.resize(static_cast<size_t>(action_dim_));
+    for (int a = 0; a < action_dim_; ++a) {
+      row[static_cast<size_t>(a)] =
+          mask[static_cast<size_t>(a)] ? probs.At(i, a) : 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> PolicyGradientAgent::ValueBatch(
+    const std::vector<const std::vector<double>*>& states,
+    MlpWorkspace* workspace) const {
+  if (states.empty()) return {};
+  const int64_t n = static_cast<int64_t>(states.size());
+  Matrix inputs = StackRows(n, state_dim_, [&states](int64_t i) ->
+                            const std::vector<double>& {
+                              return *states[static_cast<size_t>(i)];
+                            });
+  const Matrix& v = value_.ForwardBatchInto(inputs, workspace);
+  std::vector<double> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out[static_cast<size_t>(i)] = v.At(i, 0);
+  return out;
+}
+
 double PolicyGradientAgent::Value(const std::vector<double>& state) {
   return Value(state, &scratch_ws_);
 }

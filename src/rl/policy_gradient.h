@@ -70,6 +70,23 @@ class PolicyGradientAgent {
   double Value(const std::vector<double>& state,
                MlpWorkspace* workspace) const;
 
+  /// Batched frontier inference: all N (state, mask) rows evaluated in ONE
+  /// policy-net forward (Mlp::ForwardBatchInto). Entry i is bit-identical
+  /// to ActionProbabilities(*states[i], *masks[i], workspace) — per-row
+  /// arithmetic is batch-size independent — so plan-time search can score
+  /// a whole beam frontier per step without changing which plan it picks.
+  /// Same frozen-model threading contract as the overloads above.
+  std::vector<std::vector<double>> ActionProbabilitiesBatch(
+      const std::vector<const std::vector<double>*>& states,
+      const std::vector<const std::vector<bool>*>& masks,
+      MlpWorkspace* workspace) const;
+
+  /// Batched value head: one value-net forward for all N states; entry i
+  /// is bit-identical to Value(*states[i], workspace).
+  std::vector<double> ValueBatch(
+      const std::vector<const std::vector<double>*>& states,
+      MlpWorkspace* workspace) const;
+
   /// One policy+value update from a batch of complete episodes. Returns the
   /// mean policy loss (diagnostic).
   double Update(const std::vector<Episode>& episodes);

@@ -67,6 +67,25 @@ std::vector<double> RewardPredictor::PredictAll(
   return preds;
 }
 
+std::vector<std::vector<double>> RewardPredictor::PredictAllBatch(
+    const std::vector<const std::vector<double>*>& states,
+    MlpWorkspace* workspace) const {
+  if (states.empty()) return {};
+  const int64_t n = static_cast<int64_t>(states.size());
+  Matrix inputs = StackRows(n, state_dim_,
+                            [&states](int64_t i) -> const std::vector<double>& {
+                              return *states[static_cast<size_t>(i)];
+                            });
+  const Matrix& out = net_.ForwardBatchInto(inputs, workspace);
+  std::vector<std::vector<double>> preds(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<double>& row = preds[static_cast<size_t>(i)];
+    row.resize(static_cast<size_t>(action_dim_));
+    for (int a = 0; a < action_dim_; ++a) row[static_cast<size_t>(a)] = out.At(i, a);
+  }
+  return preds;
+}
+
 double RewardPredictor::Predict(const std::vector<double>& state,
                                 int action) {
   return PredictAll(state)[static_cast<size_t>(action)];

@@ -80,6 +80,16 @@ class RewardPredictor {
                    const std::vector<bool>& mask, double epsilon, Rng* rng,
                    MlpWorkspace* workspace) const;
 
+  /// Batched frontier inference: all N state rows evaluated in ONE network
+  /// forward (Mlp::ForwardBatchInto). Entry i is bit-identical to
+  /// PredictAll(*states[i], workspace) — per-row arithmetic is batch-size
+  /// independent — so search code can score a whole frontier per step
+  /// without changing which plan it picks. Same frozen-model threading
+  /// contract as the const overloads above.
+  std::vector<std::vector<double>> PredictAllBatch(
+      const std::vector<const std::vector<double>*>& states,
+      MlpWorkspace* workspace) const;
+
   /// Adds a training example to the replay buffer.
   void AddExample(OutcomeExample example);
 

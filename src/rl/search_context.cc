@@ -6,6 +6,78 @@
 #include "util/check.h"
 
 namespace hfq {
+namespace {
+
+// Shared per-row arithmetic behind PredictorPolicy::Probabilities and its
+// batched override: softmax over negated predictions, max-shifted for
+// stability. One definition keeps the serial and batched paths bit-identical
+// by construction.
+std::vector<double> PredictorProbsFromPreds(const std::vector<double>& preds,
+                                            const std::vector<bool>& mask) {
+  HFQ_CHECK(preds.size() == mask.size());
+  double best = 0.0;
+  bool any = false;
+  for (size_t a = 0; a < preds.size(); ++a) {
+    if (!mask[a]) continue;
+    if (!any || -preds[a] > best) best = -preds[a];
+    any = true;
+  }
+  HFQ_CHECK_MSG(any, "no valid action");
+  std::vector<double> probs(preds.size(), 0.0);
+  double total = 0.0;
+  for (size_t a = 0; a < preds.size(); ++a) {
+    if (!mask[a]) continue;
+    probs[a] = std::exp(-preds[a] - best);
+    total += probs[a];
+  }
+  for (double& p : probs) p /= total;
+  return probs;
+}
+
+// Shared per-row arithmetic behind PredictorPolicy::Value and its batched
+// override: the negated best predicted outcome among valid actions.
+double PredictorValueFromPreds(const std::vector<double>& preds,
+                               const std::vector<bool>& mask) {
+  HFQ_CHECK(preds.size() == mask.size());
+  double best = 0.0;
+  bool any = false;
+  for (size_t a = 0; a < preds.size(); ++a) {
+    if (!mask[a]) continue;
+    if (!any || -preds[a] > best) best = -preds[a];
+    any = true;
+  }
+  // Terminal states expose an empty mask; the best achievable outcome of
+  // "no decision left" is neutral.
+  return any ? best : 0.0;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> FrozenPolicy::ScoreActionsBatch(
+    const std::vector<const std::vector<double>*>& states,
+    const std::vector<const std::vector<bool>*>& masks,
+    MlpWorkspace* ws) const {
+  HFQ_CHECK(states.size() == masks.size());
+  std::vector<std::vector<double>> out;
+  out.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.push_back(Probabilities(*states[i], *masks[i], ws));
+  }
+  return out;
+}
+
+std::vector<double> FrozenPolicy::ValueBatch(
+    const std::vector<const std::vector<double>*>& states,
+    const std::vector<const std::vector<bool>*>& masks,
+    MlpWorkspace* ws) const {
+  HFQ_CHECK(states.size() == masks.size());
+  std::vector<double> out;
+  out.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.push_back(Value(*states[i], *masks[i], ws));
+  }
+  return out;
+}
 
 AgentPolicy::AgentPolicy(const PolicyGradientAgent* agent) : agent_(agent) {
   HFQ_CHECK(agent != nullptr);
@@ -36,6 +108,21 @@ double AgentPolicy::Value(const std::vector<double>& state,
   return agent_->Value(state, ws);
 }
 
+std::vector<std::vector<double>> AgentPolicy::ScoreActionsBatch(
+    const std::vector<const std::vector<double>*>& states,
+    const std::vector<const std::vector<bool>*>& masks,
+    MlpWorkspace* ws) const {
+  return agent_->ActionProbabilitiesBatch(states, masks, ws);
+}
+
+std::vector<double> AgentPolicy::ValueBatch(
+    const std::vector<const std::vector<double>*>& states,
+    const std::vector<const std::vector<bool>*>& masks,
+    MlpWorkspace* ws) const {
+  (void)masks;
+  return agent_->ValueBatch(states, ws);
+}
+
 PredictorPolicy::PredictorPolicy(const RewardPredictor* predictor)
     : predictor_(predictor) {
   HFQ_CHECK(predictor != nullptr);
@@ -51,28 +138,10 @@ int PredictorPolicy::Greedy(const std::vector<double>& state,
 std::vector<double> PredictorPolicy::Probabilities(
     const std::vector<double>& state, const std::vector<bool>& mask,
     MlpWorkspace* ws) const {
-  // Softmax over negated predictions, max-shifted for stability. The
-  // predictor's outcomes are lower-is-better, so the best action gets the
-  // largest probability and argmax (lowest-index ties) matches Greedy.
-  std::vector<double> preds = predictor_->PredictAll(state, ws);
-  HFQ_CHECK(preds.size() == mask.size());
-  double best = 0.0;
-  bool any = false;
-  for (size_t a = 0; a < preds.size(); ++a) {
-    if (!mask[a]) continue;
-    if (!any || -preds[a] > best) best = -preds[a];
-    any = true;
-  }
-  HFQ_CHECK_MSG(any, "no valid action");
-  std::vector<double> probs(preds.size(), 0.0);
-  double total = 0.0;
-  for (size_t a = 0; a < preds.size(); ++a) {
-    if (!mask[a]) continue;
-    probs[a] = std::exp(-preds[a] - best);
-    total += probs[a];
-  }
-  for (double& p : probs) p /= total;
-  return probs;
+  // Softmax over negated predictions. The predictor's outcomes are
+  // lower-is-better, so the best action gets the largest probability and
+  // argmax (lowest-index ties) matches Greedy.
+  return PredictorProbsFromPreds(predictor_->PredictAll(state, ws), mask);
 }
 
 int PredictorPolicy::Sample(const std::vector<double>& state,
@@ -88,18 +157,49 @@ int PredictorPolicy::Sample(const std::vector<double>& state,
 double PredictorPolicy::Value(const std::vector<double>& state,
                               const std::vector<bool>& mask,
                               MlpWorkspace* ws) const {
-  std::vector<double> preds = predictor_->PredictAll(state, ws);
-  HFQ_CHECK(preds.size() == mask.size());
-  double best = 0.0;
-  bool any = false;
-  for (size_t a = 0; a < preds.size(); ++a) {
-    if (!mask[a]) continue;
-    if (!any || -preds[a] > best) best = -preds[a];
-    any = true;
+  return PredictorValueFromPreds(predictor_->PredictAll(state, ws), mask);
+}
+
+std::vector<std::vector<double>> PredictorPolicy::ScoreActionsBatch(
+    const std::vector<const std::vector<double>*>& states,
+    const std::vector<const std::vector<bool>*>& masks,
+    MlpWorkspace* ws) const {
+  HFQ_CHECK(states.size() == masks.size());
+  std::vector<std::vector<double>> preds =
+      predictor_->PredictAllBatch(states, ws);
+  std::vector<std::vector<double>> out;
+  out.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.push_back(PredictorProbsFromPreds(preds[i], *masks[i]));
   }
-  // Terminal states expose an empty mask; the best achievable outcome of
-  // "no decision left" is neutral.
-  return any ? best : 0.0;
+  return out;
+}
+
+std::vector<double> PredictorPolicy::ValueBatch(
+    const std::vector<const std::vector<double>*>& states,
+    const std::vector<const std::vector<bool>*>& masks,
+    MlpWorkspace* ws) const {
+  HFQ_CHECK(states.size() == masks.size());
+  std::vector<std::vector<double>> preds =
+      predictor_->PredictAllBatch(states, ws);
+  std::vector<double> out;
+  out.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.push_back(PredictorValueFromPreds(preds[i], *masks[i]));
+  }
+  return out;
+}
+
+std::unique_ptr<SearchEnv> SearchScratch::AcquireEnv(
+    const SearchEnv& prototype) {
+  while (!env_pool.empty()) {
+    std::unique_ptr<SearchEnv> env = std::move(env_pool.back());
+    env_pool.pop_back();
+    if (env != nullptr && env->TryCopySearchStateFrom(prototype)) return env;
+    // Incompatible pooled env (different concrete type / collaborators):
+    // drop it and keep looking.
+  }
+  return prototype.CloneSearch();
 }
 
 }  // namespace hfq

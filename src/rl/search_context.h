@@ -8,10 +8,13 @@
 #ifndef HFQ_RL_SEARCH_CONTEXT_H_
 #define HFQ_RL_SEARCH_CONTEXT_H_
 
+#include <memory>
 #include <vector>
 
+#include "rl/env.h"
 #include "rl/policy_gradient.h"
 #include "rl/reward_predictor.h"
+#include "util/arena.h"
 #include "util/rng.h"
 
 namespace hfq {
@@ -48,6 +51,26 @@ class FrozenPolicy {
   virtual double Value(const std::vector<double>& state,
                        const std::vector<bool>& mask,
                        MlpWorkspace* ws) const = 0;
+
+  /// Batched frontier scoring: the action distribution of every
+  /// (state, mask) row in one call. Entry i is bit-identical to
+  /// Probabilities(*states[i], *masks[i], ws) — the contract that lets a
+  /// searcher batch a whole frontier without changing which plan it picks.
+  /// The base implementation loops Probabilities per row (one forward per
+  /// row); the built-in policies override it with a single
+  /// Mlp::ForwardBatchInto minibatch forward.
+  virtual std::vector<std::vector<double>> ScoreActionsBatch(
+      const std::vector<const std::vector<double>*>& states,
+      const std::vector<const std::vector<bool>*>& masks,
+      MlpWorkspace* ws) const;
+
+  /// Batched value head: entry i is bit-identical to
+  /// Value(*states[i], *masks[i], ws). Base implementation loops per row;
+  /// built-in policies override with one minibatch forward.
+  virtual std::vector<double> ValueBatch(
+      const std::vector<const std::vector<double>*>& states,
+      const std::vector<const std::vector<bool>*>& masks,
+      MlpWorkspace* ws) const;
 };
 
 /// FrozenPolicy over a PolicyGradientAgent: policy net for actions, the
@@ -67,6 +90,14 @@ class AgentPolicy : public FrozenPolicy {
   double Value(const std::vector<double>& state,
                const std::vector<bool>& mask,
                MlpWorkspace* ws) const override;
+  std::vector<std::vector<double>> ScoreActionsBatch(
+      const std::vector<const std::vector<double>*>& states,
+      const std::vector<const std::vector<bool>*>& masks,
+      MlpWorkspace* ws) const override;
+  std::vector<double> ValueBatch(
+      const std::vector<const std::vector<double>*>& states,
+      const std::vector<const std::vector<bool>*>& masks,
+      MlpWorkspace* ws) const override;
 
  private:
   const PolicyGradientAgent* agent_;
@@ -93,9 +124,53 @@ class PredictorPolicy : public FrozenPolicy {
   double Value(const std::vector<double>& state,
                const std::vector<bool>& mask,
                MlpWorkspace* ws) const override;
+  std::vector<std::vector<double>> ScoreActionsBatch(
+      const std::vector<const std::vector<double>*>& states,
+      const std::vector<const std::vector<bool>*>& masks,
+      MlpWorkspace* ws) const override;
+  std::vector<double> ValueBatch(
+      const std::vector<const std::vector<double>*>& states,
+      const std::vector<const std::vector<bool>*>& masks,
+      MlpWorkspace* ws) const override;
 
  private:
   const RewardPredictor* predictor_;
+};
+
+/// Reusable per-worker search memory, reset per query instead of freed per
+/// node. Holds (a) a bump arena backing plan-prefix chains and other
+/// per-candidate scratch, (b) a free list of env objects so expanding a
+/// node can recycle a pooled env (SearchEnv::TryCopySearchStateFrom)
+/// instead of deep-cloning, and (c) the row-pointer buffers batched
+/// frontier forwards assemble into. Single-threaded like MlpWorkspace:
+/// one scratch per concurrent search worker.
+struct SearchScratch {
+  Arena arena;
+  /// Idle env objects available for reuse (all from earlier searches).
+  std::vector<std::unique_ptr<SearchEnv>> env_pool;
+  /// Batch-assembly buffers for ScoreActionsBatch/ValueBatch calls.
+  std::vector<const std::vector<double>*> state_rows;
+  std::vector<const std::vector<bool>*> mask_rows;
+
+  /// Per-query reset: drops arena contents (blocks are retained) and the
+  /// assembly buffers. The env pool survives — TryCopySearchStateFrom
+  /// itself rejects stale/incompatible envs, so pooled objects are safe to
+  /// offer to the next query.
+  void Clear() {
+    arena.Reset();
+    state_rows.clear();
+    mask_rows.clear();
+  }
+
+  /// Returns an env holding a copy of `prototype`'s in-flight episode
+  /// state: recycled from the pool when a pooled env accepts the copy,
+  /// otherwise a fresh CloneSearch.
+  std::unique_ptr<SearchEnv> AcquireEnv(const SearchEnv& prototype);
+
+  /// Hands an env back to the pool for later reuse.
+  void ReleaseEnv(std::unique_ptr<SearchEnv> env) {
+    if (env != nullptr) env_pool.push_back(std::move(env));
+  }
 };
 
 /// Everything one search worker needs: the shared frozen policy plus its
@@ -106,11 +181,13 @@ class PredictorPolicy : public FrozenPolicy {
 /// a search never perturb training streams and repeated searches of one
 /// query deterministic (pinned in tests/search_test.cc and
 /// tests/hands_free_test.cc). Do not wire a future searcher to it
-/// without revisiting that contract.
+/// without revisiting that contract. `scratch` is optional reusable search
+/// memory — searchers fall back to function-local scratch when null.
 struct SearchContext {
   const FrozenPolicy* policy = nullptr;
   Rng* rng = nullptr;
   MlpWorkspace* ws = nullptr;
+  SearchScratch* scratch = nullptr;
 };
 
 }  // namespace hfq

@@ -1,6 +1,7 @@
 #include <cstddef>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "search/plan_search.h"
 #include "util/check.h"
@@ -8,7 +9,10 @@
 
 namespace hfq {
 
+using search_internal::ActionPrefix;
+using search_internal::ExtendPrefix;
 using search_internal::GreedyRollout;
+using search_internal::MaterializePrefix;
 using search_internal::ReplayActions;
 using search_internal::TopActions;
 
@@ -16,10 +20,11 @@ namespace {
 
 // One unfinished plan prefix on the best-first frontier. The state/mask of
 // the prefix's current position are featurized once, at creation, and
-// reused for the value ranking and the eventual expansion.
+// reused for the value ranking and the eventual expansion. The action
+// sequence is an arena-backed prefix chain, not a per-node vector copy.
 struct FrontierNode {
   std::unique_ptr<SearchEnv> env;
-  std::vector<int> actions;
+  const ActionPrefix* prefix = nullptr;
   std::vector<double> state;
   std::vector<bool> mask;
   double value = 0.0;  // V(state): the sole expansion-priority signal.
@@ -50,6 +55,10 @@ Result<SearchResult> BestFirstSearch::Search(SearchEnv* env,
   HFQ_CHECK(env != nullptr && ctx.policy != nullptr && ctx.ws != nullptr);
   Stopwatch total;
   const int width = config_.beam_width;
+  SearchScratch local_scratch;
+  SearchScratch* scratch =
+      ctx.scratch != nullptr ? ctx.scratch : &local_scratch;
+  scratch->Clear();
 
   // The greedy rollout: fallback, cost floor, and first completed
   // candidate.
@@ -61,21 +70,23 @@ Result<SearchResult> BestFirstSearch::Search(SearchEnv* env,
   bool any_search_candidate = false;
   std::vector<FrontierNode> frontier;
   {
-    FrontierNode root;
-    root.env = env->CloneSearch();
-    root.env->Reset();
-    if (root.env->Done()) {
+    std::unique_ptr<SearchEnv> root_env = scratch->AcquireEnv(*env);
+    root_env->Reset();
+    if (root_env->Done()) {
       // Zero-decision episode: the root is already a complete plan.
       any_search_candidate = true;
       ++result.rollouts;
-      double cost = root.env->FinalCost();
+      double cost = root_env->FinalCost();
       if (cost < result.cost) {
         result.cost = cost;
         result.actions.clear();
       }
+      scratch->ReleaseEnv(std::move(root_env));
     } else {
-      root.state = root.env->StateVector();
-      root.mask = root.env->ActionMask();
+      FrontierNode root;
+      root.state = root_env->StateVector();
+      root.mask = root_env->ActionMask();
+      root.env = std::move(root_env);
       frontier.push_back(std::move(root));
     }
   }
@@ -91,28 +102,52 @@ Result<SearchResult> BestFirstSearch::Search(SearchEnv* env,
 
     std::vector<double> probs =
         ctx.policy->Probabilities(node.state, node.mask, ctx.ws);
+    std::vector<FrontierNode> children;
     for (int action : TopActions(probs, node.mask, width)) {
-      FrontierNode child;
-      child.env = node.env->CloneSearch();
-      child.env->Step(action);
-      child.actions = node.actions;
-      child.actions.push_back(action);
-      if (child.env->Done()) {
+      std::unique_ptr<SearchEnv> child_env = scratch->AcquireEnv(*node.env);
+      child_env->Step(action);
+      if (child_env->Done()) {
         // Complete plan: a candidate, scored by its true cost.
         any_search_candidate = true;
         ++result.rollouts;
-        double cost = child.env->FinalCost();
+        double cost = child_env->FinalCost();
         if (cost < result.cost) {
           result.cost = cost;
-          result.actions = std::move(child.actions);
+          result.actions = MaterializePrefix(node.prefix);
+          result.actions.push_back(action);
         }
+        scratch->ReleaseEnv(std::move(child_env));
         continue;
       }
-      child.state = child.env->StateVector();
-      child.mask = child.env->ActionMask();
-      child.value = ctx.policy->Value(child.state, child.mask, ctx.ws);
-      frontier.push_back(std::move(child));
+      FrontierNode child;
+      child.prefix = ExtendPrefix(&scratch->arena, node.prefix, action);
+      child.state = child_env->StateVector();
+      child.mask = child_env->ActionMask();
+      child.env = std::move(child_env);
+      children.push_back(std::move(child));
     }
+    scratch->ReleaseEnv(std::move(node.env));
+
+    // ONE matrix forward values the whole fan-out (batched rows are
+    // bit-identical to the per-child calls they replace); children enter
+    // the frontier in creation order, preserving the tie-break contract.
+    if (!children.empty()) {
+      scratch->state_rows.clear();
+      scratch->mask_rows.clear();
+      for (const FrontierNode& child : children) {
+        scratch->state_rows.push_back(&child.state);
+        scratch->mask_rows.push_back(&child.mask);
+      }
+      std::vector<double> values = ctx.policy->ValueBatch(
+          scratch->state_rows, scratch->mask_rows, ctx.ws);
+      for (size_t i = 0; i < children.size(); ++i) {
+        children[i].value = values[i];
+        frontier.push_back(std::move(children[i]));
+      }
+    }
+  }
+  for (FrontierNode& node : frontier) {
+    scratch->ReleaseEnv(std::move(node.env));
   }
   result.fell_back_to_greedy = !any_search_candidate;
 

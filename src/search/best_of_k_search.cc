@@ -1,4 +1,7 @@
+#include <algorithm>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "search/plan_search.h"
 #include "util/check.h"
@@ -8,7 +11,7 @@ namespace hfq {
 
 using search_internal::GreedyRollout;
 using search_internal::ReplayActions;
-using search_internal::SampledRollout;
+using search_internal::SampleFromProbs;
 
 BestOfKSearch::BestOfKSearch(SearchConfig config) : config_(config) {
   HFQ_CHECK(config_.best_of_k >= 1);
@@ -20,6 +23,10 @@ Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
   HFQ_CHECK(env != nullptr && ctx.policy != nullptr && ctx.ws != nullptr);
   Stopwatch total;
   const int k = config_.best_of_k;
+  SearchScratch local_scratch;
+  SearchScratch* scratch =
+      ctx.scratch != nullptr ? ctx.scratch : &local_scratch;
+  scratch->Clear();
 
   // Rollout 0: greedy, always completed — the fallback and the floor.
   SearchResult result;
@@ -30,7 +37,12 @@ Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
   // Rollouts 1..K-1: sampled, each from an Rng derived from (seed, r) so
   // the set of candidates is a prefix-closed function of K — the chosen
   // cost is monotone non-increasing in K — and is identical at any worker
-  // count and regardless of prior sampling anywhere in the process.
+  // count and regardless of prior sampling anywhere in the process. A
+  // worker advances its rollouts in LOCK STEP: every step batches the
+  // alive rollouts' states into ONE matrix forward (per-row results are
+  // bit-identical to the per-rollout calls, and each rollout consumes its
+  // own Rng stream in its own step order, so the sampled plans are exactly
+  // the serial ones).
   struct Candidate {
     std::vector<int> actions;
     double cost = 0.0;
@@ -41,23 +53,79 @@ Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
   const int num_workers =
       pool != nullptr ? std::min(pool->num_threads(), k - 1) : 1;
   if (k > 1) {
-    RunOnWorkers(num_workers > 1 ? pool : nullptr, std::max(1, num_workers),
-                 [&](int w) {
-                   std::unique_ptr<SearchEnv> worker_env = env->CloneSearch();
-                   MlpWorkspace ws;
-                   for (int r = w; r < k - 1; r += std::max(1, num_workers)) {
-                     if (budget > 0.0 && total.ElapsedMillis() > budget) {
-                       return;  // Budget spent: keep what completed.
-                     }
-                     Candidate& cand = sampled[static_cast<size_t>(r)];
-                     Rng rng(MixSeed64(config_.seed ^
-                                       (static_cast<uint64_t>(r) + 1)));
-                     cand.actions = SampledRollout(worker_env.get(),
-                                                   *ctx.policy, &rng, &ws);
-                     cand.cost = worker_env->FinalCost();
-                     cand.completed = true;
-                   }
-                 });
+    const int stride = std::max(1, num_workers);
+    RunOnWorkers(num_workers > 1 ? pool : nullptr, stride, [&](int w) {
+      // The single-worker run reuses the caller's workspace and scratch;
+      // parallel workers bring their own (rollout r's plan depends only on
+      // the weights and its derived stream, never on the grouping).
+      MlpWorkspace worker_ws;
+      SearchScratch worker_scratch;
+      MlpWorkspace* ws = stride == 1 ? ctx.ws : &worker_ws;
+      SearchScratch* sc = stride == 1 ? scratch : &worker_scratch;
+
+      struct Rollout {
+        int index;
+        std::unique_ptr<SearchEnv> env;
+        Rng rng;
+        std::vector<int> actions;
+        std::vector<double> state;
+        std::vector<bool> mask;
+      };
+      std::vector<Rollout> alive;
+      for (int r = w; r < k - 1; r += stride) {
+        if (budget > 0.0 && total.ElapsedMillis() > budget) break;
+        std::unique_ptr<SearchEnv> renv = sc->AcquireEnv(*env);
+        renv->Reset();
+        Rng rng(MixSeed64(config_.seed ^ (static_cast<uint64_t>(r) + 1)));
+        if (renv->Done()) {
+          // Zero-decision episode: the rollout completes at Reset.
+          Candidate& cand = sampled[static_cast<size_t>(r)];
+          cand.cost = renv->FinalCost();
+          cand.completed = true;
+          sc->ReleaseEnv(std::move(renv));
+          continue;
+        }
+        Rollout rollout{r, std::move(renv), rng, {}, {}, {}};
+        rollout.state = rollout.env->StateVector();
+        rollout.mask = rollout.env->ActionMask();
+        alive.push_back(std::move(rollout));
+      }
+
+      while (!alive.empty()) {
+        if (budget > 0.0 && total.ElapsedMillis() > budget) {
+          return;  // Budget spent: keep what completed.
+        }
+        // ONE matrix forward scores every alive rollout's position.
+        sc->state_rows.clear();
+        sc->mask_rows.clear();
+        for (const Rollout& rollout : alive) {
+          sc->state_rows.push_back(&rollout.state);
+          sc->mask_rows.push_back(&rollout.mask);
+        }
+        std::vector<std::vector<double>> probs =
+            ctx.policy->ScoreActionsBatch(sc->state_rows, sc->mask_rows, ws);
+        size_t out = 0;
+        for (size_t i = 0; i < alive.size(); ++i) {
+          Rollout& rollout = alive[i];
+          int action = SampleFromProbs(probs[i], rollout.mask, &rollout.rng);
+          rollout.env->Step(action);
+          rollout.actions.push_back(action);
+          if (rollout.env->Done()) {
+            Candidate& cand = sampled[static_cast<size_t>(rollout.index)];
+            cand.actions = std::move(rollout.actions);
+            cand.cost = rollout.env->FinalCost();
+            cand.completed = true;
+            sc->ReleaseEnv(std::move(rollout.env));
+            continue;
+          }
+          rollout.state = rollout.env->StateVector();
+          rollout.mask = rollout.env->ActionMask();
+          if (out != i) alive[out] = std::move(alive[i]);
+          ++out;
+        }
+        alive.resize(out);
+      }
+    });
   }
 
   bool any_sampled = false;

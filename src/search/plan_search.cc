@@ -157,6 +157,35 @@ std::vector<int> TopActions(const std::vector<double>& probs,
   return valid;
 }
 
+int SampleFromProbs(const std::vector<double>& probs,
+                    const std::vector<bool>& mask, Rng* rng) {
+  HFQ_CHECK(rng != nullptr);
+  int action = static_cast<int>(rng->Categorical(probs));
+  HFQ_CHECK(mask[static_cast<size_t>(action)]);
+  return action;
+}
+
+const ActionPrefix* ExtendPrefix(Arena* arena, const ActionPrefix* prefix,
+                                 int action) {
+  ActionPrefix* node = arena->New<ActionPrefix>();
+  node->parent = prefix;
+  node->action = action;
+  node->length = (prefix != nullptr ? prefix->length : 0) + 1;
+  return node;
+}
+
+std::vector<int> MaterializePrefix(const ActionPrefix* prefix) {
+  std::vector<int> actions(
+      static_cast<size_t>(prefix != nullptr ? prefix->length : 0));
+  size_t i = actions.size();
+  for (const ActionPrefix* node = prefix; node != nullptr;
+       node = node->parent) {
+    actions[--i] = node->action;
+  }
+  HFQ_CHECK(i == 0);
+  return actions;
+}
+
 void ReplayActions(SearchEnv* env, const std::vector<int>& actions) {
   env->Reset();
   for (int action : actions) {

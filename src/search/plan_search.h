@@ -36,6 +36,7 @@
 
 #include "rl/env.h"
 #include "rl/search_context.h"
+#include "util/arena.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -221,6 +222,31 @@ void ReplayActions(SearchEnv* env, const std::vector<int>& actions);
 /// Shared by the beam and best-first expansions.
 std::vector<int> TopActions(const std::vector<double>& probs,
                             const std::vector<bool>& mask, int width);
+
+/// One Categorical draw from a probability row (masked entries must be 0),
+/// with the same validity check the built-in policies' Sample performs.
+/// Lock-step best-of-K samples each rollout from its own ScoreActionsBatch
+/// row through this — bit-identical to FrozenPolicy::Sample for the
+/// built-in policies, whose Sample is exactly Categorical(Probabilities).
+int SampleFromProbs(const std::vector<double>& probs,
+                    const std::vector<bool>& mask, Rng* rng);
+
+/// Arena-allocated plan-prefix link: prefixes form a reversed tree of
+/// these, so extending a prefix by one action is O(1) arena bytes instead
+/// of an O(depth) vector copy per expanded child. Nodes live until the
+/// owning arena resets (per query), never freed per node.
+struct ActionPrefix {
+  const ActionPrefix* parent = nullptr;
+  int action = 0;
+  int length = 0;  ///< Actions in the chain ending here.
+};
+
+/// Appends `action` to `prefix` (nullptr = empty prefix) in `arena`.
+const ActionPrefix* ExtendPrefix(Arena* arena, const ActionPrefix* prefix,
+                                 int action);
+
+/// Flattens a prefix chain into the action sequence it encodes.
+std::vector<int> MaterializePrefix(const ActionPrefix* prefix);
 
 }  // namespace search_internal
 

@@ -1,0 +1,56 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace hfq {
+
+Arena::Arena(size_t block_bytes)
+    : block_bytes_(std::max<size_t>(block_bytes, 64)) {}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  HFQ_CHECK(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  HFQ_CHECK(alignment <= alignof(std::max_align_t));
+  if (blocks_.empty() || current_ >= blocks_.size()) {
+    NextBlock(bytes + alignment);
+  }
+  for (;;) {
+    Block& block = blocks_[current_];
+    uintptr_t base = reinterpret_cast<uintptr_t>(block.data.get()) + offset_;
+    size_t padding = (alignment - base % alignment) % alignment;
+    if (offset_ + padding + bytes <= block.size) {
+      offset_ += padding;
+      void* out = block.data.get() + offset_;
+      offset_ += bytes;
+      bytes_allocated_ += bytes;
+      return out;
+    }
+    NextBlock(bytes + alignment);
+  }
+}
+
+void Arena::NextBlock(size_t bytes) {
+  // Advance through retained blocks first; grow only past the high-water
+  // mark. Retained blocks smaller than the request are skipped, not
+  // resized, so pointers handed out before a Reset stay untouched.
+  size_t next = blocks_.empty() || current_ >= blocks_.size()
+                    ? (blocks_.empty() ? 0 : current_)
+                    : current_ + 1;
+  while (next < blocks_.size() && blocks_[next].size < bytes) ++next;
+  if (next == blocks_.size()) {
+    Block block;
+    block.size = std::max(block_bytes_, bytes);
+    block.data = std::make_unique<char[]>(block.size);
+    bytes_reserved_ += block.size;
+    blocks_.push_back(std::move(block));
+  }
+  current_ = next;
+  offset_ = 0;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  bytes_allocated_ = 0;
+}
+
+}  // namespace hfq

@@ -517,6 +517,69 @@ TEST(MlpTest, ForwardIntoMatchesForwardBitForBit) {
   }
 }
 
+TEST(MlpTest, ForwardBatchIntoIsPerRowBitIdentical) {
+  // The batched-search contract: stacking N frontier states into one
+  // ForwardBatchInto yields, in row i, the exact bits ForwardInto gives
+  // for row i alone — for every activation, including the softmax-bearing
+  // dims search actually uses. This is what lets every searcher batch its
+  // frontier without changing which plan wins.
+  for (Activation act :
+       {Activation::kRelu, Activation::kTanh, Activation::kSigmoid}) {
+    Rng rng(43);
+    MlpConfig config;
+    config.input_dim = 9;
+    config.hidden_dims = {24, 16};
+    config.output_dim = 7;
+    config.activation = act;
+    Mlp mlp(config, &rng);
+    for (int n : {1, 2, 5, 17}) {
+      Matrix batch(n, config.input_dim);
+      for (int64_t i = 0; i < batch.size(); ++i) {
+        batch.data()[i] = rng.Normal();
+      }
+      MlpWorkspace batch_ws;
+      Matrix batched = mlp.ForwardBatchInto(batch, &batch_ws);
+      ASSERT_EQ(batched.rows(), n);
+      ASSERT_EQ(batched.cols(), config.output_dim);
+      MlpWorkspace row_ws;
+      for (int r = 0; r < n; ++r) {
+        const Matrix& single = mlp.ForwardInto(batch.Row(r), &row_ws);
+        for (int c = 0; c < config.output_dim; ++c) {
+          EXPECT_EQ(batched.At(r, c), single.At(0, c))
+              << "act " << static_cast<int>(act) << " n " << n << " row " << r
+              << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(MlpTest, WorkspaceCountsForwardCallsAndRows) {
+  // The counting hook the batched-search tests lean on: calls count
+  // network invocations (one per ForwardInto/ForwardBatchInto regardless
+  // of batch rows), rows count the work.
+  Rng rng(47);
+  MlpConfig config;
+  config.input_dim = 4;
+  config.hidden_dims = {8};
+  config.output_dim = 3;
+  Mlp mlp(config, &rng);
+  MlpWorkspace ws;
+  EXPECT_EQ(ws.forward_calls, 0);
+  EXPECT_EQ(ws.forward_rows, 0);
+  Matrix one(1, 4);
+  one.Fill(0.5);
+  (void)mlp.ForwardInto(one, &ws);
+  (void)mlp.ForwardInto(one, &ws);
+  EXPECT_EQ(ws.forward_calls, 2);
+  EXPECT_EQ(ws.forward_rows, 2);
+  Matrix batch(6, 4);
+  batch.Fill(0.25);
+  (void)mlp.ForwardBatchInto(batch, &ws);
+  EXPECT_EQ(ws.forward_calls, 3);  // One invocation...
+  EXPECT_EQ(ws.forward_rows, 8);   // ...six rows of work.
+}
+
 TEST(MlpTest, ForwardIntoDoesNotDisturbBackwardCaches) {
   // Training pattern: Forward (caches) ... concurrent-style ForwardInto
   // calls ... Backward. The workspace path must leave the caches intact.

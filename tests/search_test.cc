@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "core/reward.h"
 #include "rejoin/join_env.h"
@@ -61,10 +62,21 @@ class SearchTest : public ::testing::Test {
 
   SearchResult RunSearch(const SearchConfig& config, const Query& query,
                          ThreadPool* pool = nullptr) {
-    env_.SetQuery(&query);
     AgentPolicy policy(&trainer_.agent());
+    return RunSearchWith(policy, config, query, pool);
+  }
+
+  /// Like RunSearch but with a caller-chosen policy and (optionally) a
+  /// caller-owned workspace, so tests can swap inference implementations
+  /// and read the forward-call counters afterwards.
+  SearchResult RunSearchWith(const FrozenPolicy& policy,
+                             const SearchConfig& config, const Query& query,
+                             ThreadPool* pool = nullptr,
+                             MlpWorkspace* ws_out = nullptr) {
+    env_.SetQuery(&query);
     MlpWorkspace ws;
-    SearchContext ctx{&policy, &trainer_.agent().rng(), &ws};
+    SearchContext ctx{&policy, &trainer_.agent().rng(),
+                      ws_out != nullptr ? ws_out : &ws};
     auto searcher = MakePlanSearch(config);
     auto result = searcher->Search(&env_, ctx, pool);
     HFQ_CHECK(result.ok());
@@ -72,6 +84,37 @@ class SearchTest : public ::testing::Test {
   }
 
   static constexpr int kN = 8;
+
+  /// Delegates per-state inference to the real agent policy but inherits
+  /// the FrozenPolicy base-class batch fallbacks — one forward per frontier
+  /// row — making it the reference the batched overrides must match
+  /// bit-for-bit.
+  class PerRowPolicy : public FrozenPolicy {
+   public:
+    explicit PerRowPolicy(const PolicyGradientAgent* agent) : inner_(agent) {}
+    int Greedy(const std::vector<double>& state, const std::vector<bool>& mask,
+               MlpWorkspace* ws) const override {
+      return inner_.Greedy(state, mask, ws);
+    }
+    int Sample(const std::vector<double>& state, const std::vector<bool>& mask,
+               Rng* rng, MlpWorkspace* ws) const override {
+      return inner_.Sample(state, mask, rng, ws);
+    }
+    std::vector<double> Probabilities(const std::vector<double>& state,
+                                      const std::vector<bool>& mask,
+                                      MlpWorkspace* ws) const override {
+      return inner_.Probabilities(state, mask, ws);
+    }
+    double Value(const std::vector<double>& state,
+                 const std::vector<bool>& mask,
+                 MlpWorkspace* ws) const override {
+      return inner_.Value(state, mask, ws);
+    }
+
+   private:
+    AgentPolicy inner_;
+  };
+
   RejoinFeaturizer featurizer_;
   JoinRewardFn reward_fn_;
   JoinOrderEnv env_;
@@ -312,6 +355,70 @@ TEST_F(SearchTest, SearchSpecsParseAndRoundTrip) {
   EXPECT_FALSE(ParseSearchSpec("best-first-").ok());
   EXPECT_FALSE(ParseSearchSpec("best-of-4294967297").ok());
   EXPECT_FALSE(ParseSearchSpec("beam-99999999999999999999").ok());
+}
+
+TEST_F(SearchTest, BatchedFrontierMatchesPerRowReferenceBitForBit) {
+  // Every non-greedy searcher evaluates its frontier through
+  // ScoreActionsBatch/ValueBatch. Swapping the batched AgentPolicy for a
+  // wrapper that inherits the per-row base fallbacks must not move a
+  // single action on any mode or width — the one-matrix forward is an
+  // implementation detail, not a semantics change.
+  AgentPolicy batched(&trainer_.agent());
+  PerRowPolicy per_row(&trainer_.agent());
+  for (const char* spec :
+       {"best-of-6", "beam-1", "beam-4", "beam-8", "best-first-3"}) {
+    auto config = ParseSearchSpec(spec);
+    ASSERT_TRUE(config.ok());
+    for (const Query& q : queries_) {
+      SearchResult a = RunSearchWith(batched, *config, q);
+      SearchResult b = RunSearchWith(per_row, *config, q);
+      EXPECT_EQ(a.actions, b.actions) << spec << " " << q.name;
+      EXPECT_EQ(a.cost, b.cost) << spec << " " << q.name;
+      EXPECT_EQ(a.rollouts, b.rollouts) << spec << " " << q.name;
+    }
+  }
+}
+
+TEST_F(SearchTest, BeamParallelExpansionMatchesSerialAtAnyWorkerCount) {
+  SearchConfig config;
+  config.mode = SearchMode::kBeam;
+  config.beam_width = 4;
+  for (int workers : {1, 2, 4}) {
+    ThreadPool pool(workers);
+    for (const Query& q : queries_) {
+      SearchResult serial = RunSearch(config, q);
+      SearchResult parallel = RunSearch(config, q, &pool);
+      EXPECT_EQ(serial.actions, parallel.actions)
+          << q.name << " workers " << workers;
+      EXPECT_EQ(serial.cost, parallel.cost)
+          << q.name << " workers " << workers;
+      EXPECT_EQ(serial.rollouts, parallel.rollouts)
+          << q.name << " workers " << workers;
+    }
+  }
+}
+
+TEST_F(SearchTest, BeamForwardCallsPerRoundAreWidthInvariant) {
+  // The counting hook pins the tentpole claim: a beam round costs O(1)
+  // network invocations (one frontier forward + one value forward), not
+  // O(frontier). Since every beam of the same query runs the same number
+  // of rounds (all prefixes advance one step per round), total
+  // forward_calls must not move with the width — only forward_rows may.
+  AgentPolicy policy(&trainer_.agent());
+  auto count = [&](const Query& q, int width) {
+    SearchConfig config;
+    config.mode = SearchMode::kBeam;
+    config.beam_width = width;
+    MlpWorkspace ws;
+    (void)RunSearchWith(policy, config, q, nullptr, &ws);
+    return std::make_pair(ws.forward_calls, ws.forward_rows);
+  };
+  for (const Query& q : queries_) {
+    auto [calls_narrow, rows_narrow] = count(q, 2);
+    auto [calls_wide, rows_wide] = count(q, 8);
+    EXPECT_EQ(calls_narrow, calls_wide) << q.name;
+    EXPECT_GT(rows_wide, rows_narrow) << q.name;  // Width becomes rows.
+  }
 }
 
 // A single-relation query is a zero-decision episode: every mode must
