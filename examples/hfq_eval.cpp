@@ -10,6 +10,8 @@
 //                    [--strategy=lfd|bootstrap|incremental]
 //                    [--search=MODE[,MODE...]] [--topologies=T[,T...]]
 //                    [--teacher=N] [--teacher-mode=MODE] [--plan-repeats=N]
+//                    [--dp-max-relations=N] [--band-topologies=T[,T...]]
+//                    [--band-relations=N[,N...]] [--no-band]
 //                    [--reduced] [--no-timings]
 //
 // --reduced runs the small smoke matrix (the ctest `eval` label / CI
@@ -24,7 +26,12 @@
 // (default beam-4). --plan-repeats measures each query's planning time as
 // the median of N timed plans after one unmeasured warmup (default 1, the
 // historic single cold measurement); plans and costs are identical at any
-// repeat count.
+// repeat count. --dp-max-relations caps the exhaustive-DP baseline: cells
+// above it are scored against GEQO instead (report schema hfq-eval-v3).
+// --band-topologies/--band-relations configure the DP-infeasible
+// large-join band appended after the regular matrix (default
+// chain,snowflake,clique x 16); --no-band drops it, restoring the
+// pre-band matrix and report bytes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -83,6 +90,26 @@ int main(int argc, char** argv) {
         }
         config.search_modes.push_back(*mode);
       }
+    } else if (std::strcmp(arg, "--no-band") == 0) {
+      config.band_topologies.clear();
+      config.band_relation_counts.clear();
+    } else if (ParseFlag(arg, "--dp-max-relations", &value)) {
+      config.dp_max_relations = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "--band-relations", &value)) {
+      config.band_relation_counts.clear();
+      for (const std::string& n : hfq::Split(value, ',')) {
+        config.band_relation_counts.push_back(std::atoi(n.c_str()));
+      }
+    } else if (ParseFlag(arg, "--band-topologies", &value)) {
+      config.band_topologies.clear();
+      for (const std::string& name : hfq::Split(value, ',')) {
+        auto topology = hfq::ParseJoinTopology(name);
+        if (!topology.ok()) {
+          std::fprintf(stderr, "%s\n", topology.status().ToString().c_str());
+          return 2;
+        }
+        config.band_topologies.push_back(*topology);
+      }
     } else if (ParseFlag(arg, "--teacher", &value)) {
       config.teacher_iterations = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "--plan-repeats", &value)) {
@@ -126,6 +153,13 @@ int main(int argc, char** argv) {
               config.topologies.size(), config.relation_counts.size(),
               config.data_profiles.size(), config.predicate_mixes.size(),
               config.queries_per_cell, config.num_workers);
+  if (!config.band_topologies.empty()) {
+    std::printf("large-join band: %zu topologies x %zu sizes "
+                "(DP baseline capped at %d relations; band cells scored "
+                "against GEQO)\n",
+                config.band_topologies.size(),
+                config.band_relation_counts.size(), config.dp_max_relations);
+  }
 
   hfq::ScenarioEvaluator evaluator(config);
   auto report = evaluator.Run();
@@ -144,7 +178,8 @@ int main(int argc, char** argv) {
                 cell.learned.latency_regret.mean, cell.geqo.cost_regret.mean,
                 cell.learned.win_rate_latency);
   }
-  std::printf("---\naggregate over %d queries:\n", report->agg_dp.num_queries);
+  std::printf("---\naggregate over %d queries (%d with a DP baseline):\n",
+              report->agg_learned.num_queries, report->agg_dp.num_queries);
   std::printf("  learned [%s]: cost regret mean %.4f p95 %.4f | latency "
               "regret mean %.4f p95 %.4f | latency win rate vs DP %.2f\n",
               hfq::SearchConfigName(config.search_modes[0]).c_str(),

@@ -7,7 +7,9 @@
 #
 # --eval runs only the `eval` label: the reduced scenario-matrix smoke run
 # (example_hfq_eval --reduced), writing BENCH_eval_smoke.json in the build
-# directory — the same job CI's eval-smoke runs and archives — and then
+# directory, plus the large-join band smoke (chain-16 cell scored against
+# GEQO, BENCH_eval_band_smoke.json) — the same jobs CI's eval-smoke runs
+# and archives — and then
 # diffs the fresh report's aggregate cost regret against the committed
 # BENCH_eval_smoke.json reference (scripts/diff_eval_regret.py), failing
 # on mean/p95 increases beyond a small tolerance, not just the golden
@@ -16,9 +18,11 @@
 # comparable across machines.
 #
 # --bench-smoke additionally executes the batched-search-core benchmarks
-# (BM_PlanSearch + BM_FrontierForward) for a fraction of a second each,
-# mirroring CI's bench-smoke step: it proves the bench targets still run,
-# not just compile. Numbers are printed, not gated.
+# (BM_PlanSearch + BM_FrontierForward) and the DP plan-generator scaling
+# sweep (BM_DpEnumerate: chain/star/clique x 8/12/16/20 relations; the
+# n=12 cells walk the full historic subset space and take a few seconds
+# each by design), mirroring CI's bench-smoke step: it proves the bench
+# targets still run, not just compile. Numbers are printed, not gated.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -88,6 +92,6 @@ if [[ "$bench_smoke" == ON ]]; then
   # Mirrors CI's bench-smoke step (local builds keep HFQ_BUILD_BENCH on
   # in every configuration, so the binary is always here).
   ./bench/bench_micro_benchmarks \
-    --benchmark_filter='BM_PlanSearch|BM_FrontierForward' \
+    --benchmark_filter='BM_PlanSearch|BM_FrontierForward|BM_DpEnumerate' \
     --benchmark_min_time=0.01
 fi

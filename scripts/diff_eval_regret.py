@@ -7,16 +7,25 @@ Usage: diff_eval_regret.py REFERENCE.json FRESH.json [--rel-tol R] [--abs-tol A]
 
 Compares the `aggregate` section planner by planner (learned, geqo, and any
 "learned:<search-mode>" entries; `dp` is pinned to exactly zero separately).
-For each planner present in the REFERENCE, the FRESH report must satisfy
+For each planner present in BOTH reports, the FRESH report must satisfy
 
     fresh <= reference * (1 + rel_tol) + abs_tol
 
 for both the mean and the p95 cost regret. Regret *decreases* always pass —
 the gate only stops regressions, so the committed reference can be
 regenerated (ratcheted down) whenever a PR legitimately improves planning.
-A planner present in the reference but missing from the fresh report fails
-(lost coverage); planners only in the fresh report are ignored (new search
-modes may land before the reference is regenerated).
+
+Cells are compared too (matched by "key", mean cost regret only — per-cell
+p95 over a handful of queries is noise): planners present in a cell on
+both sides are gated with the same tolerances.
+
+Anything present on only one side — a planner, a cell, or a planner within
+a matched cell — is reported informationally and never fails the gate:
+reports straddling a schema change legitimately disagree on coverage (the
+DP-infeasible band adds cells whose "dp" section does not exist, and
+reduced matrices lack the band entirely). To insist a planner keeps
+existing in fresh reports, give it a --ceiling: a ceiling planner missing
+from the fresh report IS a failure.
 
 `--ceiling PLANNER=VALUE` (repeatable) additionally pins the FRESH
 planner's aggregate mean cost regret below an absolute VALUE, independent
@@ -81,16 +90,19 @@ def main():
             print(f"error: bad --ceiling '{spec}': {e}", file=sys.stderr)
             sys.exit(2)
 
-    ref = load(args.reference)["aggregate"]
-    fresh = load(args.fresh)["aggregate"]
+    ref_report = load(args.reference)
+    fresh_report = load(args.fresh)
+    ref = ref_report["aggregate"]
+    fresh = fresh_report["aggregate"]
 
     failures = []
+    skipped = []
     print(f"{'planner':<22} {'metric':<6} {'reference':>12} {'fresh':>12}")
     for planner in ref:
         if planner == "dp":
             continue  # DP regret is exactly zero; eval_test pins it.
         if planner not in fresh:
-            failures.append(f"planner '{planner}' missing from fresh report")
+            skipped.append(f"aggregate planner '{planner}' only in reference")
             continue
         for field in ("mean", "p95"):
             r = cost_regret(ref, planner, field)
@@ -102,6 +114,35 @@ def main():
                 failures.append(
                     f"{planner} cost-regret {field}: {f:.4f} > "
                     f"{r:.4f} * (1 + {args.rel_tol}) + {args.abs_tol}")
+
+    # Per-cell gate: cells matched by key; one-sided cells and one-sided
+    # per-cell planners are coverage notes, not failures.
+    ref_cells = {c["key"]: c["planners"] for c in ref_report.get("cells", [])}
+    fresh_cells = {c["key"]: c["planners"]
+                   for c in fresh_report.get("cells", [])}
+    for key in ref_cells:
+        if key not in fresh_cells:
+            skipped.append(f"cell '{key}' only in reference")
+            continue
+        for planner in ref_cells[key]:
+            if planner == "dp":
+                continue
+            if planner not in fresh_cells[key]:
+                skipped.append(f"cell '{key}' planner '{planner}' only in "
+                               f"reference")
+                continue
+            r = cost_regret(ref_cells[key], planner, "mean")
+            f = cost_regret(fresh_cells[key], planner, "mean")
+            bound = r * (1.0 + args.rel_tol) + args.abs_tol
+            if f > bound:
+                print(f"{key + ':' + planner:<29} {r:>12.4f} {f:>12.4f}"
+                      f"  REGRESSION")
+                failures.append(
+                    f"cell '{key}' {planner} mean cost-regret: {f:.4f} > "
+                    f"{r:.4f} * (1 + {args.rel_tol}) + {args.abs_tol}")
+    for key in fresh_cells:
+        if key not in ref_cells:
+            skipped.append(f"cell '{key}' only in fresh")
 
     for planner, ceiling in sorted(ceilings.items()):
         if planner not in fresh:
@@ -116,6 +157,11 @@ def main():
             failures.append(
                 f"{planner} mean cost-regret {f:.4f} exceeds the absolute "
                 f"ceiling {ceiling:.4f}")
+
+    if skipped:
+        print("\none-sided coverage (informational, not gated):")
+        for note in skipped:
+            print(f"  ~ {note}")
 
     if failures:
         print("\nregret trajectory gate FAILED:", file=sys.stderr)

@@ -70,6 +70,9 @@ Status HandsFreeOptimizer::Train(const std::vector<Query>& workload) {
   if (workload.empty()) {
     return Status::InvalidArgument("training workload is empty");
   }
+  // An over-capacity query would otherwise only surface as a featurizer
+  // crash deep inside a rollout worker.
+  HFQ_RETURN_IF_ERROR(CheckWorkloadCapacity(workload));
   switch (config_.strategy) {
     case TrainingStrategy::kLearningFromDemonstration: {
       HFQ_ASSIGN_OR_RETURN(int collected,
@@ -119,11 +122,7 @@ Status HandsFreeOptimizer::RefineWithTeacher(const std::vector<Query>& workload,
   if (workload.empty()) {
     return Status::InvalidArgument("teacher workload is empty");
   }
-  for (const Query& query : workload) {
-    if (query.num_relations() > config_.max_relations) {
-      return Status::InvalidArgument("query exceeds configured max_relations");
-    }
-  }
+  HFQ_RETURN_IF_ERROR(CheckWorkloadCapacity(workload));
   if (teacher_pool_ == nullptr) {
     teacher_pool_ = std::make_unique<ExperiencePool>();
   }
@@ -192,8 +191,13 @@ Status HandsFreeOptimizer::CheckReadyToPlan(const Query& query) const {
   if (!trained_) {
     return Status::FailedPrecondition("Train() before planning");
   }
-  if (query.num_relations() > config_.max_relations) {
-    return Status::InvalidArgument("query exceeds configured max_relations");
+  return featurizer_->CheckCapacity(query);
+}
+
+Status HandsFreeOptimizer::CheckWorkloadCapacity(
+    const std::vector<Query>& workload) const {
+  for (const Query& query : workload) {
+    HFQ_RETURN_IF_ERROR(featurizer_->CheckCapacity(query));
   }
   return Status::OK();
 }
@@ -307,11 +311,7 @@ Result<std::vector<PlanNodePtr>> HandsFreeOptimizer::OptimizeWorkload(
   if (!trained_) {
     return Status::FailedPrecondition("Train() before OptimizeWorkload()");
   }
-  for (const Query& query : workload) {
-    if (query.num_relations() > config_.max_relations) {
-      return Status::InvalidArgument("query exceeds configured max_relations");
-    }
-  }
+  HFQ_RETURN_IF_ERROR(CheckWorkloadCapacity(workload));
   const int num_workers = std::max(1, config_.num_rollout_workers);
   std::vector<FullPipelineEnv*> envs = PrepareWorkerEnvs(num_workers);
 
@@ -439,7 +439,8 @@ HandsFreeOptimizer::EvaluateLearnedOnEnv(FullPipelineEnv* env,
 
 Result<HandsFreeOptimizer::QueryEvaluation> HandsFreeOptimizer::EvaluateOnEnv(
     FullPipelineEnv* env, const Query& query, MlpWorkspace* ws,
-    const SearchConfig& search, int plan_repeats, SearchScratch* scratch) {
+    const SearchConfig& search, int plan_repeats, SearchScratch* scratch,
+    bool with_dp) {
   QueryEvaluation eval;
 
   HFQ_ASSIGN_OR_RETURN(
@@ -450,16 +451,26 @@ Result<HandsFreeOptimizer::QueryEvaluation> HandsFreeOptimizer::EvaluateOnEnv(
   eval.learned_latency_ms = learned.latency_ms;
 
   Stopwatch watch;
-  HFQ_ASSIGN_OR_RETURN(PlanNodePtr dp, dp_baseline_->Optimize(query));
-  eval.dp_planning_ms = watch.ElapsedMillis();
-  eval.dp_cost = dp->est_cost;
-  eval.dp_latency_ms = engine_->latency().SimulateMs(query, *dp);
+  if (with_dp) {
+    HFQ_ASSIGN_OR_RETURN(PlanNodePtr dp, dp_baseline_->Optimize(query));
+    eval.dp_planning_ms = watch.ElapsedMillis();
+    eval.dp_cost = dp->est_cost;
+    eval.dp_latency_ms = engine_->latency().SimulateMs(query, *dp);
+  }
+  eval.dp_ran = with_dp;
 
   watch.Reset();
   HFQ_ASSIGN_OR_RETURN(PlanNodePtr geqo, geqo_baseline_->Optimize(query));
   eval.geqo_planning_ms = watch.ElapsedMillis();
   eval.geqo_cost = geqo->est_cost;
   eval.geqo_latency_ms = engine_->latency().SimulateMs(query, *geqo);
+
+  // Baseline tier: DP when it ran, else GEQO. Copies (not recomputations)
+  // of the chosen planner's doubles, so regrets against the baseline are
+  // bit-identical to the historic regrets-against-DP wherever DP ran.
+  eval.baseline_cost = with_dp ? eval.dp_cost : eval.geqo_cost;
+  eval.baseline_latency_ms =
+      with_dp ? eval.dp_latency_ms : eval.geqo_latency_ms;
   return eval;
 }
 
@@ -468,11 +479,7 @@ HandsFreeOptimizer::EvaluateWorkload(const std::vector<Query>& workload) {
   if (!trained_) {
     return Status::FailedPrecondition("Train() before EvaluateWorkload()");
   }
-  for (const Query& query : workload) {
-    if (query.num_relations() > config_.max_relations) {
-      return Status::InvalidArgument("query exceeds configured max_relations");
-    }
-  }
+  HFQ_RETURN_IF_ERROR(CheckWorkloadCapacity(workload));
   const int num_workers = std::max(1, config_.num_rollout_workers);
   std::vector<FullPipelineEnv*> envs = PrepareWorkerEnvs(num_workers);
 

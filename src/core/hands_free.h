@@ -147,13 +147,27 @@ class HandsFreeOptimizer {
     double geqo_cost = 0.0;
     double geqo_latency_ms = 0.0;
     double geqo_planning_ms = 0.0;
+    /// False when the caller skipped the exhaustive-DP baseline (the eval
+    /// harness does so above EvalConfig::dp_max_relations); the dp_*
+    /// fields are then zero and must not be read.
+    bool dp_ran = true;
+    /// The baseline tier regrets are computed against: DP when it ran
+    /// (cost-optimal by construction), otherwise GEQO — the traditional
+    /// optimizer's actual behavior beyond exhaustive reach, mirroring
+    /// PostgreSQL's geqo_threshold tiering.
+    double baseline_cost = 0.0;
+    double baseline_latency_ms = 0.0;
   };
 
   /// Evaluates every workload query against the learned policy and both
   /// traditional baselines, fanning out over config.num_rollout_workers.
   /// Results are in workload order and identical for any worker count.
-  /// Note the DP baseline is exhaustive regardless of geqo_threshold, so
-  /// very large queries (> ~14 relations) pay exponential planning time.
+  /// Note the DP baseline enumerates exhaustively regardless of
+  /// geqo_threshold; a join graph whose subproblem count exceeds the
+  /// enumeration budget (OptimizerOptions::dp_max_subproblems) makes the
+  /// dp_* columns fall back to genetic search inside Optimize. Callers
+  /// that need an explicit tiering decision (the eval harness) skip DP by
+  /// relation count instead via EvaluateOnEnv's with_dp.
   Result<std::vector<QueryEvaluation>> EvaluateWorkload(
       const std::vector<Query>& workload);
 
@@ -173,11 +187,15 @@ class HandsFreeOptimizer {
   /// timed plans and reports the median — the plan itself is identical
   /// every repeat (deterministic search), only the timing changes.
   /// `scratch` (optional) is caller-owned reusable search memory.
+  /// `with_dp` = false skips the exhaustive-DP baseline (for queries where
+  /// it is infeasible): the row's dp_ran flips off and the baseline_*
+  /// fields fall back from DP to GEQO.
   Result<QueryEvaluation> EvaluateOnEnv(FullPipelineEnv* env,
                                         const Query& query, MlpWorkspace* ws,
                                         const SearchConfig& search,
                                         int plan_repeats = 1,
-                                        SearchScratch* scratch = nullptr);
+                                        SearchScratch* scratch = nullptr,
+                                        bool with_dp = true);
 
   /// The learned planner's side of EvaluateOnEnv only — what the
   /// scenario-matrix harness calls per extra search mode, so the DP/GEQO
@@ -240,6 +258,12 @@ class HandsFreeOptimizer {
 
   /// Shared validation for the planning entry points.
   Status CheckReadyToPlan(const Query& query) const;
+
+  /// Validates every query against the featurizer's configured capacity
+  /// (RejoinFeaturizer::CheckCapacity), so oversized workload queries
+  /// surface as a descriptive InvalidArgument at the facade boundary
+  /// instead of a featurizer crash inside a rollout worker.
+  Status CheckWorkloadCapacity(const std::vector<Query>& workload) const;
 
   /// Lazily grows the cached worker-env pool to serve `num_workers`,
   /// refreshes the clones to the primary env's stage set, spins up the

@@ -19,8 +19,14 @@ Result<ScenarioEvaluator::ProfileContext> ScenarioEvaluator::BuildProfile(
   options.data_gen.skew_scale = profile.skew_scale;
   HFQ_ASSIGN_OR_RETURN(ctx.engine, Engine::CreateImdbLike(options));
 
-  const int max_relations = *std::max_element(
-      config_.relation_counts.begin(), config_.relation_counts.end());
+  // Capacity sizing spans every tier: the featurizer's fixed-size encoding
+  // must admit the band's large-join queries too, or planning them would
+  // be rejected at the facade boundary.
+  int max_relations = *std::max_element(config_.relation_counts.begin(),
+                                        config_.relation_counts.end());
+  for (int n : config_.band_relation_counts) {
+    max_relations = std::max(max_relations, n);
+  }
   HandsFreeConfig facade_config;
   facade_config.strategy = config_.strategy;
   facade_config.max_relations = max_relations;
@@ -56,14 +62,27 @@ Result<ScenarioEvaluator::ProfileContext> ScenarioEvaluator::BuildProfile(
                                 config_.seed ^ 0x7EAC4E5ull,
                                 config_.predicate_mixes[0].shape,
                                 &ctx.engine->db());
+    // One teacher query per (topology, relation count) of the regular
+    // matrix AND the band, so search discovers large-join plans the
+    // JOB-like suite's episode mix underrepresents.
+    auto add_teacher_shape = [&](JoinTopology topology,
+                                 int n) -> Status {
+      HFQ_ASSIGN_OR_RETURN(
+          Query query,
+          teach_gen.GenerateTopologyQuery(
+              topology, n,
+              StrFormat("teach_%s_r%d", JoinTopologyName(topology), n)));
+      teacher_workload.push_back(std::move(query));
+      return Status::OK();
+    };
     for (JoinTopology topology : config_.topologies) {
       for (int n : config_.relation_counts) {
-        HFQ_ASSIGN_OR_RETURN(
-            Query query,
-            teach_gen.GenerateTopologyQuery(
-                topology, n,
-                StrFormat("teach_%s_r%d", JoinTopologyName(topology), n)));
-        teacher_workload.push_back(std::move(query));
+        HFQ_RETURN_IF_ERROR(add_teacher_shape(topology, n));
+      }
+    }
+    for (JoinTopology topology : config_.band_topologies) {
+      for (int n : config_.band_relation_counts) {
+        HFQ_RETURN_IF_ERROR(add_teacher_shape(topology, n));
       }
     }
     TeacherConfig teacher;
@@ -118,8 +137,12 @@ Result<EvalReport> ScenarioEvaluator::Run() {
               .shape,
           &ctx.engine->db());
       const size_t num_modes = config_.search_modes.size();
+      // Baseline tiering: exhaustive DP only where it is feasible; the
+      // large-join tier is scored against GEQO (see QueryEvaluation).
+      const bool with_dp = cell.num_relations <= config_.dp_max_relations;
       CellResult result;
       result.cell = cell;
+      result.has_dp = with_dp;
       result.more_rows.resize(num_modes - 1);
       for (int qi = 0; qi < config_.queries_per_cell; ++qi) {
         // Names are unique per (engine, cell, query): the oracle and
@@ -135,7 +158,8 @@ Result<EvalReport> ScenarioEvaluator::Run() {
         }
         auto row = ctx.facade->EvaluateOnEnv(env, *query, &ws,
                                              config_.search_modes[0],
-                                             config_.plan_repeats, &scratch);
+                                             config_.plan_repeats, &scratch,
+                                             with_dp);
         if (!row.ok()) {
           errors[ci] = row.status();
           return;
@@ -160,7 +184,9 @@ Result<EvalReport> ScenarioEvaluator::Run() {
         result.rows.push_back(*row);
       }
       result.learned = ComputePlannerStats(result.rows, Planner::kLearned);
-      result.dp = ComputePlannerStats(result.rows, Planner::kDp);
+      if (with_dp) {
+        result.dp = ComputePlannerStats(result.rows, Planner::kDp);
+      }
       result.geqo = ComputePlannerStats(result.rows, Planner::kGeqo);
       for (const auto& mode_rows : result.more_rows) {
         result.more_search.push_back(
@@ -174,12 +200,18 @@ Result<EvalReport> ScenarioEvaluator::Run() {
   }
 
   // Aggregates over every row, in cell order (worker-count independent).
-  std::vector<HandsFreeOptimizer::QueryEvaluation> all_rows;
+  // The DP aggregate covers only the rows where DP actually ran — its
+  // num_queries tells a reader how many; learned/GEQO aggregates span
+  // both tiers (each row's regret is against its own baseline).
+  std::vector<HandsFreeOptimizer::QueryEvaluation> all_rows, dp_rows;
   for (const CellResult& cell : report.cells) {
     all_rows.insert(all_rows.end(), cell.rows.begin(), cell.rows.end());
+    if (cell.has_dp) {
+      dp_rows.insert(dp_rows.end(), cell.rows.begin(), cell.rows.end());
+    }
   }
   report.agg_learned = ComputePlannerStats(all_rows, Planner::kLearned);
-  report.agg_dp = ComputePlannerStats(all_rows, Planner::kDp);
+  report.agg_dp = ComputePlannerStats(dp_rows, Planner::kDp);
   report.agg_geqo = ComputePlannerStats(all_rows, Planner::kGeqo);
   for (size_t m = 1; m < config_.search_modes.size(); ++m) {
     std::vector<HandsFreeOptimizer::QueryEvaluation> mode_rows;

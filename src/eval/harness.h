@@ -2,8 +2,11 @@
 // self-trained HandsFreeOptimizer per data profile, then sweeps every
 // matrix cell (topology x relation count x data x predicate mix), running
 // each generated query through the learned policy, exhaustive DP, and
-// GEQO, and summarizing cost- and latency-regret vs DP per cell and in
-// aggregate.
+// GEQO, and summarizing cost- and latency-regret per cell and in
+// aggregate. Baselines are tiered: cells within EvalConfig::
+// dp_max_relations are scored against exhaustive DP; the DP-infeasible
+// band (EvalConfig::band_*) skips DP and scores against GEQO — the
+// traditional optimizer's actual behavior at JOB scale.
 //
 // Determinism contract (matches the PR 3 rollout convention): training is
 // serial and seeded; every cell owns a WorkloadGenerator seeded from

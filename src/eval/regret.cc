@@ -76,10 +76,10 @@ PlannerStats ComputePlannerStats(
         planning = row.geqo_planning_ms;
         break;
     }
-    cost_regrets.push_back(Regret(cost, row.dp_cost));
-    latency_regrets.push_back(Regret(latency, row.dp_latency_ms));
-    if (cost <= row.dp_cost * (1.0 + kWinEps)) ++cost_wins;
-    if (latency <= row.dp_latency_ms * (1.0 + kWinEps)) ++latency_wins;
+    cost_regrets.push_back(Regret(cost, row.baseline_cost));
+    latency_regrets.push_back(Regret(latency, row.baseline_latency_ms));
+    if (cost <= row.baseline_cost * (1.0 + kWinEps)) ++cost_wins;
+    if (latency <= row.baseline_latency_ms * (1.0 + kWinEps)) ++latency_wins;
     planning_sum += planning;
   }
   stats.cost_regret = SummaryStats::Of(std::move(cost_regrets));

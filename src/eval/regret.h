@@ -1,9 +1,11 @@
-// Regret statistics against the DP-optimal baseline. "Regret" of a planner
-// on one query is metric(planner) / metric(DP) - 1, computed separately
-// for cost-model cost (where DP is optimal by construction, so regret is
-// >= 0 up to fp noise) and for simulated latency (where the learned
-// optimizer CAN go negative — the paper's central claim is exploiting the
-// cost model's systemic disagreement with reality).
+// Regret statistics against the row's baseline tier
+// (QueryEvaluation::baseline_*): exhaustive DP where it ran, GEQO on
+// DP-infeasible large-join rows. "Regret" of a planner on one query is
+// metric(planner) / metric(baseline) - 1, computed separately for
+// cost-model cost (where a DP baseline is optimal by construction, so
+// regret is >= 0 up to fp noise) and for simulated latency (where the
+// learned optimizer CAN go negative — the paper's central claim is
+// exploiting the cost model's systemic disagreement with reality).
 #ifndef HFQ_EVAL_REGRET_H_
 #define HFQ_EVAL_REGRET_H_
 
@@ -36,15 +38,15 @@ struct PlannerStats {
   int num_queries = 0;
   SummaryStats cost_regret;
   SummaryStats latency_regret;
-  /// Fraction of queries where the planner's metric is <= DP's (ties
-  /// win; DP's own win rates are exactly 1).
+  /// Fraction of queries where the planner's metric is <= the baseline's
+  /// (ties win; the baseline planner's own win rates are exactly 1).
   double win_rate_cost = 0.0;
   double win_rate_latency = 0.0;
   /// Wall-clock; excluded from deterministic reports.
   double mean_planning_ms = 0.0;
 };
 
-/// Summarizes `planner`'s regret vs the DP baseline over `rows`.
+/// Summarizes `planner`'s regret vs each row's baseline tier over `rows`.
 PlannerStats ComputePlannerStats(
     const std::vector<HandsFreeOptimizer::QueryEvaluation>& rows,
     Planner planner);

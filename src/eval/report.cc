@@ -57,10 +57,15 @@ void AppendPlanner(std::ostringstream* out, const char* key,
 std::string ReportToJson(const EvalReport& report, bool include_timings) {
   const EvalConfig& config = report.config;
   // The historic v1 layout is preserved bit-for-bit for a plain greedy
-  // sweep; search sections only appear (as v2) when there is a sweep.
+  // sweep; search sections only appear (as v2) when there is a sweep, and
+  // the baseline-tier fields (dp_max_relations, band axes, per-cell
+  // baseline lists) only when some cell actually skips DP (v3).
   const bool v1 = EvalConfigIsV1Compatible(config);
+  const bool v3 = EvalConfigHasLargeJoinTier(config);
   std::ostringstream out;
-  out << "{\"schema\":\"" << (v1 ? "hfq-eval-v1" : "hfq-eval-v2") << "\"";
+  out << "{\"schema\":\""
+      << (v3 ? "hfq-eval-v3" : (v1 ? "hfq-eval-v1" : "hfq-eval-v2"))
+      << "\"";
 
   out << ",\"config\":{\"seed\":" << config.seed
       << ",\"engine_scale\":" << Num(config.engine_scale)
@@ -88,7 +93,23 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
   for (size_t i = 0; i < config.relation_counts.size(); ++i) {
     out << (i ? "," : "") << config.relation_counts[i];
   }
-  out << "],\"data_profiles\":[";
+  out << "]";
+  if (v3) {
+    out << ",\"dp_max_relations\":" << config.dp_max_relations;
+    if (!config.band_topologies.empty()) {
+      out << ",\"band_topologies\":[";
+      for (size_t i = 0; i < config.band_topologies.size(); ++i) {
+        out << (i ? "," : "")
+            << Quoted(JoinTopologyName(config.band_topologies[i]));
+      }
+      out << "],\"band_relation_counts\":[";
+      for (size_t i = 0; i < config.band_relation_counts.size(); ++i) {
+        out << (i ? "," : "") << config.band_relation_counts[i];
+      }
+      out << "]";
+    }
+  }
+  out << ",\"data_profiles\":[";
   for (size_t i = 0; i < config.data_profiles.size(); ++i) {
     out << (i ? "," : "") << "{\"name\":" << Quoted(config.data_profiles[i].name)
         << ",\"skew_scale\":" << Num(config.data_profiles[i].skew_scale)
@@ -122,11 +143,19 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
         << ",\"predicates\":"
         << Quoted(config.predicate_mixes[static_cast<size_t>(
                                              cell.cell.predicate_mix)]
-                      .name)
-        << ",\"planners\":{";
+                      .name);
+    // v3 names each cell's baseline tier explicitly; DP-free cells carry
+    // no "dp" planner section at all.
+    if (v3) {
+      out << ",\"baselines\":"
+          << (cell.has_dp ? "[\"dp\",\"geqo\"]" : "[\"geqo\"]");
+    }
+    out << ",\"planners\":{";
     AppendPlanner(&out, "learned", cell.learned, include_timings);
-    out << ",";
-    AppendPlanner(&out, "dp", cell.dp, include_timings);
+    if (cell.has_dp) {
+      out << ",";
+      AppendPlanner(&out, "dp", cell.dp, include_timings);
+    }
     out << ",";
     AppendPlanner(&out, "geqo", cell.geqo, include_timings);
     for (size_t m = 0; m < cell.more_search.size(); ++m) {

@@ -21,6 +21,10 @@ struct CellResult {
   /// Raw per-query rows for search mode 0, in generation order.
   std::vector<HandsFreeOptimizer::QueryEvaluation> rows;
   PlannerStats learned;  ///< The learned planner under search mode 0.
+  /// Whether the exhaustive-DP baseline ran for this cell. False on the
+  /// DP-infeasible band, where `dp` is default-initialized and the cell
+  /// is scored against GEQO.
+  bool has_dp = true;
   PlannerStats dp;
   PlannerStats geqo;
   /// Learned-planner results under each *additional* search mode
@@ -55,7 +59,12 @@ struct EvalReport {
 /// echoed. Schema: a single default-greedy search sweep emits the
 /// historic "hfq-eval-v1" bytes exactly; any other sweep emits
 /// "hfq-eval-v2", which adds `config.search_modes` plus per-cell and
-/// aggregate "learned:<mode>" planner sections.
+/// aggregate "learned:<mode>" planner sections. A run with a large-join
+/// tier (some cell above dp_max_relations) emits "hfq-eval-v3", which
+/// additionally echoes dp_max_relations and the band axes in the config
+/// section, names each cell's baselines (`"baselines":["dp","geqo"]` or
+/// `["geqo"]`), omits the "dp" planner section from DP-free cells, and
+/// restricts the aggregate "dp" section to the rows where DP ran.
 std::string ReportToJson(const EvalReport& report, bool include_timings);
 
 /// ReportToJson to a file.

@@ -1,6 +1,7 @@
 #include "eval/scenario.h"
 
 #include <set>
+#include <utility>
 
 #include "util/rng.h"
 #include "util/string_util.h"
@@ -12,6 +13,12 @@ EvalConfig::EvalConfig() {
                 JoinTopology::kClique,    JoinTopology::kSnowflake,
                 JoinTopology::kCyclic,    JoinTopology::kDisconnected};
   relation_counts = {3, 5, 8};
+  // The DP-infeasible band: JOB-scale join graphs. Sparse shapes (chain,
+  // snowflake) the dominance-pruned enumerator could still plan exactly,
+  // plus the dense extreme (clique); all are scored against GEQO.
+  band_topologies = {JoinTopology::kChain, JoinTopology::kSnowflake,
+                     JoinTopology::kClique};
+  band_relation_counts = {16};
   data_profiles = {DataProfile{"uniform", 0.0}, DataProfile{"skewed", 1.5}};
 
   SearchConfig greedy;  // Mode 0: the paper's single-rollout inference.
@@ -43,6 +50,10 @@ EvalConfig::EvalConfig() {
 EvalConfig ReducedEvalConfig() {
   EvalConfig config;
   config.relation_counts = {3, 4};
+  // No band: the smoke matrix must keep emitting the historic v1 bytes
+  // that the golden gates and CI diff compare against.
+  config.band_topologies.clear();
+  config.band_relation_counts.clear();
   config.predicate_mixes.resize(1);
   config.queries_per_cell = 2;
   config.engine_scale = 0.03;
@@ -60,6 +71,40 @@ Status ValidateEvalConfig(const EvalConfig& config) {
     if (n < 2 || n > kMaxRelations) {
       return Status::InvalidArgument(
           StrFormat("relation count %d out of [2, %d]", n, kMaxRelations));
+    }
+  }
+  if (config.dp_max_relations < 2) {
+    return Status::InvalidArgument("dp_max_relations must be >= 2");
+  }
+  if (config.band_topologies.empty() != config.band_relation_counts.empty()) {
+    return Status::InvalidArgument(
+        "band_topologies and band_relation_counts must be both empty or "
+        "both non-empty");
+  }
+  for (int n : config.band_relation_counts) {
+    if (n < 2 || n > kMaxRelations) {
+      return Status::InvalidArgument(
+          StrFormat("band relation count %d out of [2, %d]", n,
+                    kMaxRelations));
+    }
+  }
+  // Band cells must not alias regular cells: the (topology, relations)
+  // coordinates have to stay unique or cell keys collide.
+  {
+    std::set<std::pair<int, int>> shapes;
+    for (JoinTopology t : config.topologies) {
+      for (int n : config.relation_counts) {
+        shapes.insert({static_cast<int>(t), n});
+      }
+    }
+    for (JoinTopology t : config.band_topologies) {
+      for (int n : config.band_relation_counts) {
+        if (!shapes.insert({static_cast<int>(t), n}).second) {
+          return Status::InvalidArgument(
+              StrFormat("band cell %s/r%d duplicates a matrix cell",
+                        JoinTopologyName(t), n));
+        }
+      }
     }
   }
   std::set<std::string> names;
@@ -112,9 +157,20 @@ Status ValidateEvalConfig(const EvalConfig& config) {
   return Status::OK();
 }
 
+bool EvalConfigHasLargeJoinTier(const EvalConfig& config) {
+  for (int n : config.relation_counts) {
+    if (n > config.dp_max_relations) return true;
+  }
+  for (int n : config.band_relation_counts) {
+    if (n > config.dp_max_relations) return true;
+  }
+  return !config.band_topologies.empty();
+}
+
 bool EvalConfigIsV1Compatible(const EvalConfig& config) {
   return config.search_modes.size() == 1 &&
-         IsDefaultGreedy(config.search_modes[0]);
+         IsDefaultGreedy(config.search_modes[0]) &&
+         !EvalConfigHasLargeJoinTier(config);
 }
 
 std::string ScenarioCell::Key(const EvalConfig& config) const {
@@ -128,24 +184,33 @@ std::string ScenarioCell::Key(const EvalConfig& config) const {
 std::vector<ScenarioCell> BuildScenarioCells(const EvalConfig& config) {
   std::vector<ScenarioCell> cells;
   int index = 0;
+  auto append = [&](JoinTopology topology, int n, bool band) {
+    for (size_t d = 0; d < config.data_profiles.size(); ++d) {
+      for (size_t p = 0; p < config.predicate_mixes.size(); ++p) {
+        ScenarioCell cell;
+        cell.index = index;
+        cell.topology = topology;
+        cell.num_relations = n;
+        cell.data_profile = static_cast<int>(d);
+        cell.predicate_mix = static_cast<int>(p);
+        cell.band = band;
+        // Per-cell derived seed, decorrelated via the shared splitmix64
+        // finalizer so adjacent cells never share an Rng stream prefix.
+        cell.seed =
+            MixSeed64(config.seed ^ (static_cast<uint64_t>(index) << 20));
+        cells.push_back(cell);
+        ++index;
+      }
+    }
+  };
   for (JoinTopology topology : config.topologies) {
     for (int n : config.relation_counts) {
-      for (size_t d = 0; d < config.data_profiles.size(); ++d) {
-        for (size_t p = 0; p < config.predicate_mixes.size(); ++p) {
-          ScenarioCell cell;
-          cell.index = index;
-          cell.topology = topology;
-          cell.num_relations = n;
-          cell.data_profile = static_cast<int>(d);
-          cell.predicate_mix = static_cast<int>(p);
-          // Per-cell derived seed, decorrelated via the shared splitmix64
-          // finalizer so adjacent cells never share an Rng stream prefix.
-          cell.seed =
-              MixSeed64(config.seed ^ (static_cast<uint64_t>(index) << 20));
-          cells.push_back(cell);
-          ++index;
-        }
-      }
+      append(topology, n, /*band=*/false);
+    }
+  }
+  for (JoinTopology topology : config.band_topologies) {
+    for (int n : config.band_relation_counts) {
+      append(topology, n, /*band=*/true);
     }
   }
   return cells;

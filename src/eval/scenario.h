@@ -41,6 +41,23 @@ struct EvalConfig {
   std::vector<int> relation_counts;
   std::vector<DataProfile> data_profiles;
   std::vector<PredicateMix> predicate_mixes;
+  /// Baseline tiering: the exhaustive-DP baseline runs only for queries
+  /// with at most this many relations. Cells above it are scored against
+  /// GEQO instead (QueryEvaluation::baseline_*), mirroring PostgreSQL's
+  /// geqo_threshold tiering — beyond exhaustive reach, the genetic planner
+  /// IS the traditional optimizer's behavior. Any cell above the ceiling
+  /// switches the report to the "hfq-eval-v3" schema, which names each
+  /// cell's baselines; configs where every cell fits keep their historic
+  /// v1/v2 bytes.
+  int dp_max_relations = 12;
+  /// The DP-infeasible band: extra large-join cells appended after the
+  /// regular matrix, crossed with the same data profiles and predicate
+  /// mixes. Both vectors must be empty or non-empty together. The default
+  /// band (chain/snowflake/clique x 16 relations on the IMDB-like catalog)
+  /// exercises JOB-scale join graphs the old exhaustive enumerator could
+  /// not plan; ReducedEvalConfig clears it.
+  std::vector<JoinTopology> band_topologies;
+  std::vector<int> band_relation_counts;
   /// Queries generated and evaluated per matrix cell.
   int queries_per_cell = 4;
   /// Master seed: drives training workloads, policy init, and every
@@ -94,8 +111,14 @@ EvalConfig ReducedEvalConfig();
 /// (including duplicate search-mode tags).
 Status ValidateEvalConfig(const EvalConfig& config);
 
+/// True when some cell of the matrix (regular or band) exceeds
+/// dp_max_relations, i.e. the run has a GEQO-baselined tier and the
+/// report must use the "hfq-eval-v3" schema.
+bool EvalConfigHasLargeJoinTier(const EvalConfig& config);
+
 /// True when the report this config produces keeps the pre-search
-/// "hfq-eval-v1" byte layout: a single default-greedy search mode.
+/// "hfq-eval-v1" byte layout: a single default-greedy search mode and no
+/// large-join tier.
 bool EvalConfigIsV1Compatible(const EvalConfig& config);
 
 /// One cell of the matrix.
@@ -105,6 +128,10 @@ struct ScenarioCell {
   int num_relations = 0;
   int data_profile = 0;   ///< Index into EvalConfig::data_profiles.
   int predicate_mix = 0;  ///< Index into EvalConfig::predicate_mixes.
+  /// True for cells from the band axes (appended after the regular
+  /// matrix). Whether DP runs is decided per cell by num_relations vs
+  /// dp_max_relations, not by this flag.
+  bool band = false;
   /// Seed of this cell's private WorkloadGenerator, derived from
   /// (EvalConfig::seed, index) — scheduling-independent.
   uint64_t seed = 0;
@@ -113,7 +140,10 @@ struct ScenarioCell {
   std::string Key(const EvalConfig& config) const;
 };
 
-/// The full cross product in deterministic (topology-major) order.
+/// The full cross product in deterministic (topology-major) order,
+/// followed by the band cells (band topologies x band relation counts x
+/// the same data/predicate axes). Indices and derived seeds continue
+/// across the boundary, so adding a band never reseeds the regular cells.
 std::vector<ScenarioCell> BuildScenarioCells(const EvalConfig& config);
 
 }  // namespace hfq

@@ -1,140 +1,30 @@
-// System-R style DPsize join enumeration: optimal w.r.t. the cost model
-// over bushy trees, avoiding cross products unless the join graph forces
-// them (PostgreSQL behaviour). Disconnected queries are planned per
-// connected component, then the component plans are cross-combined by an
-// exact DP over components — the same restricted plan space the learned
+// Exhaustive join enumeration, re-seated on the shared plan-generator core
+// (plan_gen.h): connected-subgraph DP with RDF-3X-style per-subproblem
+// plan lists and dominance pruning, optimal w.r.t. the cost model over
+// bushy trees, avoiding cross products unless the join graph forces them
+// (PostgreSQL behaviour). Disconnected queries are planned per connected
+// component, then the component plans are cross-combined by an exact DP
+// over components — the same restricted plan space the learned
 // environments and GEQO search (components finish internally before any
 // cross product), so DP stays the cost floor of the regret metrics.
-#include <bit>
-#include <cstdint>
-#include <map>
+// Queries whose join graphs exceed the subproblem budget yield
+// ResourceExhausted, and Optimize falls back to GEQO.
 #include <vector>
 
 #include "optimizer/optimizer.h"
+#include "optimizer/plan_gen.h"
 #include "util/check.h"
 
 namespace hfq {
-namespace {
-
-// Connected components of the query's join graph, in lowest-member order.
-std::vector<RelSet> JoinGraphComponents(const Query& query) {
-  std::vector<RelSet> components;
-  RelSet seen = 0;
-  for (int rel = 0; rel < query.num_relations(); ++rel) {
-    if (seen & RelSetOf(rel)) continue;
-    RelSet comp = RelSetOf(rel);
-    for (;;) {
-      RelSet next = comp | query.NeighborsOfSet(comp);
-      if (next == comp) break;
-      comp = next;
-    }
-    components.push_back(comp);
-    seen |= comp;
-  }
-  return components;
-}
-
-}  // namespace
 
 Result<PlanNodePtr> TraditionalOptimizer::EnumerateDp(const Query& query) {
-  const int n = query.num_relations();
-  HFQ_CHECK(n >= 2);
-  const RelSet all = RelSetAll(n);
-  const std::vector<RelSet> components = JoinGraphComponents(query);
-
-  // best[S] = cheapest annotated plan joining exactly S. Multi-component
-  // subsets are never materialized here: relations of different
-  // components can only ever meet through the component-combination DP
-  // below, exactly like the learned envs (cross products are forced only
-  // once every component is internally complete).
-  std::map<RelSet, PlanNodePtr> best;
-  for (int rel = 0; rel < n; ++rel) {
-    best[RelSetOf(rel)] = BestAccessPath(query, rel);
-  }
-
-  // Enumerate subsets in increasing popcount order. Iterating the mask
-  // value ascending guarantees every proper submask is visited before its
-  // superset, which is all DPsize needs.
-  for (RelSet s = 1; s <= all; ++s) {
-    if (RelSetCount(s) < 2) continue;
-    if (components.size() > 1) {
-      bool within_component = false;
-      for (RelSet comp : components) {
-        if ((s & ~comp) == 0) {
-          within_component = true;
-          break;
-        }
-      }
-      if (!within_component) continue;
-    }
-
-    auto consider = [&](RelSet s1, RelSet s2) {
-      auto it1 = best.find(s1);
-      auto it2 = best.find(s2);
-      if (it1 == best.end() || it2 == best.end()) return;
-      PlanNodePtr candidate = BestJoinEitherOrientation(
-          query, it1->second->Clone(), it2->second->Clone());
-      auto it = best.find(s);
-      if (it == best.end() || candidate->est_cost < it->second->est_cost) {
-        best[s] = std::move(candidate);
-      }
-    };
-
-    // First pass: only splits connected by at least one join predicate.
-    for (RelSet s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
-      RelSet s2 = s & ~s1;
-      if (s1 > s2) continue;  // Unordered pairs (orientation handled inside).
-      if (query.JoinPredsBetween(s1, s2).empty()) continue;
-      consider(s1, s2);
-    }
-    // Second pass (only if the subset admits no predicate-connected split):
-    // cross products, so within-component disconnected subsets still plan.
-    if (best.find(s) == best.end()) {
-      for (RelSet s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
-        RelSet s2 = s & ~s1;
-        if (s1 > s2) continue;
-        consider(s1, s2);
-      }
-    }
-  }
-
-  if (components.size() == 1) {
-    auto it = best.find(all);
-    if (it == best.end()) {
-      return Status::Internal("DP enumeration failed to cover all relations");
-    }
-    return std::move(it->second);
-  }
-
-  // Cross-combination DP over the component plans: every component's
-  // output cardinality is fixed by the cardinality model (it depends on
-  // the relation set, not the plan), so component-optimal subplans are
-  // globally optimal and only the cross-join shape remains to optimize.
-  const int k = static_cast<int>(components.size());
-  HFQ_CHECK(k <= 20);  // 2^k combination states; queries are far smaller.
-  std::vector<PlanNodePtr> comp_best(static_cast<size_t>(1) << k);
-  for (int c = 0; c < k; ++c) {
-    auto it = best.find(components[static_cast<size_t>(c)]);
-    if (it == best.end()) {
-      return Status::Internal("DP enumeration failed to cover a component");
-    }
-    comp_best[static_cast<size_t>(1) << c] = std::move(it->second);
-  }
-  const uint32_t full = (static_cast<uint32_t>(1) << k) - 1;
-  for (uint32_t m = 1; m <= full; ++m) {
-    if (std::popcount(m) < 2) continue;
-    PlanNodePtr& slot = comp_best[m];
-    for (uint32_t m1 = (m - 1) & m; m1 != 0; m1 = (m1 - 1) & m) {
-      uint32_t m2 = m & ~m1;
-      if (m1 > m2) continue;
-      PlanNodePtr candidate = BestJoinEitherOrientation(
-          query, comp_best[m1]->Clone(), comp_best[m2]->Clone());
-      if (slot == nullptr || candidate->est_cost < slot->est_cost) {
-        slot = std::move(candidate);
-      }
-    }
-  }
-  return std::move(comp_best[full]);
+  HFQ_CHECK(query.num_relations() >= 2);
+  PlanGenOptions gen_options;
+  gen_options.max_subproblems = options_.dp_max_subproblems;
+  gen_options.max_plans_per_subproblem = options_.dp_max_plans_per_subproblem;
+  gen_options.exhaustive_relations = options_.dp_exhaustive_relations;
+  PlanGenerator gen(this, query, gen_options);
+  return gen.FindCheapestJoinPlan();
 }
 
 Result<PlanNodePtr> TraditionalOptimizer::EnumerateGreedy(

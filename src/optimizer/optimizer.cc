@@ -237,7 +237,17 @@ Result<PlanNodePtr> TraditionalOptimizer::Optimize(const Query& query) {
   }
   PlanNodePtr joined;
   if (query.num_relations() <= options_.geqo_threshold) {
-    HFQ_ASSIGN_OR_RETURN(joined, EnumerateDp(query));
+    Result<PlanNodePtr> dp = EnumerateDp(query);
+    if (dp.ok()) {
+      joined = std::move(dp).value();
+    } else if (dp.status().code() == StatusCode::kResourceExhausted) {
+      // The join graph blew the DP subproblem budget (dense graph at a
+      // size the threshold admits): degrade gracefully to genetic search
+      // rather than failing the query.
+      HFQ_ASSIGN_OR_RETURN(joined, EnumerateGeqo(query));
+    } else {
+      return dp.status();
+    }
   } else {
     HFQ_ASSIGN_OR_RETURN(joined, EnumerateGeqo(query));
   }

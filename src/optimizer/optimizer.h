@@ -30,6 +30,20 @@ struct OptimizerOptions {
   /// Use exhaustive DP for queries with at most this many relations;
   /// genetic search (GEQO) beyond.
   int geqo_threshold = 12;
+  /// DP plan-generator budgets (plan_gen.h). A join graph inducing more
+  /// connected subproblems than `dp_max_subproblems` makes EnumerateDp
+  /// return ResourceExhausted and Optimize fall back to GEQO; sparse
+  /// graphs (chains/snowflakes) stay exact far past the old 3^n wall
+  /// (a 20-relation chain induces only 210 subproblems).
+  int64_t dp_max_subproblems = 20000;
+  /// Per-subproblem dominance-pruned plan-list budget; truncation is
+  /// deterministic and never evicts the cheapest plan.
+  int dp_max_plans_per_subproblem = 8;
+  /// Components up to this size search the historic exhaustive subset
+  /// space (clauseless-join cross products included — bit-identical plans
+  /// to the pre-plan_gen enumerator); larger components enumerate
+  /// connected subgraphs only. See PlanGenOptions::exhaustive_relations.
+  int dp_exhaustive_relations = 12;
   bool enable_indexscan = true;
   bool enable_hashjoin = true;
   bool enable_mergejoin = true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <string>
 
 #include "util/check.h"
 
@@ -36,11 +37,26 @@ int RejoinFeaturizer::FeatureDim() const {
   return 2 * n * n + 3 * n;
 }
 
+Status RejoinFeaturizer::CheckCapacity(const Query& query) const {
+  if (query.num_relations() <= max_relations_) return Status::OK();
+  return Status::InvalidArgument(
+      "query '" + query.name + "' has " +
+      std::to_string(query.num_relations()) +
+      " relations but the featurizer was sized for max_relations=" +
+      std::to_string(max_relations_) +
+      "; raise HandsFreeConfig::max_relations (or size the harness over "
+      "the workload's largest query)");
+}
+
 std::vector<double> RejoinFeaturizer::Featurize(
     const Query& query, const std::vector<const JoinTreeNode*>& subtrees,
     FeaturizeCache* cache) {
   const int n = max_relations_;
-  HFQ_CHECK(query.num_relations() <= n);
+  // Capacity is an entry-point contract (CheckCapacity), so an
+  // over-capacity query reaching this deep is a caller bug, not bad input.
+  HFQ_CHECK_MSG(query.num_relations() <= n,
+                "over-capacity query reached Featurize; entry points must "
+                "validate via RejoinFeaturizer::CheckCapacity first");
   std::vector<double> features(static_cast<size_t>(FeatureDim()), 0.0);
 
   // Block 1: tree structure (slot-major), depth-weighted membership.

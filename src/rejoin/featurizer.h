@@ -54,6 +54,14 @@ class RejoinFeaturizer {
   /// Dimensionality of Featurize output: 2*N^2 + 3*N.
   int FeatureDim() const;
 
+  /// OK when `query` fits this featurizer's fixed-size encoding, otherwise
+  /// InvalidArgument naming the query, its relation count, and the
+  /// configured capacity. Every entry point that accepts workload queries
+  /// must validate through this (or a caller that already did) before any
+  /// code path can reach Featurize; Featurize itself treats an
+  /// over-capacity query as a programming error.
+  Status CheckCapacity(const Query& query) const;
+
   /// Encodes the current state. `subtrees` are the episode's live subtrees
   /// in slot order; the query must have at most max_relations relations.
   /// `cache`, when provided, is consulted and maintained as described on

@@ -221,6 +221,11 @@ TEST(EvalReportTest, JsonShapeAndTimingsGate) {
   // byte-compatible with every pre-search consumer.
   EXPECT_NE(no_timings.find("\"schema\":\"hfq-eval-v1\""), std::string::npos);
   EXPECT_EQ(no_timings.find("search"), std::string::npos);
+  // Baseline-tier fields are conditional too: a band-free run within
+  // dp_max_relations keeps the historic bytes.
+  EXPECT_EQ(no_timings.find("band"), std::string::npos);
+  EXPECT_EQ(no_timings.find("dp_max_relations"), std::string::npos);
+  EXPECT_EQ(no_timings.find("baselines"), std::string::npos);
   EXPECT_NE(no_timings.find("\"cells\":["), std::string::npos);
   EXPECT_NE(no_timings.find("\"aggregate\":{"), std::string::npos);
   EXPECT_EQ(no_timings.find("\"timings\""), std::string::npos);
@@ -320,6 +325,93 @@ TEST(EvalSearchGatesTest, GreedyModeRowsIdenticalToGreedyOnlyRun) {
   }
 }
 
+// --- Large-join band gates (the DP-infeasible tier) --------------------
+
+TEST(EvalBandGatesTest, BandCellsRunWithoutDpAndScoreAgainstGeqo) {
+  // One regular cell plus one 13-relation chain band cell (just above the
+  // DP ceiling), single data profile, greedy only — small enough for a
+  // unit gate, large enough that the old exhaustive enumerator's 3^13
+  // subset walk would have been the bottleneck of this very test.
+  EvalConfig config = ReducedEvalConfig();
+  config.seed = 20260808;
+  config.include_timings = false;
+  config.search_modes = {SearchConfig()};
+  config.topologies = {JoinTopology::kChain};
+  config.relation_counts = {3};
+  config.data_profiles.resize(1);
+  config.band_topologies = {JoinTopology::kChain};
+  config.band_relation_counts = {13};
+  ASSERT_TRUE(ValidateEvalConfig(config).ok());
+  ASSERT_TRUE(EvalConfigHasLargeJoinTier(config));
+
+  ScenarioEvaluator evaluator(config);
+  auto report = evaluator.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->cells.size(), 2u);
+
+  const CellResult& regular = report->cells[0];
+  const CellResult& band = report->cells[1];
+  EXPECT_FALSE(regular.cell.band);
+  EXPECT_TRUE(regular.has_dp);
+  EXPECT_TRUE(band.cell.band);
+  EXPECT_FALSE(band.has_dp);
+  EXPECT_EQ(band.cell.Key(config), "chain/r13/uniform/lite");
+
+  for (const auto& row : regular.rows) {
+    EXPECT_TRUE(row.dp_ran);
+    EXPECT_EQ(row.baseline_cost, row.dp_cost);
+    EXPECT_EQ(row.baseline_latency_ms, row.dp_latency_ms);
+  }
+  for (const auto& row : band.rows) {
+    // DP skipped: GEQO is the baseline, and the learned planner still
+    // produced a real plan for a query DP never touched.
+    EXPECT_FALSE(row.dp_ran);
+    EXPECT_EQ(row.dp_cost, 0.0);
+    EXPECT_EQ(row.baseline_cost, row.geqo_cost);
+    EXPECT_EQ(row.baseline_latency_ms, row.geqo_latency_ms);
+    EXPECT_GT(row.geqo_cost, 0.0);
+    EXPECT_GT(row.learned_cost, 0.0);
+    EXPECT_TRUE(std::isfinite(row.learned_cost));
+  }
+  // GEQO against itself: exactly zero regret, win rate 1.
+  EXPECT_EQ(band.geqo.cost_regret.mean, 0.0);
+  EXPECT_EQ(band.geqo.cost_regret.max, 0.0);
+  EXPECT_EQ(band.geqo.win_rate_cost, 1.0);
+  ExpectSummaryFinite(band.learned.cost_regret);
+  ExpectSummaryFinite(band.learned.latency_regret);
+
+  // The DP aggregate covers only the DP-baselined tier.
+  EXPECT_EQ(report->agg_dp.num_queries,
+            static_cast<int>(regular.rows.size()));
+  EXPECT_EQ(report->agg_learned.num_queries,
+            static_cast<int>(regular.rows.size() + band.rows.size()));
+
+  // v3 schema: config echoes the tier knobs, the band cell names its
+  // baselines and carries no "dp" planner section.
+  const std::string json = ReportToJson(*report, false);
+  EXPECT_NE(json.find("\"schema\":\"hfq-eval-v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"dp_max_relations\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"band_topologies\":[\"chain\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"band_relation_counts\":[13]"), std::string::npos);
+  EXPECT_NE(json.find("\"baselines\":[\"dp\",\"geqo\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"baselines\":[\"geqo\"]"), std::string::npos);
+  const size_t band_cell_pos = json.find("\"key\":\"chain/r13");
+  const size_t aggregate_pos = json.find("\"aggregate\":");
+  ASSERT_NE(band_cell_pos, std::string::npos);
+  ASSERT_NE(aggregate_pos, std::string::npos);
+  const std::string band_cell_json =
+      json.substr(band_cell_pos, aggregate_pos - band_cell_pos);
+  EXPECT_EQ(band_cell_json.find("\"dp\":"), std::string::npos)
+      << "band cell must not carry a dp planner section";
+  EXPECT_NE(band_cell_json.find("\"geqo\":"), std::string::npos);
+
+  // Determinism holds across the band too.
+  ScenarioEvaluator again(config);
+  auto report2 = again.Run();
+  ASSERT_TRUE(report2.ok());
+  EXPECT_EQ(json, ReportToJson(*report2, false));
+}
+
 TEST(EvalConfigTest, ValidationRejectsBadConfigs) {
   EvalConfig config = TestConfig();
   config.relation_counts.clear();
@@ -338,6 +430,22 @@ TEST(EvalConfigTest, ValidationRejectsBadConfigs) {
   EXPECT_FALSE(ValidateEvalConfig(config).ok());
   config = TestConfig();
   config.num_workers = 0;
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  // Band axes must come in pairs, stay within [2, kMaxRelations], and not
+  // duplicate a regular (topology, relations) cell.
+  config = TestConfig();
+  config.band_topologies = {JoinTopology::kChain};
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.band_topologies = {JoinTopology::kChain};
+  config.band_relation_counts = {kMaxRelations + 1};
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.band_topologies = {JoinTopology::kChain};
+  config.band_relation_counts = {config.relation_counts[0]};
+  EXPECT_FALSE(ValidateEvalConfig(config).ok());
+  config = TestConfig();
+  config.dp_max_relations = 1;
   EXPECT_FALSE(ValidateEvalConfig(config).ok());
   EXPECT_TRUE(ValidateEvalConfig(TestConfig()).ok());
 }

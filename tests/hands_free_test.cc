@@ -146,7 +146,28 @@ TEST(HandsFreeTest, QueryLargerThanMaxRelationsIsRejected) {
       TinyConfig(TrainingStrategy::kCostModelBootstrapping));
   ASSERT_TRUE(optimizer.Train(TinyWorkload(3, 3, 903)).ok());
   auto plan = optimizer.Optimize(TinyWorkload(1, 6, 904)[0]);
-  EXPECT_FALSE(plan.ok());
+  ASSERT_FALSE(plan.ok());
+  // The capacity error names the query, its size, and the configured
+  // capacity — actionable, not just "rejected".
+  const std::string msg = plan.status().ToString();
+  EXPECT_NE(msg.find("hf_s904_q0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("6 relations"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("max_relations=5"), std::string::npos) << msg;
+}
+
+TEST(HandsFreeTest, TrainRejectsOversizedQueryInsteadOfCrashing) {
+  // Before capacity validation moved to the facade boundary, an oversized
+  // training query only surfaced as a featurizer HFQ_CHECK abort inside a
+  // rollout worker. It must be a clean InvalidArgument.
+  HandsFreeOptimizer optimizer(
+      &testing::SharedEngine(),
+      TinyConfig(TrainingStrategy::kCostModelBootstrapping));
+  std::vector<Query> workload = TinyWorkload(2, 3, 906);
+  workload.push_back(TinyWorkload(1, 6, 907)[0]);
+  Status status = optimizer.Train(workload);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("max_relations=5"), std::string::npos)
+      << status.ToString();
 }
 
 TEST(HandsFreeTest, SaveLoadRoundTripReproducesPlans) {
