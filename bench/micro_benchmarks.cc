@@ -4,11 +4,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "core/hands_free.h"
 #include "exec/executor.h"
 #include "nn/layer.h"
 #include "nn/mlp.h"
@@ -17,6 +22,7 @@
 #include "optimizer/plan_gen.h"
 #include "rejoin/featurizer.h"
 #include "rejoin/rejoin.h"
+#include "serve/plan_server.h"
 #include "sql/parser.h"
 
 namespace hfq {
@@ -511,6 +517,102 @@ void BM_PlanSearch(benchmark::State& state) {
   state.counters["plan_cost"] = found.cost;
 }
 BENCHMARK(BM_PlanSearch)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t n = sorted_in_place->size();
+  if (n == 0) return 0.0;
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(n - 1));
+  return (*sorted_in_place)[idx];
+}
+
+// Sustained serving throughput and tail latency of PlanServer: each bench
+// thread hammers Plan() on a fixed query mix under a finite per-request
+// budget. warm=0 disables the plan cache (every request is a real
+// budget-tiered search — the cold serving floor); warm=1 pre-warms the
+// cache so the loop measures the fingerprint-hit path. items/sec is
+// aggregate plans/sec (UseRealTime); p50_ms/p99_ms are per-request
+// service-time percentiles pooled across threads.
+void BM_PlanServer(benchmark::State& state) {
+  static HandsFreeOptimizer* optimizer = [] {
+    HandsFreeConfig config;
+    config.strategy = TrainingStrategy::kIncrementalHybrid;
+    config.max_relations = 8;
+    config.training_episodes = 16;
+    config.seed = 97;
+    config.incremental_pg.hidden_dims = {64};
+    auto* opt = new HandsFreeOptimizer(&BenchEngine(), config);
+    std::vector<Query> workload;
+    for (int i = 0; i < 4; ++i) workload.push_back(BenchQuery(5, 2100 + i));
+    HFQ_CHECK(opt->Train(workload).ok());
+    return opt;
+  }();
+  static std::vector<Query>* serving = [] {
+    auto* queries = new std::vector<Query>;
+    for (int i = 0; i < 6; ++i) {
+      queries->push_back(BenchQuery(4 + i % 3, 2200 + i));
+    }
+    return queries;
+  }();
+  static PlanServer* server = nullptr;
+  static std::mutex latency_mu;
+  static std::vector<double> latencies;
+  static std::atomic<int> threads_done{0};
+
+  constexpr double kBudgetMs = 1.0;
+  const bool warm = state.range(0) != 0;
+  // Thread 0 sets up before the start barrier releases any iteration.
+  if (state.thread_index() == 0) {
+    PlanServerConfig config;
+    config.num_workers = state.threads();
+    config.enable_cache = warm;
+    server = new PlanServer(optimizer, config);
+    HFQ_CHECK(server->PublishPolicy().ok());
+    if (warm) {
+      for (const Query& q : *serving) {
+        HFQ_CHECK(server->Plan(q, kBudgetMs).ok());
+      }
+    }
+    latencies.clear();
+    threads_done.store(0);
+  }
+
+  std::vector<double> local;
+  size_t next = static_cast<size_t>(state.thread_index());
+  for (auto _ : state) {
+    const Query& q = (*serving)[next++ % serving->size()];
+    auto response = server->Plan(q, kBudgetMs);
+    HFQ_CHECK(response.ok());
+    benchmark::DoNotOptimize(response->cost);
+    local.push_back(response->service_ms);
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  {
+    std::lock_guard<std::mutex> lock(latency_mu);
+    latencies.insert(latencies.end(), local.begin(), local.end());
+  }
+  threads_done.fetch_add(1);
+  if (state.thread_index() == 0) {
+    while (threads_done.load() != state.threads()) {
+      std::this_thread::yield();
+    }
+    state.counters["p50_ms"] = Percentile(&latencies, 0.50);
+    state.counters["p99_ms"] = Percentile(&latencies, 0.99);
+    state.counters["cache_hits"] =
+        static_cast<double>(server->stats().cache_hits);
+    delete server;
+    server = nullptr;
+  }
+}
+BENCHMARK(BM_PlanServer)
+    ->ArgNames({"warm"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Threads(1)
+    ->Threads(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace hfq

@@ -13,6 +13,9 @@
 //                    [--dp-max-relations=N] [--band-topologies=T[,T...]]
 //                    [--band-relations=N[,N...]] [--no-band]
 //                    [--reduced] [--no-timings]
+//   example_hfq_eval --serve-stress [--serve-threads=N] [--serve-seconds=F]
+//                    [--serve-budget-ms=F] [--scale=F] [--seed=N]
+//                    [--episodes=N]
 //
 // --reduced runs the small smoke matrix (the ctest `eval` label / CI
 // eval-smoke job use it); --no-timings drops wall-clock fields so the
@@ -32,13 +35,33 @@
 // large-join band appended after the regular matrix (default
 // chain,snowflake,clique x 16); --no-band drops it, restoring the
 // pre-band matrix and report bytes.
+//
+// --serve-stress runs the serving stress harness instead of the matrix:
+// trains a small optimizer, stands up a PlanServer, and hammers Plan()
+// from --serve-threads threads for --serve-seconds while a background
+// thread keeps retraining and swapping policy generations. Prints
+// sustained plans/sec, p50/p99 service latency, and the cache hit rate
+// (CI's serve-smoke step and `scripts/check.sh --serve-smoke` run it
+// briefly).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/engine.h"
+#include "util/check.h"
+#include "core/hands_free.h"
 #include "eval/harness.h"
+#include "serve/plan_server.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -49,9 +72,211 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
   return true;
 }
 
+struct ServeStressConfig {
+  int threads = 4;
+  double seconds = 2.0;
+  double budget_ms = 1.0;
+  double engine_scale = 0.05;
+  uint64_t seed = 19;
+  int training_episodes = 16;
+};
+
+double Percentile(std::vector<double>* sorted_in_place, double p) {
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  if (sorted_in_place->empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(sorted_in_place->size() - 1));
+  return (*sorted_in_place)[idx];
+}
+
+int RunServeStress(const ServeStressConfig& config) {
+  hfq::EngineOptions engine_options;
+  engine_options.imdb.scale = config.engine_scale;
+  auto engine = hfq::Engine::CreateImdbLike(engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  hfq::HandsFreeConfig opt_config;
+  opt_config.strategy = hfq::TrainingStrategy::kIncrementalHybrid;
+  opt_config.max_relations = 8;
+  opt_config.training_episodes = config.training_episodes;
+  opt_config.seed = config.seed;
+  opt_config.incremental_pg.hidden_dims = {64};
+  hfq::HandsFreeOptimizer optimizer(engine->get(), opt_config);
+
+  hfq::WorkloadGenerator generator(&(*engine)->catalog(), config.seed);
+  auto make_workload = [&generator](int count, int relations,
+                                    const std::string& tag) {
+    std::vector<hfq::Query> workload;
+    for (int i = 0; i < count; ++i) {
+      auto q = generator.GenerateQuery(
+          relations, "stress_" + tag + std::to_string(i));
+      HFQ_CHECK(q.ok());
+      workload.push_back(std::move(*q));
+    }
+    return workload;
+  };
+  std::vector<hfq::Query> training = make_workload(4, 5, "train");
+  std::vector<hfq::Query> serving = make_workload(4, 4, "serve4_");
+  for (hfq::Query& q : make_workload(4, 6, "serve6_")) {
+    serving.push_back(std::move(q));
+  }
+  std::vector<hfq::Query> refine_on = make_workload(2, 4, "refine");
+
+  std::printf("serve-stress: training (%d episodes, scale %.2f)...\n",
+              config.training_episodes, config.engine_scale);
+  hfq::Status trained = optimizer.Train(training);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train: %s\n", trained.ToString().c_str());
+    return 1;
+  }
+
+  hfq::PlanServerConfig server_config;
+  server_config.num_workers = config.threads;
+  hfq::PlanServer server(&optimizer, server_config);
+  if (!server.PublishPolicy().ok() ||
+      !server.CalibrateEffort(serving).ok()) {
+    std::fprintf(stderr, "server bring-up failed\n");
+    return 1;
+  }
+  std::printf("effort model: %s\n", server.effort().DebugString().c_str());
+
+  std::atomic<bool> stop{false};
+  std::mutex latency_mu;
+  std::vector<double> latencies;
+  std::atomic<uint64_t> errors{0};
+
+  auto serve_loop = [&](int thread_id) {
+    std::vector<double> local;
+    uint64_t i = static_cast<uint64_t>(thread_id);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const hfq::Query& q = serving[i % serving.size()];
+      // Alternate unlimited and budgeted requests so both the rich tiers
+      // and the budget-adaptive path stay hot.
+      const double budget = (i % 2 == 0) ? 0.0 : config.budget_ms;
+      auto response = server.Plan(q, budget);
+      if (!response.ok()) {
+        errors.fetch_add(1);
+      } else {
+        local.push_back(response->service_ms);
+      }
+      ++i;
+    }
+    std::lock_guard<std::mutex> lock(latency_mu);
+    latencies.insert(latencies.end(), local.begin(), local.end());
+  };
+  auto swap_loop = [&] {
+    hfq::TeacherConfig teacher;
+    teacher.iterations = 1;
+    teacher.learn_passes = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      hfq::Status status =
+          server.ApplyUpdate([&](hfq::HandsFreeOptimizer* live) {
+            return live->RefineWithTeacher(refine_on, teacher);
+          });
+      if (!status.ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  };
+
+  std::printf("serving: %d threads x %.1fs, budget %.2fms, background "
+              "policy swaps every 200ms\n",
+              config.threads, config.seconds, config.budget_ms);
+  hfq::Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < config.threads; ++t) {
+    threads.emplace_back(serve_loop, t);
+  }
+  std::thread swapper(swap_loop);
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<int>(config.seconds * 1000)));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  swapper.join();
+  const double elapsed_s = wall.ElapsedSeconds();
+
+  const hfq::PlanServerStats stats = server.stats();
+  const hfq::ShardedCacheStats cache = server.cache_stats();
+  const double hit_rate =
+      stats.requests > 0
+          ? static_cast<double>(stats.cache_hits) /
+                static_cast<double>(stats.requests)
+          : 0.0;
+  std::printf("---\n");
+  std::printf("requests      %llu (%.0f plans/sec sustained)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<double>(stats.requests) / elapsed_s);
+  std::printf("latency       p50 %.3f ms, p99 %.3f ms\n",
+              Percentile(&latencies, 0.50), Percentile(&latencies, 0.99));
+  std::printf("cache         %.1f%% hit rate (%llu hits, %llu stale, "
+              "%llu evicted)\n",
+              100.0 * hit_rate,
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(cache.stale_misses),
+              static_cast<unsigned long long>(cache.evictions));
+  std::printf("policy        %llu generations published\n",
+              static_cast<unsigned long long>(stats.policy_publishes));
+  std::printf("fallbacks     %llu budget-expired greedy fallbacks\n",
+              static_cast<unsigned long long>(stats.greedy_fallbacks));
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "FAILED: %llu serving errors\n",
+                 static_cast<unsigned long long>(errors.load()));
+    return 1;
+  }
+  if (stats.requests == 0) {
+    std::fprintf(stderr, "FAILED: no requests served\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --serve-stress switches to the serving harness entirely; it shares
+  // --scale/--seed/--episodes with the matrix and rejects matrix-only
+  // flags.
+  bool serve_stress = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve-stress") == 0) serve_stress = true;
+  }
+  if (serve_stress) {
+    ServeStressConfig stress;
+    std::string value;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--serve-stress") == 0) {
+        continue;
+      } else if (ParseFlag(arg, "--serve-threads", &value)) {
+        stress.threads = std::atoi(value.c_str());
+      } else if (ParseFlag(arg, "--serve-seconds", &value)) {
+        stress.seconds = std::atof(value.c_str());
+      } else if (ParseFlag(arg, "--serve-budget-ms", &value)) {
+        stress.budget_ms = std::atof(value.c_str());
+      } else if (ParseFlag(arg, "--scale", &value)) {
+        stress.engine_scale = std::atof(value.c_str());
+      } else if (ParseFlag(arg, "--seed", &value)) {
+        stress.seed = std::strtoull(value.c_str(), nullptr, 10);
+      } else if (ParseFlag(arg, "--episodes", &value)) {
+        stress.training_episodes = std::atoi(value.c_str());
+      } else {
+        std::fprintf(stderr, "unknown --serve-stress argument: %s\n", arg);
+        return 2;
+      }
+    }
+    if (stress.threads < 1 || stress.seconds <= 0.0) {
+      std::fprintf(stderr, "--serve-threads/--serve-seconds out of range\n");
+      return 2;
+    }
+    return RunServeStress(stress);
+  }
+
   // --reduced picks the base config and everything else overrides it, so
   // flag order on the command line never matters.
   hfq::EvalConfig config;

@@ -3,7 +3,8 @@
 # verify does.
 #
 # Usage: scripts/check.sh [--debug|--release] [--asan|--tsan] [--eval]
-#                         [--bench-smoke] [--label <ctest -L arg>]
+#                         [--bench-smoke] [--serve-smoke]
+#                         [--label <ctest -L arg>]
 #
 # --eval runs only the `eval` label: the reduced scenario-matrix smoke run
 # (example_hfq_eval --reduced), writing BENCH_eval_smoke.json in the build
@@ -23,6 +24,13 @@
 # n=12 cells walk the full historic subset space and take a few seconds
 # each by design), mirroring CI's bench-smoke step: it proves the bench
 # targets still run, not just compile. Numbers are printed, not gated.
+#
+# --serve-smoke additionally runs the BM_PlanServer serving benchmark
+# briefly (plans/sec + p50/p99 service latency, cold and warm-cache, 1
+# and 4 threads) and the example_hfq_eval --serve-stress harness
+# (concurrent Plan() under background policy swaps), mirroring CI's
+# serve-stress smoke step. Exit status gates correctness; numbers are
+# printed, not gated.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +40,7 @@ sanitize=OFF
 tsan=OFF
 eval_gate=OFF
 bench_smoke=OFF
+serve_smoke=OFF
 build_dir=build
 label=""
 
@@ -44,6 +53,7 @@ while [[ $# -gt 0 ]]; do
     --label)   shift; label="${1:?--label requires an argument}" ;;
     --eval)    label=eval; eval_gate=ON; build_dir=build-eval ;;
     --bench-smoke) bench_smoke=ON ;;
+    --serve-smoke) serve_smoke=ON ;;
     *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
   shift
@@ -92,6 +102,16 @@ if [[ "$bench_smoke" == ON ]]; then
   # Mirrors CI's bench-smoke step (local builds keep HFQ_BUILD_BENCH on
   # in every configuration, so the binary is always here).
   ./bench/bench_micro_benchmarks \
-    --benchmark_filter='BM_PlanSearch|BM_FrontierForward|BM_DpEnumerate' \
+    --benchmark_filter='BM_PlanSearch|BM_FrontierForward|BM_DpEnumerate|BM_PlanServer' \
     --benchmark_min_time=0.01
+fi
+
+if [[ "$serve_smoke" == ON ]]; then
+  # Mirrors CI's serve-stress smoke step: the PlanServer benchmark run
+  # briefly, then the concurrent serving harness with background policy
+  # swaps.
+  ./bench/bench_micro_benchmarks \
+    --benchmark_filter='BM_PlanServer' --benchmark_min_time=0.01
+  ./examples/example_hfq_eval --serve-stress \
+    --serve-threads=4 --serve-seconds=2
 fi

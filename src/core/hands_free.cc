@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -185,6 +186,49 @@ Status HandsFreeOptimizer::RefineWithTeacher(const std::vector<Query>& workload,
                        RunTeacherLoop(task, teacher));
   teacher_stats_.insert(teacher_stats_.end(), stats.begin(), stats.end());
   return Status::OK();
+}
+
+Result<std::unique_ptr<PolicySnapshot>> HandsFreeOptimizer::SnapshotPolicy() {
+  if (!trained_) {
+    return Status::FailedPrecondition("Train() before SnapshotPolicy()");
+  }
+  // Serialization round-trip rather than copy construction: Save emits 17
+  // significant digits (bit-exact double round-trip), a fresh model gets
+  // clean optimizer/replay state, and the copy path is the same one
+  // SaveModel/LoadModel already pin in tests.
+  auto snapshot = std::make_unique<PolicySnapshot>();
+  std::stringstream weights;
+  switch (config_.strategy) {
+    case TrainingStrategy::kLearningFromDemonstration: {
+      HFQ_RETURN_IF_ERROR(lfd_->predictor().Save(weights));
+      snapshot->predictor = std::make_unique<RewardPredictor>(
+          env_->state_dim(), env_->action_dim(), config_.lfd.predictor,
+          config_.seed);
+      HFQ_RETURN_IF_ERROR(snapshot->predictor->LoadWeights(weights));
+      snapshot->view =
+          std::make_unique<PredictorPolicy>(snapshot->predictor.get());
+      break;
+    }
+    case TrainingStrategy::kCostModelBootstrapping: {
+      HFQ_RETURN_IF_ERROR(bootstrap_->agent().Save(weights));
+      snapshot->agent = std::make_unique<PolicyGradientAgent>(
+          env_->state_dim(), env_->action_dim(), bootstrap_->agent().config(),
+          config_.seed);
+      HFQ_RETURN_IF_ERROR(snapshot->agent->LoadWeights(weights));
+      snapshot->view = std::make_unique<AgentPolicy>(snapshot->agent.get());
+      break;
+    }
+    case TrainingStrategy::kIncrementalHybrid: {
+      HFQ_RETURN_IF_ERROR(incremental_->agent().Save(weights));
+      snapshot->agent = std::make_unique<PolicyGradientAgent>(
+          env_->state_dim(), env_->action_dim(), incremental_->agent().config(),
+          config_.seed);
+      HFQ_RETURN_IF_ERROR(snapshot->agent->LoadWeights(weights));
+      snapshot->view = std::make_unique<AgentPolicy>(snapshot->agent.get());
+      break;
+    }
+  }
+  return snapshot;
 }
 
 Status HandsFreeOptimizer::CheckReadyToPlan(const Query& query) const {

@@ -233,8 +233,28 @@ class HandsFreeOptimizer {
 
   /// The frozen inference view of the trained model (strategy-agnostic);
   /// what every plan-time search runs on. Valid for the facade's
-  /// lifetime; meaningful once trained.
+  /// lifetime; meaningful once trained. NOTE: this view reads the LIVE
+  /// backend model — concurrent training mutates what it sees. Serving
+  /// layers that must keep inferring while training proceeds take
+  /// SnapshotPolicy() copies instead.
   const FrozenPolicy* policy() const { return frozen_policy_.get(); }
+
+  /// Deep-copies the trained model into an independently-owned
+  /// PolicySnapshot (via the same serialization path SaveModel uses, so
+  /// the copy is bit-exact — weights round-trip through 17 significant
+  /// digits). The snapshot's FrozenPolicy view returns bit-identical
+  /// inference results to policy() at the moment of the call, and is
+  /// immune to later training updates: the serving layer's non-blocking
+  /// policy-swap primitive. Fails if not trained. Must not run
+  /// concurrently with a training update (the caller serializes
+  /// snapshot-vs-train, e.g. PlanServer's update mutex).
+  Result<std::unique_ptr<PolicySnapshot>> SnapshotPolicy();
+
+  /// Shared validation for the planning entry points: trained, and the
+  /// query fits the featurizer capacity. Public so serving layers can
+  /// validate requests without entering the facade's serial planning
+  /// path.
+  Status CheckReadyToPlan(const Query& query) const;
 
   /// Per-iteration diagnostics of every RefineWithTeacher call so far
   /// (appended in call order).
@@ -255,9 +275,6 @@ class HandsFreeOptimizer {
                                 double* planning_ms_out = nullptr,
                                 ThreadPool* pool = nullptr,
                                 SearchScratch* scratch = nullptr);
-
-  /// Shared validation for the planning entry points.
-  Status CheckReadyToPlan(const Query& query) const;
 
   /// Validates every query against the featurizer's configured capacity
   /// (RejoinFeaturizer::CheckCapacity), so oversized workload queries

@@ -137,6 +137,19 @@ class PredictorPolicy : public FrozenPolicy {
   const RewardPredictor* predictor_;
 };
 
+/// A frozen, independently-owned copy of one trained model plus the
+/// FrozenPolicy view over it: what a serving layer publishes as an
+/// immutable policy generation while the live model keeps training.
+/// Exactly one of `agent` / `predictor` is set (matching the strategy the
+/// snapshot was taken from); `view` reads whichever one it is. Because the
+/// snapshot owns its model outright, training updates to the live model
+/// never perturb in-flight inference against a published generation.
+struct PolicySnapshot {
+  std::unique_ptr<PolicyGradientAgent> agent;
+  std::unique_ptr<RewardPredictor> predictor;
+  std::unique_ptr<FrozenPolicy> view;
+};
+
 /// Reusable per-worker search memory, reset per query instead of freed per
 /// node. Holds (a) a bump arena backing plan-prefix chains and other
 /// per-candidate scratch, (b) a free list of env objects so expanding a

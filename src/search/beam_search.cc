@@ -12,10 +12,11 @@
 namespace hfq {
 
 using search_internal::ActionPrefix;
+using search_internal::BudgetTimer;
 using search_internal::ExtendPrefix;
+using search_internal::FinishSearch;
 using search_internal::GreedyRollout;
 using search_internal::MaterializePrefix;
-using search_internal::ReplayActions;
 using search_internal::TopActions;
 
 namespace {
@@ -113,9 +114,9 @@ Result<SearchResult> BeamSearch::Search(SearchEnv* env,
     }
   }
 
-  const double budget = config_.time_budget_ms;
+  const BudgetTimer budget(config_);
   while (!frontier.empty()) {
-    if (budget > 0.0 && total.ElapsedMillis() > budget) break;
+    if (budget.Expired()) break;
 
     // ONE matrix forward scores the whole frontier (batched rows are
     // bit-identical to the per-item calls they replace).
@@ -141,6 +142,12 @@ Result<SearchResult> BeamSearch::Search(SearchEnv* env,
         expansions.push_back(std::move(e));
       }
     }
+
+    // Intra-round check #1: the frontier forward above may have spent the
+    // rest of the budget; bail before paying for the whole expansion
+    // fan-out (no expansion holds an env yet, so breaking is free — the
+    // frontier is released on the common exit below).
+    if (budget.Expired()) break;
 
     // Fill the slots: env clone + step + featurize. Parallelizable because
     // slots are independent and arena/pool access stays on this thread;
@@ -192,6 +199,17 @@ Result<SearchResult> BeamSearch::Search(SearchEnv* env,
       children.push_back(std::move(child));
     }
 
+    // Intra-round check #2: stop before the value-head ranking forward.
+    // The finished candidates of this round were already banked above;
+    // the unfinished children would only matter for a next round that
+    // will not happen, so drop them.
+    if (budget.Expired()) {
+      for (BeamItem& child : children) {
+        scratch->ReleaseEnv(std::move(child.env));
+      }
+      break;
+    }
+
     // ONE matrix forward values every surviving child for the ranking.
     if (config_.value_weight != 0.0 && !children.empty()) {
       scratch->state_rows.clear();
@@ -228,9 +246,7 @@ Result<SearchResult> BeamSearch::Search(SearchEnv* env,
   }
   result.fell_back_to_greedy = !any_beam_candidate;
 
-  ReplayActions(env, result.actions);
-  HFQ_CHECK(env->FinalCost() == result.cost);
-  result.planning_ms = total.ElapsedMillis();
+  FinishSearch(env, total, &result);
   return result;
 }
 

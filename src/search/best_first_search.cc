@@ -10,10 +10,11 @@
 namespace hfq {
 
 using search_internal::ActionPrefix;
+using search_internal::BudgetTimer;
 using search_internal::ExtendPrefix;
+using search_internal::FinishSearch;
 using search_internal::GreedyRollout;
 using search_internal::MaterializePrefix;
-using search_internal::ReplayActions;
 using search_internal::TopActions;
 
 namespace {
@@ -91,11 +92,11 @@ Result<SearchResult> BestFirstSearch::Search(SearchEnv* env,
     }
   }
 
-  const double budget = config_.time_budget_ms;
+  const BudgetTimer budget(config_);
   for (int expansion = 0;
        expansion < config_.best_first_expansions && !frontier.empty();
        ++expansion) {
-    if (budget > 0.0 && total.ElapsedMillis() > budget) break;
+    if (budget.Expired()) break;
     const size_t index = BestNode(frontier);
     FrontierNode node = std::move(frontier[index]);
     frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(index));
@@ -128,6 +129,17 @@ Result<SearchResult> BestFirstSearch::Search(SearchEnv* env,
     }
     scratch->ReleaseEnv(std::move(node.env));
 
+    // Intra-expansion check: the policy forward + child env steps above
+    // may have exhausted the budget — stop before the value-head ranking
+    // forward. Finished children were already banked as candidates; the
+    // unfinished ones would only seed expansions that will not happen.
+    if (budget.Expired()) {
+      for (FrontierNode& child : children) {
+        scratch->ReleaseEnv(std::move(child.env));
+      }
+      break;
+    }
+
     // ONE matrix forward values the whole fan-out (batched rows are
     // bit-identical to the per-child calls they replace); children enter
     // the frontier in creation order, preserving the tie-break contract.
@@ -151,9 +163,7 @@ Result<SearchResult> BestFirstSearch::Search(SearchEnv* env,
   }
   result.fell_back_to_greedy = !any_search_candidate;
 
-  ReplayActions(env, result.actions);
-  HFQ_CHECK(env->FinalCost() == result.cost);
-  result.planning_ms = total.ElapsedMillis();
+  FinishSearch(env, total, &result);
   return result;
 }
 

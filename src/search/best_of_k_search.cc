@@ -9,8 +9,9 @@
 
 namespace hfq {
 
+using search_internal::BudgetTimer;
+using search_internal::FinishSearch;
 using search_internal::GreedyRollout;
-using search_internal::ReplayActions;
 using search_internal::SampleFromProbs;
 
 BestOfKSearch::BestOfKSearch(SearchConfig config) : config_(config) {
@@ -49,7 +50,7 @@ Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
     bool completed = false;
   };
   std::vector<Candidate> sampled(static_cast<size_t>(k - 1));
-  const double budget = config_.time_budget_ms;
+  const BudgetTimer budget(config_);
   const int num_workers =
       pool != nullptr ? std::min(pool->num_threads(), k - 1) : 1;
   if (k > 1) {
@@ -73,7 +74,7 @@ Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
       };
       std::vector<Rollout> alive;
       for (int r = w; r < k - 1; r += stride) {
-        if (budget > 0.0 && total.ElapsedMillis() > budget) break;
+        if (budget.Expired()) break;
         std::unique_ptr<SearchEnv> renv = sc->AcquireEnv(*env);
         renv->Reset();
         Rng rng(MixSeed64(config_.seed ^ (static_cast<uint64_t>(r) + 1)));
@@ -92,8 +93,14 @@ Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
       }
 
       while (!alive.empty()) {
-        if (budget > 0.0 && total.ElapsedMillis() > budget) {
-          return;  // Budget spent: keep what completed.
+        // Checked every lock step, immediately before the batch forward,
+        // so an expired budget never pays for one more inference.
+        if (budget.Expired()) {
+          // Budget spent: keep what completed, recycle the rest.
+          for (Rollout& rollout : alive) {
+            sc->ReleaseEnv(std::move(rollout.env));
+          }
+          return;
         }
         // ONE matrix forward scores every alive rollout's position.
         sc->state_rows.clear();
@@ -142,9 +149,7 @@ Result<SearchResult> BestOfKSearch::Search(SearchEnv* env,
   }
   result.fell_back_to_greedy = k > 1 && !any_sampled;
 
-  ReplayActions(env, result.actions);
-  HFQ_CHECK(env->FinalCost() == result.cost);
-  result.planning_ms = total.ElapsedMillis();
+  FinishSearch(env, total, &result);
   return result;
 }
 

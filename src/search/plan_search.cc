@@ -195,6 +195,15 @@ void ReplayActions(SearchEnv* env, const std::vector<int>& actions) {
   HFQ_CHECK_MSG(env->Done(), "replay ended before the episode did");
 }
 
+void FinishSearch(SearchEnv* env, const Stopwatch& total,
+                  SearchResult* result) {
+  ReplayActions(env, result->actions);
+  HFQ_CHECK(env->FinalCost() == result->cost);
+  // Charged last, after the replay (and after any fallback work that led
+  // here), so planning_ms is the full wall clock of the call.
+  result->planning_ms = total.ElapsedMillis();
+}
+
 }  // namespace search_internal
 
 GreedySearch::GreedySearch(SearchConfig config) : config_(config) {}

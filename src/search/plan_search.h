@@ -30,6 +30,7 @@
 #ifndef HFQ_SEARCH_PLAN_SEARCH_H_
 #define HFQ_SEARCH_PLAN_SEARCH_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "rl/search_context.h"
 #include "util/arena.h"
 #include "util/status.h"
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
 namespace hfq {
@@ -80,6 +82,13 @@ struct SearchConfig {
   /// from an Rng derived from (seed, r) only, so results are independent
   /// of worker count and of any sampling that happened before the call.
   uint64_t seed = 1;
+  /// TEST-ONLY clock override for budget-expiry decisions: when set, every
+  /// "has the budget expired?" check reads this (elapsed ms since search
+  /// start) instead of the searcher's wall-clock stopwatch, making expiry
+  /// points deterministic and therefore testable. The charged
+  /// `planning_ms` always remains real wall time. Must be thread-safe if
+  /// the search fans out over a pool (best-of-K queries it from workers).
+  std::function<double()> clock_ms_for_test;
 };
 
 /// Human-readable mode tag, e.g. "greedy", "best-of-8", "beam-4",
@@ -202,6 +211,43 @@ class BestFirstSearch : public PlanSearch {
 std::unique_ptr<PlanSearch> MakePlanSearch(const SearchConfig& config);
 
 namespace search_internal {
+
+/// Budget bookkeeping for one Search call. Searchers query Expired() both
+/// at round boundaries and *inside* a round (before each batch forward),
+/// so an exhausted budget stops the search before paying for the next
+/// inference instead of after finishing a whole round — the overshoot is
+/// bounded by one step of env work rather than a full
+/// frontier-forward + expansion + value-ranking round. Time normally
+/// comes from a wall-clock stopwatch started at construction; tests
+/// inject SearchConfig::clock_ms_for_test to script the expiry point.
+class BudgetTimer {
+ public:
+  explicit BudgetTimer(const SearchConfig& config)
+      : budget_ms_(config.time_budget_ms), clock_(config.clock_ms_for_test) {}
+
+  /// True once the budget is enabled (> 0) and elapsed time passed it.
+  bool Expired() const {
+    if (budget_ms_ <= 0.0) return false;
+    const double now = clock_ ? clock_() : watch_.ElapsedMillis();
+    return now > budget_ms_;
+  }
+
+ private:
+  double budget_ms_;
+  std::function<double()> clock_;
+  Stopwatch watch_;
+};
+
+/// The one exit path every searcher funnels through: replays the winning
+/// action sequence onto the caller's env (so it ends Done() at the
+/// returned plan), cross-checks the replayed cost, and only THEN charges
+/// `result->planning_ms` from `total` — so the charge always covers the
+/// full search wall clock *including* the replay and any budget-expired
+/// fallback work, never a timestamp captured before the fallback ran.
+/// (GreedySearch is the deliberate exception: it charges pure inference
+/// time, the historic Figure 3c metric, and does not use this helper.)
+void FinishSearch(SearchEnv* env, const Stopwatch& total,
+                  SearchResult* result);
 
 /// One greedy rollout from Reset: returns the action sequence, leaves the
 /// env Done(). `select_ms_out` (optional) accumulates the pure inference

@@ -1,0 +1,80 @@
+#include "serve/effort_model.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace hfq {
+
+std::vector<SearchConfig> DefaultEffortTiers() {
+  SearchConfig greedy;
+  greedy.mode = SearchMode::kGreedy;
+  SearchConfig best_of_k;
+  best_of_k.mode = SearchMode::kBestOfK;
+  SearchConfig beam;
+  beam.mode = SearchMode::kBeam;
+  return {greedy, best_of_k, beam};
+}
+
+EffortModel::EffortModel(EffortModelConfig config)
+    : config_(std::move(config)),
+      estimate_ms_(config_.tiers.size(), -1.0) {
+  HFQ_CHECK(!config_.tiers.empty());
+  HFQ_CHECK(config_.safety_factor >= 1.0);
+  HFQ_CHECK(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+}
+
+int EffortModel::SelectTier(double budget_ms) const {
+  const int last = num_tiers() - 1;
+  if (budget_ms <= 0.0) return last;  // Unlimited: richest tier.
+  std::lock_guard<std::mutex> lock(mu_);
+  int chosen = 0;  // Tier 0 fits any budget by contract.
+  for (int t = 1; t <= last; ++t) {
+    if (estimate_ms_[static_cast<size_t>(t)] < 0.0) continue;
+    if (estimate_ms_[static_cast<size_t>(t)] * config_.safety_factor <=
+        budget_ms) {
+      chosen = t;
+    }
+  }
+  return chosen;
+}
+
+void EffortModel::Observe(int tier, double planning_ms) {
+  HFQ_CHECK(tier >= 0 && tier < num_tiers());
+  if (planning_ms < 0.0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  double& estimate = estimate_ms_[static_cast<size_t>(tier)];
+  if (estimate < 0.0) {
+    estimate = planning_ms;
+  } else {
+    estimate += config_.ewma_alpha * (planning_ms - estimate);
+  }
+}
+
+double EffortModel::EstimateMs(int tier) const {
+  HFQ_CHECK(tier >= 0 && tier < num_tiers());
+  std::lock_guard<std::mutex> lock(mu_);
+  return estimate_ms_[static_cast<size_t>(tier)];
+}
+
+const SearchConfig& EffortModel::tier(int index) const {
+  HFQ_CHECK(index >= 0 && index < num_tiers());
+  return config_.tiers[static_cast<size_t>(index)];
+}
+
+std::string EffortModel::DebugString() const {
+  std::ostringstream out;
+  for (int t = 0; t < num_tiers(); ++t) {
+    if (t > 0) out << " ";
+    out << SearchConfigName(tier(t)) << ":";
+    const double estimate = EstimateMs(t);
+    if (estimate < 0.0) {
+      out << "?";
+    } else {
+      out << estimate << "ms";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace hfq

@@ -1,0 +1,71 @@
+// Budget-adaptive search-effort selection: maps a per-request planning
+// budget to the richest search tier (greedy → best-of-K → beam) whose
+// *calibrated* planning-time estimate fits, replacing the binary
+// budget-expired-→-greedy fallback as the serving layer's first line of
+// latency control. The searcher-level time budget stays on as the hard
+// stop underneath: the effort model predicts, the budget enforces.
+#ifndef HFQ_SERVE_EFFORT_MODEL_H_
+#define HFQ_SERVE_EFFORT_MODEL_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "search/plan_search.h"
+
+namespace hfq {
+
+/// The default serving ladder: greedy → best-of-8 → beam-4 (cheapest
+/// first; the orders-of-magnitude planning-time spread between them is
+/// what makes budget tiering worthwhile).
+std::vector<SearchConfig> DefaultEffortTiers();
+
+struct EffortModelConfig {
+  EffortModelConfig() : tiers(DefaultEffortTiers()) {}
+  /// Search configs ordered cheapest → most expensive. Tier 0 is the
+  /// unconditional floor: it is always considered affordable, so every
+  /// budget — however small — gets a plan.
+  std::vector<SearchConfig> tiers;
+  /// A tier fits a budget when estimate * safety_factor <= budget: the
+  /// headroom absorbs estimate noise so a p50-calibrated estimate does
+  /// not blow p99 budgets.
+  double safety_factor = 1.5;
+  /// EWMA smoothing for Observe()d planning times (weight of the newest
+  /// observation).
+  double ewma_alpha = 0.3;
+};
+
+/// Thread-safe per-tier planning-time estimator + budget→tier selector.
+/// Estimates start unknown; until a tier has at least one observation it
+/// is never selected for a *finite* budget (tier 0 excepted), so an
+/// uncalibrated server degrades to predictable cheap planning instead of
+/// blowing budgets on guesses. Unlimited budgets (<= 0) always take the
+/// richest tier.
+class EffortModel {
+ public:
+  explicit EffortModel(EffortModelConfig config);
+
+  /// Index of the selected tier for `budget_ms` (<= 0 = unlimited).
+  int SelectTier(double budget_ms) const;
+
+  /// Records one observed planning time for a tier (EWMA-folded).
+  void Observe(int tier, double planning_ms);
+
+  /// Current smoothed estimate for a tier; < 0 while unobserved.
+  double EstimateMs(int tier) const;
+
+  const SearchConfig& tier(int index) const;
+  int num_tiers() const { return static_cast<int>(config_.tiers.size()); }
+
+  /// "greedy:0.06ms best-of-8:? beam-4:0.91ms"-style summary.
+  std::string DebugString() const;
+
+ private:
+  EffortModelConfig config_;
+  mutable std::mutex mu_;
+  std::vector<double> estimate_ms_;  ///< -1 = no observation yet.
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_SERVE_EFFORT_MODEL_H_

@@ -1,0 +1,233 @@
+#include "serve/plan_server.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace hfq {
+
+namespace {
+
+// The aliasing-guard identity of a query: its reconstructed SQL, which is
+// name-independent (two generated queries differing only in their
+// workload-assigned names share one identity — and correctly share one
+// cache entry) but spells out every structural detail a 64-bit
+// fingerprint merely hashes.
+std::string StructuralIdentity(const Query& query) { return query.ToSql(); }
+
+}  // namespace
+
+PlanServer::PlanServer(HandsFreeOptimizer* optimizer, PlanServerConfig config)
+    : optimizer_(optimizer),
+      config_(config),
+      effort_(config.effort),
+      cache_(config.cache_shards, config.cache_capacity_per_shard) {
+  HFQ_CHECK(optimizer != nullptr);
+  HFQ_CHECK(config_.num_workers >= 1);
+  serve_pool_ = std::make_unique<ThreadPool>(config_.num_workers);
+  update_pool_ = std::make_unique<ThreadPool>(1);
+  // Pre-build one planning context per serving worker so the steady state
+  // never constructs envs on the request path (extra contexts are still
+  // created lazily if more caller threads than workers hit Plan()
+  // directly).
+  for (int i = 0; i < config_.num_workers; ++i) {
+    auto context = std::make_unique<ServeContext>();
+    context->env = optimizer_->MakeWorkerEnv();
+    free_contexts_.push_back(std::move(context));
+  }
+}
+
+PlanServer::~PlanServer() { Shutdown(); }
+
+void PlanServer::Shutdown() {
+  // Update pool first: a queued update may still publish a generation,
+  // which serving (draining next) handles like any other swap.
+  update_pool_->Shutdown();
+  serve_pool_->Shutdown();
+}
+
+Result<uint64_t> PlanServer::PublishPolicy() {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  return PublishLocked();
+}
+
+Result<uint64_t> PlanServer::PublishLocked() {
+  HFQ_ASSIGN_OR_RETURN(std::unique_ptr<PolicySnapshot> snapshot,
+                       optimizer_->SnapshotPolicy());
+  const uint64_t generation =
+      policy_slot_.Publish(std::shared_ptr<const PolicySnapshot>(
+          std::move(snapshot)));
+  policy_publishes_.fetch_add(1, std::memory_order_relaxed);
+  return generation;
+}
+
+Status PlanServer::ApplyUpdate(
+    const std::function<Status(HandsFreeOptimizer*)>& update) {
+  std::lock_guard<std::mutex> lock(update_mu_);
+  HFQ_RETURN_IF_ERROR(update(optimizer_));
+  return PublishLocked().status();
+}
+
+std::future<Status> PlanServer::ApplyUpdateAsync(
+    std::function<Status(HandsFreeOptimizer*)> update) {
+  return update_pool_->Submit(
+      [this, update = std::move(update)] { return ApplyUpdate(update); });
+}
+
+std::unique_ptr<PlanServer::ServeContext> PlanServer::AcquireContext() {
+  {
+    std::lock_guard<std::mutex> lock(contexts_mu_);
+    if (!free_contexts_.empty()) {
+      std::unique_ptr<ServeContext> context =
+          std::move(free_contexts_.back());
+      free_contexts_.pop_back();
+      return context;
+    }
+  }
+  // More concurrent callers than pre-built contexts: build one outside
+  // the lock (MakeWorkerEnv only reads optimizer state updates leave
+  // alone — see the class threading contract).
+  auto context = std::make_unique<ServeContext>();
+  context->env = optimizer_->MakeWorkerEnv();
+  return context;
+}
+
+void PlanServer::ReleaseContext(std::unique_ptr<ServeContext> context) {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  free_contexts_.push_back(std::move(context));
+}
+
+Result<PlanResponse> PlanServer::Plan(const Query& query, double budget_ms) {
+  Stopwatch service;
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  const VersionedSnapshot<PolicySnapshot>::Ref snap = policy_slot_.Load();
+  if (snap.value == nullptr) {
+    return Status::FailedPrecondition("PublishPolicy() before Plan()");
+  }
+  HFQ_RETURN_IF_ERROR(optimizer_->CheckReadyToPlan(query));
+
+  const uint64_t fingerprint = query.StructuralFingerprint();
+  const std::string identity =
+      config_.enable_cache ? StructuralIdentity(query) : std::string();
+
+  PlanResponse response;
+  response.policy_generation = snap.generation;
+
+  if (config_.enable_cache) {
+    CachedPlan hit;
+    if (cache_.Lookup(fingerprint, identity, snap.generation, &hit)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      response.plan = hit.plan->Clone();
+      response.cost = hit.cost;
+      response.fell_back_to_greedy = hit.fell_back_to_greedy;
+      response.search_mode = hit.search_mode;
+      response.cache_hit = true;
+      response.planning_ms = service.ElapsedMillis();
+      response.service_ms = response.planning_ms;
+      return response;
+    }
+  }
+
+  // Cold plan: pick the effort tier the budget affords, and keep the
+  // remaining budget as the searcher's hard stop underneath.
+  const int tier = effort_.SelectTier(budget_ms);
+  SearchConfig search = effort_.tier(tier);
+  if (budget_ms > 0.0) {
+    search.time_budget_ms =
+        std::max(1e-3, budget_ms - service.ElapsedMillis());
+  }
+
+  std::unique_ptr<ServeContext> context = AcquireContext();
+  context->env->SetQuery(&query);
+  SearchContext ctx{&*snap.value->view, /*rng=*/nullptr, &context->ws,
+                    &context->scratch};
+  std::unique_ptr<PlanSearch> searcher = MakePlanSearch(search);
+  Result<SearchResult> searched = searcher->Search(context->env.get(), ctx);
+  if (!searched.ok()) {
+    ReleaseContext(std::move(context));
+    return searched.status();
+  }
+
+  effort_.Observe(tier, searched->planning_ms);
+  cold_plans_.fetch_add(1, std::memory_order_relaxed);
+  if (searched->fell_back_to_greedy) {
+    greedy_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  response.plan = context->env->FinalPlan()->Clone();
+  response.cost = searched->cost;
+  response.planning_ms = searched->planning_ms;
+  response.fell_back_to_greedy = searched->fell_back_to_greedy;
+  response.search_mode = SearchConfigName(search);
+  ReleaseContext(std::move(context));
+
+  if (config_.enable_cache) {
+    CachedPlan entry;
+    entry.plan = std::shared_ptr<const PlanNode>(response.plan->Clone());
+    entry.cost = response.cost;
+    entry.fell_back_to_greedy = response.fell_back_to_greedy;
+    entry.search_mode = response.search_mode;
+    cache_.Insert(fingerprint, identity, snap.generation, std::move(entry));
+  }
+
+  response.service_ms = service.ElapsedMillis();
+  return response;
+}
+
+std::future<Result<PlanResponse>> PlanServer::PlanAsync(Query query,
+                                                        double budget_ms) {
+  return serve_pool_->Submit(
+      [this, query = std::move(query), budget_ms]() -> Result<PlanResponse> {
+        return Plan(query, budget_ms);
+      });
+}
+
+Status PlanServer::CalibrateEffort(const std::vector<Query>& sample,
+                                   int repeats) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("calibration sample is empty");
+  }
+  HFQ_CHECK(repeats >= 1);
+  const VersionedSnapshot<PolicySnapshot>::Ref snap = policy_slot_.Load();
+  if (snap.value == nullptr) {
+    return Status::FailedPrecondition("PublishPolicy() before CalibrateEffort()");
+  }
+  std::unique_ptr<ServeContext> context = AcquireContext();
+  Status status = Status::OK();
+  for (int tier = 0; tier < effort_.num_tiers() && status.ok(); ++tier) {
+    std::unique_ptr<PlanSearch> searcher = MakePlanSearch(effort_.tier(tier));
+    for (const Query& query : sample) {
+      status = optimizer_->CheckReadyToPlan(query);
+      if (!status.ok()) break;
+      for (int r = 0; r < repeats; ++r) {
+        context->env->SetQuery(&query);
+        SearchContext ctx{&*snap.value->view, /*rng=*/nullptr, &context->ws,
+                          &context->scratch};
+        Result<SearchResult> searched =
+            searcher->Search(context->env.get(), ctx);
+        if (!searched.ok()) {
+          status = searched.status();
+          break;
+        }
+        effort_.Observe(tier, searched->planning_ms);
+      }
+      if (!status.ok()) break;
+    }
+  }
+  ReleaseContext(std::move(context));
+  return status;
+}
+
+PlanServerStats PlanServer::stats() const {
+  PlanServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cold_plans = cold_plans_.load(std::memory_order_relaxed);
+  s.greedy_fallbacks = greedy_fallbacks_.load(std::memory_order_relaxed);
+  s.policy_publishes = policy_publishes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hfq

@@ -1,0 +1,63 @@
+// Versioned published-snapshot slot: the double-buffer primitive behind
+// non-blocking policy swaps. A writer publishes immutable snapshots (each
+// gets a monotonically increasing generation number); any number of
+// readers Load() the current one without ever blocking the writer or each
+// other beyond a brief pointer copy under a mutex. Readers hold the
+// snapshot through a shared_ptr, so a generation stays alive as long as
+// any in-flight request still uses it — publishing never invalidates a
+// reader mid-request.
+#ifndef HFQ_UTIL_SNAPSHOT_H_
+#define HFQ_UTIL_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+namespace hfq {
+
+/// Thread-safe slot holding the latest immutable snapshot of a T plus its
+/// generation. Generation 0 means "nothing published yet" (Load() then
+/// returns a null snapshot); the first Publish produces generation 1.
+/// The slot deliberately guards the pointer with a plain mutex rather
+/// than lock-free atomics: a Load is one pointer copy + one integer read,
+/// far off any hot path next to an NN forward, and the mutex keeps the
+/// primitive trivially TSan-clean on every supported toolchain.
+template <typename T>
+class VersionedSnapshot {
+ public:
+  struct Ref {
+    std::shared_ptr<const T> value;  ///< Null before the first Publish.
+    uint64_t generation = 0;
+  };
+
+  /// Installs `snapshot` as the current generation and returns its
+  /// (freshly incremented) generation number.
+  uint64_t Publish(std::shared_ptr<const T> snapshot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(snapshot);
+    return ++generation_;
+  }
+
+  /// The current snapshot + generation. The returned shared_ptr keeps the
+  /// snapshot alive even if a newer generation is published immediately
+  /// after.
+  Ref Load() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Ref{current_, generation_};
+  }
+
+  uint64_t generation() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return generation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const T> current_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace hfq
+
+#endif  // HFQ_UTIL_SNAPSHOT_H_

@@ -14,13 +14,18 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutting_down_ = true;
   }
   wake_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Second call: the threads were already joined, joinable() is false.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::WorkerLoop() {

@@ -20,9 +20,9 @@
 namespace hfq {
 
 /// Fixed worker threads draining one FIFO task queue. Submit is thread-safe
-/// (any thread, including pool workers, may enqueue). The destructor drains
-/// the queue: already-submitted tasks run to completion before the workers
-/// join.
+/// (any thread, including pool workers, may enqueue). Shutdown (and the
+/// destructor, which calls it) drains the queue: already-submitted tasks
+/// run to completion before the workers join.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (minimum 1).
@@ -31,21 +31,43 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Finishes all queued tasks, then joins the workers.
+  /// Finishes all queued tasks, then joins the workers (via Shutdown).
   ~ThreadPool();
 
+  /// Stops accepting queued work, finishes everything already queued, and
+  /// joins the workers. Idempotent, but shutdown/destruction must be
+  /// driven from a single thread (like destruction itself). After — or
+  /// concurrently with — Shutdown, Submit degrades to running the task
+  /// inline on the submitting thread (see Submit), so no future handed
+  /// out by this pool can ever be left permanently unready.
+  void Shutdown();
+
   /// Enqueues `fn` and returns a future for its result. The future's get()
-  /// re-throws any exception the task threw.
+  /// re-throws any exception the task threw. Once shutdown has begun the
+  /// task can no longer be handed to a worker (the drain may already have
+  /// passed it by, which would strand the future forever), so it runs
+  /// inline on the calling thread instead — the future is ready on
+  /// return. That keeps late submitters (e.g. a request racing a server
+  /// teardown) correct, just not concurrent.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> result = task->get_future();
+    bool run_inline = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
+      if (shutting_down_) {
+        run_inline = true;
+      } else {
+        queue_.emplace_back([task] { (*task)(); });
+      }
     }
-    wake_.notify_one();
+    if (run_inline) {
+      (*task)();  // Exceptions still land in the future.
+    } else {
+      wake_.notify_one();
+    }
     return result;
   }
 

@@ -8,8 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
 #include <utility>
+
+#include "util/stopwatch.h"
 
 #include "core/reward.h"
 #include "rejoin/join_env.h"
@@ -295,6 +299,153 @@ TEST_F(SearchTest, TimeBudgetFallsBackToGreedy) {
         << SearchModeName(mode);
     EXPECT_EQ(result.actions, greedy.actions) << SearchModeName(mode);
     EXPECT_EQ(result.cost, greedy.cost) << SearchModeName(mode);
+  }
+}
+
+// Scripted budget clock: returns 0.0 for the first `survive` expiry
+// checks, then "infinitely late" — so a test can place the expiry at an
+// exact check inside the search, deterministically.
+std::function<double()> ExpireAtCheck(int survive) {
+  auto calls = std::make_shared<std::atomic<int>>(0);
+  return [calls, survive] {
+    return calls->fetch_add(1) < survive ? 0.0 : 1e9;
+  };
+}
+
+// The overshoot bugfix, pinned deterministically: when the budget expires
+// right after the frontier batch-forward, beam must stop at the
+// intra-round check — before paying for the expansion fan-out and the
+// value-head ranking forward — not at the next round boundary. Forward
+// passes are counted via the workspace, so the assertion is exact.
+TEST_F(SearchTest, BeamBudgetExpiryMidRoundStopsBeforeRankingForward) {
+  const Query& q = queries_[0];
+  AgentPolicy policy(&trainer_.agent());
+  MlpWorkspace greedy_ws;
+  SearchResult greedy =
+      RunSearchWith(policy, SearchConfig(), q, nullptr, &greedy_ws);
+  const int64_t greedy_forwards = greedy_ws.forward_calls;
+  ASSERT_GT(greedy_forwards, 0);
+
+  SearchConfig config;
+  config.mode = SearchMode::kBeam;
+  config.beam_width = 4;
+  config.time_budget_ms = 1.0;
+  // Survives the round-entry check; expires at intra-round check #1.
+  config.clock_ms_for_test = ExpireAtCheck(1);
+  MlpWorkspace ws;
+  SearchResult result = RunSearchWith(policy, config, q, nullptr, &ws);
+  // Exactly one extra forward (the frontier scoring) beyond the greedy
+  // rollout — the round's expansion and ranking forwards never ran.
+  EXPECT_EQ(ws.forward_calls, greedy_forwards + 1);
+  EXPECT_TRUE(result.fell_back_to_greedy);
+  EXPECT_EQ(result.actions, greedy.actions);
+  EXPECT_EQ(result.cost, greedy.cost);
+}
+
+// Same pin for best-first: expiry after the expansion's policy forward
+// stops before the children's value-head forward.
+TEST_F(SearchTest, BestFirstBudgetExpiryStopsBeforeValueForward) {
+  const Query& q = queries_[0];
+  AgentPolicy policy(&trainer_.agent());
+  MlpWorkspace greedy_ws;
+  SearchResult greedy =
+      RunSearchWith(policy, SearchConfig(), q, nullptr, &greedy_ws);
+  const int64_t greedy_forwards = greedy_ws.forward_calls;
+
+  SearchConfig config;
+  config.mode = SearchMode::kBestFirst;
+  config.beam_width = 3;
+  config.best_first_expansions = 32;
+  config.time_budget_ms = 1.0;
+  // Survives the expansion-entry check; expires at the intra-expansion
+  // check (after the policy forward, before the value ranking).
+  config.clock_ms_for_test = ExpireAtCheck(1);
+  MlpWorkspace ws;
+  SearchResult result = RunSearchWith(policy, config, q, nullptr, &ws);
+  EXPECT_EQ(ws.forward_calls, greedy_forwards + 1);
+  EXPECT_TRUE(result.fell_back_to_greedy);
+  EXPECT_EQ(result.actions, greedy.actions);
+  EXPECT_EQ(result.cost, greedy.cost);
+}
+
+// Best-of-K checks the budget immediately before every lock-step batch
+// forward: once expired, not a single further forward is paid.
+TEST_F(SearchTest, BestOfKBudgetExpiryNeverPaysAnotherForward) {
+  const Query& q = queries_[0];
+  AgentPolicy policy(&trainer_.agent());
+  MlpWorkspace greedy_ws;
+  SearchResult greedy =
+      RunSearchWith(policy, SearchConfig(), q, nullptr, &greedy_ws);
+  const int64_t greedy_forwards = greedy_ws.forward_calls;
+
+  SearchConfig config;
+  config.mode = SearchMode::kBestOfK;
+  config.best_of_k = 4;
+  config.time_budget_ms = 1.0;
+  // Survives the three seeding checks (rollouts 1..3 reset + featurize),
+  // expires at the first lock-step check — before the first sampled batch
+  // forward.
+  config.clock_ms_for_test = ExpireAtCheck(3);
+  MlpWorkspace ws;
+  SearchResult result = RunSearchWith(policy, config, q, nullptr, &ws);
+  EXPECT_EQ(ws.forward_calls, greedy_forwards);
+  EXPECT_TRUE(result.fell_back_to_greedy);
+  EXPECT_EQ(result.rollouts, 1);
+  EXPECT_EQ(result.actions, greedy.actions);
+  EXPECT_EQ(result.cost, greedy.cost);
+}
+
+// The acceptance bound: charged planning time respects time_budget_ms up
+// to one greedy fallback (replay included). Wall-clock based, so the
+// slack is generous — the deterministic expiry-point pins above carry the
+// exact regression; this asserts the end-to-end latency contract.
+TEST_F(SearchTest, ChargedPlanningTimeRespectsBudgetUpToGreedyFallback) {
+  const Query& q = queries_[0];
+  Stopwatch greedy_watch;
+  RunSearch(SearchConfig(), q);
+  const double greedy_wall_ms = greedy_watch.ElapsedMillis();
+
+  const double budget_ms = 0.5;
+  for (SearchMode mode : {SearchMode::kBestOfK, SearchMode::kBeam,
+                          SearchMode::kBestFirst}) {
+    SearchConfig config;
+    config.mode = mode;
+    config.best_of_k = 64;
+    config.beam_width = 8;
+    config.best_first_expansions = 256;
+    config.time_budget_ms = budget_ms;
+    SearchResult result = RunSearch(config, q);
+    // Budget + at most one intra-round step + the greedy-fallback replay,
+    // padded for noisy CI schedulers (the pre-fix failure mode was a
+    // whole round of large-frontier forwards, not scheduler noise).
+    EXPECT_LE(result.planning_ms,
+              budget_ms + 50.0 + 20.0 * greedy_wall_ms)
+        << SearchModeName(mode);
+  }
+}
+
+// Satellite pin: every strategy charges the FULL search wall clock —
+// including the budget-expired fallback replay — never a timestamp taken
+// before the fallback ran.
+TEST_F(SearchTest, BudgetFallbackChargesFullSearchWallTime) {
+  const Query& q = queries_[0];
+  for (SearchMode mode : {SearchMode::kBestOfK, SearchMode::kBeam,
+                          SearchMode::kBestFirst}) {
+    SearchConfig config;
+    config.mode = mode;
+    config.best_of_k = 16;
+    config.beam_width = 4;
+    config.time_budget_ms = 1e-9;  // Expired from the first check.
+    Stopwatch outer;
+    SearchResult result = RunSearch(config, q);
+    const double outer_ms = outer.ElapsedMillis();
+    EXPECT_TRUE(result.fell_back_to_greedy) << SearchModeName(mode);
+    // Charged after the fallback replay: nonzero, and bounded by the
+    // call's true wall time (a stale pre-fallback timestamp would be
+    // near-zero only by luck; one captured after, impossible to exceed
+    // the outer watch).
+    EXPECT_GT(result.planning_ms, 0.0) << SearchModeName(mode);
+    EXPECT_LE(result.planning_ms, outer_ms) << SearchModeName(mode);
   }
 }
 

@@ -2,15 +2,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <set>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "util/arena.h"
 #include "util/rng.h"
+#include "util/sharded_cache.h"
+#include "util/snapshot.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -368,6 +375,129 @@ TEST(ThreadPoolTest, MinimumOneWorker) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1);
   EXPECT_EQ(pool.Submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasksAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.Submit([&ran] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  // Everything queued before Shutdown ran to completion.
+  EXPECT_EQ(ran.load(), 50);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+  pool.Shutdown();  // Second call is a no-op.
+}
+
+// The shutdown-race bugfix: a Submit that loses the race with shutdown
+// used to enqueue a task the drain could never observe, leaving its
+// future permanently unready (a guaranteed deadlock for any get()). It
+// now runs inline on the submitting thread — the future is ready the
+// moment Submit returns.
+TEST(ThreadPoolTest, SubmitAfterShutdownRunsInlineAndFutureIsReady) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id ran_on;
+  std::future<int> f = pool.Submit([&ran_on] {
+    ran_on = std::this_thread::get_id();
+    return 42;
+  });
+  ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(f.get(), 42);
+  EXPECT_EQ(ran_on, self);
+  // Exceptions still land in the future on the inline path.
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("late"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(VersionedSnapshotTest, PublishesMonotonicGenerationsAndPinsReaders) {
+  VersionedSnapshot<int> slot;
+  EXPECT_EQ(slot.generation(), 0u);
+  EXPECT_EQ(slot.Load().value, nullptr);
+
+  EXPECT_EQ(slot.Publish(std::make_shared<const int>(10)), 1u);
+  VersionedSnapshot<int>::Ref first = slot.Load();
+  ASSERT_NE(first.value, nullptr);
+  EXPECT_EQ(*first.value, 10);
+  EXPECT_EQ(first.generation, 1u);
+
+  // A newer publish does not invalidate the pinned reader.
+  EXPECT_EQ(slot.Publish(std::make_shared<const int>(20)), 2u);
+  EXPECT_EQ(*first.value, 10);
+  VersionedSnapshot<int>::Ref second = slot.Load();
+  EXPECT_EQ(*second.value, 20);
+  EXPECT_EQ(second.generation, 2u);
+  EXPECT_EQ(slot.generation(), 2u);
+}
+
+TEST(ShardedGenCacheTest, LookupHonorsIdentityAndGeneration) {
+  ShardedGenCache<int> cache(/*num_shards=*/4, /*capacity_per_shard=*/8);
+  const uint64_t key = 0xDEADBEEFCAFE1234ull;
+  cache.Insert(key, "SELECT a", /*generation=*/1, 7);
+
+  int value = 0;
+  EXPECT_TRUE(cache.Lookup(key, "SELECT a", 1, &value));
+  EXPECT_EQ(value, 7);
+
+  // Aliasing guard: same fingerprint bucket, different structure — a
+  // miss, never the other query's plan.
+  EXPECT_FALSE(cache.Lookup(key, "SELECT b", 1, &value));
+  // Generation stamp: a policy swap makes the entry stale.
+  EXPECT_FALSE(cache.Lookup(key, "SELECT a", 2, &value));
+  EXPECT_FALSE(cache.Lookup(key ^ 1, "SELECT a", 1, &value));
+
+  ShardedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.alias_rejects, 1u);
+  EXPECT_EQ(stats.stale_misses, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // A colliding insert overwrites: at most one identity per key.
+  cache.Insert(key, "SELECT b", 1, 9);
+  EXPECT_TRUE(cache.Lookup(key, "SELECT b", 1, &value));
+  EXPECT_EQ(value, 9);
+  EXPECT_FALSE(cache.Lookup(key, "SELECT a", 1, &value));
+}
+
+TEST(ShardedGenCacheTest, CapacityEvictsLeastRecentlyUsedPerShard) {
+  // One shard makes LRU order fully observable.
+  ShardedGenCache<int> cache(/*num_shards=*/1, /*capacity_per_shard=*/2);
+  int value = 0;
+  cache.Insert(1, "q1", 1, 1);
+  cache.Insert(2, "q2", 1, 2);
+  EXPECT_TRUE(cache.Lookup(1, "q1", 1, &value));  // Touch 1: 2 is now LRU.
+  cache.Insert(3, "q3", 1, 3);                    // Evicts 2.
+  EXPECT_TRUE(cache.Lookup(1, "q1", 1, &value));
+  EXPECT_TRUE(cache.Lookup(3, "q3", 1, &value));
+  EXPECT_FALSE(cache.Lookup(2, "q2", 1, &value));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ShardedGenCacheTest, ConcurrentMixedUseIsSafe) {
+  ShardedGenCache<int> cache(/*num_shards=*/8, /*capacity_per_shard=*/16);
+  ThreadPool pool(4);
+  pool.ParallelFor(4, [&cache](int64_t t) {
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t key = static_cast<uint64_t>(i % 64);
+      const std::string identity = "q" + std::to_string(key);
+      const uint64_t generation = 1 + static_cast<uint64_t>(i % 2);
+      int value = 0;
+      if (cache.Lookup(key, identity, generation, &value)) {
+        EXPECT_EQ(value, static_cast<int>(key));
+      }
+      cache.Insert(key, identity, generation, static_cast<int>(key));
+      (void)t;
+    }
+  });
+  const ShardedCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 2000u);
 }
 
 }  // namespace
