@@ -20,6 +20,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "optimizer/plan_gen.h"
+#include "plan/physical_plan.h"
 #include "rejoin/featurizer.h"
 #include "rejoin/rejoin.h"
 #include "serve/plan_server.h"
@@ -194,12 +195,122 @@ void BM_ExecuteHashJoinPlan(benchmark::State& state) {
   auto plan = BenchEngine().expert().Optimize(q);
   HFQ_CHECK(plan.ok());
   Executor executor(&BenchEngine().db());
+  int64_t tuples = 0;
   for (auto _ : state) {
     auto result = executor.Execute(q, **plan);
+    HFQ_CHECK(result.ok());
+    tuples = result->join_rows;
     benchmark::DoNotOptimize(result);
   }
+  state.counters["tuples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(tuples),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExecuteHashJoinPlan);
+
+// --- Per-operator execution A/B -----------------------------------------
+// The same two-relation IMDB-like join (cast_info JOIN title, one
+// selection per side) forced through each physical operator, under both
+// engines: engine:0 is the vectorized default, engine:1 the
+// tuple-at-a-time reference. Adjacent rows are an interleaved
+// same-machine A/B of the vectorization payoff per operator; both
+// engines produce bit-identical ExecResults (tests/exec_test.cc pins
+// this), so tuples_per_s compares like for like.
+
+ExecOptions ExecEngineArg(int64_t arg) {
+  ExecOptions options;
+  options.engine =
+      arg == 0 ? ExecEngine::kVectorized : ExecEngine::kTupleAtATime;
+  return options;
+}
+
+const Query& ExecBenchJoinQuery() {
+  static const Query* query = [] {
+    auto q = ParseSql(
+        "SELECT count(*) FROM title t, cast_info ci "
+        "WHERE ci.movie_id = t.id AND t.production_year > 20 AND "
+        "ci.nr_order = 1",
+        BenchEngine().catalog());
+    HFQ_CHECK(q.ok());
+    // Executor benches measure the join pipeline, not aggregation.
+    q->aggregates.clear();
+    q->group_by.clear();
+    return new Query(std::move(*q));
+  }();
+  return *query;
+}
+
+// cast_info (rel 1, selection 1: nr_order = 1) outer, title (rel 0,
+// selection 0: production_year > 20) inner. INLJ probes title's
+// built-in BTree id index through join predicate 0.
+PlanNodePtr ExecBenchJoinPlan(PhysicalOp op) {
+  PlanNodePtr outer = MakeSeqScan(1, {1});
+  PlanNodePtr inner = MakeSeqScan(0, {0});
+  const int probe = op == PhysicalOp::kIndexNestedLoopJoin ? 0 : -1;
+  return MakeJoin(op, std::move(outer), std::move(inner), {0}, probe);
+}
+
+void RunExecJoinBench(benchmark::State& state, PhysicalOp op) {
+  const Query& q = ExecBenchJoinQuery();
+  PlanNodePtr plan = ExecBenchJoinPlan(op);
+  Executor executor(&BenchEngine().db(), ExecEngineArg(state.range(0)));
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = executor.Execute(q, *plan);
+    HFQ_CHECK(result.ok());
+    tuples = result->join_rows;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["tuples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(tuples),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_ExecuteScanFilterPlan(benchmark::State& state) {
+  static const Query* query = [] {
+    auto q = ParseSql(
+        "SELECT count(*) FROM cast_info ci WHERE ci.nr_order = 1",
+        BenchEngine().catalog());
+    HFQ_CHECK(q.ok());
+    q->aggregates.clear();
+    q->group_by.clear();
+    return new Query(std::move(*q));
+  }();
+  PlanNodePtr plan = MakeSeqScan(0, {0});
+  Executor executor(&BenchEngine().db(), ExecEngineArg(state.range(0)));
+  int64_t tuples = 0;
+  for (auto _ : state) {
+    auto result = executor.Execute(*query, *plan);
+    HFQ_CHECK(result.ok());
+    tuples = result->output_rows;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["tuples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(tuples),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecuteScanFilterPlan)->ArgNames({"engine"})->Arg(0)->Arg(1);
+
+void BM_ExecuteNestedLoopJoinPlan(benchmark::State& state) {
+  RunExecJoinBench(state, PhysicalOp::kNestedLoopJoin);
+}
+BENCHMARK(BM_ExecuteNestedLoopJoinPlan)
+    ->ArgNames({"engine"})
+    ->Arg(0)
+    ->Arg(1);
+
+void BM_ExecuteMergeJoinPlan(benchmark::State& state) {
+  RunExecJoinBench(state, PhysicalOp::kMergeJoin);
+}
+BENCHMARK(BM_ExecuteMergeJoinPlan)->ArgNames({"engine"})->Arg(0)->Arg(1);
+
+void BM_ExecuteIndexNestedLoopJoinPlan(benchmark::State& state) {
+  RunExecJoinBench(state, PhysicalOp::kIndexNestedLoopJoin);
+}
+BENCHMARK(BM_ExecuteIndexNestedLoopJoinPlan)
+    ->ArgNames({"engine"})
+    ->Arg(0)
+    ->Arg(1);
 
 // Join + grouped aggregation: the heaviest per-tuple column-access path in
 // the executor (every group key and aggregate argument is fetched per
@@ -218,10 +329,16 @@ void BM_ExecuteGroupByAggregatePlan(benchmark::State& state) {
   auto plan = BenchEngine().expert().Optimize(*q);
   HFQ_CHECK(plan.ok());
   Executor executor(&BenchEngine().db());
+  int64_t tuples = 0;
   for (auto _ : state) {
     auto result = executor.Execute(*q, **plan);
+    HFQ_CHECK(result.ok());
+    tuples = result->join_rows;
     benchmark::DoNotOptimize(result);
   }
+  state.counters["tuples_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(tuples),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ExecuteGroupByAggregatePlan);
 

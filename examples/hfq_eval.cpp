@@ -12,7 +12,7 @@
 //                    [--teacher=N] [--teacher-mode=MODE] [--plan-repeats=N]
 //                    [--dp-max-relations=N] [--band-topologies=T[,T...]]
 //                    [--band-relations=N[,N...]] [--no-band]
-//                    [--reduced] [--no-timings]
+//                    [--reduced] [--no-timings] [--measured-exec]
 //   example_hfq_eval --serve-stress [--serve-threads=N] [--serve-seconds=F]
 //                    [--serve-budget-ms=F] [--scale=F] [--seed=N]
 //                    [--episodes=N]
@@ -34,7 +34,13 @@
 // --band-topologies/--band-relations configure the DP-infeasible
 // large-join band appended after the regular matrix (default
 // chain,snowflake,clique x 16); --no-band drops it, restoring the
-// pre-band matrix and report bytes.
+// pre-band matrix and report bytes. --measured-exec additionally RUNS
+// every learned and baseline plan through the vectorized executor and
+// reports measured-latency regret next to the simulated one (plans that
+// trip the intermediate-tuple cap are skipped, not failed); measured
+// reports carry machine-dependent wall clock and are never committed as
+// cross-machine references (CI's eval-smoke job and `scripts/check.sh
+// --eval` run a brief measured smoke).
 //
 // --serve-stress runs the serving stress harness instead of the matrix:
 // trains a small optimizer, stands up a PlanServer, and hammers Plan()
@@ -293,6 +299,8 @@ int main(int argc, char** argv) {
       // Applied in the pre-pass above.
     } else if (std::strcmp(arg, "--no-timings") == 0) {
       config.include_timings = false;
+    } else if (std::strcmp(arg, "--measured-exec") == 0) {
+      config.measured_exec = true;
     } else if (ParseFlag(arg, "--out", &value)) {
       out_path = value;
     } else if (ParseFlag(arg, "--seed", &value)) {
@@ -428,6 +436,19 @@ int main(int argc, char** argv) {
               report->agg_geqo.cost_regret.p95,
               report->agg_geqo.latency_regret.mean,
               report->agg_geqo.latency_regret.p95);
+  if (config.measured_exec) {
+    // The measured counterpart, side by side with the simulated regret
+    // above: plans actually executed through the vectorized executor.
+    const hfq::PlannerStats& learned = report->agg_learned;
+    std::printf("  measured exec (%d/%d queries ran): learned mean %.3f ms, "
+                "baseline mean %.3f ms | measured-latency regret mean %.4f "
+                "p95 %.4f (simulated: mean %.4f)\n",
+                learned.num_exec, learned.num_queries, learned.mean_exec_ms,
+                report->agg_dp.num_exec > 0 ? report->agg_dp.mean_exec_ms
+                                            : report->agg_geqo.mean_exec_ms,
+                learned.exec_regret.mean, learned.exec_regret.p95,
+                learned.latency_regret.mean);
+  }
   if (config.include_timings) {
     std::printf("  train %.0f ms, total %.0f ms\n", report->train_ms,
                 report->total_ms);

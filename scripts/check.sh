@@ -14,16 +14,23 @@
 # diffs the fresh report's aggregate cost regret against the committed
 # BENCH_eval_smoke.json reference (scripts/diff_eval_regret.py), failing
 # on mean/p95 increases beyond a small tolerance, not just the golden
-# ceilings in eval_test. The eval build uses portable codegen
+# ceilings in eval_test. It finishes with a --measured-exec smoke run
+# (every learned and baseline plan of the reduced matrix actually executes
+# through the vectorized engine; measured-latency regret lands next to the
+# simulated one in BENCH_eval_measured_smoke.json — numbers are
+# machine-dependent and not gated). The eval build uses portable codegen
 # (HFQ_NATIVE_ARCH=OFF, own build dir) so the regret numbers are
 # comparable across machines.
 #
 # --bench-smoke additionally executes the batched-search-core benchmarks
-# (BM_PlanSearch + BM_FrontierForward) and the DP plan-generator scaling
+# (BM_PlanSearch + BM_FrontierForward), the DP plan-generator scaling
 # sweep (BM_DpEnumerate: chain/star/clique x 8/12/16/20 relations; the
 # n=12 cells walk the full historic subset space and take a few seconds
-# each by design), mirroring CI's bench-smoke step: it proves the bench
-# targets still run, not just compile. Numbers are printed, not gated.
+# each by design), and the executor benches (BM_Execute*: per-operator
+# vectorized-vs-tuple-at-a-time A/B plus the hash-join and group-by
+# acceptance benches), mirroring CI's bench-smoke step: it proves the
+# bench targets still run, not just compile. Numbers are printed, not
+# gated.
 #
 # --serve-smoke additionally runs the BM_PlanServer serving benchmark
 # briefly (plans/sec + p50/p99 service latency, cold and warm-cache, 1
@@ -96,13 +103,17 @@ if [[ "$eval_gate" == ON ]]; then
   # independent of the committed reference (mirrors CI's eval-smoke job).
   python3 ../scripts/diff_eval_regret.py ../BENCH_eval_smoke.json \
     BENCH_eval_smoke.json --ceiling learned=3.4
+  # Measured-execution smoke (mirrors CI's eval-smoke job): plans really
+  # run through the vectorized executor; success is gated, numbers not.
+  ./examples/example_hfq_eval --reduced --no-timings --measured-exec \
+    --out=BENCH_eval_measured_smoke.json
 fi
 
 if [[ "$bench_smoke" == ON ]]; then
   # Mirrors CI's bench-smoke step (local builds keep HFQ_BUILD_BENCH on
   # in every configuration, so the binary is always here).
   ./bench/bench_micro_benchmarks \
-    --benchmark_filter='BM_PlanSearch|BM_FrontierForward|BM_DpEnumerate|BM_PlanServer' \
+    --benchmark_filter='BM_PlanSearch|BM_FrontierForward|BM_DpEnumerate|BM_PlanServer|BM_Execute' \
     --benchmark_min_time=0.01
 fi
 

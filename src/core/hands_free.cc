@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
+#include "exec/executor.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
 
@@ -446,7 +448,8 @@ HandsFreeOptimizer::EvaluateLearnedOnEnv(FullPipelineEnv* env,
                                          const Query& query, MlpWorkspace* ws,
                                          const SearchConfig& search,
                                          int plan_repeats,
-                                         SearchScratch* scratch) {
+                                         SearchScratch* scratch,
+                                         PlanNodePtr* plan_out) {
   HFQ_RETURN_IF_ERROR(CheckReadyToPlan(query));
   LearnedEvaluation eval;
   // Wall clock around the whole call: a searched plan is charged for every
@@ -478,25 +481,29 @@ HandsFreeOptimizer::EvaluateLearnedOnEnv(FullPipelineEnv* env,
                          : 0.5 * (times[mid - 1] + times[mid]);
   eval.cost = learned->est_cost;
   eval.latency_ms = engine_->latency().SimulateMs(query, *learned);
+  if (plan_out != nullptr) *plan_out = std::move(learned);
   return eval;
 }
 
 Result<HandsFreeOptimizer::QueryEvaluation> HandsFreeOptimizer::EvaluateOnEnv(
     FullPipelineEnv* env, const Query& query, MlpWorkspace* ws,
     const SearchConfig& search, int plan_repeats, SearchScratch* scratch,
-    bool with_dp) {
+    bool with_dp, bool measured_exec) {
   QueryEvaluation eval;
 
+  PlanNodePtr learned_plan;
   HFQ_ASSIGN_OR_RETURN(
       LearnedEvaluation learned,
-      EvaluateLearnedOnEnv(env, query, ws, search, plan_repeats, scratch));
+      EvaluateLearnedOnEnv(env, query, ws, search, plan_repeats, scratch,
+                           measured_exec ? &learned_plan : nullptr));
   eval.learned_planning_ms = learned.planning_ms;
   eval.learned_cost = learned.cost;
   eval.learned_latency_ms = learned.latency_ms;
 
   Stopwatch watch;
+  PlanNodePtr dp;
   if (with_dp) {
-    HFQ_ASSIGN_OR_RETURN(PlanNodePtr dp, dp_baseline_->Optimize(query));
+    HFQ_ASSIGN_OR_RETURN(dp, dp_baseline_->Optimize(query));
     eval.dp_planning_ms = watch.ElapsedMillis();
     eval.dp_cost = dp->est_cost;
     eval.dp_latency_ms = engine_->latency().SimulateMs(query, *dp);
@@ -515,6 +522,39 @@ Result<HandsFreeOptimizer::QueryEvaluation> HandsFreeOptimizer::EvaluateOnEnv(
   eval.baseline_cost = with_dp ? eval.dp_cost : eval.geqo_cost;
   eval.baseline_latency_ms =
       with_dp ? eval.dp_latency_ms : eval.geqo_latency_ms;
+
+  if (measured_exec) {
+    // Actually run both plans through the vectorized executor and record
+    // wall clock — the measured counterpart of the simulated latencies.
+    // A plan that trips the intermediate-tuple guard (a catastrophic
+    // learned plan is a legitimate evaluation outcome, not a harness
+    // failure) leaves exec_ran false; any other executor error is real.
+    Executor executor(&engine_->db());
+    const PlanNode& baseline_plan = with_dp ? *dp : *geqo;
+    double learned_ms = 0.0, baseline_ms = 0.0;
+    bool capped = false;
+    for (const auto& [plan, ms] :
+         {std::pair<const PlanNode*, double*>{learned_plan.get(),
+                                              &learned_ms},
+          std::pair<const PlanNode*, double*>{&baseline_plan,
+                                              &baseline_ms}}) {
+      Stopwatch exec_watch;
+      auto run = executor.Execute(query, *plan);
+      if (!run.ok()) {
+        if (run.status().code() == StatusCode::kResourceExhausted) {
+          capped = true;
+          break;
+        }
+        return run.status();
+      }
+      *ms = exec_watch.ElapsedMillis();
+    }
+    if (!capped) {
+      eval.exec_ran = true;
+      eval.learned_exec_ms = learned_ms;
+      eval.baseline_exec_ms = baseline_ms;
+    }
+  }
   return eval;
 }
 

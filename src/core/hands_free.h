@@ -157,6 +157,15 @@ class HandsFreeOptimizer {
     /// PostgreSQL's geqo_threshold tiering.
     double baseline_cost = 0.0;
     double baseline_latency_ms = 0.0;
+    /// Measured execution (EvaluateOnEnv's measured_exec / EvalConfig::
+    /// measured_exec): wall-clock of actually running the learned and
+    /// baseline plans through the vectorized executor, next to the
+    /// simulated latencies above. False when measurement was off or a
+    /// plan blew the intermediate-tuple cap (ResourceExhausted) — the
+    /// exec_ms fields are then zero and must not be read.
+    bool exec_ran = false;
+    double learned_exec_ms = 0.0;
+    double baseline_exec_ms = 0.0;
   };
 
   /// Evaluates every workload query against the learned policy and both
@@ -190,12 +199,18 @@ class HandsFreeOptimizer {
   /// `with_dp` = false skips the exhaustive-DP baseline (for queries where
   /// it is infeasible): the row's dp_ran flips off and the baseline_*
   /// fields fall back from DP to GEQO.
+  /// `measured_exec` = true additionally executes the learned and baseline
+  /// plans against the engine's database (vectorized executor) and records
+  /// wall-clock execution times; a plan that exceeds the executor's
+  /// intermediate-tuple cap leaves exec_ran false instead of failing the
+  /// evaluation.
   Result<QueryEvaluation> EvaluateOnEnv(FullPipelineEnv* env,
                                         const Query& query, MlpWorkspace* ws,
                                         const SearchConfig& search,
                                         int plan_repeats = 1,
                                         SearchScratch* scratch = nullptr,
-                                        bool with_dp = true);
+                                        bool with_dp = true,
+                                        bool measured_exec = false);
 
   /// The learned planner's side of EvaluateOnEnv only — what the
   /// scenario-matrix harness calls per extra search mode, so the DP/GEQO
@@ -206,12 +221,16 @@ class HandsFreeOptimizer {
     double latency_ms = 0.0;
     double planning_ms = 0.0;
   };
+  /// `plan_out` (optional) receives the learned plan itself — the
+  /// measured-execution path needs the plan, not just its metrics.
   Result<LearnedEvaluation> EvaluateLearnedOnEnv(FullPipelineEnv* env,
                                                  const Query& query,
                                                  MlpWorkspace* ws,
                                                  const SearchConfig& search,
                                                  int plan_repeats = 1,
                                                  SearchScratch* scratch =
+                                                     nullptr,
+                                                 PlanNodePtr* plan_out =
                                                      nullptr);
 
   /// A fresh env clone wired to this optimizer's collaborators, carrying

@@ -159,7 +159,8 @@ Result<EvalReport> ScenarioEvaluator::Run() {
         auto row = ctx.facade->EvaluateOnEnv(env, *query, &ws,
                                              config_.search_modes[0],
                                              config_.plan_repeats, &scratch,
-                                             with_dp);
+                                             with_dp,
+                                             config_.measured_exec);
         if (!row.ok()) {
           errors[ci] = row.status();
           return;
@@ -179,6 +180,11 @@ Result<EvalReport> ScenarioEvaluator::Run() {
           mode_row.learned_cost = learned->cost;
           mode_row.learned_latency_ms = learned->latency_ms;
           mode_row.learned_planning_ms = learned->planning_ms;
+          // Measured execution covers mode 0's plan only; carrying its
+          // wall clock onto a different mode's plan would be wrong.
+          mode_row.exec_ran = false;
+          mode_row.learned_exec_ms = 0.0;
+          mode_row.baseline_exec_ms = 0.0;
           result.more_rows[m - 1].push_back(mode_row);
         }
         result.rows.push_back(*row);

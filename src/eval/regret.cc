@@ -90,6 +90,25 @@ PlannerStats ComputePlannerStats(
     stats.win_rate_latency = static_cast<double>(latency_wins) / n;
     stats.mean_planning_ms = planning_sum / n;
   }
+
+  // Measured-execution summary over the rows where both plans actually
+  // ran. Only the learned planner's plan is executed besides the
+  // baseline, so the baseline planners summarize their own (baseline)
+  // measurement — their exec_regret is identically zero.
+  std::vector<double> exec_regrets;
+  double exec_sum = 0.0;
+  for (const auto& row : rows) {
+    if (!row.exec_ran) continue;
+    const double ms = planner == Planner::kLearned ? row.learned_exec_ms
+                                                   : row.baseline_exec_ms;
+    exec_regrets.push_back(Regret(ms, row.baseline_exec_ms));
+    exec_sum += ms;
+  }
+  stats.num_exec = static_cast<int>(exec_regrets.size());
+  if (!exec_regrets.empty()) {
+    stats.mean_exec_ms = exec_sum / static_cast<double>(exec_regrets.size());
+    stats.exec_regret = SummaryStats::Of(std::move(exec_regrets));
+  }
   return stats;
 }
 

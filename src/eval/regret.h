@@ -44,6 +44,13 @@ struct PlannerStats {
   double win_rate_latency = 0.0;
   /// Wall-clock; excluded from deterministic reports.
   double mean_planning_ms = 0.0;
+  /// Measured execution (rows with exec_ran; zero everywhere when the run
+  /// did not measure execution). exec_regret compares the planner's
+  /// measured wall-clock against the baseline's — the measured
+  /// counterpart of latency_regret, which compares simulated latencies.
+  int num_exec = 0;
+  SummaryStats exec_regret;
+  double mean_exec_ms = 0.0;
 };
 
 /// Summarizes `planner`'s regret vs each row's baseline tier over `rows`.

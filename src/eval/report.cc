@@ -38,7 +38,8 @@ void AppendSummary(std::ostringstream* out, const char* key,
 }
 
 void AppendPlanner(std::ostringstream* out, const char* key,
-                   const PlannerStats& p, bool include_timings) {
+                   const PlannerStats& p, bool include_timings,
+                   bool include_exec) {
   *out << Quoted(key) << ":{";
   AppendSummary(out, "cost_regret", p.cost_regret);
   *out << ",";
@@ -46,6 +47,14 @@ void AppendPlanner(std::ostringstream* out, const char* key,
   *out << ",\"win_rate_cost\":" << Num(p.win_rate_cost)
        << ",\"win_rate_latency\":" << Num(p.win_rate_latency)
        << ",\"num_queries\":" << p.num_queries;
+  // Measured-execution fields appear only on measured runs, so every
+  // committed (simulation-only) reference keeps its historic bytes.
+  if (include_exec) {
+    *out << ",";
+    AppendSummary(out, "exec_regret", p.exec_regret);
+    *out << ",\"num_exec\":" << p.num_exec
+         << ",\"mean_exec_ms\":" << Num(p.mean_exec_ms);
+  }
   if (include_timings) {
     *out << ",\"mean_planning_ms\":" << Num(p.mean_planning_ms);
   }
@@ -61,6 +70,7 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
   // the baseline-tier fields (dp_max_relations, band axes, per-cell
   // baseline lists) only when some cell actually skips DP (v3).
   const bool v1 = EvalConfigIsV1Compatible(config);
+  const bool exec = config.measured_exec;
   const bool v3 = EvalConfigHasLargeJoinTier(config);
   std::ostringstream out;
   out << "{\"schema\":\""
@@ -84,6 +94,10 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
   // repeat count only affects timing fields, never plans or costs.
   if (config.plan_repeats != 1) {
     out << ",\"plan_repeats\":" << config.plan_repeats;
+  }
+  // Only measured runs echo the knob, keeping simulation-only bytes.
+  if (config.measured_exec) {
+    out << ",\"measured_exec\":true";
   }
   out << ",\"topologies\":[";
   for (size_t i = 0; i < config.topologies.size(); ++i) {
@@ -151,36 +165,36 @@ std::string ReportToJson(const EvalReport& report, bool include_timings) {
           << (cell.has_dp ? "[\"dp\",\"geqo\"]" : "[\"geqo\"]");
     }
     out << ",\"planners\":{";
-    AppendPlanner(&out, "learned", cell.learned, include_timings);
+    AppendPlanner(&out, "learned", cell.learned, include_timings, exec);
     if (cell.has_dp) {
       out << ",";
-      AppendPlanner(&out, "dp", cell.dp, include_timings);
+      AppendPlanner(&out, "dp", cell.dp, include_timings, exec);
     }
     out << ",";
-    AppendPlanner(&out, "geqo", cell.geqo, include_timings);
+    AppendPlanner(&out, "geqo", cell.geqo, include_timings, exec);
     for (size_t m = 0; m < cell.more_search.size(); ++m) {
       out << ",";
       AppendPlanner(
           &out,
           ("learned:" + SearchConfigName(config.search_modes[m + 1])).c_str(),
-          cell.more_search[m], include_timings);
+          cell.more_search[m], include_timings, exec);
     }
     out << "}}";
   }
   out << "]";
 
   out << ",\"aggregate\":{";
-  AppendPlanner(&out, "learned", report.agg_learned, include_timings);
+  AppendPlanner(&out, "learned", report.agg_learned, include_timings, exec);
   out << ",";
-  AppendPlanner(&out, "dp", report.agg_dp, include_timings);
+  AppendPlanner(&out, "dp", report.agg_dp, include_timings, exec);
   out << ",";
-  AppendPlanner(&out, "geqo", report.agg_geqo, include_timings);
+  AppendPlanner(&out, "geqo", report.agg_geqo, include_timings, exec);
   for (size_t m = 0; m < report.agg_more_search.size(); ++m) {
     out << ",";
     AppendPlanner(
         &out,
         ("learned:" + SearchConfigName(config.search_modes[m + 1])).c_str(),
-        report.agg_more_search[m], include_timings);
+        report.agg_more_search[m], include_timings, exec);
   }
   out << "}";
 

@@ -170,7 +170,7 @@ bool EvalConfigHasLargeJoinTier(const EvalConfig& config) {
 bool EvalConfigIsV1Compatible(const EvalConfig& config) {
   return config.search_modes.size() == 1 &&
          IsDefaultGreedy(config.search_modes[0]) &&
-         !EvalConfigHasLargeJoinTier(config);
+         !EvalConfigHasLargeJoinTier(config) && !config.measured_exec;
 }
 
 std::string ScenarioCell::Key(const EvalConfig& config) const {

@@ -91,6 +91,13 @@ struct EvalConfig {
   int teacher_iterations = 4;
   /// Plan search the teacher uses (constructor default: beam-4).
   SearchConfig teacher_mode;
+  /// Measured execution: every evaluated query's learned and baseline
+  /// plans are additionally RUN through the vectorized executor
+  /// (hfq_eval --measured-exec), and the report carries measured-latency
+  /// regret next to the simulated one. Wall-clock measurements are
+  /// machine-dependent, so a measured run never keeps the v1 byte layout
+  /// and its reports are not committed as cross-machine references.
+  bool measured_exec = false;
   /// Emit wall-clock timing fields in the JSON report. Turn off for
   /// byte-identical reports across runs.
   bool include_timings = true;

@@ -1,62 +1,244 @@
+// The vectorized (batch-at-a-time) engine, plus everything both engines
+// share: the Executor shell, dispatch, and the collision-safe vectorized
+// aggregation. The tuple-at-a-time reference engine lives in
+// executor_legacy.cc. See executor.h for the bit-identity contract the
+// two engines (and every worker count) uphold.
 #include "exec/executor.h"
 
 #include <algorithm>
-#include <cmath>
-#include <unordered_map>
+#include <atomic>
+#include <cstring>
+#include <vector>
 
+#include "exec/executor_internal.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace hfq {
 namespace {
 
-// Fetches the base-table column backing a ColumnRef.
-const Column* ResolveColumn(const Database& db, const Query& query,
-                            const ColumnRef& ref) {
-  const auto& rel_ref = query.relations[static_cast<size_t>(ref.rel_idx)];
-  auto table = db.GetTable(rel_ref.table);
-  HFQ_CHECK_MSG(table.ok(), "executor: missing table");
-  auto col = (*table)->GetColumn(ref.column);
-  HFQ_CHECK_MSG(col.ok(), "executor: missing column");
-  return *col;
+using exec_internal::BindColumn;
+using exec_internal::BoundColumn;
+using exec_internal::CollectIndexCandidates;
+using exec_internal::ExecScratch;
+using exec_internal::FlatJoinHashTable;
+using exec_internal::InljProbe;
+using exec_internal::MatchBuffer;
+using exec_internal::ResolveColumn;
+using exec_internal::ResolveInljProbe;
+using exec_internal::SidedPred;
+using exec_internal::SidePreds;
+
+// ---------------------------------------------------------------------------
+// Column gather: materialize a bound column for every input tuple into one
+// contiguous vector. Inner loops then index flat arrays — one indirection
+// per tuple total instead of a row_ids lookup plus a column access per use.
+
+std::vector<int64_t> GatherInt(ExecScratch* sc, const BoundColumn& b,
+                               const RowIdTable& t) {
+  const auto& rows = t.row_ids[static_cast<size_t>(b.col_pos)];
+  std::vector<int64_t> out = sc->TakeInts();
+  out.resize(rows.size());
+  b.column->GatherInt(rows.data(), static_cast<int64_t>(rows.size()),
+                      out.data());
+  return out;
 }
 
-struct PairHash {
-  size_t operator()(int64_t k) const {
-    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ull;
-    return static_cast<size_t>(h ^ (h >> 32));
+std::vector<double> GatherNumeric(ExecScratch* sc, const BoundColumn& b,
+                                  const RowIdTable& t) {
+  const auto& rows = t.row_ids[static_cast<size_t>(b.col_pos)];
+  std::vector<double> out = sc->TakeDoubles();
+  out.resize(rows.size());
+  b.column->GatherNumeric(rows.data(), static_cast<int64_t>(rows.size()),
+                          out.data());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector filtering. The comparison op is dispatched once per
+// filter, outside the row loop.
+
+template <typename Fn>
+void WithCmp(CmpOp op, Fn&& fn) {
+  switch (op) {
+    case CmpOp::kEq: fn([](double a, double b) { return a == b; }); return;
+    case CmpOp::kNe: fn([](double a, double b) { return a != b; }); return;
+    case CmpOp::kLt: fn([](double a, double b) { return a < b; }); return;
+    case CmpOp::kLe: fn([](double a, double b) { return a <= b; }); return;
+    case CmpOp::kGt: fn([](double a, double b) { return a > b; }); return;
+    case CmpOp::kGe: fn([](double a, double b) { return a >= b; }); return;
   }
-};
-
-// A ColumnRef resolved against a specific RowIdTable: the table column
-// position plus the backing base-table column. Operators bind each ref
-// once and reuse it across the tuple loop — resolving per tuple costs two
-// string-keyed hash lookups on the hottest path in the executor.
-struct BoundColumn {
-  int col_pos = -1;
-  const Column* column = nullptr;
-};
-
-BoundColumn BindColumn(const Database& db, const Query& query,
-                       const RowIdTable& t, const ColumnRef& ref) {
-  BoundColumn bound;
-  bound.col_pos = t.ColumnOf(ref.rel_idx);
-  HFQ_CHECK(bound.col_pos >= 0);
-  bound.column = ResolveColumn(db, query, ref);
-  return bound;
+  HFQ_CHECK_MSG(false, "executor: unknown CmpOp");
 }
 
-double BoundValue(const BoundColumn& bound, const RowIdTable& t,
-                  int64_t tuple) {
-  int64_t row = t.row_ids[static_cast<size_t>(bound.col_pos)][
-      static_cast<size_t>(tuple)];
-  return bound.column->GetNumeric(row);
+// Appends the rows of [begin, end) satisfying `col op value` to *sel —
+// a full scan's first filter builds its selection vector straight from
+// the base column, never materializing the 0..n-1 candidate list.
+void FilterRange(const Column& col, CmpOp op, double value, int64_t begin,
+                 int64_t end, std::vector<int64_t>* sel) {
+  WithCmp(op, [&](auto cmp) {
+    if (col.type() == ColumnType::kInt64) {
+      const int64_t* data = col.ints().data();
+      for (int64_t r = begin; r < end; ++r) {
+        if (cmp(static_cast<double>(data[r]), value)) sel->push_back(r);
+      }
+    } else {
+      const double* data = col.doubles().data();
+      for (int64_t r = begin; r < end; ++r) {
+        if (cmp(data[r], value)) sel->push_back(r);
+      }
+    }
+  });
 }
 
-int64_t BoundIntValue(const BoundColumn& bound, const RowIdTable& t,
-                      int64_t tuple) {
-  int64_t row = t.row_ids[static_cast<size_t>(bound.col_pos)][
-      static_cast<size_t>(tuple)];
-  return bound.column->GetInt(row);
+// Compacts *sel in place to the rows satisfying `col op value`.
+void FilterSel(const Column& col, CmpOp op, double value,
+               std::vector<int64_t>* sel) {
+  WithCmp(op, [&](auto cmp) {
+    int64_t* rows = sel->data();
+    const size_t n = sel->size();
+    size_t w = 0;
+    if (col.type() == ColumnType::kInt64) {
+      const int64_t* data = col.ints().data();
+      for (size_t i = 0; i < n; ++i) {
+        if (cmp(static_cast<double>(data[rows[i]]), value)) rows[w++] = rows[i];
+      }
+    } else {
+      const double* data = col.doubles().data();
+      for (size_t i = 0; i < n; ++i) {
+        if (cmp(data[rows[i]], value)) rows[w++] = rows[i];
+      }
+    }
+    sel->resize(w);
+  });
+}
+
+// A scan-side filter with its column and literal resolved once.
+struct ScanFilter {
+  const Column* col;
+  CmpOp op;
+  double value;
+};
+
+std::vector<ScanFilter> BindScanFilters(const Database& db, const Query& query,
+                                        const std::vector<int>& sel_idxs) {
+  std::vector<ScanFilter> filters;
+  filters.reserve(sel_idxs.size());
+  for (int s : sel_idxs) {
+    const auto& sel = query.selections[static_cast<size_t>(s)];
+    filters.push_back({ResolveColumn(db, query, sel.column), sel.op,
+                       sel.value.AsDouble()});
+  }
+  return filters;
+}
+
+// ---------------------------------------------------------------------------
+// Join match collection. Probe loops append (outer tuple, inner tuple)
+// pairs into per-morsel buffers; materialization then block-copies the
+// row ids, so output vectors are sized once instead of grown per tuple.
+
+// The intermediate-size guard, shared across morsel workers. The check is
+// amortized per outer tuple (not per emitted pair) against an atomic
+// total; the outcome — error iff the join's total match count exceeds the
+// cap — is schedule-invariant even though which worker notices is not.
+class CapGuard {
+ public:
+  explicit CapGuard(int64_t cap) : cap_(cap) {}
+
+  // Registers `delta` more matches. Returns false once the join is known
+  // to exceed the cap (callers abort their collect loop).
+  bool Add(int64_t delta) {
+    const int64_t total =
+        total_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    if (total > cap_) {
+      tripped_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return !tripped_.load(std::memory_order_relaxed);
+  }
+
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+
+ private:
+  const int64_t cap_;
+  std::atomic<int64_t> total_{0};
+  std::atomic<bool> tripped_{false};
+};
+
+// Runs `collect(begin, end, buf)` over morsels of the outer side's
+// [0, n) tuple range — inline when serial, fanned out over the pool when
+// parallel — leaving per-morsel buffers in *bufs in morsel order, which
+// is what makes concatenated output bit-identical at any worker count.
+// Buffers come from the scratch pool (acquired serially, before the
+// fan-out). `collect` returns false to stop early (cap tripped).
+template <typename CollectFn>
+void CollectMorsels(ExecScratch* sc, ThreadPool* pool, int num_workers,
+                    int64_t morsel_size, int64_t n, const CollectFn& collect,
+                    std::vector<MatchBuffer>* bufs) {
+  const bool parallel = pool != nullptr && num_workers > 1 && n > morsel_size;
+  const int64_t step = parallel ? morsel_size : (n > 0 ? n : 1);
+  const int64_t num_morsels = n == 0 ? 0 : (n + step - 1) / step;
+  bufs->resize(static_cast<size_t>(num_morsels));
+  for (MatchBuffer& buf : *bufs) {
+    buf.outer = sc->TakeInts();
+    buf.inner = sc->TakeInts();
+  }
+  const int workers = parallel ? num_workers : 1;
+  RunOnWorkers(parallel ? pool : nullptr, workers, [&](int w) {
+    for (int64_t m = w; m < num_morsels; m += workers) {
+      const int64_t begin = m * step;
+      const int64_t end = std::min(n, begin + step);
+      if (!collect(begin, end, &(*bufs)[static_cast<size_t>(m)])) return;
+    }
+  });
+}
+
+// Block-appends every buffered match into *out: size each output column
+// once, then gather outer columns through the match's outer tuple index
+// and inner columns through its inner tuple index. When `inner` is null
+// (INLJ) the buffered inner entries are base-table rows and copy through.
+// The match buffers are recycled afterwards.
+void MaterializeMatches(ExecScratch* sc, const RowIdTable& outer,
+                        const RowIdTable* inner,
+                        std::vector<MatchBuffer>* bufs, RowIdTable* out) {
+  int64_t total = 0;
+  for (const MatchBuffer& buf : *bufs) {
+    total += static_cast<int64_t>(buf.outer.size());
+  }
+  for (auto& col : out->row_ids) col.resize(static_cast<size_t>(total));
+  int64_t offset = 0;
+  const size_t num_outer_cols = outer.rels.size();
+  for (const MatchBuffer& buf : *bufs) {
+    const size_t m = buf.outer.size();
+    if (m == 0) continue;
+    for (size_t c = 0; c < num_outer_cols; ++c) {
+      const int64_t* src = outer.row_ids[c].data();
+      int64_t* dst = out->row_ids[c].data() + offset;
+      for (size_t k = 0; k < m; ++k) {
+        dst[k] = src[static_cast<size_t>(buf.outer[k])];
+      }
+    }
+    if (inner != nullptr) {
+      for (size_t c = 0; c < inner->rels.size(); ++c) {
+        const int64_t* src = inner->row_ids[c].data();
+        int64_t* dst = out->row_ids[num_outer_cols + c].data() + offset;
+        for (size_t k = 0; k < m; ++k) {
+          dst[k] = src[static_cast<size_t>(buf.inner[k])];
+        }
+      }
+    } else {
+      std::memcpy(out->row_ids[num_outer_cols].data() + offset,
+                  buf.inner.data(), m * sizeof(int64_t));
+    }
+    offset += static_cast<int64_t>(m);
+  }
+  for (MatchBuffer& buf : *bufs) sc->Recycle(std::move(buf));
+  bufs->clear();
+}
+
+Status CapExceeded() {
+  return Status::ResourceExhausted(
+      "intermediate result exceeded max_intermediate_tuples");
 }
 
 }  // namespace
@@ -69,8 +251,20 @@ int RowIdTable::ColumnOf(int rel) const {
 }
 
 Executor::Executor(const Database* db, ExecOptions options)
-    : db_(db), options_(options) {
+    : db_(db), options_(options),
+      scratch_(std::make_unique<exec_internal::ExecScratch>()) {
   HFQ_CHECK(db != nullptr);
+  HFQ_CHECK(options_.num_workers >= 1);
+  HFQ_CHECK(options_.morsel_size >= 1);
+}
+
+Executor::~Executor() = default;
+
+ThreadPool* Executor::pool() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  }
+  return pool_.get();
 }
 
 Result<RowIdTable> Executor::ExecScan(const Query& query,
@@ -78,73 +272,65 @@ Result<RowIdTable> Executor::ExecScan(const Query& query,
   const auto& rel_ref = query.relations[static_cast<size_t>(node.rel_idx)];
   HFQ_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(rel_ref.table));
 
-  std::vector<int64_t> candidates;
-  if (node.op == PhysicalOp::kIndexScan) {
-    const TableIndex* index = table->FindIndex(node.index_column,
-                                               node.index_kind);
-    if (index == nullptr) {
-      return Status::FailedPrecondition("no such index on " + rel_ref.table +
-                                        "." + node.index_column);
-    }
-    HFQ_CHECK(node.index_sel_idx >= 0);
-    const auto& sel =
-        query.selections[static_cast<size_t>(node.index_sel_idx)];
-    const int64_t v = sel.value.is_double
-                          ? static_cast<int64_t>(std::floor(sel.value.d))
-                          : sel.value.i;
-    if (sel.op == CmpOp::kEq) {
-      index->LookupEqual(v, &candidates);
-    } else {
-      const auto* sorted = dynamic_cast<const SortedIndex*>(index);
-      if (sorted == nullptr) {
-        return Status::InvalidArgument(
-            "hash index cannot serve range predicate");
-      }
-      switch (sel.op) {
-        case CmpOp::kLt:
-          sorted->LookupRange(INT64_MIN, v - 1, &candidates);
-          break;
-        case CmpOp::kLe:
-          sorted->LookupRange(INT64_MIN, v, &candidates);
-          break;
-        case CmpOp::kGt:
-          sorted->LookupRange(v + 1, INT64_MAX, &candidates);
-          break;
-        case CmpOp::kGe:
-          sorted->LookupRange(v, INT64_MAX, &candidates);
-          break;
-        default:
-          return Status::InvalidArgument("index scan with <> predicate");
-      }
-    }
-  } else {
-    candidates.resize(static_cast<size_t>(table->num_rows()));
-    for (int64_t r = 0; r < table->num_rows(); ++r) {
-      candidates[static_cast<size_t>(r)] = r;
-    }
-  }
-
-  // Residual filters.
   RowIdTable out;
   out.rels = {node.rel_idx};
   out.row_ids.resize(1);
-  std::vector<const Column*> filter_cols;
-  for (int s : node.filter_sel_idxs) {
-    const auto& sel = query.selections[static_cast<size_t>(s)];
-    filter_cols.push_back(ResolveColumn(*db_, query, sel.column));
+  out.row_ids[0] = scratch_->TakeInts();
+  std::vector<int64_t>& sel = out.row_ids[0];
+
+  const std::vector<ScanFilter> filters =
+      BindScanFilters(*db_, query, node.filter_sel_idxs);
+
+  if (node.op == PhysicalOp::kIndexScan) {
+    HFQ_RETURN_IF_ERROR(
+        CollectIndexCandidates(*table, query, node, rel_ref.table, &sel));
+    for (const ScanFilter& f : filters) FilterSel(*f.col, f.op, f.value, &sel);
+    return out;
   }
-  for (int64_t row : candidates) {
-    bool pass = true;
-    for (size_t i = 0; i < node.filter_sel_idxs.size(); ++i) {
-      const auto& sel = query.selections[
-          static_cast<size_t>(node.filter_sel_idxs[i])];
-      if (!EvalCmp(filter_cols[i]->GetNumeric(row), sel.op,
-                   sel.value.AsDouble())) {
-        pass = false;
-        break;
+
+  const int64_t n = table->num_rows();
+  if (filters.empty()) {
+    sel.resize(static_cast<size_t>(n));
+    for (int64_t r = 0; r < n; ++r) sel[static_cast<size_t>(r)] = r;
+    return out;
+  }
+
+  if (options_.num_workers > 1 && n > options_.morsel_size) {
+    // Morsel-parallel filtering; per-morsel selections concatenate in
+    // morsel order, so the output is the same ascending row list the
+    // serial path produces.
+    const int64_t step = options_.morsel_size;
+    const int64_t num_morsels = (n + step - 1) / step;
+    std::vector<std::vector<int64_t>> parts(
+        static_cast<size_t>(num_morsels));
+    for (auto& part : parts) part = scratch_->TakeInts();
+    const int workers = options_.num_workers;
+    ThreadPool* tp = pool();
+    RunOnWorkers(tp, workers, [&](int w) {
+      for (int64_t m = w; m < num_morsels; m += workers) {
+        const int64_t begin = m * step;
+        const int64_t end = std::min(n, begin + step);
+        std::vector<int64_t>& part = parts[static_cast<size_t>(m)];
+        FilterRange(*filters[0].col, filters[0].op, filters[0].value, begin,
+                    end, &part);
+        for (size_t f = 1; f < filters.size(); ++f) {
+          FilterSel(*filters[f].col, filters[f].op, filters[f].value, &part);
+        }
       }
+    });
+    size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    sel.reserve(total);
+    for (auto& part : parts) {
+      sel.insert(sel.end(), part.begin(), part.end());
+      scratch_->Recycle(std::move(part));
     }
-    if (pass) out.row_ids[0].push_back(row);
+    return out;
+  }
+
+  FilterRange(*filters[0].col, filters[0].op, filters[0].value, 0, n, &sel);
+  for (size_t f = 1; f < filters.size(); ++f) {
+    FilterSel(*filters[f].col, filters[f].op, filters[f].value, &sel);
   }
   return out;
 }
@@ -156,151 +342,90 @@ Result<RowIdTable> Executor::ExecJoin(const Query& query,
   HFQ_ASSIGN_OR_RETURN(RowIdTable outer,
                        ExecNode(query, *node.child(0), result));
 
+  ExecScratch* sc = scratch_.get();
   RowIdTable out;
   out.rels = outer.rels;
-
-  // Resolve join predicates into (outer side ref, inner side ref).
-  struct SidedPred {
-    ColumnRef outer_ref;
-    ColumnRef inner_ref;
-  };
-  std::vector<SidedPred> preds;
-  const RelSet outer_rels = node.child(0)->rels;
-  for (int pi : node.join_pred_idxs) {
-    const auto& jp = query.joins[static_cast<size_t>(pi)];
-    if (RelSetHas(outer_rels, jp.left.rel_idx)) {
-      preds.push_back({jp.left, jp.right});
-    } else {
-      preds.push_back({jp.right, jp.left});
-    }
-  }
-
-  auto append_tuple = [&](const RowIdTable& inner, int64_t outer_tuple,
-                          int64_t inner_tuple) -> Status {
-    for (size_t c = 0; c < outer.rels.size(); ++c) {
-      out.row_ids[c].push_back(
-          outer.row_ids[c][static_cast<size_t>(outer_tuple)]);
-    }
-    for (size_t c = 0; c < inner.rels.size(); ++c) {
-      out.row_ids[outer.rels.size() + c].push_back(
-          inner.row_ids[c][static_cast<size_t>(inner_tuple)]);
-    }
-    if (out.NumTuples() > options_.max_intermediate_tuples) {
-      return Status::ResourceExhausted(
-          "intermediate result exceeded max_intermediate_tuples");
-    }
-    return Status::OK();
-  };
+  const int64_t n_outer = outer.NumTuples();
+  CapGuard cap(options_.max_intermediate_tuples);
+  ThreadPool* tp = options_.num_workers > 1 ? pool() : nullptr;
+  std::vector<MatchBuffer> bufs;
 
   if (node.op == PhysicalOp::kIndexNestedLoopJoin) {
-    // The inner child must be a scan; we probe its table's index per outer
-    // row, then apply the inner's residual filters and remaining preds.
     const PlanNode& inner_scan = *node.child(1);
-    HFQ_CHECK(inner_scan.IsScan());
-    HFQ_CHECK(node.inner_probe_pred_idx >= 0);
-    const auto& probe_pred =
-        query.joins[static_cast<size_t>(node.inner_probe_pred_idx)];
-    const bool inner_is_left =
-        RelSetHas(inner_scan.rels, probe_pred.left.rel_idx);
-    const ColumnRef& inner_key = inner_is_left ? probe_pred.left
-                                               : probe_pred.right;
-    const ColumnRef& outer_key = inner_is_left ? probe_pred.right
-                                               : probe_pred.left;
-    const auto& inner_rel =
-        query.relations[static_cast<size_t>(inner_scan.rel_idx)];
-    HFQ_ASSIGN_OR_RETURN(const Table* inner_table,
-                         db_->GetTable(inner_rel.table));
-    const TableIndex* index =
-        inner_table->FindIndex(inner_key.column, inner_scan.index_kind);
-    if (index == nullptr) {
-      // Fall back to any index on the key column.
-      index = inner_table->FindIndex(inner_key.column, IndexKind::kBTree);
-      if (index == nullptr) {
-        index = inner_table->FindIndex(inner_key.column, IndexKind::kHash);
-      }
-    }
-    if (index == nullptr) {
-      return Status::FailedPrecondition("INLJ requires an index on " +
-                                        inner_rel.table + "." +
-                                        inner_key.column);
-    }
-
-    out.row_ids.resize(outer.rels.size() + 1);
+    HFQ_ASSIGN_OR_RETURN(const InljProbe probe,
+                         ResolveInljProbe(*db_, query, node));
     out.rels.push_back(inner_scan.rel_idx);
-    RowIdTable inner_stub;
-    inner_stub.rels = {inner_scan.rel_idx};
-    inner_stub.row_ids.resize(1);
+    out.row_ids.resize(outer.rels.size() + 1);
+    for (auto& col : out.row_ids) col = sc->TakeInts();
 
-    std::vector<const Column*> inner_filter_cols;
-    for (int s : inner_scan.filter_sel_idxs) {
-      const auto& sel = query.selections[static_cast<size_t>(s)];
-      inner_filter_cols.push_back(ResolveColumn(*db_, query, sel.column));
-    }
-    // Resolve every per-tuple column once, outside the probe loops.
-    const BoundColumn outer_key_bound =
-        BindColumn(*db_, query, outer, outer_key);
-    const Column* index_sel_col = nullptr;
+    // Inner residual filters, including the scan's index_sel predicate
+    // (the probe hits raw index entries, so it must be re-checked).
+    std::vector<ScanFilter> inner_filters =
+        BindScanFilters(*db_, query, inner_scan.filter_sel_idxs);
     if (inner_scan.index_sel_idx >= 0) {
       const auto& sel =
           query.selections[static_cast<size_t>(inner_scan.index_sel_idx)];
-      index_sel_col = ResolveColumn(*db_, query, sel.column);
+      inner_filters.push_back({ResolveColumn(*db_, query, sel.column), sel.op,
+                               sel.value.AsDouble()});
     }
+    // Join predicates the probe does not cover: outer side gathered flat,
+    // inner side read from the base column per candidate row.
     struct RemainingPred {
-      BoundColumn outer;
+      std::vector<double> outer_vals;
       const Column* inner_col;
     };
-    std::vector<RemainingPred> remaining_preds;
-    for (int pi : node.join_pred_idxs) {
-      if (pi == node.inner_probe_pred_idx) continue;
-      const auto& jp = query.joins[static_cast<size_t>(pi)];
-      const ColumnRef& oref =
-          RelSetHas(outer_rels, jp.left.rel_idx) ? jp.left : jp.right;
-      const ColumnRef& iref =
-          RelSetHas(outer_rels, jp.left.rel_idx) ? jp.right : jp.left;
-      remaining_preds.push_back({BindColumn(*db_, query, outer, oref),
-                                 ResolveColumn(*db_, query, iref)});
+    std::vector<RemainingPred> remaining;
+    for (const SidedPred& sp :
+         SidePreds(query, node, node.inner_probe_pred_idx)) {
+      remaining.push_back(
+          {GatherNumeric(sc, BindColumn(*db_, query, outer, sp.outer_ref),
+                         outer),
+           ResolveColumn(*db_, query, sp.inner_ref)});
     }
-    std::vector<int64_t> matches;
-    for (int64_t t = 0; t < outer.NumTuples(); ++t) {
-      int64_t key = BoundIntValue(outer_key_bound, outer, t);
-      matches.clear();
-      index->LookupEqual(key, &matches);
-      for (int64_t row : matches) {
-        // Inner residual filters (including any index_sel on the scan).
-        bool pass = true;
-        for (size_t i = 0; i < inner_scan.filter_sel_idxs.size(); ++i) {
-          const auto& sel = query.selections[
-              static_cast<size_t>(inner_scan.filter_sel_idxs[i])];
-          if (!EvalCmp(inner_filter_cols[i]->GetNumeric(row), sel.op,
-                       sel.value.AsDouble())) {
-            pass = false;
-            break;
+    std::vector<int64_t> outer_keys =
+        GatherInt(sc, BindColumn(*db_, query, outer, probe.outer_key), outer);
+
+    const auto collect = [&](int64_t begin, int64_t end,
+                             MatchBuffer* buf) -> bool {
+      std::vector<int64_t> matches;
+      for (int64_t t = begin; t < end; ++t) {
+        const size_t before = buf->outer.size();
+        matches.clear();
+        probe.index->LookupEqual(outer_keys[static_cast<size_t>(t)],
+                                 &matches);
+        for (int64_t row : matches) {
+          bool pass = true;
+          for (const ScanFilter& f : inner_filters) {
+            if (!EvalCmp(f.col->GetNumeric(row), f.op, f.value)) {
+              pass = false;
+              break;
+            }
           }
-        }
-        if (!pass) continue;
-        if (index_sel_col != nullptr) {
-          const auto& sel = query.selections[
-              static_cast<size_t>(inner_scan.index_sel_idx)];
-          if (!EvalCmp(index_sel_col->GetNumeric(row), sel.op,
-                       sel.value.AsDouble())) {
-            continue;
+          if (!pass) continue;
+          for (const RemainingPred& rp : remaining) {
+            if (rp.outer_vals[static_cast<size_t>(t)] !=
+                rp.inner_col->GetNumeric(row)) {
+              pass = false;
+              break;
+            }
           }
+          if (!pass) continue;
+          buf->outer.push_back(t);
+          buf->inner.push_back(row);
         }
-        // Remaining join predicates.
-        inner_stub.row_ids[0].assign(1, row);
-        bool preds_pass = true;
-        for (const RemainingPred& rp : remaining_preds) {
-          double ov = BoundValue(rp.outer, outer, t);
-          double iv = rp.inner_col->GetNumeric(row);
-          if (ov != iv) {
-            preds_pass = false;
-            break;
-          }
+        if (!cap.Add(static_cast<int64_t>(buf->outer.size() - before))) {
+          return false;
         }
-        if (!preds_pass) continue;
-        HFQ_RETURN_IF_ERROR(append_tuple(inner_stub, t, 0));
       }
-    }
+      return true;
+    };
+    CollectMorsels(sc, tp, options_.num_workers, options_.morsel_size,
+                   n_outer, collect, &bufs);
+    sc->Recycle(std::move(outer_keys));
+    for (auto& rp : remaining) sc->Recycle(std::move(rp.outer_vals));
+    if (cap.tripped()) return CapExceeded();
+    MaterializeMatches(sc, outer, nullptr, &bufs, &out);
+    sc->Recycle(std::move(outer));
     return out;
   }
 
@@ -308,114 +433,211 @@ Result<RowIdTable> Executor::ExecJoin(const Query& query,
                        ExecNode(query, *node.child(1), result));
   out.rels.insert(out.rels.end(), inner.rels.begin(), inner.rels.end());
   out.row_ids.resize(outer.rels.size() + inner.rels.size());
+  for (auto& col : out.row_ids) col = sc->TakeInts();
+  const int64_t n_inner = inner.NumTuples();
 
-  // Bind each predicate's columns against both inputs once per operator.
-  struct BoundPred {
-    BoundColumn outer;
-    BoundColumn inner;
+  const std::vector<SidedPred> preds = SidePreds(query, node);
+  // Gather both sides of every predicate once. Residual checks compare
+  // numeric (double) views, exactly like the reference engine.
+  struct GatheredPred {
+    std::vector<double> outer_vals;
+    std::vector<double> inner_vals;
   };
-  std::vector<BoundPred> bound_preds;
-  bound_preds.reserve(preds.size());
-  for (const SidedPred& pred : preds) {
-    bound_preds.push_back({BindColumn(*db_, query, outer, pred.outer_ref),
-                           BindColumn(*db_, query, inner, pred.inner_ref)});
+  std::vector<GatheredPred> gpreds;
+  gpreds.reserve(preds.size());
+  for (const SidedPred& sp : preds) {
+    gpreds.push_back(
+        {GatherNumeric(sc, BindColumn(*db_, query, outer, sp.outer_ref),
+                       outer),
+         GatherNumeric(sc, BindColumn(*db_, query, inner, sp.inner_ref),
+                       inner)});
   }
-
-  auto residual_ok = [&](int64_t ot, int64_t it, size_t first_pred) {
-    for (size_t p = first_pred; p < bound_preds.size(); ++p) {
-      double ov = BoundValue(bound_preds[p].outer, outer, ot);
-      double iv = BoundValue(bound_preds[p].inner, inner, it);
-      if (ov != iv) return false;
+  const size_t num_preds = gpreds.size();
+  const auto residual_ok = [&](int64_t ot, int64_t it, size_t first_pred) {
+    for (size_t p = first_pred; p < num_preds; ++p) {
+      if (gpreds[p].outer_vals[static_cast<size_t>(ot)] !=
+          gpreds[p].inner_vals[static_cast<size_t>(it)]) {
+        return false;
+      }
     }
     return true;
   };
 
   switch (node.op) {
     case PhysicalOp::kNestedLoopJoin: {
-      for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
-        for (int64_t it = 0; it < inner.NumTuples(); ++it) {
-          if (residual_ok(ot, it, 0)) {
-            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+      const auto collect = [&](int64_t begin, int64_t end,
+                               MatchBuffer* buf) -> bool {
+        for (int64_t ot = begin; ot < end; ++ot) {
+          const size_t before = buf->outer.size();
+          for (int64_t it = 0; it < n_inner; ++it) {
+            if (residual_ok(ot, it, 0)) {
+              buf->outer.push_back(ot);
+              buf->inner.push_back(it);
+            }
+          }
+          if (!cap.Add(static_cast<int64_t>(buf->outer.size() - before))) {
+            return false;
           }
         }
-      }
+        return true;
+      };
+      CollectMorsels(sc, tp, options_.num_workers, options_.morsel_size,
+                     n_outer, collect, &bufs);
       break;
     }
     case PhysicalOp::kHashJoin: {
       if (preds.empty()) {
-        // Degenerate: cross product via NLJ semantics.
-        for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
-          for (int64_t it = 0; it < inner.NumTuples(); ++it) {
-            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+        // Degenerate: cross product in nested-loop emission order.
+        const auto collect = [&](int64_t begin, int64_t end,
+                                 MatchBuffer* buf) -> bool {
+          for (int64_t ot = begin; ot < end; ++ot) {
+            for (int64_t it = 0; it < n_inner; ++it) {
+              buf->outer.push_back(ot);
+              buf->inner.push_back(it);
+            }
+            if (!cap.Add(n_inner)) return false;
           }
-        }
+          return true;
+        };
+        CollectMorsels(sc, tp, options_.num_workers, options_.morsel_size,
+                       n_outer, collect, &bufs);
         break;
       }
-      std::unordered_map<int64_t, std::vector<int64_t>, PairHash> ht;
-      ht.reserve(static_cast<size_t>(inner.NumTuples()));
-      for (int64_t it = 0; it < inner.NumTuples(); ++it) {
-        ht[BoundIntValue(bound_preds[0].inner, inner, it)].push_back(it);
-      }
-      for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
-        auto hit = ht.find(BoundIntValue(bound_preds[0].outer, outer, ot));
-        if (hit == ht.end()) continue;
-        for (int64_t it : hit->second) {
-          if (residual_ok(ot, it, 1)) {
-            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+      std::vector<int64_t> build_keys = GatherInt(
+          sc, BindColumn(*db_, query, inner, preds[0].inner_ref), inner);
+      std::vector<int64_t> probe_keys = GatherInt(
+          sc, BindColumn(*db_, query, outer, preds[0].outer_ref), outer);
+      FlatJoinHashTable& ht = sc->join_ht;
+      ht.Build(build_keys);
+      // The one-equality-pred hash join (the overwhelmingly common shape)
+      // probes with no residual work in the inner loop at all.
+      const auto collect_fast = [&](int64_t begin, int64_t end,
+                                    MatchBuffer* buf) -> bool {
+        for (int64_t ot = begin; ot < end; ++ot) {
+          const size_t before = buf->outer.size();
+          for (int64_t it = ht.First(probe_keys[static_cast<size_t>(ot)]);
+               it >= 0; it = ht.Next(it)) {
+            buf->outer.push_back(ot);
+            buf->inner.push_back(it);
+          }
+          if (!cap.Add(static_cast<int64_t>(buf->outer.size() - before))) {
+            return false;
           }
         }
+        return true;
+      };
+      const auto collect = [&](int64_t begin, int64_t end,
+                               MatchBuffer* buf) -> bool {
+        for (int64_t ot = begin; ot < end; ++ot) {
+          const size_t before = buf->outer.size();
+          for (int64_t it = ht.First(probe_keys[static_cast<size_t>(ot)]);
+               it >= 0; it = ht.Next(it)) {
+            if (residual_ok(ot, it, 1)) {
+              buf->outer.push_back(ot);
+              buf->inner.push_back(it);
+            }
+          }
+          if (!cap.Add(static_cast<int64_t>(buf->outer.size() - before))) {
+            return false;
+          }
+        }
+        return true;
+      };
+      if (num_preds == 1) {
+        CollectMorsels(sc, tp, options_.num_workers, options_.morsel_size,
+                       n_outer, collect_fast, &bufs);
+      } else {
+        CollectMorsels(sc, tp, options_.num_workers, options_.morsel_size,
+                       n_outer, collect, &bufs);
       }
+      sc->Recycle(std::move(build_keys));
+      sc->Recycle(std::move(probe_keys));
       break;
     }
     case PhysicalOp::kMergeJoin: {
       if (preds.empty()) {
         return Status::InvalidArgument("merge join requires a join key");
       }
-      // Sort tuple indices of both sides by the first key; merge with
-      // block handling for duplicate keys; residual preds filter.
-      std::vector<int64_t> oidx(static_cast<size_t>(outer.NumTuples()));
-      std::vector<int64_t> iidx(static_cast<size_t>(inner.NumTuples()));
-      for (size_t i = 0; i < oidx.size(); ++i) oidx[i] = static_cast<int64_t>(i);
-      for (size_t i = 0; i < iidx.size(); ++i) iidx[i] = static_cast<int64_t>(i);
-      auto okey = [&](int64_t t) {
-        return BoundIntValue(bound_preds[0].outer, outer, t);
-      };
-      auto ikey = [&](int64_t t) {
-        return BoundIntValue(bound_preds[0].inner, inner, t);
-      };
-      std::sort(oidx.begin(), oidx.end(),
-                [&](int64_t a, int64_t b) { return okey(a) < okey(b); });
-      std::sort(iidx.begin(), iidx.end(),
-                [&](int64_t a, int64_t b) { return ikey(a) < ikey(b); });
+      // Precomputed key vectors: the sort comparators index flat arrays
+      // instead of re-deriving keys through two indirections on every
+      // comparison. Sorting dominates, so this operator stays serial —
+      // trivially worker-count-invariant.
+      std::vector<int64_t> okeys = GatherInt(
+          sc, BindColumn(*db_, query, outer, preds[0].outer_ref), outer);
+      std::vector<int64_t> ikeys = GatherInt(
+          sc, BindColumn(*db_, query, inner, preds[0].inner_ref), inner);
+      std::vector<int64_t> oidx = sc->TakeInts();
+      std::vector<int64_t> iidx = sc->TakeInts();
+      oidx.resize(okeys.size());
+      iidx.resize(ikeys.size());
+      for (size_t i = 0; i < oidx.size(); ++i) {
+        oidx[i] = static_cast<int64_t>(i);
+      }
+      for (size_t i = 0; i < iidx.size(); ++i) {
+        iidx[i] = static_cast<int64_t>(i);
+      }
+      std::sort(oidx.begin(), oidx.end(), [&](int64_t a, int64_t b) {
+        return okeys[static_cast<size_t>(a)] < okeys[static_cast<size_t>(b)];
+      });
+      std::sort(iidx.begin(), iidx.end(), [&](int64_t a, int64_t b) {
+        return ikeys[static_cast<size_t>(a)] < ikeys[static_cast<size_t>(b)];
+      });
+      bufs.resize(1);
+      MatchBuffer& buf = bufs[0];
+      buf.outer = sc->TakeInts();
+      buf.inner = sc->TakeInts();
       size_t oi = 0, ii = 0;
-      while (oi < oidx.size() && ii < iidx.size()) {
-        int64_t ok = okey(oidx[oi]);
-        int64_t ik = ikey(iidx[ii]);
-        if (ok < ik) {
+      bool ok = true;
+      while (ok && oi < oidx.size() && ii < iidx.size()) {
+        const int64_t ok_key = okeys[static_cast<size_t>(oidx[oi])];
+        const int64_t ik_key = ikeys[static_cast<size_t>(iidx[ii])];
+        if (ok_key < ik_key) {
           ++oi;
-        } else if (ok > ik) {
+        } else if (ok_key > ik_key) {
           ++ii;
         } else {
           size_t o_end = oi;
-          while (o_end < oidx.size() && okey(oidx[o_end]) == ok) ++o_end;
+          while (o_end < oidx.size() &&
+                 okeys[static_cast<size_t>(oidx[o_end])] == ok_key) {
+            ++o_end;
+          }
           size_t i_end = ii;
-          while (i_end < iidx.size() && ikey(iidx[i_end]) == ik) ++i_end;
-          for (size_t a = oi; a < o_end; ++a) {
+          while (i_end < iidx.size() &&
+                 ikeys[static_cast<size_t>(iidx[i_end])] == ik_key) {
+            ++i_end;
+          }
+          for (size_t a = oi; ok && a < o_end; ++a) {
+            const size_t before = buf.outer.size();
             for (size_t b = ii; b < i_end; ++b) {
               if (residual_ok(oidx[a], iidx[b], 1)) {
-                HFQ_RETURN_IF_ERROR(append_tuple(inner, oidx[a], iidx[b]));
+                buf.outer.push_back(oidx[a]);
+                buf.inner.push_back(iidx[b]);
               }
             }
+            ok = cap.Add(static_cast<int64_t>(buf.outer.size() - before));
           }
           oi = o_end;
           ii = i_end;
         }
       }
+      sc->Recycle(std::move(okeys));
+      sc->Recycle(std::move(ikeys));
+      sc->Recycle(std::move(oidx));
+      sc->Recycle(std::move(iidx));
       break;
     }
     default:
       return Status::Internal("unexpected join op in executor");
   }
+
+  for (auto& gp : gpreds) {
+    sc->Recycle(std::move(gp.outer_vals));
+    sc->Recycle(std::move(gp.inner_vals));
+  }
+  if (cap.tripped()) return CapExceeded();
+  MaterializeMatches(sc, outer, &inner, &bufs, &out);
+  sc->Recycle(std::move(outer));
+  sc->Recycle(std::move(inner));
   return out;
 }
 
@@ -425,93 +647,144 @@ Result<std::vector<AggRow>> Executor::ExecAggregate(const Query& query,
   (void)node;  // Hash vs sort aggregation produce identical results; the
                // executor uses hashing for both (sortedness is a cost-model
                // concern, not a correctness one).
-  struct GroupState {
-    std::vector<double> keys;
-    std::vector<double> accum;
-    std::vector<int64_t> counts;
+  ExecScratch* sc = scratch_.get();
+  const size_t num_keys = query.group_by.size();
+  const size_t num_aggs = query.aggregates.size();
+  const int64_t n = input.NumTuples();
+
+  // Gather group keys and aggregate arguments once, column-major.
+  std::vector<std::vector<double>> key_cols(num_keys);
+  for (size_t k = 0; k < num_keys; ++k) {
+    key_cols[k] = GatherNumeric(
+        sc, BindColumn(*db_, query, input, query.group_by[k]), input);
+  }
+  std::vector<std::vector<double>> arg_cols(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (query.aggregates[a].has_arg) {
+      arg_cols[a] = GatherNumeric(
+          sc, BindColumn(*db_, query, input, query.aggregates[a].arg), input);
+    }
+  }
+
+  // Flat group table: open addressing on the FNV-1a key hash, with the
+  // full key vector verified bit-wise on every hit — distinct key vectors
+  // that collide on the 64-bit hash land in distinct groups (the historic
+  // hash-only keying silently merged them). All arenas live in scratch,
+  // so repeated aggregations reuse their capacity.
+  size_t cap = 64;
+  size_t mask = cap - 1;
+  std::vector<int64_t>& slot_group = sc->agg_slot_group;
+  std::vector<uint64_t>& group_hash = sc->agg_group_hash;
+  std::vector<double>& group_keys = sc->agg_group_keys;
+  std::vector<double>& accum = sc->agg_accum;
+  std::vector<int64_t>& counts = sc->agg_counts;
+  slot_group.assign(cap, -1);
+  group_hash.clear();
+  group_keys.clear();
+  accum.clear();
+  counts.clear();
+  int64_t num_groups = 0;
+
+  const auto keys_match = [&](int64_t g, const double* probe) {
+    return num_keys == 0 ||
+           std::memcmp(group_keys.data() + static_cast<size_t>(g) * num_keys,
+                       probe, num_keys * sizeof(double)) == 0;
   };
-  std::unordered_map<size_t, GroupState> groups;
-  auto hash_keys = [](const std::vector<double>& keys) {
+  const auto grow = [&]() {
+    cap <<= 1;
+    mask = cap - 1;
+    slot_group.assign(cap, -1);
+    for (int64_t g = 0; g < num_groups; ++g) {
+      size_t s = static_cast<size_t>(group_hash[static_cast<size_t>(g)]) &
+                 mask;
+      while (slot_group[s] >= 0) s = (s + 1) & mask;
+      slot_group[s] = g;
+    }
+  };
+
+  std::vector<double>& probe = sc->agg_probe;
+  probe.assign(num_keys, 0.0);
+  for (int64_t t = 0; t < n; ++t) {
     uint64_t h = 1469598103934665603ull;
-    for (double k : keys) {
+    for (size_t k = 0; k < num_keys; ++k) {
+      const double kv = key_cols[k][static_cast<size_t>(t)];
+      probe[k] = kv;
       uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(k));
-      __builtin_memcpy(&bits, &k, sizeof(bits));
+      static_assert(sizeof(bits) == sizeof(kv));
+      __builtin_memcpy(&bits, &kv, sizeof(bits));
       h ^= bits;
       h *= 1099511628211ull;
     }
-    return static_cast<size_t>(h);
-  };
-
-  const size_t num_aggs = query.aggregates.size();
-  // Bind group-by keys and aggregate arguments once for the whole input.
-  std::vector<BoundColumn> group_cols;
-  group_cols.reserve(query.group_by.size());
-  for (const auto& g : query.group_by) {
-    group_cols.push_back(BindColumn(*db_, query, input, g));
-  }
-  std::vector<BoundColumn> agg_cols(num_aggs);
-  for (size_t a = 0; a < num_aggs; ++a) {
-    if (query.aggregates[a].has_arg) {
-      agg_cols[a] = BindColumn(*db_, query, input, query.aggregates[a].arg);
-    }
-  }
-  for (int64_t t = 0; t < input.NumTuples(); ++t) {
-    std::vector<double> keys;
-    keys.reserve(group_cols.size());
-    for (const BoundColumn& g : group_cols) {
-      keys.push_back(BoundValue(g, input, t));
-    }
-    size_t h = hash_keys(keys);
-    auto [it, inserted] = groups.try_emplace(h);
-    GroupState& gs = it->second;
-    if (inserted) {
-      gs.keys = keys;
-      gs.accum.resize(num_aggs, 0.0);
-      gs.counts.resize(num_aggs, 0);
-      for (size_t a = 0; a < num_aggs; ++a) {
-        if (query.aggregates[a].func == AggFunc::kMin) gs.accum[a] = 1e300;
-        if (query.aggregates[a].func == AggFunc::kMax) gs.accum[a] = -1e300;
+    size_t s = static_cast<size_t>(h) & mask;
+    int64_t g = -1;
+    while (slot_group[s] >= 0) {
+      const int64_t cand = slot_group[s];
+      if (group_hash[static_cast<size_t>(cand)] == h &&
+          keys_match(cand, probe.data())) {
+        g = cand;
+        break;
       }
+      s = (s + 1) & mask;
     }
+    if (g < 0) {
+      g = num_groups++;
+      slot_group[s] = g;
+      group_hash.push_back(h);
+      group_keys.insert(group_keys.end(), probe.begin(), probe.end());
+      for (size_t a = 0; a < num_aggs; ++a) {
+        double init = 0.0;
+        if (query.aggregates[a].func == AggFunc::kMin) init = 1e300;
+        if (query.aggregates[a].func == AggFunc::kMax) init = -1e300;
+        accum.push_back(init);
+        counts.push_back(0);
+      }
+      if (2 * static_cast<size_t>(num_groups) >= cap) grow();
+    }
+    double* acc = accum.data() + static_cast<size_t>(g) * num_aggs;
+    int64_t* cnt = counts.data() + static_cast<size_t>(g) * num_aggs;
     for (size_t a = 0; a < num_aggs; ++a) {
       const AggSpec& spec = query.aggregates[a];
-      double v = spec.has_arg ? BoundValue(agg_cols[a], input, t) : 1.0;
+      const double v =
+          spec.has_arg ? arg_cols[a][static_cast<size_t>(t)] : 1.0;
       switch (spec.func) {
         case AggFunc::kCount:
-          gs.accum[a] += 1.0;
+          acc[a] += 1.0;
           break;
         case AggFunc::kSum:
         case AggFunc::kAvg:
-          gs.accum[a] += v;
+          acc[a] += v;
           break;
         case AggFunc::kMin:
-          gs.accum[a] = std::min(gs.accum[a], v);
+          acc[a] = std::min(acc[a], v);
           break;
         case AggFunc::kMax:
-          gs.accum[a] = std::max(gs.accum[a], v);
+          acc[a] = std::max(acc[a], v);
           break;
       }
-      gs.counts[a] += 1;
+      cnt[a] += 1;
     }
   }
 
-  std::vector<AggRow> rows;
-  rows.reserve(groups.size());
-  for (auto& [h, gs] : groups) {
-    AggRow row;
-    row.group_keys = gs.keys;
+  for (auto& col : key_cols) sc->Recycle(std::move(col));
+  for (auto& col : arg_cols) sc->Recycle(std::move(col));
+
+  std::vector<AggRow> rows(static_cast<size_t>(num_groups));
+  for (int64_t g = 0; g < num_groups; ++g) {
+    AggRow& row = rows[static_cast<size_t>(g)];
+    const double* keys = group_keys.data() + static_cast<size_t>(g) * num_keys;
+    row.group_keys.assign(keys, keys + num_keys);
+    const double* acc = accum.data() + static_cast<size_t>(g) * num_aggs;
+    const int64_t* cnt = counts.data() + static_cast<size_t>(g) * num_aggs;
     row.agg_values.resize(num_aggs);
     for (size_t a = 0; a < num_aggs; ++a) {
-      if (query.aggregates[a].func == AggFunc::kAvg && gs.counts[a] > 0) {
-        row.agg_values[a] = gs.accum[a] / static_cast<double>(gs.counts[a]);
+      if (query.aggregates[a].func == AggFunc::kAvg && cnt[a] > 0) {
+        row.agg_values[a] = acc[a] / static_cast<double>(cnt[a]);
       } else {
-        row.agg_values[a] = gs.accum[a];
+        row.agg_values[a] = acc[a];
       }
     }
-    rows.push_back(std::move(row));
   }
-  // Deterministic output order (hash maps are not ordered).
+  // Deterministic output order (groups are created in probe order).
   std::sort(rows.begin(), rows.end(), [](const AggRow& a, const AggRow& b) {
     return a.group_keys < b.group_keys;
   });
@@ -521,8 +794,12 @@ Result<std::vector<AggRow>> Executor::ExecAggregate(const Query& query,
 Result<RowIdTable> Executor::ExecNode(const Query& query,
                                       const PlanNode& node,
                                       ExecResult* result) {
-  Result<RowIdTable> out = node.IsScan() ? ExecScan(query, node)
-                                         : ExecJoin(query, node, result);
+  const bool vectorized = options_.engine == ExecEngine::kVectorized;
+  Result<RowIdTable> out =
+      node.IsScan()
+          ? (vectorized ? ExecScan(query, node) : ExecScanTuple(query, node))
+          : (vectorized ? ExecJoin(query, node, result)
+                        : ExecJoinTuple(query, node, result));
   if (out.ok()) {
     result->node_output_rows[&node] = out->NumTuples();
   }
@@ -542,6 +819,7 @@ Result<ExecResult> Executor::Execute(const Query& query,
   } else {
     result.output_rows = result.join_rows;
   }
+  scratch_->Recycle(std::move(rows));
   return result;
 }
 

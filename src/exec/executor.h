@@ -1,11 +1,35 @@
 // A real in-memory executor for physical plans, using late materialization:
 // intermediates are tuples of base-table row ids, one column per relation.
 // Used at small scale for correctness (validates the oracle and the
-// simulator's cardinality accounting) and by the examples / SQL shell.
+// simulator's cardinality accounting), by the examples / SQL shell, and by
+// the measured-execution evaluation mode (hfq_eval --measured-exec).
+//
+// Two engines share the operator semantics bit-for-bit:
+//   * kVectorized (default): batch-at-a-time operators. Each operator
+//     gathers its bound join/filter/group key columns into contiguous flat
+//     vectors once (one indirection per tuple total, not two per access),
+//     scans filter through selection vectors without materializing full
+//     candidate lists, joins collect match pairs and materialize output
+//     row-id blocks with reserve-then-copy appends (the intermediate-size
+//     guard amortized per batch), hash joins probe a flat open-addressing
+//     table with FIFO duplicate chains in one contiguous arena, and merge
+//     joins sort over precomputed key vectors. Optionally morsel-parallel
+//     (ExecOptions::num_workers): the probe/outer side splits into
+//     fixed-size morsels executed on a thread pool, per-morsel outputs
+//     concatenated in morsel order — results are bit-for-bit identical at
+//     any worker count.
+//   * kTupleAtATime: the historic tuple-at-a-time interpreter, kept as the
+//     executable reference the bit-identity tests (and the before/after
+//     benchmarks) compare the vectorized engine against.
+// Both engines emit output tuples in exactly the same order, so every
+// ExecResult field — join_rows, node_output_rows, and the aggregated rows
+// including their float accumulation order — is bit-identical across
+// engines and worker counts.
 #ifndef HFQ_EXEC_EXECUTOR_H_
 #define HFQ_EXEC_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "plan/physical_plan.h"
@@ -15,12 +39,34 @@
 
 namespace hfq {
 
-/// Execution limits.
+class ThreadPool;
+namespace exec_internal {
+struct ExecScratch;
+}  // namespace exec_internal
+
+/// Which operator implementation Execute runs (see file comment).
+enum class ExecEngine {
+  kVectorized,    ///< Batch-at-a-time operators (default).
+  kTupleAtATime,  ///< Historic per-tuple interpreter (reference path).
+};
+
+/// Execution limits and engine selection.
 struct ExecOptions {
   ExecOptions() {}
   /// Abort with ResourceExhausted if any intermediate exceeds this many
   /// tuples (protects against catastrophic plans in interactive use).
   int64_t max_intermediate_tuples = 5 * 1000 * 1000;
+  /// Operator implementation. kTupleAtATime is the bit-identical
+  /// reference; use it only for differential tests and benchmarks.
+  ExecEngine engine = ExecEngine::kVectorized;
+  /// Morsel-parallel execution (vectorized engine only): > 1 splits scan
+  /// filtering and join probing into morsels of `morsel_size` tuples
+  /// executed on an internal thread pool. Results are bit-for-bit
+  /// identical for any value (per-morsel outputs concatenate in morsel
+  /// order). The tuple-at-a-time engine ignores it.
+  int num_workers = 1;
+  /// Tuples per morsel when num_workers > 1.
+  int64_t morsel_size = 4096;
 };
 
 /// An intermediate (or final pre-aggregation) result.
@@ -62,6 +108,7 @@ class Executor {
  public:
   /// `db` must outlive the executor.
   explicit Executor(const Database* db, ExecOptions options = ExecOptions());
+  ~Executor();
 
   /// Runs the plan; returns counts plus aggregate rows.
   Result<ExecResult> Execute(const Query& query, const PlanNode& plan);
@@ -69,15 +116,30 @@ class Executor {
  private:
   Result<RowIdTable> ExecNode(const Query& query, const PlanNode& node,
                               ExecResult* result);
+  // Vectorized engine.
   Result<RowIdTable> ExecScan(const Query& query, const PlanNode& node);
   Result<RowIdTable> ExecJoin(const Query& query, const PlanNode& node,
                               ExecResult* result);
+  // Tuple-at-a-time reference engine (executor_legacy.cc).
+  Result<RowIdTable> ExecScanTuple(const Query& query, const PlanNode& node);
+  Result<RowIdTable> ExecJoinTuple(const Query& query, const PlanNode& node,
+                                   ExecResult* result);
+  // Aggregation is shared: it is vectorized (keys gathered once) and keys
+  // groups by the full key vector, for both engines.
   Result<std::vector<AggRow>> ExecAggregate(const Query& query,
                                             const PlanNode& node,
                                             const RowIdTable& input);
 
+  /// The morsel pool, created lazily on the first parallel Execute.
+  ThreadPool* pool();
+
   const Database* db_;
   ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Pooled operator buffers: the vectorized engine reuses row-id
+  /// columns, gathered key vectors, and match buffers across Execute
+  /// calls, so steady-state execution allocates nothing.
+  std::unique_ptr<exec_internal::ExecScratch> scratch_;
 };
 
 }  // namespace hfq

@@ -1,0 +1,118 @@
+#include "exec/executor_internal.h"
+
+namespace hfq {
+namespace exec_internal {
+
+const Column* ResolveColumn(const Database& db, const Query& query,
+                            const ColumnRef& ref) {
+  const auto& rel_ref = query.relations[static_cast<size_t>(ref.rel_idx)];
+  auto table = db.GetTable(rel_ref.table);
+  HFQ_CHECK_MSG(table.ok(), "executor: missing table");
+  auto col = (*table)->GetColumn(ref.column);
+  HFQ_CHECK_MSG(col.ok(), "executor: missing column");
+  return *col;
+}
+
+BoundColumn BindColumn(const Database& db, const Query& query,
+                       const RowIdTable& t, const ColumnRef& ref) {
+  BoundColumn bound;
+  bound.col_pos = t.ColumnOf(ref.rel_idx);
+  HFQ_CHECK(bound.col_pos >= 0);
+  bound.column = ResolveColumn(db, query, ref);
+  return bound;
+}
+
+std::vector<SidedPred> SidePreds(const Query& query, const PlanNode& node,
+                                 int skip_pred_idx) {
+  std::vector<SidedPred> preds;
+  const RelSet outer_rels = node.child(0)->rels;
+  for (int pi : node.join_pred_idxs) {
+    if (pi == skip_pred_idx) continue;
+    const auto& jp = query.joins[static_cast<size_t>(pi)];
+    if (RelSetHas(outer_rels, jp.left.rel_idx)) {
+      preds.push_back({jp.left, jp.right});
+    } else {
+      preds.push_back({jp.right, jp.left});
+    }
+  }
+  return preds;
+}
+
+Status CollectIndexCandidates(const Table& table, const Query& query,
+                              const PlanNode& node,
+                              const std::string& table_name,
+                              std::vector<int64_t>* candidates) {
+  const TableIndex* index = table.FindIndex(node.index_column,
+                                            node.index_kind);
+  if (index == nullptr) {
+    return Status::FailedPrecondition("no such index on " + table_name + "." +
+                                      node.index_column);
+  }
+  HFQ_CHECK(node.index_sel_idx >= 0);
+  const auto& sel = query.selections[static_cast<size_t>(node.index_sel_idx)];
+  const int64_t v = sel.value.is_double ? ClampedFloorToInt64(sel.value.d)
+                                        : sel.value.i;
+  if (sel.op == CmpOp::kEq) {
+    index->LookupEqual(v, candidates);
+    return Status::OK();
+  }
+  const auto* sorted = dynamic_cast<const SortedIndex*>(index);
+  if (sorted == nullptr) {
+    return Status::InvalidArgument("hash index cannot serve range predicate");
+  }
+  switch (sel.op) {
+    case CmpOp::kLt:
+      // x < INT64_MIN matches nothing; v - 1 would be signed overflow.
+      if (v != INT64_MIN) sorted->LookupRange(INT64_MIN, v - 1, candidates);
+      break;
+    case CmpOp::kLe:
+      sorted->LookupRange(INT64_MIN, v, candidates);
+      break;
+    case CmpOp::kGt:
+      // x > INT64_MAX matches nothing; v + 1 would be signed overflow.
+      if (v != INT64_MAX) sorted->LookupRange(v + 1, INT64_MAX, candidates);
+      break;
+    case CmpOp::kGe:
+      sorted->LookupRange(v, INT64_MAX, candidates);
+      break;
+    default:
+      return Status::InvalidArgument("index scan with <> predicate");
+  }
+  return Status::OK();
+}
+
+Result<InljProbe> ResolveInljProbe(const Database& db, const Query& query,
+                                   const PlanNode& node) {
+  const PlanNode& inner_scan = *node.child(1);
+  HFQ_CHECK(inner_scan.IsScan());
+  HFQ_CHECK(node.inner_probe_pred_idx >= 0);
+  const auto& probe_pred =
+      query.joins[static_cast<size_t>(node.inner_probe_pred_idx)];
+  const bool inner_is_left =
+      RelSetHas(inner_scan.rels, probe_pred.left.rel_idx);
+  InljProbe probe;
+  probe.inner_key = inner_is_left ? probe_pred.left : probe_pred.right;
+  probe.outer_key = inner_is_left ? probe_pred.right : probe_pred.left;
+  const auto& inner_rel =
+      query.relations[static_cast<size_t>(inner_scan.rel_idx)];
+  HFQ_ASSIGN_OR_RETURN(const Table* inner_table, db.GetTable(inner_rel.table));
+  const TableIndex* index =
+      inner_table->FindIndex(probe.inner_key.column, inner_scan.index_kind);
+  if (index == nullptr) {
+    // Fall back to any index on the key column.
+    index = inner_table->FindIndex(probe.inner_key.column, IndexKind::kBTree);
+    if (index == nullptr) {
+      index = inner_table->FindIndex(probe.inner_key.column, IndexKind::kHash);
+    }
+  }
+  if (index == nullptr) {
+    return Status::FailedPrecondition("INLJ requires an index on " +
+                                      inner_rel.table + "." +
+                                      probe.inner_key.column);
+  }
+  probe.index = index;
+  return probe;
+}
+
+}  // namespace exec_internal
+}  // namespace hfq

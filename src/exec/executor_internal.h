@@ -1,0 +1,220 @@
+// Plumbing shared by the vectorized engine (executor.cc) and the
+// tuple-at-a-time reference engine (executor_legacy.cc): column binding,
+// predicate siding, and the clamped index-range candidate collection.
+// Internal to src/exec — not part of the executor's public API.
+#ifndef HFQ_EXEC_EXECUTOR_INTERNAL_H_
+#define HFQ_EXEC_EXECUTOR_INTERNAL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "exec/executor.h"
+#include "plan/expr.h"
+#include "storage/index.h"
+#include "util/check.h"
+
+namespace hfq {
+namespace exec_internal {
+
+/// Fetches the base-table column backing a ColumnRef.
+const Column* ResolveColumn(const Database& db, const Query& query,
+                            const ColumnRef& ref);
+
+/// A ColumnRef resolved against a specific RowIdTable: the table column
+/// position plus the backing base-table column. Operators bind each ref
+/// once and reuse it across the tuple loop — resolving per tuple costs two
+/// string-keyed hash lookups on the hottest path in the executor.
+struct BoundColumn {
+  int col_pos = -1;
+  const Column* column = nullptr;
+};
+
+BoundColumn BindColumn(const Database& db, const Query& query,
+                       const RowIdTable& t, const ColumnRef& ref);
+
+inline double BoundValue(const BoundColumn& bound, const RowIdTable& t,
+                         int64_t tuple) {
+  int64_t row = t.row_ids[static_cast<size_t>(bound.col_pos)][
+      static_cast<size_t>(tuple)];
+  return bound.column->GetNumeric(row);
+}
+
+inline int64_t BoundIntValue(const BoundColumn& bound, const RowIdTable& t,
+                             int64_t tuple) {
+  int64_t row = t.row_ids[static_cast<size_t>(bound.col_pos)][
+      static_cast<size_t>(tuple)];
+  return bound.column->GetInt(row);
+}
+
+/// A join predicate sided against a specific join: which ref belongs to
+/// the outer (left child) input and which to the inner.
+struct SidedPred {
+  ColumnRef outer_ref;
+  ColumnRef inner_ref;
+};
+
+/// Sides node.join_pred_idxs against node.child(0)'s relation set.
+/// `skip_pred_idx` (an index into query.joins, or -1) omits that
+/// predicate — used by INLJ to list the predicates the index probe does
+/// not already cover.
+std::vector<SidedPred> SidePreds(const Query& query, const PlanNode& node,
+                                 int skip_pred_idx = -1);
+
+/// floor(d) clamped into int64 range. A plain cast is UB once the floor
+/// falls outside [INT64_MIN, INT64_MAX] (e.g. a selection literal of
+/// 1e300), so range predicates saturate instead.
+inline int64_t ClampedFloorToInt64(double d) {
+  const double f = std::floor(d);
+  // 2^63 is exactly representable; anything >= it would overflow the cast.
+  if (f >= 9223372036854775808.0) return INT64_MAX;
+  if (f <= -9223372036854775808.0) return INT64_MIN;
+  return static_cast<int64_t>(f);
+}
+
+/// Collects an index scan's candidate rows into *candidates. The kLt/kGt
+/// range edges are clamped: `v - 1` / `v + 1` at INT64_MIN / INT64_MAX is
+/// signed-overflow UB, and those predicates simply match nothing.
+Status CollectIndexCandidates(const Table& table, const Query& query,
+                              const PlanNode& node,
+                              const std::string& table_name,
+                              std::vector<int64_t>* candidates);
+
+/// The probe side of an index nested-loop join: the resolved inner-table
+/// index plus the probe predicate's refs sided into outer (key gathered
+/// per tuple) and inner (the indexed column).
+struct InljProbe {
+  const TableIndex* index = nullptr;
+  ColumnRef outer_key;
+  ColumnRef inner_key;
+};
+
+/// Resolves the INLJ probe index (preferring the scan's declared index
+/// kind, falling back to any index on the key column).
+Result<InljProbe> ResolveInljProbe(const Database& db, const Query& query,
+                                   const PlanNode& node);
+
+/// A batch of join matches: parallel vectors of (outer tuple, inner
+/// tuple) pairs, collected per morsel and materialized in one block
+/// append. For INLJ the inner entries are base-table rows.
+struct MatchBuffer {
+  std::vector<int64_t> outer;
+  std::vector<int64_t> inner;
+};
+
+/// Flat open-addressing join table: linear probing over power-of-2 slots,
+/// one slot per distinct key, duplicate build tuples chained FIFO through
+/// a contiguous next-arena. FIFO chains make probe emission order match
+/// the reference engine's per-key push_back order exactly. Build reuses
+/// the arenas' capacity, so a pooled instance allocates only on growth.
+class FlatJoinHashTable {
+ public:
+  void Build(const std::vector<int64_t>& keys) {
+    const size_t n = keys.size();
+    next_.assign(n, -1);
+    size_t cap = 16;
+    while (cap < 2 * n) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, Slot{});
+    for (size_t i = 0; i < n; ++i) {
+      const int64_t key = keys[i];
+      size_t s = Hash(key) & mask_;
+      while (slots_[s].head >= 0 && slots_[s].key != key) {
+        s = (s + 1) & mask_;
+      }
+      if (slots_[s].head < 0) {
+        slots_[s].key = key;
+        slots_[s].head = static_cast<int64_t>(i);
+      } else {
+        next_[static_cast<size_t>(slots_[s].tail)] = static_cast<int64_t>(i);
+      }
+      slots_[s].tail = static_cast<int64_t>(i);
+    }
+  }
+
+  /// First build tuple with `key` (in build order), or -1; chase the
+  /// chain with Next().
+  int64_t First(int64_t key) const {
+    size_t s = Hash(key) & mask_;
+    while (slots_[s].head >= 0) {
+      if (slots_[s].key == key) return slots_[s].head;
+      s = (s + 1) & mask_;
+    }
+    return -1;
+  }
+
+  int64_t Next(int64_t i) const { return next_[static_cast<size_t>(i)]; }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    int64_t head = -1;
+    int64_t tail = -1;
+  };
+
+  static size_t Hash(int64_t k) {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+
+  size_t mask_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<int64_t> next_;
+};
+
+/// Per-Executor reusable buffers. Fresh megabyte-scale vectors (row-id
+/// columns, gathered key vectors, match buffers) every Execute dominate
+/// the vectorized engine's runtime — growth copies plus first-touch page
+/// faults cost several times the actual probe work — so operators take
+/// vectors from these freelists and recycle them when an intermediate
+/// dies. Steady state allocates nothing. Serial use only: morsel workers
+/// never touch the pools; their buffers are acquired up front.
+struct ExecScratch {
+  std::vector<std::vector<int64_t>> int_pool;
+  std::vector<std::vector<double>> dbl_pool;
+
+  std::vector<int64_t> TakeInts() {
+    if (int_pool.empty()) return {};
+    std::vector<int64_t> v = std::move(int_pool.back());
+    int_pool.pop_back();
+    v.clear();
+    return v;
+  }
+  std::vector<double> TakeDoubles() {
+    if (dbl_pool.empty()) return {};
+    std::vector<double> v = std::move(dbl_pool.back());
+    dbl_pool.pop_back();
+    v.clear();
+    return v;
+  }
+  void Recycle(std::vector<int64_t>&& v) {
+    if (v.capacity() > 0) int_pool.push_back(std::move(v));
+  }
+  void Recycle(std::vector<double>&& v) {
+    if (v.capacity() > 0) dbl_pool.push_back(std::move(v));
+  }
+  void Recycle(RowIdTable&& t) {
+    for (auto& col : t.row_ids) Recycle(std::move(col));
+    t.row_ids.clear();
+  }
+  void Recycle(MatchBuffer&& buf) {
+    Recycle(std::move(buf.outer));
+    Recycle(std::move(buf.inner));
+  }
+
+  /// The join hash table, rebuilt (capacity warm) per hash join.
+  FlatJoinHashTable join_ht;
+
+  /// Aggregation arenas (see Executor::ExecAggregate).
+  std::vector<int64_t> agg_slot_group;
+  std::vector<uint64_t> agg_group_hash;
+  std::vector<double> agg_group_keys;
+  std::vector<double> agg_accum;
+  std::vector<int64_t> agg_counts;
+  std::vector<double> agg_probe;
+};
+
+}  // namespace exec_internal
+}  // namespace hfq
+
+#endif  // HFQ_EXEC_EXECUTOR_INTERNAL_H_

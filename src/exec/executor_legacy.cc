@@ -1,0 +1,308 @@
+// The tuple-at-a-time reference engine: the historic per-tuple
+// interpreter, kept as the executable specification the vectorized
+// engine's differential tests (and before/after benchmarks) run against.
+// Selected with ExecOptions::engine = ExecEngine::kTupleAtATime.
+// Aggregation is not duplicated here — both engines share the vectorized
+// collision-safe ExecAggregate in executor.cc.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/executor.h"
+#include "exec/executor_internal.h"
+#include "util/check.h"
+
+namespace hfq {
+
+using exec_internal::BindColumn;
+using exec_internal::BoundColumn;
+using exec_internal::BoundIntValue;
+using exec_internal::BoundValue;
+using exec_internal::CollectIndexCandidates;
+using exec_internal::InljProbe;
+using exec_internal::ResolveColumn;
+using exec_internal::ResolveInljProbe;
+using exec_internal::SidedPred;
+using exec_internal::SidePreds;
+
+namespace {
+
+struct PairHash {
+  size_t operator()(int64_t k) const {
+    uint64_t h = static_cast<uint64_t>(k) * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+Result<RowIdTable> Executor::ExecScanTuple(const Query& query,
+                                           const PlanNode& node) {
+  const auto& rel_ref = query.relations[static_cast<size_t>(node.rel_idx)];
+  HFQ_ASSIGN_OR_RETURN(const Table* table, db_->GetTable(rel_ref.table));
+
+  std::vector<int64_t> candidates;
+  if (node.op == PhysicalOp::kIndexScan) {
+    HFQ_RETURN_IF_ERROR(CollectIndexCandidates(*table, query, node,
+                                               rel_ref.table, &candidates));
+  } else {
+    candidates.resize(static_cast<size_t>(table->num_rows()));
+    for (int64_t r = 0; r < table->num_rows(); ++r) {
+      candidates[static_cast<size_t>(r)] = r;
+    }
+  }
+
+  // Residual filters, evaluated per candidate tuple.
+  RowIdTable out;
+  out.rels = {node.rel_idx};
+  out.row_ids.resize(1);
+  std::vector<const Column*> filter_cols;
+  for (int s : node.filter_sel_idxs) {
+    const auto& sel = query.selections[static_cast<size_t>(s)];
+    filter_cols.push_back(ResolveColumn(*db_, query, sel.column));
+  }
+  for (int64_t row : candidates) {
+    bool pass = true;
+    for (size_t i = 0; i < node.filter_sel_idxs.size(); ++i) {
+      const auto& sel = query.selections[
+          static_cast<size_t>(node.filter_sel_idxs[i])];
+      if (!EvalCmp(filter_cols[i]->GetNumeric(row), sel.op,
+                   sel.value.AsDouble())) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) out.row_ids[0].push_back(row);
+  }
+  return out;
+}
+
+Result<RowIdTable> Executor::ExecJoinTuple(const Query& query,
+                                           const PlanNode& node,
+                                           ExecResult* result) {
+  HFQ_CHECK(node.children.size() == 2);
+  HFQ_ASSIGN_OR_RETURN(RowIdTable outer,
+                       ExecNode(query, *node.child(0), result));
+
+  RowIdTable out;
+  out.rels = outer.rels;
+  const std::vector<SidedPred> preds = SidePreds(query, node);
+
+  auto append_tuple = [&](const RowIdTable& inner, int64_t outer_tuple,
+                          int64_t inner_tuple) -> Status {
+    for (size_t c = 0; c < outer.rels.size(); ++c) {
+      out.row_ids[c].push_back(
+          outer.row_ids[c][static_cast<size_t>(outer_tuple)]);
+    }
+    for (size_t c = 0; c < inner.rels.size(); ++c) {
+      out.row_ids[outer.rels.size() + c].push_back(
+          inner.row_ids[c][static_cast<size_t>(inner_tuple)]);
+    }
+    if (out.NumTuples() > options_.max_intermediate_tuples) {
+      return Status::ResourceExhausted(
+          "intermediate result exceeded max_intermediate_tuples");
+    }
+    return Status::OK();
+  };
+
+  if (node.op == PhysicalOp::kIndexNestedLoopJoin) {
+    // The inner child must be a scan; we probe its table's index per outer
+    // row, then apply the inner's residual filters and remaining preds.
+    const PlanNode& inner_scan = *node.child(1);
+    HFQ_ASSIGN_OR_RETURN(const InljProbe probe,
+                         ResolveInljProbe(*db_, query, node));
+
+    out.row_ids.resize(outer.rels.size() + 1);
+    out.rels.push_back(inner_scan.rel_idx);
+    RowIdTable inner_stub;
+    inner_stub.rels = {inner_scan.rel_idx};
+    inner_stub.row_ids.resize(1);
+
+    std::vector<const Column*> inner_filter_cols;
+    for (int s : inner_scan.filter_sel_idxs) {
+      const auto& sel = query.selections[static_cast<size_t>(s)];
+      inner_filter_cols.push_back(ResolveColumn(*db_, query, sel.column));
+    }
+    // Resolve every per-tuple column once, outside the probe loops.
+    const BoundColumn outer_key_bound =
+        BindColumn(*db_, query, outer, probe.outer_key);
+    const Column* index_sel_col = nullptr;
+    if (inner_scan.index_sel_idx >= 0) {
+      const auto& sel =
+          query.selections[static_cast<size_t>(inner_scan.index_sel_idx)];
+      index_sel_col = ResolveColumn(*db_, query, sel.column);
+    }
+    struct RemainingPred {
+      BoundColumn outer;
+      const Column* inner_col;
+    };
+    std::vector<RemainingPred> remaining_preds;
+    for (const SidedPred& sp :
+         SidePreds(query, node, node.inner_probe_pred_idx)) {
+      remaining_preds.push_back({BindColumn(*db_, query, outer, sp.outer_ref),
+                                 ResolveColumn(*db_, query, sp.inner_ref)});
+    }
+    std::vector<int64_t> matches;
+    for (int64_t t = 0; t < outer.NumTuples(); ++t) {
+      int64_t key = BoundIntValue(outer_key_bound, outer, t);
+      matches.clear();
+      probe.index->LookupEqual(key, &matches);
+      for (int64_t row : matches) {
+        // Inner residual filters (including any index_sel on the scan).
+        bool pass = true;
+        for (size_t i = 0; i < inner_scan.filter_sel_idxs.size(); ++i) {
+          const auto& sel = query.selections[
+              static_cast<size_t>(inner_scan.filter_sel_idxs[i])];
+          if (!EvalCmp(inner_filter_cols[i]->GetNumeric(row), sel.op,
+                       sel.value.AsDouble())) {
+            pass = false;
+            break;
+          }
+        }
+        if (!pass) continue;
+        if (index_sel_col != nullptr) {
+          const auto& sel = query.selections[
+              static_cast<size_t>(inner_scan.index_sel_idx)];
+          if (!EvalCmp(index_sel_col->GetNumeric(row), sel.op,
+                       sel.value.AsDouble())) {
+            continue;
+          }
+        }
+        // Remaining join predicates.
+        inner_stub.row_ids[0].assign(1, row);
+        bool preds_pass = true;
+        for (const RemainingPred& rp : remaining_preds) {
+          double ov = BoundValue(rp.outer, outer, t);
+          double iv = rp.inner_col->GetNumeric(row);
+          if (ov != iv) {
+            preds_pass = false;
+            break;
+          }
+        }
+        if (!preds_pass) continue;
+        HFQ_RETURN_IF_ERROR(append_tuple(inner_stub, t, 0));
+      }
+    }
+    return out;
+  }
+
+  HFQ_ASSIGN_OR_RETURN(RowIdTable inner,
+                       ExecNode(query, *node.child(1), result));
+  out.rels.insert(out.rels.end(), inner.rels.begin(), inner.rels.end());
+  out.row_ids.resize(outer.rels.size() + inner.rels.size());
+
+  // Bind each predicate's columns against both inputs once per operator.
+  struct BoundPred {
+    BoundColumn outer;
+    BoundColumn inner;
+  };
+  std::vector<BoundPred> bound_preds;
+  bound_preds.reserve(preds.size());
+  for (const SidedPred& pred : preds) {
+    bound_preds.push_back({BindColumn(*db_, query, outer, pred.outer_ref),
+                           BindColumn(*db_, query, inner, pred.inner_ref)});
+  }
+
+  auto residual_ok = [&](int64_t ot, int64_t it, size_t first_pred) {
+    for (size_t p = first_pred; p < bound_preds.size(); ++p) {
+      double ov = BoundValue(bound_preds[p].outer, outer, ot);
+      double iv = BoundValue(bound_preds[p].inner, inner, it);
+      if (ov != iv) return false;
+    }
+    return true;
+  };
+
+  switch (node.op) {
+    case PhysicalOp::kNestedLoopJoin: {
+      for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
+        for (int64_t it = 0; it < inner.NumTuples(); ++it) {
+          if (residual_ok(ot, it, 0)) {
+            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+          }
+        }
+      }
+      break;
+    }
+    case PhysicalOp::kHashJoin: {
+      if (preds.empty()) {
+        // Degenerate: cross product via NLJ semantics.
+        for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
+          for (int64_t it = 0; it < inner.NumTuples(); ++it) {
+            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+          }
+        }
+        break;
+      }
+      std::unordered_map<int64_t, std::vector<int64_t>, PairHash> ht;
+      ht.reserve(static_cast<size_t>(inner.NumTuples()));
+      for (int64_t it = 0; it < inner.NumTuples(); ++it) {
+        ht[BoundIntValue(bound_preds[0].inner, inner, it)].push_back(it);
+      }
+      for (int64_t ot = 0; ot < outer.NumTuples(); ++ot) {
+        auto hit = ht.find(BoundIntValue(bound_preds[0].outer, outer, ot));
+        if (hit == ht.end()) continue;
+        for (int64_t it : hit->second) {
+          if (residual_ok(ot, it, 1)) {
+            HFQ_RETURN_IF_ERROR(append_tuple(inner, ot, it));
+          }
+        }
+      }
+      break;
+    }
+    case PhysicalOp::kMergeJoin: {
+      if (preds.empty()) {
+        return Status::InvalidArgument("merge join requires a join key");
+      }
+      // Sort tuple indices of both sides by the first key; merge with
+      // block handling for duplicate keys; residual preds filter.
+      std::vector<int64_t> oidx(static_cast<size_t>(outer.NumTuples()));
+      std::vector<int64_t> iidx(static_cast<size_t>(inner.NumTuples()));
+      for (size_t i = 0; i < oidx.size(); ++i) {
+        oidx[i] = static_cast<int64_t>(i);
+      }
+      for (size_t i = 0; i < iidx.size(); ++i) {
+        iidx[i] = static_cast<int64_t>(i);
+      }
+      auto okey = [&](int64_t t) {
+        return BoundIntValue(bound_preds[0].outer, outer, t);
+      };
+      auto ikey = [&](int64_t t) {
+        return BoundIntValue(bound_preds[0].inner, inner, t);
+      };
+      std::sort(oidx.begin(), oidx.end(),
+                [&](int64_t a, int64_t b) { return okey(a) < okey(b); });
+      std::sort(iidx.begin(), iidx.end(),
+                [&](int64_t a, int64_t b) { return ikey(a) < ikey(b); });
+      size_t oi = 0, ii = 0;
+      while (oi < oidx.size() && ii < iidx.size()) {
+        int64_t ok = okey(oidx[oi]);
+        int64_t ik = ikey(iidx[ii]);
+        if (ok < ik) {
+          ++oi;
+        } else if (ok > ik) {
+          ++ii;
+        } else {
+          size_t o_end = oi;
+          while (o_end < oidx.size() && okey(oidx[o_end]) == ok) ++o_end;
+          size_t i_end = ii;
+          while (i_end < iidx.size() && ikey(iidx[i_end]) == ik) ++i_end;
+          for (size_t a = oi; a < o_end; ++a) {
+            for (size_t b = ii; b < i_end; ++b) {
+              if (residual_ok(oidx[a], iidx[b], 1)) {
+                HFQ_RETURN_IF_ERROR(append_tuple(inner, oidx[a], iidx[b]));
+              }
+            }
+          }
+          oi = o_end;
+          ii = i_end;
+        }
+      }
+      break;
+    }
+    default:
+      return Status::Internal("unexpected join op in executor");
+  }
+  return out;
+}
+
+}  // namespace hfq

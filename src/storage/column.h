@@ -58,6 +58,26 @@ class Column {
                : doubles_[static_cast<size_t>(row)];
   }
 
+  /// Batch gather: out[i] = column[rows[i]] for i in [0, n). The
+  /// vectorized executor materializes each bound column once per operator
+  /// with these instead of calling GetInt/GetNumeric per use.
+  void GatherInt(const int64_t* rows, int64_t n, int64_t* out) const {
+    HFQ_DCHECK(type_ == ColumnType::kInt64);
+    const int64_t* data = ints_.data();
+    for (int64_t i = 0; i < n; ++i) out[i] = data[rows[i]];
+  }
+  void GatherNumeric(const int64_t* rows, int64_t n, double* out) const {
+    if (type_ == ColumnType::kInt64) {
+      const int64_t* data = ints_.data();
+      for (int64_t i = 0; i < n; ++i) {
+        out[i] = static_cast<double>(data[rows[i]]);
+      }
+    } else {
+      const double* data = doubles_.data();
+      for (int64_t i = 0; i < n; ++i) out[i] = data[rows[i]];
+    }
+  }
+
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
 

@@ -4,6 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
 #include <tuple>
 
 #include "exec/executor.h"
@@ -223,6 +227,275 @@ TEST_F(ExecTest, NodeOutputRowsRecorded) {
   EXPECT_EQ(result->node_output_rows.at(plan.get()), 40);
   EXPECT_EQ(result->node_output_rows.at(plan->child(0)), 40);
   EXPECT_EQ(result->node_output_rows.at(plan->child(1)), 10);
+}
+
+// The executor's two engines (and the vectorized engine at every worker
+// count) promise bit-identical ExecResults: same join_rows, same per-node
+// cardinalities, and aggregate rows whose floats were accumulated in the
+// same order. These tests enforce the promise, not just multiset
+// equality.
+void ExpectBitIdentical(const ExecResult& a, const ExecResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.output_rows, b.output_rows) << label;
+  EXPECT_EQ(a.join_rows, b.join_rows) << label;
+  ASSERT_EQ(a.node_output_rows.size(), b.node_output_rows.size()) << label;
+  for (const auto& [node, rows] : a.node_output_rows) {
+    auto it = b.node_output_rows.find(node);
+    ASSERT_TRUE(it != b.node_output_rows.end()) << label;
+    EXPECT_EQ(rows, it->second) << label;
+  }
+  ASSERT_EQ(a.agg_rows.size(), b.agg_rows.size()) << label;
+  for (size_t i = 0; i < a.agg_rows.size(); ++i) {
+    // Bitwise, not approximate: identical accumulation order is the
+    // contract (memcmp-able doubles, no epsilon).
+    ASSERT_EQ(a.agg_rows[i].group_keys.size(),
+              b.agg_rows[i].group_keys.size());
+    ASSERT_EQ(a.agg_rows[i].agg_values.size(),
+              b.agg_rows[i].agg_values.size());
+    EXPECT_EQ(std::memcmp(a.agg_rows[i].group_keys.data(),
+                          b.agg_rows[i].group_keys.data(),
+                          a.agg_rows[i].group_keys.size() * sizeof(double)),
+              0)
+        << label << " group " << i;
+    EXPECT_EQ(std::memcmp(a.agg_rows[i].agg_values.data(),
+                          b.agg_rows[i].agg_values.data(),
+                          a.agg_rows[i].agg_values.size() * sizeof(double)),
+              0)
+        << label << " group " << i;
+  }
+}
+
+// Join + sum aggregate: a float accumulation whose result depends on the
+// tuple emission order, so engines that emit in different orders fail the
+// bitwise comparison.
+Query OrderSensitiveQuery(const testing::MicroDb& micro,
+                          const std::string& name) {
+  Query q = micro.JoinQuery(name);
+  q.group_by.push_back(ColumnRef{0, "attr"});
+  AggSpec sum_v;
+  sum_v.func = AggFunc::kSum;
+  sum_v.has_arg = true;
+  sum_v.arg = ColumnRef{1, "v"};
+  AggSpec avg_id;
+  avg_id.func = AggFunc::kAvg;
+  avg_id.has_arg = true;
+  avg_id.arg = ColumnRef{1, "id"};
+  q.aggregates = {sum_v, avg_id};
+  return q;
+}
+
+TEST_F(ExecTest, EnginesBitIdenticalAcrossJoinOps) {
+  ExecOptions legacy_options;
+  legacy_options.engine = ExecEngine::kTupleAtATime;
+  Executor legacy(micro_.db.get(), legacy_options);
+  Query q = OrderSensitiveQuery(micro_, "exec_engine_equiv");
+  q.selections.push_back(
+      SelectionPredicate{ColumnRef{1, "v"}, CmpOp::kLe, Value::Int(2)});
+  for (PhysicalOp op :
+       {PhysicalOp::kHashJoin, PhysicalOp::kNestedLoopJoin,
+        PhysicalOp::kMergeJoin, PhysicalOp::kIndexNestedLoopJoin}) {
+    auto plan = MakeAggregate(PhysicalOp::kHashAggregate,
+                              JoinPlan(op, {0}, {}));
+    auto vec = executor_.Execute(q, *plan);
+    auto ref = legacy.Execute(q, *plan);
+    ASSERT_TRUE(vec.ok() && ref.ok()) << PhysicalOpName(op);
+    ExpectBitIdentical(*vec, *ref, PhysicalOpName(op));
+  }
+}
+
+TEST_F(ExecTest, EnginesBitIdenticalOnMultiPredicateAndSelfJoins) {
+  ExecOptions legacy_options;
+  legacy_options.engine = ExecEngine::kTupleAtATime;
+  Executor legacy(micro_.db.get(), legacy_options);
+  // Multi-predicate join (exercises the residual-predicate path).
+  Query multi;
+  multi.name = "exec_equiv_multi";
+  multi.relations = {RelationRef{"child", "c"}, RelationRef{"parent", "p"}};
+  multi.joins.push_back(JoinPredicate{ColumnRef{0, "pid"}, ColumnRef{1, "id"}});
+  multi.joins.push_back(
+      JoinPredicate{ColumnRef{0, "v"}, ColumnRef{1, "attr"}});
+  // Self join (duplicate keys stress the FIFO duplicate chains).
+  Query self;
+  self.name = "exec_equiv_self";
+  self.relations = {RelationRef{"child", "c1"}, RelationRef{"child", "c2"}};
+  self.joins.push_back(JoinPredicate{ColumnRef{0, "pid"}, ColumnRef{1, "pid"}});
+  for (const Query* q : {&multi, &self}) {
+    for (PhysicalOp op : {PhysicalOp::kHashJoin, PhysicalOp::kNestedLoopJoin,
+                          PhysicalOp::kMergeJoin}) {
+      size_t num_preds = q->joins.size();
+      std::vector<int> pred_idxs;
+      for (size_t p = 0; p < num_preds; ++p) {
+        pred_idxs.push_back(static_cast<int>(p));
+      }
+      auto plan = MakeJoin(op, MakeSeqScan(0, {}), MakeSeqScan(1, {}),
+                           std::move(pred_idxs));
+      auto vec = executor_.Execute(*q, *plan);
+      auto ref = legacy.Execute(*q, *plan);
+      ASSERT_TRUE(vec.ok() && ref.ok())
+          << q->name << " " << PhysicalOpName(op);
+      ExpectBitIdentical(*vec, *ref, q->name);
+    }
+  }
+}
+
+TEST_F(ExecTest, MorselParallelismIsWorkerCountInvariant) {
+  Query q = OrderSensitiveQuery(micro_, "exec_morsel_equiv");
+  ExecOptions legacy_options;
+  legacy_options.engine = ExecEngine::kTupleAtATime;
+  Executor legacy(micro_.db.get(), legacy_options);
+  for (PhysicalOp op :
+       {PhysicalOp::kHashJoin, PhysicalOp::kNestedLoopJoin,
+        PhysicalOp::kIndexNestedLoopJoin}) {
+    auto plan = MakeAggregate(PhysicalOp::kHashAggregate, JoinPlan(op));
+    auto ref = legacy.Execute(q, *plan);
+    ASSERT_TRUE(ref.ok()) << PhysicalOpName(op);
+    for (int workers : {1, 2, 4}) {
+      ExecOptions options;
+      options.num_workers = workers;
+      // Tiny morsels so even MicroDb's 40-row inputs split across
+      // workers (the default 4096 would leave parallelism untested).
+      options.morsel_size = 7;
+      Executor parallel(micro_.db.get(), options);
+      auto result = parallel.Execute(q, *plan);
+      ASSERT_TRUE(result.ok()) << PhysicalOpName(op) << " w=" << workers;
+      ExpectBitIdentical(
+          *result, *ref,
+          std::string(PhysicalOpName(op)) + " w=" + std::to_string(workers));
+    }
+  }
+}
+
+TEST_F(ExecTest, MorselParallelCapStillTriggers) {
+  ExecOptions options;
+  options.max_intermediate_tuples = 50;
+  options.num_workers = 4;
+  options.morsel_size = 3;
+  Executor bounded(micro_.db.get(), options);
+  Query q;
+  q.name = "exec_morsel_cap";
+  q.relations = {RelationRef{"child", "c1"}, RelationRef{"child", "c2"}};
+  auto plan = MakeJoin(PhysicalOp::kNestedLoopJoin, MakeSeqScan(0, {}),
+                       MakeSeqScan(1, {}), {});
+  auto result = bounded.Execute(q, *plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --- Aggregation hash-collision regression ---
+
+// FNV-1a over the key vector's double bit patterns, exactly as
+// ExecAggregate hashes group keys.
+uint64_t GroupKeyHash(std::initializer_list<double> keys) {
+  uint64_t h = 1469598103934665603ull;
+  for (double k : keys) {
+    uint64_t bits;
+    std::memcpy(&bits, &k, sizeof(bits));
+    h ^= bits;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// The historic aggregation keyed groups by the 64-bit key hash alone, so
+// two distinct key vectors that collide were silently merged into one
+// group. Constructs a guaranteed collision (solve the second key's bits
+// from the FNV recurrence) and asserts the groups stay separate.
+TEST(ExecAggregateCollisionTest, CollidingKeyVectorsStayDistinctGroups) {
+  // b2's bit pattern that makes (b1, b2) collide with (a1, a2):
+  //   bits(b2) = bits(a2) ^ (basis ^ bits(a1)) * prime
+  //                       ^ (basis ^ bits(b1)) * prime.
+  const double a1 = 1.0, b1 = 2.0;
+  double a2 = 3.0, b2 = 0.0;
+  for (double candidate = 3.0; candidate < 64.0; candidate += 1.0) {
+    a2 = candidate;
+    const uint64_t basis = 1469598103934665603ull;
+    const uint64_t prime = 1099511628211ull;
+    uint64_t a1b, b1b, a2b;
+    std::memcpy(&a1b, &a1, 8);
+    std::memcpy(&b1b, &b1, 8);
+    std::memcpy(&a2b, &a2, 8);
+    const uint64_t b2b =
+        a2b ^ ((basis ^ a1b) * prime) ^ ((basis ^ b1b) * prime);
+    std::memcpy(&b2, &b2b, 8);
+    if (std::isfinite(b2)) break;
+  }
+  ASSERT_TRUE(std::isfinite(b2));
+  ASSERT_EQ(GroupKeyHash({a1, a2}), GroupKeyHash({b1, b2}));
+  ASSERT_FALSE(a1 == b1 && a2 == b2);
+
+  // A 4-row table holding each colliding key vector twice.
+  Catalog catalog;
+  TableDef def;
+  def.name = "t";
+  def.num_rows = 4;
+  ColumnDef k1;
+  k1.name = "k1";
+  k1.type = ColumnType::kDouble;
+  ColumnDef k2;
+  k2.name = "k2";
+  k2.type = ColumnType::kDouble;
+  def.columns = {k1, k2};
+  ASSERT_TRUE(catalog.AddTable(def).ok());
+  Database db(&catalog);
+  auto table = std::make_unique<Table>(def);
+  const double row_values[4][2] = {{a1, a2}, {b1, b2}, {a1, a2}, {b1, b2}};
+  for (const auto& row : row_values) {
+    table->column(0).AppendDouble(row[0]);
+    table->column(1).AppendDouble(row[1]);
+  }
+  ASSERT_TRUE(table->Seal().ok());
+  ASSERT_TRUE(db.AddTable(std::move(table)).ok());
+
+  Query q;
+  q.name = "agg_collision";
+  q.relations = {RelationRef{"t", "t"}};
+  q.group_by = {ColumnRef{0, "k1"}, ColumnRef{0, "k2"}};
+  AggSpec count_star;
+  count_star.func = AggFunc::kCount;
+  q.aggregates = {count_star};
+  auto plan = MakeAggregate(PhysicalOp::kHashAggregate, MakeSeqScan(0, {}));
+  for (ExecEngine engine :
+       {ExecEngine::kVectorized, ExecEngine::kTupleAtATime}) {
+    ExecOptions options;
+    options.engine = engine;
+    Executor executor(&db, options);
+    auto result = executor.Execute(q, *plan);
+    ASSERT_TRUE(result.ok());
+    // Hash-only keying reported one merged group of 4 here.
+    ASSERT_EQ(result->agg_rows.size(), 2u);
+    EXPECT_DOUBLE_EQ(result->agg_rows[0].agg_values[0], 2.0);
+    EXPECT_DOUBLE_EQ(result->agg_rows[1].agg_values[0], 2.0);
+  }
+}
+
+// --- Index-scan range clamping ---
+
+// `v - 1` / `v + 1` on the kLt/kGt range edges is signed-overflow UB at
+// INT64_MIN / INT64_MAX; the executor clamps instead (those predicates
+// match nothing), and huge double literals saturate rather than hitting
+// cast UB.
+TEST_F(ExecTest, IndexScanRangeClampsAtInt64Extremes) {
+  struct Case {
+    CmpOp op;
+    Value value;
+    int64_t expected_rows;
+  };
+  const Case cases[] = {
+      {CmpOp::kLt, Value::Int(INT64_MIN), 0},   // nothing < INT64_MIN
+      {CmpOp::kGt, Value::Int(INT64_MAX), 0},   // nothing > INT64_MAX
+      {CmpOp::kGe, Value::Int(INT64_MIN), 40},  // everything
+      {CmpOp::kLt, Value::Double(1e300), 40},   // floor(1e300) saturates
+      {CmpOp::kGt, Value::Double(-1e300), 40},
+  };
+  for (const Case& c : cases) {
+    Query q = micro_.JoinQuery("exec_clamp");
+    q.selections.push_back(SelectionPredicate{ColumnRef{1, "v"}, c.op,
+                                              c.value});
+    auto idx = MakeIndexScan(1, IndexKind::kBTree, "v", 0, {});
+    auto result = executor_.Execute(q, *idx);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->output_rows, c.expected_rows);
+  }
 }
 
 // --- Cross-plan result equivalence ---
